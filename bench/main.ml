@@ -1,0 +1,39 @@
+(* Experiment harness.
+
+   Usage:
+     dune exec bench/main.exe              # run every experiment E1-E11
+     dune exec bench/main.exe -- E3 E9     # run selected experiments
+     dune exec bench/main.exe -- micro     # Bechamel substrate benches
+     dune exec bench/main.exe -- all micro # everything
+
+   Each experiment regenerates one of the paper's claims (this paper
+   has no empirical tables; the reproducible units are the theorem,
+   corollaries, lemmas and constructions — see DESIGN.md section 4 and
+   EXPERIMENTS.md for the mapping). *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = if args = [] then [ "all" ] else args in
+  let run_all = List.mem "all" args in
+  let ran = ref 0 in
+  Printf.printf
+    "Chu-Schnitger (SPAA 1989 / J. Complexity 1991) reproduction — \
+     experiment harness\n";
+  List.iter
+    (fun (id, f) ->
+      if run_all || List.mem id args then begin
+        f ();
+        incr ran
+      end)
+    Experiments.all;
+  if List.mem "micro" args then begin
+    Micro.run ();
+    incr ran
+  end;
+  if !ran = 0 then begin
+    Printf.eprintf
+      "unknown experiment(s): %s\navailable: %s micro all\n"
+      (String.concat " " args)
+      (String.concat " " (List.map fst Experiments.all));
+    exit 1
+  end

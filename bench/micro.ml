@@ -1,0 +1,171 @@
+(* Bechamel micro-benchmarks for the substrate ablations called out in
+   DESIGN.md section 6:
+
+   B1  bigint multiplication: schoolbook vs Karatsuba across sizes
+   B2  determinant: Bareiss vs CRT vs rational elimination
+   B3  rank: GF(2) bit-matrix vs rational elimination
+   B4  protocol channel overhead (send throughput)
+   B5  base-(-q) digit extraction
+   B6  subspace membership (the Lemma 3.2 inner loop)           *)
+
+open Bechamel
+open Toolkit
+
+module B = Commx_bigint.Bigint
+module Zm = Commx_linalg.Zmatrix
+module Qm = Commx_linalg.Qmatrix
+module Bm = Commx_util.Bitmat
+module Prng = Commx_util.Prng
+
+let random_bigint g bits = B.random_bits g bits
+
+let b1_mul () =
+  let g = Prng.create 1 in
+  let mk bits =
+    let x = random_bigint g bits and y = random_bigint g bits in
+    [
+      Test.make
+        ~name:(Printf.sprintf "mul-karatsuba-%db" bits)
+        (Staged.stage (fun () -> ignore (B.mul x y)));
+      Test.make
+        ~name:(Printf.sprintf "mul-schoolbook-%db" bits)
+        (Staged.stage (fun () -> ignore (B.mul_schoolbook x y)));
+    ]
+  in
+  Test.make_grouped ~name:"B1-bigint-mul" ~fmt:"%s %s"
+    (List.concat_map mk [ 256; 1024; 4096; 16384 ])
+
+let random_zmatrix g dim bits =
+  Zm.init dim dim (fun _ _ ->
+      let v = B.random_bits g bits in
+      if Prng.bool g then B.neg v else v)
+
+let b2_det () =
+  let g = Prng.create 2 in
+  let mk dim =
+    let m = random_zmatrix g dim 16 in
+    let mq = Zm.to_qmatrix m in
+    [
+      Test.make
+        ~name:(Printf.sprintf "det-bareiss-%d" dim)
+        (Staged.stage (fun () -> ignore (Zm.det_bareiss m)));
+      Test.make
+        ~name:(Printf.sprintf "det-crt-%d" dim)
+        (Staged.stage (fun () -> ignore (Zm.det_crt m)));
+      Test.make
+        ~name:(Printf.sprintf "det-rational-%d" dim)
+        (Staged.stage (fun () -> ignore (Qm.det mq)));
+    ]
+  in
+  Test.make_grouped ~name:"B2-determinant" ~fmt:"%s %s"
+    (List.concat_map mk [ 6; 10; 14 ])
+
+let b3_rank () =
+  let g = Prng.create 3 in
+  let mk dim =
+    let bm = Bm.random g dim dim in
+    let qm =
+      Qm.init dim dim (fun i j ->
+          if Bm.get bm i j then Commx_bigint.Rational.one
+          else Commx_bigint.Rational.zero)
+    in
+    [
+      Test.make
+        ~name:(Printf.sprintf "rank-gf2-%d" dim)
+        (Staged.stage (fun () -> ignore (Bm.rank bm)));
+      Test.make
+        ~name:(Printf.sprintf "rank-rational-%d" dim)
+        (Staged.stage (fun () -> ignore (Qm.rank qm)));
+    ]
+  in
+  Test.make_grouped ~name:"B3-rank" ~fmt:"%s %s"
+    (List.concat_map mk [ 32; 64; 128 ])
+
+let b4_channel () =
+  let g = Prng.create 4 in
+  let msg = Commx_util.Bitvec.random g 4096 in
+  Test.make_grouped ~name:"B4-channel" ~fmt:"%s %s"
+    [
+      Test.make ~name:"send-4096b"
+        (Staged.stage (fun () ->
+             let p =
+               {
+                 Commx_comm.Protocol.name = "bench";
+                 run =
+                   (fun ch () () ->
+                     ignore (Commx_comm.Protocol.send ch msg);
+                     true);
+               }
+             in
+             ignore (Commx_comm.Protocol.execute p () ())));
+    ]
+
+let b5_negbase () =
+  let q = B.of_int 7 in
+  let v = B.of_string "123456789123456789123456789" in
+  Test.make_grouped ~name:"B5-negbase" ~fmt:"%s %s"
+    [
+      Test.make ~name:"to_neg_base-90digits"
+        (Staged.stage (fun () ->
+             ignore (Commx_core.Gadget.to_neg_base ~q ~digits:90 v)));
+    ]
+
+let b6_membership () =
+  let p = Commx_core.Params.make ~n:9 ~k:3 in
+  let g = Prng.create 6 in
+  let f = Commx_core.Hard_instance.random_free g p in
+  let normal = Commx_core.Truth_restricted.normal_vector p f.Commx_core.Hard_instance.c in
+  Test.make_grouped ~name:"B6-membership" ~fmt:"%s %s"
+    [
+      Test.make ~name:"lemma32-subspace-mem"
+        (Staged.stage (fun () ->
+             ignore (Commx_core.Lemma32.criterion p f)));
+      Test.make ~name:"lemma32-normal-dot"
+        (Staged.stage (fun () ->
+             ignore (Commx_core.Truth_restricted.singular_with ~normal p f)));
+    ]
+
+let run_group test =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ~kde:(Some 500) ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name result acc ->
+        let ns =
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> est
+          | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) rows
+
+let print_group title test =
+  Printf.printf "\n== %s ==\n" title;
+  let tab =
+    Commx_util.Tab.make ~header:[ "benchmark"; "ns/run" ]
+      [ Commx_util.Tab.Left; Commx_util.Tab.Right ]
+  in
+  List.iter
+    (fun (name, ns) ->
+      Commx_util.Tab.add_row tab
+        [ name; Commx_util.Tab.fmt_float ~digits:1 ns ])
+    (run_group test);
+  Commx_util.Tab.print tab
+
+let run () =
+  print_endline "Micro-benchmarks (Bechamel; OLS ns/run estimates)";
+  print_group "B1 bigint multiplication (Karatsuba ablation)" (b1_mul ());
+  print_group "B2 determinant algorithms" (b2_det ());
+  print_group "B3 rank over GF(2) vs Q" (b3_rank ());
+  print_group "B4 protocol channel overhead" (b4_channel ());
+  print_group "B5 base-(-q) digits" (b5_negbase ());
+  print_group "B6 Lemma 3.2 membership strategies" (b6_membership ())

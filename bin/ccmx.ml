@@ -1,0 +1,333 @@
+(* ccmx — command-line driver for the Chu-Schnitger reproduction.
+
+   Subcommands:
+     gen       generate a hard instance (optionally forced singular)
+     check     decide singularity of a matrix read from a file
+     protocol  run a protocol on a generated instance and report bits
+     bounds    print the bound calculators for given (n, k)
+     lemmas    spot-check Lemmas 3.2 / 3.5 / 3.9 on random instances *)
+
+module B = Commx_bigint.Bigint
+module Zm = Commx_linalg.Zmatrix
+module Prng = Commx_util.Prng
+module Params = Commx_core.Params
+module H = Commx_core.Hard_instance
+module L32 = Commx_core.Lemma32
+module L35 = Commx_core.Lemma35
+module L39 = Commx_core.Lemma39
+module Bounds = Commx_core.Bounds
+module Protocol = Commx_comm.Protocol
+module Partition = Commx_comm.Partition
+module Halves = Commx_protocols.Halves
+module Trivial = Commx_protocols.Trivial
+module Fingerprint = Commx_protocols.Fingerprint
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let n_arg =
+  let doc = "Half-dimension n (the matrix is 2n x 2n); odd, >= 5." in
+  Arg.(value & opt int 7 & info [ "n" ] ~docv:"N" ~doc)
+
+let k_arg =
+  let doc = "Bits per entry; >= 2." in
+  Arg.(value & opt int 2 & info [ "k" ] ~docv:"K" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed (runs are deterministic given the seed)." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let params_of n k =
+  if not (Params.is_valid ~n ~k) then
+    `Error (false, Printf.sprintf "invalid parameters n=%d k=%d" n k)
+  else `Ok (Params.make ~n ~k)
+
+let print_matrix m =
+  for i = 0 to Zm.rows m - 1 do
+    print_string
+      (String.concat " "
+         (List.init (Zm.cols m) (fun j -> B.to_string (Zm.get m i j))));
+    print_newline ()
+  done
+
+let read_matrix path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" then begin
+         let entries =
+           line |> String.split_on_char ' '
+           |> List.filter (fun s -> s <> "")
+           |> List.map B.of_string
+         in
+         rows := Array.of_list entries :: !rows
+       end
+     done
+   with End_of_file -> close_in ic);
+  match List.rev !rows with
+  | [] -> failwith "empty matrix file"
+  | first :: _ as rows_list ->
+      let cols = Array.length first in
+      if List.exists (fun r -> Array.length r <> cols) rows_list then
+        failwith "ragged matrix file";
+      let arr = Array.of_list rows_list in
+      Zm.init (Array.length arr) cols (fun i j -> arr.(i).(j))
+
+(* ------------------------------------------------------------------ *)
+(* gen                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen n k seed singular =
+  match params_of n k with
+  | `Error _ as e -> e
+  | `Ok p ->
+      let g = Prng.create seed in
+      let f = H.random_free g p in
+      let f =
+        if singular then (L35.complete p ~c:f.H.c ~e:f.H.e).L35.free else f
+      in
+      print_matrix (H.build_m p f);
+      `Ok ()
+
+let gen_cmd =
+  let singular =
+    Arg.(
+      value & flag
+      & info [ "singular" ]
+          ~doc:"Complete D, y via Lemma 3.5(a) so the instance is singular.")
+  in
+  let doc = "Generate a Fig. 1/3 hard instance on stdout." in
+  Cmd.v (Cmd.info "gen" ~doc)
+    Term.(ret (const gen $ n_arg $ k_arg $ seed_arg $ singular))
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check path =
+  let m = read_matrix path in
+  if not (Zm.is_square m) then `Error (false, "matrix is not square")
+  else begin
+    let d = Zm.det m in
+    Printf.printf "dimension: %d\nrank: %d\ndet: %s\nsingular: %b\n"
+      (Zm.rows m) (Zm.rank m) (B.to_string d) (B.is_zero d);
+    `Ok ()
+  end
+
+let check_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Whitespace-separated integer matrix.")
+  in
+  let doc = "Decide singularity (plus rank and determinant) exactly." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(ret (const check $ path))
+
+(* ------------------------------------------------------------------ *)
+(* protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let protocol n k seed which epsilon =
+  match params_of n k with
+  | `Error _ as e -> e
+  | `Ok p ->
+      let g = Prng.create seed in
+      let m = H.build_m p (H.random_free g p) in
+      let alice, bob = Halves.split_pi0 m in
+      let truth = Zm.is_singular m in
+      (match which with
+      | "trivial" ->
+          let got, bits = Protocol.execute (Trivial.singularity ~k) alice bob in
+          Printf.printf
+            "trivial protocol: answer=%b (truth %b), %d bits (2kn^2 = %d)\n"
+            got truth bits
+            (Bounds.trivial_upper_bits ~n ~k);
+          `Ok ()
+      | "fingerprint" ->
+          let rp = Fingerprint.singularity ~n ~k ~epsilon in
+          let got, bits =
+            Protocol.execute
+              (rp.Commx_comm.Randomized.run_seeded ~seed:(seed + 1))
+              alice bob
+          in
+          Printf.printf
+            "fingerprint protocol (eps=%.3f): answer=%b (truth %b), %d \
+             bits (trivial: %d)\n"
+            epsilon got truth bits
+            (Bounds.trivial_upper_bits ~n ~k);
+          `Ok ()
+      | other ->
+          `Error (false, Printf.sprintf "unknown protocol %S" other))
+
+let protocol_cmd =
+  let which =
+    Arg.(
+      value
+      & opt string "trivial"
+      & info [ "protocol" ] ~docv:"NAME"
+          ~doc:"Protocol to run: $(b,trivial) or $(b,fingerprint).")
+  in
+  let epsilon =
+    Arg.(
+      value & opt float 0.01
+      & info [ "epsilon" ] ~docv:"EPS" ~doc:"Fingerprint error budget.")
+  in
+  let doc = "Run a protocol on a random instance and count bits." in
+  Cmd.v (Cmd.info "protocol" ~doc)
+    Term.(ret (const protocol $ n_arg $ k_arg $ seed_arg $ which $ epsilon))
+
+(* ------------------------------------------------------------------ *)
+(* bounds                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let bounds n k =
+  if n <= 0 || k <= 0 then `Error (false, "need positive n, k")
+  else begin
+    let info = Bounds.info_bits ~n ~k in
+    Printf.printf
+      "n=%d k=%d\n\
+       trivial upper bound        : %d bits\n\
+       Theorem 1.1 lower bound    : %.1f bits (constant-explicit)\n\
+       randomized upper (eps=.01) : %d bits\n\
+       det/rand gap               : %.2fx\n\
+       I = k n^2                  : %.0f\n\
+       A T^2 >=                   : %.0f\n\
+       our T >=                   : %.1f   (Chazelle-Monier: %.0f)\n\
+       our AT >=                  : %.0f   (Chazelle-Monier: %.0f)\n"
+      n k
+      (Bounds.trivial_upper_bits ~n ~k)
+      (Bounds.deterministic_lower_bits ~n ~k)
+      (Bounds.randomized_upper_bits ~n ~k ~epsilon:0.01)
+      (Bounds.deterministic_over_randomized ~n ~k ~epsilon:0.01)
+      info
+      (Bounds.at2_lower ~info_bits:info)
+      (Bounds.our_time_lower ~n ~k)
+      (Bounds.chazelle_monier_time_lower ~n)
+      (Bounds.our_at_lower ~n ~k)
+      (Bounds.chazelle_monier_at_lower ~n);
+    `Ok ()
+  end
+
+let bounds_cmd =
+  let doc = "Print all bound calculators for (n, k)." in
+  Cmd.v (Cmd.info "bounds" ~doc) Term.(ret (const bounds $ n_arg $ k_arg))
+
+(* ------------------------------------------------------------------ *)
+(* lemmas                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let lemmas n k seed trials =
+  match params_of n k with
+  | `Error _ as e -> e
+  | `Ok p ->
+      let g = Prng.create seed in
+      let ok32 = ref 0 and ok35 = ref 0 and ok39 = ref 0 in
+      for _ = 1 to trials do
+        let f = H.random_free g p in
+        if L32.agrees p f then incr ok32;
+        let w = L35.complete p ~c:f.H.c ~e:f.H.e in
+        if L35.check_witness p w then incr ok35;
+        let dim = 2 * n in
+        let partition = Partition.random_even g (dim * dim * k) in
+        (match L39.find_transform g p partition with
+        | Some t when L39.is_proper p (L39.apply_transform p partition t) ->
+            incr ok39
+        | _ -> ())
+      done;
+      Printf.printf
+        "lemma 3.2 (criterion = ground truth): %d/%d\n\
+         lemma 3.5 (completion singular)     : %d/%d\n\
+         lemma 3.9 (proper transform found)  : %d/%d\n"
+        !ok32 trials !ok35 trials !ok39 trials;
+      `Ok ()
+
+let lemmas_cmd =
+  let trials =
+    Arg.(value & opt int 20 & info [ "trials" ] ~docv:"T" ~doc:"Trials.")
+  in
+  let doc = "Spot-check Lemmas 3.2, 3.5(a) and 3.9 on random instances." in
+  Cmd.v (Cmd.info "lemmas" ~doc)
+    Term.(ret (const lemmas $ n_arg $ k_arg $ seed_arg $ trials))
+
+(* ------------------------------------------------------------------ *)
+(* ledger                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ledger n k proper =
+  match params_of n k with
+  | `Error _ as e -> e
+  | `Ok p ->
+      let l =
+        if proper then Commx_core.Theorem11.proper_partition_ledger p
+        else Commx_core.Theorem11.ledger p
+      in
+      Format.printf "%a@." Commx_core.Theorem11.pp l;
+      `Ok ()
+
+let ledger_cmd =
+  let proper =
+    Arg.(
+      value & flag
+      & info [ "proper" ]
+          ~doc:
+            "Use the arbitrary-even-partition (Definition 3.8) variant \
+             instead of the pi_0 ledger.")
+  in
+  let doc = "Print the Theorem 1.1 accounting ledger for (n, k)." in
+  Cmd.v (Cmd.info "ledger" ~doc)
+    Term.(ret (const ledger $ n_arg $ k_arg $ proper))
+
+(* ------------------------------------------------------------------ *)
+(* exactcc                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let exactcc k =
+  if k < 1 || k > 1 then
+    `Error (false, "only k = 1 is enumerable within the search limits")
+  else begin
+    let inputs = List.init 4 (fun v -> (v lsr 1, v land 1)) in
+    let tm =
+      Commx_comm.Truth_matrix.build inputs inputs (fun (a, c) (b, d) ->
+          (a * d) - (b * c) = 0)
+    in
+    let cc = Commx_comm.Exact_cc.complexity_tm tm in
+    let m = Commx_comm.Truth_matrix.to_bitmat tm in
+    let d = Commx_comm.Cover.min_partition m in
+    Printf.printf
+      "singularity of 2x2 matrices of %d-bit entries under pi_0:\n\
+       exact deterministic CC : %d bits\n\
+       d(f) (min partition)   : %d  (Yao: CC >= log2 d = %.2f)\n\
+       min 1-cover / 0-cover  : %d / %d\n"
+      k cc d
+      (log (float_of_int d) /. log 2.0)
+      (Commx_comm.Cover.min_one_cover m)
+      (Commx_comm.Cover.min_zero_cover m);
+    `Ok ()
+  end
+
+let exactcc_cmd =
+  let doc =
+    "Exact deterministic communication complexity of the tiny \
+     singularity instance (exhaustive over all protocols)."
+  in
+  Cmd.v (Cmd.info "exactcc" ~doc) Term.(ret (const exactcc $ k_arg))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc =
+    "communication complexity of matrix computation (Chu-Schnitger \
+     1989) — reproduction toolkit"
+  in
+  let info = Cmd.info "ccmx" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_cmd; check_cmd; protocol_cmd; bounds_cmd; lemmas_cmd;
+            ledger_cmd; exactcc_cmd ]))

@@ -1,0 +1,70 @@
+(* Corollary 1.2(d) without floating point: the singular-value
+   *structure* of an integer matrix — how many vanish, how many are
+   distinct, where they sit — extracted exactly through the
+   characteristic polynomial of M^T M and Sturm sequences.
+
+     dune exec examples/exact_svd_structure.exe   *)
+
+module B = Commx_bigint.Bigint
+module Q = Commx_bigint.Rational
+module Zm = Commx_linalg.Zmatrix
+module Charpoly = Commx_linalg.Charpoly
+module Poly = Commx_linalg.Poly
+module Svd = Commx_linalg.Svd
+module Prng = Commx_util.Prng
+module Params = Commx_core.Params
+module H = Commx_core.Hard_instance
+module L35 = Commx_core.Lemma35
+
+let analyze name m =
+  let n = Zm.rows m in
+  let zeros = Charpoly.zero_singular_values m in
+  let distinct = Poly.distinct_singular_value_count m in
+  Printf.printf "%-24s %dx%d  rank %d  zero sigmas %d  distinct nonzero %d\n"
+    name n (Zm.cols m) (Zm.rank m) zeros distinct;
+  (* localize: count sigma^2 in dyadic windows, exactly *)
+  let windows =
+    [ (0, 1); (1, 4); (4, 16); (16, 64); (64, 4096); (4096, 1 lsl 20) ]
+  in
+  let parts =
+    List.filter_map
+      (fun (lo, hi) ->
+        let c =
+          Poly.singular_values_in m ~lo:(Q.of_int lo) ~hi:(Q.of_int hi)
+        in
+        if c > 0 then Some (Printf.sprintf "(%d,%d]:%d" lo hi c) else None)
+      windows
+  in
+  Printf.printf "%-24s sigma^2 localization: %s\n" ""
+    (String.concat "  " parts);
+  (* cross-check against the float SVD *)
+  if Zm.rows m <= 12 then begin
+    let s = Svd.singular_values (Svd.of_zmatrix m) in
+    Printf.printf "%-24s float sigmas: %s\n" ""
+      (String.concat " "
+         (Array.to_list (Array.map (Printf.sprintf "%.3f") s)))
+  end
+
+let () =
+  print_endline
+    "Exact singular-value structure (no floating point in any decision)\n";
+  (* a diagonal example with known sigmas *)
+  analyze "diag(1, 2, 2, 0)"
+    (Zm.of_int_array2
+       [| [| 1; 0; 0; 0 |]; [| 0; 2; 0; 0 |]; [| 0; 0; 2; 0 |];
+          [| 0; 0; 0; 0 |] |]);
+  print_newline ();
+  (* a random small matrix *)
+  let g = Prng.create 7 in
+  analyze "random 5x5 (3-bit)" (Zm.random_kbit g ~rows:5 ~cols:5 ~k:3);
+  print_newline ();
+  (* a hard instance forced singular: at least one zero sigma *)
+  let p = Params.make ~n:5 ~k:2 in
+  let f = H.random_free g p in
+  let m = H.build_m p (L35.complete p ~c:f.H.c ~e:f.H.e).L35.free in
+  analyze "hard singular (10x10)" m;
+  print_newline ();
+  print_endline
+    "The paper's Corollary 1.2(d) says even this structure costs \
+     Theta(k n^2) bits to communicate: the zero-sigma count alone \
+     decides singularity."

@@ -1,0 +1,82 @@
+(* Lower-bound laboratory: enumerate a small singularity truth matrix
+   exactly and certify communication lower bounds with three
+   independent techniques (rectangle cover, log-rank, fooling sets),
+   then watch the certificates grow with the entry width k.
+
+     dune exec examples/lower_bound_lab.exe       *)
+
+module Tm = Commx_comm.Truth_matrix
+module Rank_bound = Commx_comm.Rank_bound
+module Rect = Commx_comm.Rectangle
+module Fooling = Commx_comm.Fooling
+module Tab = Commx_util.Tab
+
+(* Truth matrix of "is [[a, b], [c, d]] singular" where Alice holds the
+   first column (a, c) and Bob the second (b, d), entries k-bit. *)
+let singularity_tm ~k =
+  let range = 1 lsl k in
+  let halves =
+    List.concat_map
+      (fun a -> List.init range (fun b -> (a, b)))
+      (List.init range (fun a -> a))
+  in
+  Tm.build halves halves (fun (a, c) (b, d) -> (a * d) - (b * c) = 0)
+
+let () =
+  print_endline
+    "Exact communication lower bounds for singularity of 2x2 k-bit \
+     matrices\n(every protocol, not just the ones we implemented)";
+  let tab =
+    Tab.make
+      ~header:
+        [ "k"; "truth matrix"; "ones"; "largest 1-rect"; "cover bound";
+          "log-rank"; "fooling"; "trivial upper" ]
+      [ Tab.Right; Tab.Left; Tab.Right; Tab.Right; Tab.Right; Tab.Right;
+        Tab.Right; Tab.Right ]
+  in
+  List.iter
+    (fun k ->
+      let tm = singularity_tm ~k in
+      let m = Tm.to_bitmat tm in
+      let exact = k <= 2 in
+      let report = Rank_bound.analyze tm ~exact_rect:exact in
+      let rect =
+        if exact then Rect.max_one_rectangle_exact m
+        else Rect.max_one_rectangle_greedy (Commx_util.Prng.create 1) m
+      in
+      Tab.add_row tab
+        [ string_of_int k;
+          Printf.sprintf "%dx%d" (Tm.rows tm) (Tm.cols tm);
+          string_of_int report.Rank_bound.ones;
+          (if exact then string_of_int (Rect.area rect)
+           else Printf.sprintf "~%d" (Rect.area rect));
+          Printf.sprintf "%.2f bits%s" report.Rank_bound.cover_bits
+            (if exact then "" else " (est)");
+          Printf.sprintf "%.2f bits" report.Rank_bound.log_rank;
+          Printf.sprintf "%.2f bits" report.Rank_bound.fooling_bits;
+          Printf.sprintf "%d bits" (2 * k) ])
+    [ 1; 2; 3 ];
+  Tab.print tab;
+  print_newline ();
+  (* Show an actual maximal 1-chromatic rectangle for k = 1: the
+     structure behind claim (2b). *)
+  let tm1 = singularity_tm ~k:1 in
+  let m1 = Tm.to_bitmat tm1 in
+  let rect = Rect.max_one_rectangle_exact m1 in
+  Printf.printf
+    "k=1: a maximum 1-chromatic rectangle has %d rows x %d cols \
+     (area %d of %d ones).\n"
+    (Array.length rect.Rect.row_set)
+    (Array.length rect.Rect.col_set)
+    (Rect.area rect)
+    (Commx_util.Bitmat.count_ones m1);
+  (* And a fooling set certificate. *)
+  let fs = Fooling.greedy tm1 in
+  Printf.printf
+    "k=1: greedy fooling set of size %d certifies >= %.2f bits.\n"
+    (List.length fs)
+    (Fooling.lower_bound_bits fs);
+  print_endline
+    "\nThe paper scales this machinery to 2n x 2n matrices: the \
+     restricted truth matrix of Section 3 has q^((n-1)^2/4) rows and \
+     its 1-rectangles are provably tiny, forcing Theta(k n^2) bits."

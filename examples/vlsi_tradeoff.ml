@@ -1,0 +1,73 @@
+(* VLSI area-time tradeoffs: evaluate a family of chip designs for
+   singularity testing against the AT^2 = Omega(I^2) bound that the
+   paper's communication result induces, and compare the derived
+   time/AT bounds with Chazelle-Monier's.
+
+     dune exec examples/vlsi_tradeoff.exe         *)
+
+module Layout = Commx_vlsi.Layout
+module Tradeoff = Commx_vlsi.Tradeoff
+module Bounds = Commx_core.Bounds
+module Tab = Commx_util.Tab
+
+let () =
+  let n = 8 and k = 4 in
+  let info = Bounds.info_bits ~n ~k in
+  Printf.printf
+    "Singularity testing of a %dx%d matrix of %d-bit entries\n\
+     communication complexity I = k n^2 = %.0f bits  =>  A T^2 >= %.0f\n\n"
+    (2 * n) (2 * n) k info
+    (Bounds.at2_lower ~info_bits:info);
+
+  let tab =
+    Tab.make
+      ~caption:"Chip family: same input, different aspect ratios"
+      ~header:[ "design"; "grid"; "area"; "cut"; "T >="; "AT^2"; "slack" ]
+      [ Tab.Left; Tab.Left; Tab.Right; Tab.Right; Tab.Right; Tab.Right;
+        Tab.Right ]
+  in
+  List.iter
+    (fun d ->
+      let cut = Layout.min_crossing_balanced_cut d.Tradeoff.layout in
+      Tab.add_row tab
+        [ d.Tradeoff.name;
+          Printf.sprintf "%dx%d" (Layout.h d.Tradeoff.layout)
+            (Layout.w d.Tradeoff.layout);
+          string_of_int (Layout.area d.Tradeoff.layout);
+          string_of_int cut.Layout.crossing;
+          Printf.sprintf "%.1f" d.Tradeoff.time_estimate;
+          Printf.sprintf "%.0f" (Tradeoff.at2 d);
+          Tab.fmt_ratio (Tradeoff.at2 d /. Bounds.at2_lower ~info_bits:info) ])
+    (Tradeoff.designs_for ~n ~k);
+  Tab.print tab;
+
+  print_newline ();
+  let tab2 =
+    Tab.make
+      ~caption:
+        "Derived bounds vs Chazelle-Monier (boundary-port model) as k \
+         grows: the paper's improvement factor is sqrt(k) for T and \
+         k^1.5 n for AT"
+      ~header:[ "k"; "our T >="; "CM T >="; "our AT >="; "CM AT >=" ]
+      [ Tab.Right; Tab.Right; Tab.Right; Tab.Right; Tab.Right ]
+  in
+  List.iter
+    (fun k ->
+      let r = Tradeoff.bound_row ~n:16 ~k in
+      Tab.add_row tab2
+        [ string_of_int k;
+          Printf.sprintf "%.1f" r.Tradeoff.our_t;
+          Printf.sprintf "%.0f" r.Tradeoff.cm_t;
+          Printf.sprintf "%.0f" r.Tradeoff.our_at;
+          Printf.sprintf "%.0f" r.Tradeoff.cm_at ])
+    [ 1; 4; 16; 64; 256 ];
+  Tab.print tab2;
+
+  (* Exact min-cut sanity on a small grid via the max-flow engine. *)
+  let l = Layout.make ~h:4 ~w:4 in
+  Layout.place_port l ~row:0 ~col:0 ~bit:0;
+  Layout.place_port l ~row:3 ~col:3 ~bit:1;
+  Printf.printf
+    "\nmax-flow check: separating opposite corners of a 4x4 grid cuts \
+     %d wires (expected 2).\n"
+    (Layout.bisection_width_exact l ~parts:(0, 1))

@@ -1,0 +1,55 @@
+(** Modular arithmetic, in two flavours.
+
+    The word-size flavour ({!Word}) works modulo an [int] modulus below
+    2^31 so that products never overflow a 63-bit native int; it powers
+    the randomized fingerprinting protocol (entries reduced mod a random
+    prime) and the CRT determinant.  The bignum flavour operates on
+    {!Bigint} values for arbitrary moduli. *)
+
+module Word : sig
+  type modulus = private int
+  (** A checked modulus in [\[2, 2^31)]. *)
+
+  val modulus : int -> modulus
+  (** @raise Invalid_argument outside [\[2, 2^31)]. *)
+
+  val to_int : modulus -> int
+
+  val reduce : modulus -> int -> int
+  (** Canonical residue in [\[0, m)] of any native int (negative
+      included). *)
+
+  val reduce_big : modulus -> Bigint.t -> int
+  (** Canonical residue of a bignum. *)
+
+  val add : modulus -> int -> int -> int
+  val sub : modulus -> int -> int -> int
+  val mul : modulus -> int -> int -> int
+  val pow : modulus -> int -> int -> int
+  (** [pow m b e] for [e >= 0]. *)
+
+  val inv : modulus -> int -> int
+  (** Multiplicative inverse.
+      @raise Division_by_zero when not invertible. *)
+
+  val neg : modulus -> int -> int
+end
+
+(** Arbitrary-precision modular operations.  All arguments are reduced
+    first, so any representative is accepted. *)
+
+val add : m:Bigint.t -> Bigint.t -> Bigint.t -> Bigint.t
+val sub : m:Bigint.t -> Bigint.t -> Bigint.t -> Bigint.t
+val mul : m:Bigint.t -> Bigint.t -> Bigint.t -> Bigint.t
+
+val pow : m:Bigint.t -> Bigint.t -> Bigint.t -> Bigint.t
+(** [pow ~m b e] with [e >= 0] by square-and-multiply. *)
+
+val inv : m:Bigint.t -> Bigint.t -> Bigint.t
+(** @raise Division_by_zero when gcd(x, m) <> 1. *)
+
+val crt : (Bigint.t * Bigint.t) list -> Bigint.t * Bigint.t
+(** [crt \[(r1, m1); (r2, m2); ...\]] solves the simultaneous
+    congruences x = ri (mod mi) for pairwise-coprime moduli, returning
+    [(x, m1*m2*...)] with [0 <= x < product].
+    @raise Invalid_argument on an empty list or non-coprime moduli. *)

@@ -1,0 +1,97 @@
+type t = { num : Bigint.t; den : Bigint.t }
+(* Invariant: den > 0, gcd(|num|, den) = 1, zero is 0/1. *)
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let num, den =
+      if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den)
+      else (num, den)
+    in
+    let g = Bigint.gcd num den in
+    if Bigint.is_one g then { num; den }
+    else { num = Bigint.div num g; den = Bigint.div den g }
+  end
+
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+let minus_one = { num = Bigint.minus_one; den = Bigint.one }
+
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints n d = make (Bigint.of_int n) (Bigint.of_int d)
+
+let num x = x.num
+let den x = x.den
+
+let is_zero x = Bigint.is_zero x.num
+let is_integer x = Bigint.is_one x.den
+let sign x = Bigint.sign x.num
+
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+
+let compare a b =
+  (* a.num/a.den ? b.num/b.den  <=>  a.num*b.den ? b.num*a.den
+     (denominators positive). *)
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let hash x = Hashtbl.hash (Bigint.hash x.num, Bigint.hash x.den)
+
+let neg x = { x with num = Bigint.neg x.num }
+let abs x = { x with num = Bigint.abs x.num }
+
+let inv x =
+  if is_zero x then raise Division_by_zero;
+  if Bigint.sign x.num < 0 then
+    { num = Bigint.neg x.den; den = Bigint.neg x.num }
+  else { num = x.den; den = x.num }
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+
+let div a b = mul a (inv b)
+
+let ( +/ ) = add
+let ( -/ ) = sub
+let ( */ ) = mul
+let ( // ) = div
+let ( =/ ) = equal
+let ( </ ) a b = compare a b < 0
+let ( <=/ ) a b = compare a b <= 0
+
+let to_bigint x =
+  if is_integer x then x.num else failwith "Rational.to_bigint: not an integer"
+
+let to_float x =
+  (* Scale so both parts fit a float's mantissa reasonably; adequate
+     for display purposes. *)
+  let bl = Stdlib.max (Bigint.bit_length x.num) (Bigint.bit_length x.den) in
+  let shift = Stdlib.max 0 (bl - 52) in
+  let n = Bigint.shift_right x.num shift in
+  let d = Bigint.shift_right x.den shift in
+  if Bigint.is_zero d then
+    (* Denominator underflowed the shift: value is huge. *)
+    float_of_string (Bigint.to_string x.num) /. float_of_string (Bigint.to_string x.den)
+  else
+    float_of_string (Bigint.to_string n) /. float_of_string (Bigint.to_string d)
+
+let to_string x =
+  if is_integer x then Bigint.to_string x.num
+  else Bigint.to_string x.num ^ "/" ^ Bigint.to_string x.den
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> of_bigint (Bigint.of_string s)
+  | Some i ->
+      let n = String.sub s 0 i in
+      let d = String.sub s (i + 1) (String.length s - i - 1) in
+      make (Bigint.of_string n) (Bigint.of_string d)
+
+let pp ppf x = Format.pp_print_string ppf (to_string x)

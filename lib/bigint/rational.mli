@@ -1,0 +1,69 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Values are kept in canonical form: the denominator is strictly
+    positive and coprime to the numerator; zero is [0/1].  Rational
+    arithmetic is what makes the exact linear-algebra layer (Gaussian
+    elimination over ℚ, LUP, span membership) possible, which in turn
+    is what lets us *decide* singularity exactly — the core predicate
+    of the paper. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den], reduced to canonical form.
+    @raise Division_by_zero when [den] is zero. *)
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+val of_ints : int -> int -> t
+(** [of_ints num den]. *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+(** Canonical numerator / denominator ([den] > 0). *)
+
+val is_zero : t -> bool
+val is_integer : t -> bool
+val sign : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero on a zero divisor. *)
+
+val ( +/ ) : t -> t -> t
+val ( -/ ) : t -> t -> t
+val ( */ ) : t -> t -> t
+val ( // ) : t -> t -> t
+val ( =/ ) : t -> t -> bool
+val ( </ ) : t -> t -> bool
+val ( <=/ ) : t -> t -> bool
+
+val to_bigint : t -> Bigint.t
+(** @raise Failure when not an integer. *)
+
+val to_float : t -> float
+(** Approximate conversion (used only for display and for the floating
+    SVD substrate, never for decisions). *)
+
+val to_string : t -> string
+(** ["p/q"], or just ["p"] for integers. *)
+
+val of_string : string -> t
+(** Accepts ["p"], ["p/q"], decimal integers as for
+    {!Bigint.of_string}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,189 @@
+module Bm = Commx_util.Bitmat
+
+(* Rectangles as (row mask, col mask) int pairs; matrices stay small
+   (the guards enforce it). *)
+
+let masks_to_rect rmask cmask =
+  let collect mask =
+    let acc = ref [] in
+    for i = 30 downto 0 do
+      if mask lsr i land 1 = 1 then acc := i :: !acc
+    done;
+    Array.of_list !acc
+  in
+  { Rectangle.row_set = collect rmask; col_set = collect cmask }
+
+let cols_all_ones m rmask =
+  let nc = Bm.cols m in
+  let cmask = ref 0 in
+  for j = 0 to nc - 1 do
+    let ok = ref true in
+    for i = 0 to Bm.rows m - 1 do
+      if rmask lsr i land 1 = 1 && not (Bm.get m i j) then ok := false
+    done;
+    if !ok then cmask := !cmask lor (1 lsl j)
+  done;
+  !cmask
+
+let rows_all_ones m cmask =
+  let nr = Bm.rows m in
+  let rmask = ref 0 in
+  for i = 0 to nr - 1 do
+    let ok = ref true in
+    for j = 0 to Bm.cols m - 1 do
+      if cmask lsr j land 1 = 1 && not (Bm.get m i j) then ok := false
+    done;
+    if !ok then rmask := !rmask lor (1 lsl i)
+  done;
+  !rmask
+
+let maximal_one_rectangles m =
+  let nr = Bm.rows m in
+  if nr > 16 then invalid_arg "Cover.maximal_one_rectangles: too many rows";
+  let seen = Hashtbl.create 64 in
+  for rmask = 1 to (1 lsl nr) - 1 do
+    let cmask = cols_all_ones m rmask in
+    if cmask <> 0 then begin
+      (* Close: take all rows compatible with these columns. *)
+      let rclosed = rows_all_ones m cmask in
+      if rclosed <> 0 then Hashtbl.replace seen (rclosed, cmask) ()
+    end
+  done;
+  Hashtbl.fold (fun (r, c) () acc -> masks_to_rect r c :: acc) seen []
+
+let cells_of_rect_masks rmask cmask nc =
+  (* cell id = i * nc + j, as a bitmask over at most 62 cells *)
+  let cells = ref 0 in
+  for i = 0 to 30 do
+    if rmask lsr i land 1 = 1 then
+      for j = 0 to nc - 1 do
+        if cmask lsr j land 1 = 1 then cells := !cells lor (1 lsl ((i * nc) + j))
+      done
+  done;
+  !cells
+
+let min_one_cover m =
+  let nr = Bm.rows m and nc = Bm.cols m in
+  if nr * nc > 60 then invalid_arg "Cover.min_one_cover: too many cells";
+  let ones = ref 0 in
+  for i = 0 to nr - 1 do
+    for j = 0 to nc - 1 do
+      if Bm.get m i j then ones := !ones lor (1 lsl ((i * nc) + j))
+    done
+  done;
+  if !ones = 0 then 0
+  else begin
+    let rect_cells =
+      List.map
+        (fun r ->
+          let rmask =
+            Array.fold_left (fun acc i -> acc lor (1 lsl i)) 0 r.Rectangle.row_set
+          in
+          let cmask =
+            Array.fold_left (fun acc j -> acc lor (1 lsl j)) 0 r.Rectangle.col_set
+          in
+          cells_of_rect_masks rmask cmask nc)
+        (maximal_one_rectangles m)
+    in
+    let best = ref max_int in
+    let rec solve uncovered count =
+      if count >= !best then ()
+      else if uncovered = 0 then best := count
+      else begin
+        (* Branch on the lowest uncovered cell: some rectangle in the
+           cover must contain it. *)
+        let cell = uncovered land -uncovered in
+        List.iter
+          (fun cells ->
+            if cells land cell <> 0 then
+              solve (uncovered land lnot cells) (count + 1))
+          rect_cells
+      end
+    in
+    solve !ones 0;
+    !best
+  end
+
+let complement m = Bm.init (Bm.rows m) (Bm.cols m) (fun i j -> not (Bm.get m i j))
+
+let min_zero_cover m = min_one_cover (complement m)
+
+let min_partition m =
+  let nr = Bm.rows m and nc = Bm.cols m in
+  if nr * nc > 25 then invalid_arg "Cover.min_partition: too many cells";
+  if nr = 0 || nc = 0 then 0
+  else begin
+    let full = (1 lsl (nr * nc)) - 1 in
+    let best = ref max_int in
+    (* candidate monochromatic rectangles containing a given cell and
+       avoiding covered cells *)
+    let rec solve covered count =
+      if count >= !best then ()
+      else if covered = full then best := count
+      else begin
+        let free = full land lnot covered in
+        let cell = free land -free in
+        let cell_idx =
+          let rec go b i = if b = 1 then i else go (b lsr 1) (i + 1) in
+          go cell 0
+        in
+        let r0 = cell_idx / nc and c0 = cell_idx mod nc in
+        let v0 = Bm.get m r0 c0 in
+        (* rows compatible: same value at column c0 and cell uncovered *)
+        let cand_rows = ref [] in
+        for i = nr - 1 downto 0 do
+          if i <> r0 && Bm.get m i c0 = v0 && covered lsr ((i * nc) + c0) land 1 = 0
+          then cand_rows := i :: !cand_rows
+        done;
+        let cand_cols = ref [] in
+        for j = nc - 1 downto 0 do
+          if j <> c0 && Bm.get m r0 j = v0 && covered lsr ((r0 * nc) + j) land 1 = 0
+          then cand_cols := j :: !cand_cols
+        done;
+        let rows_arr = Array.of_list !cand_rows in
+        let cols_arr = Array.of_list !cand_cols in
+        let nrc = Array.length rows_arr and ncc = Array.length cols_arr in
+        (* enumerate subsets of candidate rows x candidate cols, always
+           including (r0, c0) *)
+        for rsub = 0 to (1 lsl nrc) - 1 do
+          for csub = 0 to (1 lsl ncc) - 1 do
+            let rows_sel = ref [ r0 ] and cols_sel = ref [ c0 ] in
+            for t = 0 to nrc - 1 do
+              if rsub lsr t land 1 = 1 then rows_sel := rows_arr.(t) :: !rows_sel
+            done;
+            for t = 0 to ncc - 1 do
+              if csub lsr t land 1 = 1 then cols_sel := cols_arr.(t) :: !cols_sel
+            done;
+            (* validity: all cells monochromatic value v0 and uncovered *)
+            let ok = ref true in
+            let cells = ref 0 in
+            List.iter
+              (fun i ->
+                List.iter
+                  (fun j ->
+                    let idx = (i * nc) + j in
+                    if Bm.get m i j <> v0 || covered lsr idx land 1 = 1 then
+                      ok := false
+                    else cells := !cells lor (1 lsl idx))
+                  !cols_sel)
+              !rows_sel;
+            if !ok then solve (covered lor !cells) (count + 1)
+          done
+        done
+      end
+    in
+    solve 0 0;
+    !best
+  end
+
+let yao_inequality_holds m =
+  let cc = Exact_cc.complexity m in
+  let d = min_partition m in
+  let n1 = min_one_cover m and n0 = min_zero_cover m in
+  let log2 x = log (float_of_int (max 1 x)) /. log 2.0 in
+  (* Yao (tree model): 2^C leaves give a partition, so C >= log2 d. *)
+  float_of_int cc >= log2 d -. 1e-9
+  (* a partition's 1-parts form a 1-cover and its 0-parts a 0-cover *)
+  && d >= n1 + n0
+  (* Aho-Ullman-Yannakakis flavored converse, generous constant *)
+  && float_of_int cc <= (4.0 *. (log2 (n0 + n1) +. 1.0) ** 2.0) +. 2.0

@@ -1,0 +1,36 @@
+(** Exact monochromatic rectangle covers and partitions.
+
+    Yao's bound is [C(f) >= log2 d(f) - 2] where [d(f)] is the minimum
+    number of disjoint monochromatic rectangles partitioning the truth
+    matrix; the nondeterministic complexities are the minimum *cover*
+    sizes [N¹(f)], [N⁰(f)] (overlaps allowed).  For tiny matrices both
+    are computable exactly by branch-and-bound over maximal
+    rectangles — turning the d(f) of Section 2 from a proof device into
+    a number we can print next to the exact complexity of
+    {!Exact_cc}. *)
+
+val maximal_one_rectangles : Commx_util.Bitmat.t -> Rectangle.rect list
+(** All *maximal* all-ones rectangles (no row or column can be added).
+    Every minimum cover can be taken from this list.
+    @raise Invalid_argument when rows > 16. *)
+
+val min_one_cover : Commx_util.Bitmat.t -> int
+(** Minimum number of (possibly overlapping) 1-rectangles covering all
+    ones: the nondeterministic complexity is [ceil(log2) ] of this.
+    Exact branch-and-bound; intended for matrices with at most ~40
+    ones. *)
+
+val min_zero_cover : Commx_util.Bitmat.t -> int
+(** Same for the zeros (complement trick). *)
+
+val min_partition : Commx_util.Bitmat.t -> int
+(** The paper's [d(f)]: minimum number of *disjoint* monochromatic
+    rectangles partitioning the whole matrix.  Exact search; intended
+    for matrices with at most ~16 cells beyond trivial structure
+    (cost grows quickly — keep it tiny). *)
+
+val yao_inequality_holds : Commx_util.Bitmat.t -> bool
+(** [exact CC >= log2 (min_partition) ] and
+    [exact CC <= (log2 (min_one_cover + min_zero_cover) + 1)^2 + ...]:
+    checks Yao's bound and the Aho–Ullman–Yannakakis converse
+    [C <= O(log² d)] with the explicit constant 4 used in tests. *)

@@ -1,0 +1,53 @@
+module Bm = Commx_util.Bitmat
+
+let discrepancy_exact m =
+  let transposed = Bm.rows m > Bm.cols m in
+  let work = if transposed then Bm.transpose m else m in
+  let nr = Bm.rows work and nc = Bm.cols work in
+  if nr > 20 then invalid_arg "Discrepancy.discrepancy_exact: too large";
+  if nr = 0 || nc = 0 then 0.0
+  else begin
+    let best = ref 0 in
+    (* For a fixed row set, column j contributes
+       (ones_j - zeros_j) within those rows; the rectangle maximizing
+       |ones - zeros| takes either all positive-contribution columns or
+       all negative ones. *)
+    Commx_util.Combi.iter_subsets nr (fun rows_sel ->
+        match rows_sel with
+        | [] -> ()
+        | rows_sel ->
+            let pos = ref 0 and neg = ref 0 in
+            for j = 0 to nc - 1 do
+              let c = ref 0 in
+              List.iter
+                (fun i -> if Bm.get work i j then incr c else decr c)
+                rows_sel;
+              if !c > 0 then pos := !pos + !c
+              else neg := !neg + !c
+            done;
+            best := max !best (max !pos (- !neg)));
+    float_of_int !best /. float_of_int (nr * nc)
+  end
+
+let randomized_lower_bound m ~epsilon =
+  if epsilon < 0.0 || epsilon >= 0.5 then
+    invalid_arg "Discrepancy.randomized_lower_bound";
+  let disc = discrepancy_exact m in
+  if disc <= 0.0 then infinity
+  else Float.max 0.0 (log ((1.0 -. (2.0 *. epsilon)) /. disc) /. log 2.0)
+
+let one_way_complexity m =
+  let seen = Hashtbl.create 64 in
+  for i = 0 to Bm.rows m - 1 do
+    Hashtbl.replace seen (Commx_util.Bitvec.to_string (Bm.row m i)) ()
+  done;
+  let distinct = Hashtbl.length seen in
+  if distinct <= 1 then 0
+  else int_of_float (ceil (log (float_of_int distinct) /. log 2.0))
+
+let inner_product_matrix ~m =
+  if m > 8 then invalid_arg "Discrepancy.inner_product_matrix: m too large";
+  let n = 1 lsl m in
+  Bm.init n n (fun x y ->
+      let rec parity v acc = if v = 0 then acc else parity (v lsr 1) (acc lxor (v land 1)) in
+      parity (x land y) 0 = 1)

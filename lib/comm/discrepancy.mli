@@ -1,0 +1,33 @@
+(** Discrepancy — the randomized-complexity counterpart of the
+    rectangle machinery.
+
+    The discrepancy of a truth matrix is the maximum over all
+    rectangles of |#ones − #zeros| / #cells.  Any public-coin protocol
+    with error ε needs at least [log2((1 − 2ε) / disc)] bits, so small
+    discrepancy certifies randomized hardness the way small
+    1-rectangles certify deterministic hardness (claim 2b).  The
+    paper's singularity matrices have *large* monochromatic structure
+    relative to their size — consistent with the problem being
+    randomized-easy (Leighton's O(n² max(log n, log k))), and this
+    module lets the experiments exhibit that contrast against genuinely
+    randomized-hard functions like inner product. *)
+
+val discrepancy_exact : Commx_util.Bitmat.t -> float
+(** Max over all rectangles of |ones − zeros| / (rows·cols), exact, by
+    enumerating subsets of the smaller dimension (for each row set the
+    optimal column set is chosen greedily per column — exact because
+    columns contribute independently).
+    @raise Invalid_argument when the smaller dimension exceeds 20. *)
+
+val randomized_lower_bound : Commx_util.Bitmat.t -> epsilon:float -> float
+(** [log2 ((1 - 2 epsilon) / disc)], clamped at 0 — bits any
+    ε-error public-coin protocol must exchange. *)
+
+val one_way_complexity : Commx_util.Bitmat.t -> int
+(** Exact one-way (Alice → Bob) deterministic complexity:
+    [ceil(log2 (#distinct rows))] — Alice must distinguish exactly the
+    distinct rows of the truth matrix, and that is also sufficient. *)
+
+val inner_product_matrix : m:int -> Commx_util.Bitmat.t
+(** The GF(2) inner-product function on m-bit vectors — the canonical
+    low-discrepancy (randomized-hard) benchmark ([m <= 8]). *)

@@ -1,0 +1,64 @@
+module Bv = Commx_util.Bitvec
+module B = Commx_bigint.Bigint
+
+let bits_for_range card =
+  if card <= 0 then invalid_arg "Encode.bits_for_range";
+  let rec go c acc = if c <= 1 then acc else go ((c + 1) / 2) (acc + 1) in
+  go card 0
+
+let encode_int ~width v =
+  if v < 0 then invalid_arg "Encode.encode_int: negative";
+  if width < 62 && v lsr width <> 0 then
+    invalid_arg "Encode.encode_int: value too wide";
+  let r = Bv.create width in
+  for i = 0 to Stdlib.min (width - 1) 61 do
+    if v lsr i land 1 = 1 then Bv.set r i true
+  done;
+  r
+
+let decode_int v =
+  if Bv.length v > 62 then invalid_arg "Encode.decode_int: too wide";
+  let acc = ref 0 in
+  for i = Bv.length v - 1 downto 0 do
+    acc := (!acc lsl 1) lor if Bv.get v i then 1 else 0
+  done;
+  !acc
+
+let encode_bigint ~width x =
+  if B.sign x < 0 then invalid_arg "Encode.encode_bigint: negative";
+  if B.bit_length x > width then
+    invalid_arg "Encode.encode_bigint: value too wide";
+  let r = Bv.create width in
+  for i = 0 to width - 1 do
+    if B.test_bit x i then Bv.set r i true
+  done;
+  r
+
+let decode_bigint v =
+  let acc = ref B.zero in
+  for i = Bv.length v - 1 downto 0 do
+    acc := B.shift_left !acc 1;
+    if Bv.get v i then acc := B.add !acc B.one
+  done;
+  !acc
+
+let encode_entries ~k entries =
+  let n = Array.length entries in
+  let r = Bv.create (n * k) in
+  Array.iteri
+    (fun idx e ->
+      if B.sign e < 0 || B.bit_length e > k then
+        invalid_arg "Encode.encode_entries: entry out of k-bit range";
+      for b = 0 to k - 1 do
+        if B.test_bit e b then Bv.set r ((idx * k) + b) true
+      done)
+    entries;
+  r
+
+let decode_entries ~k v =
+  if k <= 0 then invalid_arg "Encode.decode_entries";
+  let len = Bv.length v in
+  if len mod k <> 0 then invalid_arg "Encode.decode_entries: ragged";
+  Array.init (len / k) (fun idx -> decode_bigint (Bv.sub v (idx * k) k))
+
+let matrix_bits ~n ~k = n * n * k

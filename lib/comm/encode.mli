@@ -1,0 +1,36 @@
+(** Fixed-width binary encodings.
+
+    Communication cost is measured in *bits*, so every message a
+    protocol sends must have a well-defined width known to both
+    agents.  This module provides the canonical encodings used by the
+    concrete protocols: unsigned integers in a known range, k-bit
+    matrix entries (the paper's input format restricts entries to
+    [\[0, 2^k - 1\]]), and whole matrix halves. *)
+
+val bits_for_range : int -> int
+(** [bits_for_range card]: bits needed to address [card] distinct
+    values; 0 for [card <= 1].  @raise Invalid_argument for
+    non-positive cardinality. *)
+
+val encode_int : width:int -> int -> Commx_util.Bitvec.t
+(** Little-endian fixed-width encoding.
+    @raise Invalid_argument when the value needs more than [width]
+    bits or is negative. *)
+
+val decode_int : Commx_util.Bitvec.t -> int
+(** Inverse of {!encode_int} (width from the vector length,
+    <= 62 bits). *)
+
+val encode_bigint : width:int -> Commx_bigint.Bigint.t -> Commx_util.Bitvec.t
+(** Fixed-width encoding of a non-negative bignum. *)
+
+val decode_bigint : Commx_util.Bitvec.t -> Commx_bigint.Bigint.t
+
+val encode_entries :
+  k:int -> Commx_bigint.Bigint.t array -> Commx_util.Bitvec.t
+(** Concatenated [k]-bit encodings of entries in [\[0, 2^k)]. *)
+
+val decode_entries : k:int -> Commx_util.Bitvec.t -> Commx_bigint.Bigint.t array
+
+val matrix_bits : n:int -> k:int -> int
+(** Total encoding length of an [n x n] matrix of [k]-bit entries. *)

@@ -1,0 +1,111 @@
+module Bm = Commx_util.Bitmat
+
+(* Submatrices are (row bitmask, column bitmask) pairs over the
+   original index sets.  The recursion:
+
+     C(R, S) = 0                         if R x S is monochromatic
+     C(R, S) = 1 + min( min over proper nonempty R0 < R of
+                          max (C(R0, S), C(R \ R0, S)),
+                        min over proper nonempty S0 < S of
+                          max (C(R, S0), C(R, S \ S0)) )
+
+   A split by an agent is an arbitrary function of that agent's input,
+   i.e. an arbitrary subset.  Splits (R0, R1) and (R1, R0) are the same
+   protocol bit inverted, so we halve the enumeration by fixing the
+   lowest set bit into R0. *)
+
+let complexity m =
+  let nr = Bm.rows m and nc = Bm.cols m in
+  if nr > 12 || nc > 12 then
+    invalid_arg "Exact_cc.complexity: matrix too large (max 12x12)";
+  if nr = 0 || nc = 0 then 0
+  else begin
+    let full_r = (1 lsl nr) - 1 and full_c = (1 lsl nc) - 1 in
+    let value = Array.make (nr * nc) false in
+    for i = 0 to nr - 1 do
+      for j = 0 to nc - 1 do
+        value.((i * nc) + j) <- Bm.get m i j
+      done
+    done;
+    let memo : (int * int, int) Hashtbl.t = Hashtbl.create 4096 in
+    let monochromatic rmask cmask =
+      let v = ref None in
+      let mono = ref true in
+      for i = 0 to nr - 1 do
+        if rmask lsr i land 1 = 1 then
+          for j = 0 to nc - 1 do
+            if cmask lsr j land 1 = 1 then begin
+              let x = value.((i * nc) + j) in
+              match !v with
+              | None -> v := Some x
+              | Some y -> if x <> y then mono := false
+            end
+          done
+      done;
+      !mono
+    in
+    let rec cc rmask cmask =
+      match Hashtbl.find_opt memo (rmask, cmask) with
+      | Some v -> v
+      | None ->
+          let result =
+            if monochromatic rmask cmask then 0
+            else begin
+              let best = ref max_int in
+              (* Alice splits the rows: enumerate proper nonempty
+                 submasks containing the lowest set bit. *)
+              let low_r = rmask land -rmask in
+              let sub = ref rmask in
+              while !sub > 0 do
+                if !sub <> rmask && !sub land low_r <> 0 then begin
+                  let c0 = cc !sub cmask in
+                  if c0 < !best then begin
+                    let c1 = cc (rmask lxor !sub) cmask in
+                    let cost = 1 + max c0 c1 in
+                    if cost < !best then best := cost
+                  end
+                end;
+                sub := (!sub - 1) land rmask
+              done;
+              (* Bob splits the columns. *)
+              let low_c = cmask land -cmask in
+              let sub = ref cmask in
+              while !sub > 0 do
+                if !sub <> cmask && !sub land low_c <> 0 then begin
+                  let c0 = cc rmask !sub in
+                  if c0 < !best then begin
+                    let c1 = cc rmask (cmask lxor !sub) in
+                    let cost = 1 + max c0 c1 in
+                    if cost < !best then best := cost
+                  end
+                end;
+                sub := (!sub - 1) land cmask
+              done;
+              !best
+            end
+          in
+          Hashtbl.replace memo (rmask, cmask) result;
+          result
+    in
+    cc full_r full_c
+  end
+
+let complexity_tm tm = complexity (Truth_matrix.to_bitmat tm)
+
+let optimal_is_sandwiched m =
+  let exact = complexity m in
+  let nr = Bm.rows m and nc = Bm.cols m in
+  let cover = Rectangle.cover_lower_bound m ~exact:(min nr nc <= 20) in
+  let log_rank = Rank_bound.log_rank_bound m in
+  (* With the tree-depth cost model a depth-C protocol has at most 2^C
+     leaves, all monochromatic rectangles, so C >= log2 d(f) >= cover
+     and C >= log2 rank — no additive slack beyond float noise. *)
+  let trivial_upper =
+    (* one agent ships its whole index: ceil log2 of its side, plus the
+       answer bit *)
+    let bits x = int_of_float (ceil (log (float_of_int (max 2 x)) /. log 2.0)) in
+    1 + min (bits nr) (bits nc)
+  in
+  float_of_int exact >= cover -. 1e-9
+  && float_of_int exact >= log_rank -. 1e-9
+  && exact <= trivial_upper

@@ -1,0 +1,28 @@
+(** Exact deterministic communication complexity of tiny functions.
+
+    For truth matrices small enough to enumerate, the deterministic
+    communication complexity itself — the min over ALL protocol trees
+    of the worst-case depth, the quantity Theorem 1.1 is about — can be
+    computed exactly by game-tree search: a submatrix costs 0 if
+    monochromatic, otherwise [1 + min] over all ways one agent can
+    split its side, of the [max] cost of the two parts.  Memoization is
+    over (row-set, column-set) bitmasks.
+
+    This turns the paper's object of study into something we can
+    measure directly at small scale and compare against every
+    lower-bound certificate (cover, log-rank, fooling) and the trivial
+    upper bound — experiment E14. *)
+
+val complexity : Commx_util.Bitmat.t -> int
+(** Exact deterministic CC (in bits) of the boolean function given by
+    the truth matrix, in the standard model (leaf rectangles must be
+    monochromatic, so both agents know the answer).
+    @raise Invalid_argument when rows or columns exceed 12 (the search
+    is exponential). *)
+
+val complexity_tm : ('a, 'b) Truth_matrix.t -> int
+
+val optimal_is_sandwiched : Commx_util.Bitmat.t -> bool
+(** Checks [certified lower bounds <= exact CC <= trivial upper bound]
+    — the consistency statement tying the whole bound machinery
+    together (used by tests). *)

@@ -1,0 +1,96 @@
+type t = (int * int) list
+
+let is_fooling_set tm s =
+  let ok_entry (i, j) = Truth_matrix.get tm i j in
+  let ok_pair (i1, j1) (i2, j2) =
+    (not (Truth_matrix.get tm i1 j2)) || not (Truth_matrix.get tm i2 j1)
+  in
+  List.for_all ok_entry s
+  &&
+  let rec pairs = function
+    | [] -> true
+    | p :: rest -> List.for_all (ok_pair p) rest && pairs rest
+  in
+  pairs s
+
+let compatible tm chosen (i, j) =
+  Truth_matrix.get tm i j
+  && List.for_all
+       (fun (i', j') ->
+         (not (Truth_matrix.get tm i j')) || not (Truth_matrix.get tm i' j))
+       chosen
+
+let greedy tm =
+  let chosen = ref [] in
+  for i = 0 to Truth_matrix.rows tm - 1 do
+    for j = 0 to Truth_matrix.cols tm - 1 do
+      if compatible tm !chosen (i, j) then chosen := (i, j) :: !chosen
+    done
+  done;
+  List.rev !chosen
+
+let greedy_randomized g ?(restarts = 16) tm =
+  let nr = Truth_matrix.rows tm and nc = Truth_matrix.cols tm in
+  let all = Array.init (nr * nc) (fun x -> (x / nc, x mod nc)) in
+  let best = ref (greedy tm) in
+  for _ = 1 to restarts do
+    Commx_util.Prng.shuffle g all;
+    let chosen = ref [] in
+    Array.iter
+      (fun p -> if compatible tm !chosen p then chosen := p :: !chosen)
+      all;
+    if List.length !chosen > List.length !best then best := !chosen
+  done;
+  !best
+
+let diagonal_candidate tm =
+  let n = min (Truth_matrix.rows tm) (Truth_matrix.cols tm) in
+  List.filter
+    (fun (i, j) -> Truth_matrix.get tm i j)
+    (List.init n (fun i -> (i, i)))
+
+let lower_bound_bits s =
+  log (float_of_int (max 1 (List.length s))) /. log 2.0
+
+let is_identity_embedding tm s =
+  List.for_all (fun (i, j) -> Truth_matrix.get tm i j) s
+  &&
+  let rec pairs = function
+    | [] -> true
+    | (i1, j1) :: rest ->
+        List.for_all
+          (fun (i2, j2) ->
+            (not (Truth_matrix.get tm i1 j2))
+            && not (Truth_matrix.get tm i2 j1))
+          rest
+        && pairs rest
+  in
+  pairs s
+
+let largest_identity_embedding tm =
+  (* Max clique in the compatibility graph over one-cells, where two
+     cells are compatible when both cross entries are zero.  Plain
+     branch and bound with a remaining-candidates cutoff. *)
+  let ones = ref [] in
+  for i = Truth_matrix.rows tm - 1 downto 0 do
+    for j = Truth_matrix.cols tm - 1 downto 0 do
+      if Truth_matrix.get tm i j then ones := (i, j) :: !ones
+    done
+  done;
+  let compat (i1, j1) (i2, j2) =
+    (not (Truth_matrix.get tm i1 j2)) && not (Truth_matrix.get tm i2 j1)
+  in
+  let best = ref [] in
+  let rec extend chosen candidates =
+    if List.length chosen + List.length candidates <= List.length !best then ()
+    else
+      match candidates with
+      | [] -> if List.length chosen > List.length !best then best := chosen
+      | c :: rest ->
+          (* include c *)
+          extend (c :: chosen) (List.filter (compat c) rest);
+          (* exclude c *)
+          extend chosen rest
+  in
+  extend [] !ones;
+  !best

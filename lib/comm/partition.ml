@@ -1,0 +1,67 @@
+module Bv = Commx_util.Bitvec
+
+type t = Bv.t
+(* bit i = true: position i read by agent 1 *)
+
+let size = Bv.length
+let of_bitvec v = Bv.copy v
+let to_bitvec p = Bv.copy p
+
+let agent_of p i = if Bv.get p i then 1 else 2
+
+let count_agent1 = Bv.popcount
+
+let is_even p = 2 * count_agent1 p = size p
+
+let halves p =
+  let a1 = ref [] and a2 = ref [] in
+  for i = size p - 1 downto 0 do
+    if Bv.get p i then a1 := i :: !a1 else a2 := i :: !a2
+  done;
+  (Array.of_list !a1, Array.of_list !a2)
+
+let first_half n =
+  if n mod 2 <> 0 then invalid_arg "Partition.first_half: odd size";
+  let p = Bv.create n in
+  for i = 0 to (n / 2) - 1 do
+    Bv.set p i true
+  done;
+  p
+
+let random_even g n =
+  if n mod 2 <> 0 then invalid_arg "Partition.random_even: odd size";
+  let chosen = Commx_util.Prng.sample_without_replacement g (n / 2) n in
+  let p = Bv.create n in
+  Array.iter (fun i -> Bv.set p i true) chosen;
+  p
+
+let complement p =
+  let c = Bv.create (size p) in
+  for i = 0 to size p - 1 do
+    Bv.set c i (not (Bv.get p i))
+  done;
+  c
+
+let apply_permutation p perm =
+  if Array.length perm <> size p then invalid_arg "Partition.apply_permutation";
+  let r = Bv.create (size p) in
+  Array.iteri (fun i src -> Bv.set r i (Bv.get p src)) perm;
+  r
+
+let equal = Bv.equal
+
+let pp ppf p =
+  Format.pp_print_string ppf (Bv.to_string p)
+
+let index ~n ~row ~col =
+  if row < 0 || row >= n || col < 0 || col >= n then invalid_arg "Partition.index";
+  (col * n) + row
+
+let row_col ~n i =
+  if i < 0 || i >= n * n then invalid_arg "Partition.row_col";
+  (i mod n, i / n)
+
+let agent1_dominates p positions =
+  let total = List.length positions in
+  let a1 = List.length (List.filter (fun i -> Bv.get p i) positions) in
+  2 * a1 >= total

@@ -1,0 +1,64 @@
+(** Partitions of the input bits between the two agents.
+
+    Yao's model divides the input bits *evenly* between two agents; the
+    communication complexity of a function is the minimum over even
+    partitions of the cost of the best protocol.  For matrix problems
+    the input bits are the k-bit entries of a matrix, so this module
+    also provides the entry-level view (an entry is atomic for most of
+    the paper's arguments: Definition 3.8 speaks of bit positions of
+    submatrices, which we track per entry position).
+
+    A partition is a bit vector over input positions: [true] = the
+    position is read by Agent 1, [false] = Agent 2. *)
+
+type t
+
+val size : t -> int
+(** Number of input positions. *)
+
+val of_bitvec : Commx_util.Bitvec.t -> t
+val to_bitvec : t -> Commx_util.Bitvec.t
+
+val agent_of : t -> int -> int
+(** 1 or 2. *)
+
+val count_agent1 : t -> int
+
+val is_even : t -> bool
+(** Both agents read the same number of positions (sizes must be
+    even). *)
+
+val halves : t -> int array * int array
+(** Positions of agent 1 and agent 2, ascending. *)
+
+val first_half : int -> t
+(** Positions [0 .. size/2 - 1] to agent 1 — the paper's partition
+    π₀ when positions are column-major matrix entries. *)
+
+val random_even : Commx_util.Prng.t -> int -> t
+(** Uniformly random even partition. *)
+
+val complement : t -> t
+(** Swap the agents. *)
+
+val apply_permutation : t -> int array -> t
+(** [apply_permutation p perm]: the partition reading position [i] as
+    the old position [perm.(i)] — used when permuting matrix rows and
+    columns (Lemma 3.9) to re-index who reads what. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** {1 Matrix-entry indexing}
+
+    Positions of an [n x n] matrix are numbered column-major —
+    [index ~n ~row ~col = col * n + row] — so that [first_half]
+    gives the paper's π₀ ("the first agent receives all bits encoding
+    the entries in the first m columns"). *)
+
+val index : n:int -> row:int -> col:int -> int
+val row_col : n:int -> int -> int * int
+
+val agent1_dominates : t -> int list -> bool
+(** Does agent 1 read at least half of the listed positions?
+    ("Dominating" in the sense of Lemma 3.9.) *)

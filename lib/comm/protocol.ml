@@ -1,0 +1,71 @@
+module Bv = Commx_util.Bitvec
+
+type channel = { mutable bits : int }
+
+type ('a, 'b) t = { name : string; run : channel -> 'a -> 'b -> bool }
+
+let send ch msg =
+  ch.bits <- ch.bits + Bv.length msg;
+  Bv.copy msg
+
+let send_bit ch b =
+  ch.bits <- ch.bits + 1;
+  b
+
+let send_int ch ~width v =
+  let m = send ch (Encode.encode_int ~width v) in
+  Encode.decode_int m
+
+let send_bigint ch ~width v =
+  let m = send ch (Encode.encode_bigint ~width v) in
+  Encode.decode_bigint m
+
+let bits_sent ch = ch.bits
+
+let execute_fn run a b =
+  let ch = { bits = 0 } in
+  let out = run ch a b in
+  (out, ch.bits)
+
+let execute p a b = execute_fn p.run a b
+
+let worst_case_cost p xs ys =
+  List.fold_left
+    (fun acc x ->
+      List.fold_left
+        (fun acc y ->
+          let _, c = execute p x y in
+          Stdlib.max acc c)
+        acc ys)
+    0 xs
+
+let check_correct p ~spec xs ys =
+  let result = ref None in
+  (try
+     List.iter
+       (fun x ->
+         List.iter
+           (fun y ->
+             let got, _ = execute p x y in
+             let want = spec x y in
+             if got <> want then begin
+               result := Some ((x, y), got, want);
+               raise Exit
+             end)
+           ys)
+       xs
+   with Exit -> ());
+  !result
+
+let error_rate p ~spec pairs =
+  match pairs with
+  | [] -> invalid_arg "Protocol.error_rate: no inputs"
+  | _ ->
+      let wrong =
+        List.fold_left
+          (fun acc (x, y) ->
+            let got, _ = execute p x y in
+            if got <> spec x y then acc + 1 else acc)
+          0 pairs
+      in
+      float_of_int wrong /. float_of_int (List.length pairs)

@@ -1,0 +1,56 @@
+(** Bit-exact two-party protocol execution.
+
+    A protocol is a function of Alice's input, Bob's input, and a
+    {!channel} through which *all* inter-agent information must flow.
+    The channel counts every bit.  The discipline — each agent computes
+    only from its own input plus what crossed the channel — is enforced
+    by code structure in the concrete protocols (each agent's
+    computation is a closure over its own half only); the channel makes
+    the cost accounting exact and tamper-evident (a protocol cannot
+    consult the other input without sending it).
+
+    Worst-case cost over an input rectangle and exhaustive correctness
+    checks are provided for small instance spaces, mirroring how the
+    paper's quantities are defined (maximum over all input
+    instances). *)
+
+type channel
+
+type ('a, 'b) t = {
+  name : string;
+  run : channel -> 'a -> 'b -> bool;
+}
+
+val send : channel -> Commx_util.Bitvec.t -> Commx_util.Bitvec.t
+(** Transfer a message: counts its bits and hands it to the receiving
+    side.  Returns the message (the receiver's copy). *)
+
+val send_bit : channel -> bool -> bool
+val send_int : channel -> width:int -> int -> int
+val send_bigint : channel -> width:int -> Commx_bigint.Bigint.t -> Commx_bigint.Bigint.t
+
+val bits_sent : channel -> int
+(** Bits through the channel so far (for use inside protocols that
+    adapt to cost). *)
+
+val execute : ('a, 'b) t -> 'a -> 'b -> bool * int
+(** Run on one input pair; returns (output, bits exchanged). *)
+
+val execute_fn : (channel -> 'a -> 'b -> 'r) -> 'a -> 'b -> 'r * int
+(** Like {!execute} for protocols with non-boolean outputs (the paper's
+    multi-output problems: computing the rank value, the determinant,
+    decomposition factors).  The closure receives a fresh counting
+    channel. *)
+
+val worst_case_cost : ('a, 'b) t -> 'a list -> 'b list -> int
+(** Maximum bits over the input rectangle [as x bs]. *)
+
+val check_correct :
+  ('a, 'b) t -> spec:('a -> 'b -> bool) -> 'a list -> 'b list ->
+  (('a * 'b) * bool * bool) option
+(** First counterexample [(input, got, want)] on the rectangle, if
+    any. *)
+
+val error_rate :
+  ('a, 'b) t -> spec:('a -> 'b -> bool) -> ('a * 'b) list -> float
+(** Fraction of listed input pairs the protocol gets wrong. *)

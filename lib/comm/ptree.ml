@@ -1,0 +1,127 @@
+module Bv = Commx_util.Bitvec
+
+type ('a, 'b) t =
+  | Answer of bool
+  | Alice of ('a -> bool) * ('a, 'b) t * ('a, 'b) t
+  | Bob of ('b -> bool) * ('a, 'b) t * ('a, 'b) t
+
+let rec eval tree x y =
+  match tree with
+  | Answer v -> v
+  | Alice (f, zero, one) -> eval (if f x then one else zero) x y
+  | Bob (f, zero, one) -> eval (if f y then one else zero) x y
+
+let transcript tree x y =
+  let rec go tree acc =
+    match tree with
+    | Answer _ -> List.rev acc
+    | Alice (f, zero, one) ->
+        let b = f x in
+        go (if b then one else zero) (b :: acc)
+    | Bob (f, zero, one) ->
+        let b = f y in
+        go (if b then one else zero) (b :: acc)
+  in
+  let bits = go tree [] in
+  let v = Bv.create (List.length bits) in
+  List.iteri (fun i b -> Bv.set v i b) bits;
+  v
+
+let rec cost = function
+  | Answer _ -> 0
+  | Alice (_, zero, one) | Bob (_, zero, one) ->
+      1 + Stdlib.max (cost zero) (cost one)
+
+let rec leaves = function
+  | Answer _ -> 1
+  | Alice (_, zero, one) | Bob (_, zero, one) -> leaves zero + leaves one
+
+let correct_on tree ~spec xs ys =
+  List.for_all
+    (fun x -> List.for_all (fun y -> eval tree x y = spec x y) ys)
+    xs
+
+let alice_sends_all ~bits encode =
+  (* Build the complete binary tree of depth [bits] where Alice reveals
+     encode(x) bit by bit; at each leaf the accumulated prefix is the
+     full encoding, and Bob answers using his decision closure. *)
+  let rec build depth prefix =
+    if depth = bits then begin
+      let received = List.rev prefix in
+      let v = Bv.create bits in
+      List.iteri (fun i b -> Bv.set v i b) received;
+      (* Bob's answer depends on his own input; a leaf can't look at
+         it, so the final step is a Bob node answering with his
+         decision bit. *)
+      Bob ((fun (_, decide) -> decide v), Answer false, Answer true)
+    end
+    else
+      Alice
+        ( (fun x -> Bv.get (encode x) depth),
+          build (depth + 1) (false :: prefix),
+          build (depth + 1) (true :: prefix) )
+  in
+  build 0 []
+
+type ('a, 'b) induced = {
+  rectangles : (int list * int list) list;
+  monochromatic : bool;
+  disjoint_cover : bool;
+  count : int;
+}
+
+let induced_partition tree tm =
+  let nr = Truth_matrix.rows tm and nc = Truth_matrix.cols tm in
+  let groups = Hashtbl.create 64 in
+  for i = 0 to nr - 1 do
+    for j = 0 to nc - 1 do
+      let x = tm.Truth_matrix.row_args.(i) in
+      let y = tm.Truth_matrix.col_args.(j) in
+      let key = Bv.to_string (transcript tree x y) in
+      let rows_set, cols_set =
+        match Hashtbl.find_opt groups key with
+        | Some (r, c) -> (r, c)
+        | None ->
+            let r = Hashtbl.create 8 and c = Hashtbl.create 8 in
+            Hashtbl.replace groups key (r, c);
+            (r, c)
+      in
+      Hashtbl.replace rows_set i ();
+      Hashtbl.replace cols_set j ()
+    done
+  done;
+  let rectangles =
+    Hashtbl.fold
+      (fun _ (rs, cs) acc ->
+        let sorted h = List.sort compare (Hashtbl.fold (fun k () l -> k :: l) h []) in
+        (sorted rs, sorted cs) :: acc)
+      groups []
+  in
+  let monochromatic =
+    List.for_all
+      (fun (rs, cs) ->
+        match (rs, cs) with
+        | [], _ | _, [] -> true
+        | r0 :: _, c0 :: _ ->
+            let v0 = Truth_matrix.get tm r0 c0 in
+            List.for_all
+              (fun i -> List.for_all (fun j -> Truth_matrix.get tm i j = v0) cs)
+              rs)
+      rectangles
+  in
+  let total_cells =
+    List.fold_left
+      (fun acc (rs, cs) -> acc + (List.length rs * List.length cs))
+      0 rectangles
+  in
+  let disjoint_cover = total_cells = nr * nc in
+  {
+    rectangles;
+    monochromatic;
+    disjoint_cover;
+    count = List.length rectangles;
+  }
+
+let yao_bound_holds tree tm =
+  let ind = induced_partition tree tm in
+  ind.disjoint_cover && ind.count <= 1 lsl cost tree

@@ -1,0 +1,60 @@
+(** Explicit deterministic protocol trees and Yao's rectangle theorem.
+
+    Section 2 of the paper rests on the structure theorem: a
+    deterministic protocol of worst-case cost [c] partitions the truth
+    matrix into at most [2^c] monochromatic rectangles (one per
+    transcript), hence [c >= log2 d(f)].  This module makes that
+    argument *computational*: protocol trees are first-class values,
+    their execution yields transcripts, the transcript-induced partition
+    of an explicit truth matrix can be extracted, and the theorem's
+    conclusions (disjoint cover, monochromatic leaves, count <= 2^depth)
+    are checkable functions.
+
+    ['a] is Alice's input type, ['b] Bob's. *)
+
+type ('a, 'b) t =
+  | Answer of bool
+      (** leaf: both agents know the output *)
+  | Alice of ('a -> bool) * ('a, 'b) t * ('a, 'b) t
+      (** Alice computes a bit from her input; [false] branch first *)
+  | Bob of ('b -> bool) * ('a, 'b) t * ('a, 'b) t
+
+val eval : ('a, 'b) t -> 'a -> 'b -> bool
+(** Run the protocol. *)
+
+val transcript : ('a, 'b) t -> 'a -> 'b -> Commx_util.Bitvec.t
+(** The exchanged bits, in order. *)
+
+val cost : ('a, 'b) t -> int
+(** Worst-case cost = tree depth. *)
+
+val leaves : ('a, 'b) t -> int
+
+val correct_on :
+  ('a, 'b) t -> spec:('a -> 'b -> bool) -> 'a list -> 'b list -> bool
+(** Exhaustive correctness over the rectangle. *)
+
+val alice_sends_all : bits:int -> ('a -> Commx_util.Bitvec.t) -> ('a, 'b * (Commx_util.Bitvec.t -> bool)) t
+(** The generic one-way tree: Alice transmits [bits] bits of her
+    encoded input; Bob's input carries its own decision function from
+    the received encoding.  (Provided mostly for tests; arbitrary trees
+    are built with the constructors.) *)
+
+type ('a, 'b) induced = {
+  rectangles : (int list * int list) list;
+      (** row-index set and column-index set per reachable transcript *)
+  monochromatic : bool;  (** every rectangle monochromatic in the truth matrix *)
+  disjoint_cover : bool;  (** the rectangles partition the full matrix *)
+  count : int;
+}
+
+val induced_partition :
+  ('a, 'b) t -> ('a, 'b) Truth_matrix.t -> ('a, 'b) induced
+(** Group the truth matrix's (row, col) pairs by protocol transcript
+    and check Yao's structure theorem on the result: transcripts induce
+    combinatorial rectangles; if the protocol is correct they are
+    monochromatic; their number is at most [2^cost]. *)
+
+val yao_bound_holds : ('a, 'b) t -> ('a, 'b) Truth_matrix.t -> bool
+(** [count <= 2^cost] and rectangles are disjoint — the inequality
+    behind "communication >= log2 d(f)". *)

@@ -1,0 +1,47 @@
+module Prng = Commx_util.Prng
+
+type ('a, 'b) t = {
+  name : string;
+  run_seeded : seed:int -> ('a, 'b) Protocol.t;
+}
+
+let estimate_error g rp ~spec ~trials inputs =
+  match inputs with
+  | [] -> invalid_arg "Randomized.estimate_error: no inputs"
+  | _ ->
+      let arr = Array.of_list inputs in
+      let wrong = ref 0 in
+      for t = 0 to trials - 1 do
+        let x, y = arr.(t mod Array.length arr) in
+        let seed = Prng.int g max_int in
+        let p = rp.run_seeded ~seed in
+        let got, _ = Protocol.execute p x y in
+        if got <> spec x y then incr wrong
+      done;
+      float_of_int !wrong /. float_of_int trials
+
+let worst_input_error g rp ~spec ~seeds inputs =
+  List.fold_left
+    (fun acc (x, y) ->
+      let wrong = ref 0 in
+      for _ = 1 to seeds do
+        let seed = Prng.int g max_int in
+        let p = rp.run_seeded ~seed in
+        let got, _ = Protocol.execute p x y in
+        if got <> spec x y then incr wrong
+      done;
+      Float.max acc (float_of_int !wrong /. float_of_int seeds))
+    0.0 inputs
+
+let max_cost g rp ~seeds inputs =
+  List.fold_left
+    (fun acc (x, y) ->
+      let worst = ref acc in
+      for _ = 1 to seeds do
+        let seed = Prng.int g max_int in
+        let p = rp.run_seeded ~seed in
+        let _, c = Protocol.execute p x y in
+        worst := Stdlib.max !worst c
+      done;
+      !worst)
+    0 inputs

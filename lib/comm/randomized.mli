@@ -1,0 +1,39 @@
+(** Harness for randomized (public-coin) protocols.
+
+    The paper contrasts Theorem 1.1 with Leighton's observation that
+    the *probabilistic* communication complexity of singularity testing
+    is only O(n² max(log n, log k)).  A public-coin protocol is a
+    deterministic protocol parameterized by a shared random seed; its
+    error on an input is the probability over seeds of answering
+    wrongly.  This module estimates that error by Monte Carlo and
+    reports worst-case bit cost over sampled seeds. *)
+
+type ('a, 'b) t = {
+  name : string;
+  run_seeded : seed:int -> ('a, 'b) Protocol.t;
+}
+
+val estimate_error :
+  Commx_util.Prng.t ->
+  ('a, 'b) t ->
+  spec:('a -> 'b -> bool) ->
+  trials:int ->
+  ('a * 'b) list ->
+  float
+(** Fraction of (seed, input) trials answered wrongly; inputs are
+    cycled through, a fresh seed drawn per trial. *)
+
+val worst_input_error :
+  Commx_util.Prng.t ->
+  ('a, 'b) t ->
+  spec:('a -> 'b -> bool) ->
+  seeds:int ->
+  ('a * 'b) list ->
+  float
+(** For each input, estimate error over [seeds] seeds; return the
+    maximum — the quantity the ε in "correct with probability 1/2 + ε"
+    constrains. *)
+
+val max_cost :
+  Commx_util.Prng.t -> ('a, 'b) t -> seeds:int -> ('a * 'b) list -> int
+(** Maximum bits exchanged over sampled seeds and the given inputs. *)

@@ -1,0 +1,59 @@
+module Bm = Commx_util.Bitmat
+module Qm = Commx_linalg.Qmatrix
+module Q = Commx_bigint.Rational
+
+let gf2_rank = Bm.rank
+
+let rational_rank m =
+  let qm =
+    Qm.init (Bm.rows m) (Bm.cols m) (fun i j ->
+        if Bm.get m i j then Q.one else Q.zero)
+  in
+  Qm.rank qm
+
+let log_rank_bound m =
+  let r = rational_rank m in
+  if r <= 0 then 0.0 else log (float_of_int r) /. log 2.0
+
+type report = {
+  n_rows : int;
+  n_cols : int;
+  ones : int;
+  gf2 : int;
+  rational : int;
+  log_rank : float;
+  fooling : int;
+  fooling_bits : float;
+  cover_bits : float;
+  trivial_upper : float;
+}
+
+let analyze tm ~exact_rect =
+  let m = Truth_matrix.to_bitmat tm in
+  let g = Commx_util.Prng.create 1234 in
+  let fooling_set = Fooling.greedy_randomized g tm in
+  let gf2 = gf2_rank m in
+  let rational = rational_rank m in
+  {
+    n_rows = Bm.rows m;
+    n_cols = Bm.cols m;
+    ones = Bm.count_ones m;
+    gf2;
+    rational;
+    log_rank = (if rational <= 0 then 0.0 else log (float_of_int rational) /. log 2.0);
+    fooling = List.length fooling_set;
+    fooling_bits = Fooling.lower_bound_bits fooling_set;
+    cover_bits = Rectangle.cover_lower_bound m ~exact:exact_rect;
+    trivial_upper =
+      log (float_of_int (max 1 (min (Bm.rows m) (Bm.cols m)))) /. log 2.0;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>truth matrix %dx%d, %d ones@,\
+     rank: GF(2)=%d, Q=%d (log-rank bound %.2f bits)@,\
+     fooling set: %d (%.2f bits)@,\
+     rectangle-cover bound: %.2f bits@,\
+     trivial upper bound: %.2f bits@]"
+    r.n_rows r.n_cols r.ones r.gf2 r.rational r.log_rank r.fooling
+    r.fooling_bits r.cover_bits r.trivial_upper

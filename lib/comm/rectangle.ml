@@ -1,0 +1,131 @@
+module Bm = Commx_util.Bitmat
+module Bv = Commx_util.Bitvec
+module Prng = Commx_util.Prng
+
+type rect = { row_set : int array; col_set : int array }
+
+let area r = Array.length r.row_set * Array.length r.col_set
+
+let is_monochromatic m r =
+  if area r = 0 then None
+  else begin
+    let v0 = Bm.get m r.row_set.(0) r.col_set.(0) in
+    let mono = ref true in
+    Array.iter
+      (fun i ->
+        Array.iter (fun j -> if Bm.get m i j <> v0 then mono := false) r.col_set)
+      r.row_set;
+    if !mono then Some v0 else None
+  end
+
+let count_ones_rectangle_rows m rows_sel =
+  let cols = Bm.cols m in
+  let acc = ref [] in
+  for j = cols - 1 downto 0 do
+    if Array.for_all (fun i -> Bm.get m i j) rows_sel then acc := j :: !acc
+  done;
+  Array.of_list !acc
+
+(* Enumerate over subsets of the smaller dimension: for a row subset S,
+   the best rectangle with that row set uses all columns that are ones
+   on every row of S. *)
+let max_one_rectangle_exact ?(min_rows = 1) m =
+  (* The transpose speed-up enumerates the smaller dimension, but a
+     min_rows constraint refers to the original rows, so it disables
+     the swap. *)
+  let transposed = min_rows <= 1 && Bm.rows m > Bm.cols m in
+  let work = if transposed then Bm.transpose m else m in
+  let nr = Bm.rows work in
+  if nr > 22 then
+    invalid_arg "Rectangle.max_one_rectangle_exact: dimension too large";
+  let best = ref { row_set = [||]; col_set = [||] } in
+  let best_area = ref 0 in
+  (* Row bitsets as Bitvecs for fast intersection. *)
+  let row_bits = Array.init nr (fun i -> Bm.row work i) in
+  Commx_util.Combi.iter_subsets nr (fun subset ->
+      let rows_sel = Array.of_list subset in
+      let k = Array.length rows_sel in
+      if k >= min_rows && k > 0 then begin
+        let inter = Bv.copy row_bits.(rows_sel.(0)) in
+        Array.iter (fun i -> if i <> rows_sel.(0) then Bv.and_into inter row_bits.(i)) rows_sel;
+        let ncols = Bv.popcount inter in
+        if k * ncols > !best_area then begin
+          best_area := k * ncols;
+          let cols_sel =
+            Array.of_list (List.rev (Bv.fold_set_bits (fun j acc -> j :: acc) inter []))
+          in
+          best := { row_set = rows_sel; col_set = cols_sel }
+        end
+      end);
+  if transposed then
+    { row_set = !best.col_set; col_set = !best.row_set }
+  else !best
+
+let complement m = Bm.init (Bm.rows m) (Bm.cols m) (fun i j -> not (Bm.get m i j))
+
+let max_zero_rectangle_exact ?min_rows m =
+  max_one_rectangle_exact ?min_rows (complement m)
+
+let max_one_rectangle_greedy g ?(restarts = 32) m =
+  let nr = Bm.rows m and nc = Bm.cols m in
+  if nr = 0 || nc = 0 then { row_set = [||]; col_set = [||] }
+  else begin
+    let best = ref { row_set = [||]; col_set = [||] } in
+    let best_area = ref 0 in
+    for _ = 1 to restarts do
+      (* Seed with a random one-entry, then greedily add rows in random
+         order while the column intersection stays profitable. *)
+      let i0 = Prng.int g nr in
+      let cols0 = count_ones_rectangle_rows m [| i0 |] in
+      if Array.length cols0 > 0 then begin
+        let rows_sel = ref [ i0 ] in
+        let cols_cur = ref cols0 in
+        let order = Array.init nr (fun i -> i) in
+        Prng.shuffle g order;
+        Array.iter
+          (fun i ->
+            if not (List.mem i !rows_sel) then begin
+              let surviving =
+                Array.of_list
+                  (List.filter
+                     (fun j -> Bm.get m i j)
+                     (Array.to_list !cols_cur))
+              in
+              let new_area = (List.length !rows_sel + 1) * Array.length surviving in
+              let cur_area = List.length !rows_sel * Array.length !cols_cur in
+              if new_area >= cur_area && Array.length surviving > 0 then begin
+                rows_sel := i :: !rows_sel;
+                cols_cur := surviving
+              end
+            end)
+          order;
+        let r = { row_set = Array.of_list !rows_sel; col_set = !cols_cur } in
+        if area r > !best_area then begin
+          best_area := area r;
+          best := r
+        end
+      end
+    done;
+    !best
+  end
+
+let cover_lower_bound m ~exact =
+  let ones = Bm.count_ones m in
+  let zeros = (Bm.rows m * Bm.cols m) - ones in
+  let one_rect, zero_rect =
+    if exact then
+      (max_one_rectangle_exact m, max_zero_rectangle_exact m)
+    else begin
+      let g = Prng.create 42 in
+      ( max_one_rectangle_greedy g m,
+        let r = max_one_rectangle_greedy g (complement m) in
+        r )
+    end
+  in
+  let parts_for count rect =
+    if count = 0 then 0.0
+    else if area rect = 0 then infinity
+    else float_of_int count /. float_of_int (area rect)
+  in
+  let total = parts_for ones one_rect +. parts_for zeros zero_rect in
+  if total <= 0.0 then 0.0 else log total /. log 2.0

@@ -1,0 +1,56 @@
+let log2 x = log x /. log 2.0
+
+let trivial_upper_bits ~n ~k = 2 * n * n * k
+
+let log2_q ~k = log2 ((2.0 ** float_of_int k) -. 1.0)
+
+let lower_bound_exponent ~n ~k =
+  (* From the Section 3 accounting: ones per row >= q^(n²/2 - c1 n
+     log_q n); rows q^((n-1)²/4); rectangles with >= r = q^(n²/16 + n
+     log_q n) rows have <= q^(3n²/8 + c2 n log_q n) columns.  The
+     partition bound is ones / max-1-rectangle:
+     q^((n-1)²/4 + n²/2) / (q^(n²/16 + n log) * q^(3n²/8 + c2 n log))
+     = q^(5n²/16 - O(n log_q n)).  We charge 3 n log_q n for the
+     O-term (the sum of the proof's explicit log factors). *)
+  let fn = float_of_int n in
+  let lq = if k >= 62 then 1.0 else
+      let q = (2.0 ** float_of_int k) -. 1.0 in
+      Float.max 1.0 (log fn /. log q)
+  in
+  (5.0 /. 16.0 *. fn *. fn) -. (3.0 *. fn *. lq)
+
+let deterministic_lower_bits ~n ~k =
+  Float.max 0.0 (lower_bound_exponent ~n ~k *. log2_q ~k)
+
+let randomized_upper_bits ~n ~k ~epsilon =
+  let b = Commx_bigint.Primes.fingerprint_prime_bits ~n ~k ~epsilon in
+  (* Agent 1 sends its 2n² entries reduced mod p (b bits each), plus
+     one result bit back. *)
+  (2 * n * n * b) + 1
+
+let deterministic_over_randomized ~n ~k ~epsilon =
+  float_of_int (trivial_upper_bits ~n ~k)
+  /. float_of_int (randomized_upper_bits ~n ~k ~epsilon)
+
+let at2_lower ~info_bits = info_bits *. info_bits
+
+let area_lower ~info_bits = info_bits
+
+let at_2a_lower ~info_bits ~alpha =
+  if alpha < 0.0 || alpha > 1.0 then invalid_arg "Bounds.at_2a_lower";
+  info_bits ** (1.0 +. alpha)
+
+let time_lower_given_area ~info_bits ~area =
+  if area <= 0.0 then invalid_arg "Bounds.time_lower_given_area";
+  info_bits /. sqrt area
+
+let info_bits ~n ~k = float_of_int (k * n * n)
+
+let our_time_lower ~n ~k = sqrt (float_of_int k) *. float_of_int n
+
+let chazelle_monier_time_lower ~n = float_of_int n
+
+let our_at_lower ~n ~k =
+  (float_of_int k ** 1.5) *. (float_of_int n ** 3.0)
+
+let chazelle_monier_at_lower ~n = float_of_int (n * n)

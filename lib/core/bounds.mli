@@ -1,0 +1,66 @@
+(** Closed-form bound calculators for Theorem 1.1, its corollaries, and
+    the VLSI consequences of Section 1.
+
+    These are the formulas the experiments compare measurements
+    against.  Lower bounds carry the explicit constants recoverable
+    from the Section 3 proof (they are what "Ω" hides); upper bounds
+    are exact counts of the trivial protocol. *)
+
+(** {1 Communication bounds} *)
+
+val trivial_upper_bits : n:int -> k:int -> int
+(** Exact cost of the one-way protocol sending Agent 1's π₀ half of a
+    [2n x 2n] matrix of [k]-bit entries: [2 n² k]. *)
+
+val deterministic_lower_bits : n:int -> k:int -> float
+(** The Theorem 1.1 lower bound with the proof's constants: the
+    restricted truth matrix yields
+    [d(f) >= q^(5 n²/16 - c·n·log_q n)], so communication is at least
+    [(5/16) n² log2 q - O(n log n)] bits.  Negative values are clamped
+    to 0 (the bound is vacuous at very small parameters). *)
+
+val lower_bound_exponent : n:int -> k:int -> float
+(** The exponent [5 n²/16 - 3 n log_q n] multiplying [log2 q] in the
+    bound above (before clamping). *)
+
+val randomized_upper_bits : n:int -> k:int -> epsilon:float -> int
+(** Cost of the fingerprinting protocol: [(2n)² b + b] bits where [b]
+    is the prime size from
+    {!Commx_bigint.Primes.fingerprint_prime_bits} — the
+    O(n² max(log n, log k)) contrast bound. *)
+
+val deterministic_over_randomized : n:int -> k:int -> epsilon:float -> float
+(** Ratio of {!trivial_upper_bits} to {!randomized_upper_bits} — grows
+    like [k / max(log n, log k)]. *)
+
+(** {1 VLSI area–time tradeoffs} *)
+
+val at2_lower : info_bits:float -> float
+(** Thompson: [A T² = Ω(I²)]; returns [I²]. *)
+
+val area_lower : info_bits:float -> float
+(** [A = Ω(I)] (Brent–Kung / Vuillemin / Yao); returns [I]. *)
+
+val at_2a_lower : info_bits:float -> alpha:float -> float
+(** The interpolated family [A T^(2α) = Ω(I^(1+α))], [0 <= α <= 1]. *)
+
+val time_lower_given_area : info_bits:float -> area:float -> float
+(** [T >= I / sqrt A]. *)
+
+val our_time_lower : n:int -> k:int -> float
+(** [T = Ω(k^(1/2) n)] — the improvement over Chazelle–Monier stated
+    after Corollary 1.2 (boundary-I/O model). *)
+
+val chazelle_monier_time_lower : n:int -> float
+(** [T = Ω(n)] in the Chazelle–Monier model. *)
+
+val our_at_lower : n:int -> k:int -> float
+(** [A T = Ω(k^(3/2) n³)]. *)
+
+val chazelle_monier_at_lower : n:int -> float
+(** [A T = Ω(n²)]. *)
+
+val info_bits : n:int -> k:int -> float
+(** The information content [I = k (2n)² / 2] crossing the worst-case
+    Thompson cut for singularity testing, up to the constant:
+    we use [I = k n²] (the Theorem 1.1 bound). *)

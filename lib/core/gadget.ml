@@ -1,0 +1,56 @@
+module B = Commx_bigint.Bigint
+
+type bigint = B.t
+
+let neg_q (p : Params.t) = B.neg p.Params.q
+
+let u_vector p =
+  let n = p.Params.n in
+  Array.init (n - 1) (fun t -> B.pow (neg_q p) (n - 2 - t))
+
+let w_vector p =
+  let ew = p.Params.e_width in
+  Array.init ew (fun t -> B.pow (neg_q p) (ew - 1 - t))
+
+let to_neg_base ~q ~digits v =
+  if B.compare q B.two < 0 then invalid_arg "Gadget.to_neg_base: q < 2";
+  let d = Array.make digits B.zero in
+  let rec go v j =
+    if B.is_zero v then Some d
+    else if j >= digits then None
+    else begin
+      (* v = digit + (-q) * v'  with digit in [0, q-1]:
+         digit = v mod q (euclidean), v' = (digit - v) / q. *)
+      let digit = B.erem v q in
+      d.(j) <- digit;
+      let v' = B.div (B.sub digit v) q in
+      go v' (j + 1)
+    end
+  in
+  go v 0
+
+let of_neg_base ~q d =
+  let nq = B.neg q in
+  (* Horner from the most significant digit. *)
+  let acc = ref B.zero in
+  for j = Array.length d - 1 downto 0 do
+    acc := B.add (B.mul !acc nq) d.(j)
+  done;
+  !acc
+
+let neg_base_range ~q ~digits =
+  (* Max: all even positions at q-1; min: all odd positions at q-1. *)
+  let qm1 = B.sub q B.one in
+  let lo = ref B.zero and hi = ref B.zero in
+  for j = 0 to digits - 1 do
+    let p = B.pow (B.neg q) j in
+    if j land 1 = 0 then hi := B.add !hi (B.mul qm1 p)
+    else lo := B.add !lo (B.mul qm1 p)
+  done;
+  (!lo, !hi)
+
+let dot a b =
+  if Array.length a <> Array.length b then invalid_arg "Gadget.dot";
+  let acc = ref B.zero in
+  Array.iteri (fun i ai -> acc := B.add !acc (B.mul ai b.(i))) a;
+  !acc

@@ -1,0 +1,33 @@
+(** The arithmetic gadgets of Section 3: the vector [u], the projection
+    vector [w], and base-(−q) digit representations.
+
+    [u = ((-q)^(n-2), (-q)^(n-3), ..., (-q), 1)^T] is the forced
+    coefficient vector of Lemma 3.2: any linear combination of the last
+    [2n - 1] columns of [M] matching the first column must weight the
+    [B]-columns by [u].  Base-(−q) representations with digits in
+    [\[0, q-1\]] are what lets the completion algorithm of Lemma 3.5(a)
+    realize arbitrary (bounded) integers as inner products [row · u]
+    with row entries in the allowed range. *)
+
+type bigint = Commx_bigint.Bigint.t
+
+val u_vector : Params.t -> bigint array
+(** Length [n-1]; [u.(t) = (-q)^(n-2-t)]. *)
+
+val w_vector : Params.t -> bigint array
+(** Length [e_width]; [w.(t) = (-q)^(e_width-1-t)] — the projection
+    identity of Lemma 3.7 reads [p (B u) = E w]. *)
+
+val to_neg_base : q:bigint -> digits:int -> bigint -> bigint array option
+(** [to_neg_base ~q ~digits v]: digits [d] with [v = sum d.(j) (-q)^j],
+    all in [\[0, q-1\]], or [None] when [v] needs more digits.  [q >= 2]. *)
+
+val of_neg_base : q:bigint -> bigint array -> bigint
+(** Inverse: [sum d.(j) (-q)^j]. *)
+
+val neg_base_range : q:bigint -> digits:int -> bigint * bigint
+(** [(lo, hi)]: the exact interval of integers representable with the
+    given digit count (the representation is unique on it). *)
+
+val dot : bigint array -> bigint array -> bigint
+(** Integer inner product. *)

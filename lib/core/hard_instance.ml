@@ -1,0 +1,157 @@
+module B = Commx_bigint.Bigint
+module Zm = Commx_linalg.Zmatrix
+
+type bigint = B.t
+
+type free = {
+  c : bigint array array;
+  d : bigint array array;
+  e : bigint array array;
+  y : bigint array;
+}
+
+let make_block rows cols = Array.init rows (fun _ -> Array.make cols B.zero)
+
+let zero_free (p : Params.t) =
+  {
+    c = make_block p.half p.half;
+    d = make_block p.half p.d_width;
+    e = make_block p.half p.e_width;
+    y = Array.make (p.n - 1) B.zero;
+  }
+
+let check_entry (p : Params.t) what v =
+  if B.sign v < 0 || B.compare v p.q >= 0 then
+    invalid_arg
+      (Printf.sprintf "Hard_instance: %s entry %s outside [0, q-1]" what
+         (B.to_string v))
+
+let check_block p what rows cols block =
+  if
+    Array.length block <> rows
+    || Array.exists (fun r -> Array.length r <> cols) block
+  then
+    invalid_arg
+      (Printf.sprintf "Hard_instance: %s must be %d x %d" what rows cols);
+  Array.iter (fun r -> Array.iter (check_entry p what) r) block
+
+let validate_free (p : Params.t) f =
+  check_block p "C" p.half p.half f.c;
+  check_block p "D" p.half p.d_width f.d;
+  check_block p "E" p.half p.e_width f.e;
+  if Array.length f.y <> p.n - 1 then
+    invalid_arg "Hard_instance: y must have n-1 entries";
+  Array.iter (check_entry p "y") f.y
+
+let random_free g (p : Params.t) =
+  let entry _ = B.random_below g p.q in
+  let block rows cols = Array.init rows (fun _ -> Array.init cols entry) in
+  {
+    c = block p.half p.half;
+    d = block p.half p.d_width;
+    e = block p.half p.e_width;
+    y = Array.init (p.n - 1) entry;
+  }
+
+let free_of_ints p ~c ~d ~e ~y =
+  let conv = Array.map (Array.map B.of_int) in
+  let f = { c = conv c; d = conv d; e = conv e; y = Array.map B.of_int y } in
+  validate_free p f;
+  f
+
+(* A (n x (n-1)), 0-based:
+   - A[i][i] = 1 for i <= n-2
+   - A[i][i+1] = q for i+1 <= half-1 (superdiagonal within the first
+     half columns)
+   - A[i][half + t] = C[i][t] for i <= half-1, t <= half-1
+   - rows half..n-2: unit vectors (diagonal only)
+   - row n-1: (1, 0, ..., 0) *)
+let build_a (p : Params.t) c =
+  let n = p.n in
+  Zm.init n (n - 1) (fun i j ->
+      if i = n - 1 then (if j = 0 then B.one else B.zero)
+      else if i = j then B.one
+      else if i < p.half && j = i + 1 && j <= p.half - 1 then p.q
+      else if i < p.half && j >= p.half then c.(i).(j - p.half)
+      else B.zero)
+
+(* B (n x (n-1)), 0-based:
+   - rows 0..half-1: D in columns 0..d_width-1, zero elsewhere
+   - rows half..n-2: E in columns d_width..n-2, zero elsewhere
+   - row n-1: y *)
+let build_b (p : Params.t) f =
+  let n = p.n in
+  Zm.init n (n - 1) (fun i j ->
+      if i = n - 1 then f.y.(j)
+      else if i < p.half then
+        if j < p.d_width then f.d.(i).(j) else B.zero
+      else if j >= p.d_width then f.e.(i - p.half).(j - p.d_width)
+      else B.zero)
+
+let build_m (p : Params.t) f =
+  validate_free p f;
+  let n = p.n in
+  let a = build_a p f.c and b = build_b p f in
+  Zm.init (2 * n) (2 * n) (fun i j ->
+      if j = 0 then (if i = 0 then B.one else B.zero)
+      else if j = n then (if i = n - 1 then B.one else B.zero)
+      else if j < n then
+        (* A columns: zero on top, A below *)
+        if i < n then B.zero else Zm.get a (i - n) (j - 1)
+      else if
+        (* B columns, j in n+1..2n-1 *)
+        i < n
+      then
+        if i + j = (2 * n) - 1 then B.one
+        else if i + j = 2 * n then p.q
+        else B.zero
+      else Zm.get b (i - n) (j - n - 1))
+
+let b_dot_u (p : Params.t) f =
+  let b = build_b p f in
+  let u = Gadget.u_vector p in
+  Array.init p.n (fun i -> Gadget.dot (Zm.row b i) u)
+
+let entries_in_range (p : Params.t) m =
+  let limit = B.shift_left B.one p.k in
+  let ok = ref true in
+  for i = 0 to Zm.rows m - 1 do
+    for j = 0 to Zm.cols m - 1 do
+      let v = Zm.get m i j in
+      if B.sign v < 0 || B.compare v limit >= 0 then ok := false
+    done
+  done;
+  !ok
+
+type block = C | D | E | Y
+
+let free_positions (p : Params.t) =
+  let n = p.n in
+  let acc = ref [] in
+  (* C: A rows 0..half-1, A cols half..n-2 -> M rows n+i, M cols 1+j *)
+  for i = 0 to p.half - 1 do
+    for t = 0 to p.half - 1 do
+      acc := (C, n + i, 1 + p.half + t) :: !acc
+    done
+  done;
+  (* D: B rows 0..half-1, B cols 0..d_width-1 -> M rows n+i, cols n+1+j *)
+  for i = 0 to p.half - 1 do
+    for t = 0 to p.d_width - 1 do
+      acc := (D, n + i, n + 1 + t) :: !acc
+    done
+  done;
+  (* E: B rows half..n-2, B cols d_width..n-2 *)
+  for i = 0 to p.half - 1 do
+    for t = 0 to p.e_width - 1 do
+      acc := (E, n + p.half + i, n + 1 + p.d_width + t) :: !acc
+    done
+  done;
+  (* y: B row n-1, all columns *)
+  for t = 0 to n - 2 do
+    acc := (Y, n + n - 1, n + 1 + t) :: !acc
+  done;
+  List.rev !acc
+
+let pi0_agent_of_col (p : Params.t) col =
+  if col < 0 || col >= 2 * p.n then invalid_arg "Hard_instance.pi0_agent_of_col";
+  if col < p.n then 1 else 2

@@ -1,0 +1,77 @@
+(** The hard-instance construction of Section 3 (Figures 1 and 3).
+
+    The input matrix [M] is [2n x 2n] over [\[0, 2^k - 1\]].  Most of
+    it is fixed; the free parts are the sub-blocks [C] (read by Agent 1
+    under the column partition π₀) and [D], [E], [y] (read by
+    Agent 2):
+
+    {v
+            col 0   cols 1..n-1      col n   cols n+1..2n-1
+    row 0     1         0              0     anti-diagonal of 1s
+    ...       0         0              0     with a parallel
+    row n-1   0         0              1     anti-diagonal of qs
+    row n     0  +-----------+         0   +-----------+
+    ...       0  |     A     |         0   |     B     |
+    row 2n-1  0  +-----------+         0   +-----------+
+    v}
+
+    [A] ([n x (n-1)]): unit diagonal; [q] on the superdiagonal within
+    the first [half] columns; [C] (free) in rows [0..half-1], columns
+    [half..n-2]; rows [half..n-2] are unit vectors; row [n-1] is
+    [(1, 0, ..., 0)].
+
+    [B] ([n x (n-1)]): [D] (free) in rows [0..half-1], columns
+    [0..d_width-1]; [E] (free) in rows [half..n-2], columns
+    [d_width..n-2]; row [n-1] is the free vector [y]; all other
+    entries 0. *)
+
+type bigint = Commx_bigint.Bigint.t
+
+type free = {
+  c : bigint array array;  (** [half x half] *)
+  d : bigint array array;  (** [half x d_width] *)
+  e : bigint array array;  (** [half x e_width] *)
+  y : bigint array;  (** [n-1] *)
+}
+
+val zero_free : Params.t -> free
+
+val validate_free : Params.t -> free -> unit
+(** @raise Invalid_argument when shapes are wrong or an entry leaves
+    [\[0, q-1\]]. *)
+
+val random_free : Commx_util.Prng.t -> Params.t -> free
+
+val free_of_ints :
+  Params.t ->
+  c:int array array -> d:int array array -> e:int array array ->
+  y:int array -> free
+
+val build_a : Params.t -> bigint array array -> Commx_linalg.Zmatrix.t
+(** [build_a p c] is the [n x (n-1)] matrix [A]. *)
+
+val build_b : Params.t -> free -> Commx_linalg.Zmatrix.t
+(** The [n x (n-1)] matrix [B] from [d], [e], [y]. *)
+
+val build_m : Params.t -> free -> Commx_linalg.Zmatrix.t
+(** The full [2n x 2n] input matrix. *)
+
+val b_dot_u : Params.t -> free -> bigint array
+(** The vector [B · u] of Lemma 3.2 (length [n]). *)
+
+val entries_in_range : Params.t -> Commx_linalg.Zmatrix.t -> bool
+(** Every entry in [\[0, 2^k - 1\]] — the input format of Theorem 1.1. *)
+
+(** {1 Free-cell geometry}
+
+    For partition experiments we need to know where in [M] the free
+    entries sit. *)
+
+type block = C | D | E | Y
+
+val free_positions : Params.t -> (block * int * int) list
+(** [(block, M-row, M-col)] for every free entry, in a fixed order:
+    all of C row-major, then D, then E, then [y]. *)
+
+val pi0_agent_of_col : Params.t -> int -> int
+(** Under π₀, agent (1 or 2) reading the given [M]-column. *)

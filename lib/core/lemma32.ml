@@ -1,0 +1,20 @@
+module Zm = Commx_linalg.Zmatrix
+module Sub = Commx_linalg.Subspace
+module Q = Commx_bigint.Rational
+
+let span_a p c =
+  let a = Hard_instance.build_a p c in
+  Sub.of_matrix_columns (Zm.to_qmatrix a)
+
+let span_dimension_is_full (p : Params.t) c = Sub.dim (span_a p c) = p.n - 1
+
+let criterion p f =
+  Hard_instance.validate_free p f;
+  let bu = Hard_instance.b_dot_u p f in
+  let bu_q = Array.map Q.of_bigint bu in
+  Sub.mem bu_q (span_a p f.Hard_instance.c)
+
+let is_singular_direct m = Zm.is_singular m
+
+let agrees p f =
+  criterion p f = is_singular_direct (Hard_instance.build_m p f)

@@ -1,0 +1,25 @@
+(** Lemma 3.2 — the singularity criterion.
+
+    When [Span(A)] has dimension [n-1] (which the Fig. 3 restrictions
+    force unconditionally), the [2n x 2n] matrix [M] is singular if and
+    only if [B·u] lies in [Span(A)].  This turns singularity of the
+    whole input into a statement about the two agents' private halves:
+    Agent 1 determines the subspace, Agent 2 the vector. *)
+
+val span_a : Params.t -> Hard_instance.bigint array array -> Commx_linalg.Subspace.t
+(** Column span of [A] built from the given [C] block (a subspace of
+    ℚⁿ). *)
+
+val span_dimension_is_full : Params.t -> Hard_instance.bigint array array -> bool
+(** [dim Span(A) = n - 1] — the lemma's precondition, always true
+    under the restrictions. *)
+
+val criterion : Params.t -> Hard_instance.free -> bool
+(** [B·u ∈ Span(A)]. *)
+
+val is_singular_direct : Commx_linalg.Zmatrix.t -> bool
+(** Ground truth by exact rank computation (no gadget knowledge). *)
+
+val agrees : Params.t -> Hard_instance.free -> bool
+(** The lemma's statement on one instance:
+    [criterion p f = is_singular_direct (build_m p f)]. *)

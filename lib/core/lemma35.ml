@@ -1,0 +1,90 @@
+module B = Commx_bigint.Bigint
+module Zm = Commx_linalg.Zmatrix
+
+type witness = {
+  free : Hard_instance.free;
+  x : B.t array;
+}
+
+(* Row i of A (i < half) applied to x:
+   a_i . x = x_i + q * x_{i+1} (when i+1 <= half-1) + c_i . tail
+   where tail = x_{half .. n-2}. *)
+let a_row_dot (p : Params.t) c x i =
+  let tail_dot =
+    let acc = ref B.zero in
+    for t = 0 to p.half - 1 do
+      acc := B.add !acc (B.mul c.(i).(t) x.(p.half + t))
+    done;
+    !acc
+  in
+  let super =
+    if i + 1 <= p.half - 1 then B.mul p.q x.(i + 1) else B.zero
+  in
+  B.add (B.add x.(i) super) tail_dot
+
+let complete (p : Params.t) ~c ~e =
+  let n = p.n in
+  let x = Array.make (n - 1) B.zero in
+  let u = Gadget.u_vector p in
+  (* Step 1: tail coefficients from E.  Row half+i of B has E's row i in
+     columns d_width..n-2, so b_{half+i} . u depends only on E. *)
+  for i = 0 to p.half - 1 do
+    let acc = ref B.zero in
+    for t = 0 to p.e_width - 1 do
+      acc := B.add !acc (B.mul e.(i).(t) u.(p.d_width + t))
+    done;
+    x.(p.half + i) <- !acc
+  done;
+  (* Step 2: back-substitution modulo m through the superdiagonal
+     block.  x_i lands in [0, m). *)
+  let tail_dot i =
+    let acc = ref B.zero in
+    for t = 0 to p.half - 1 do
+      acc := B.add !acc (B.mul c.(i).(t) x.(p.half + t))
+    done;
+    !acc
+  in
+  for i = p.half - 1 downto 0 do
+    let v =
+      if i = p.half - 1 then B.neg (tail_dot i)
+      else B.sub (B.neg (B.mul p.q x.(i + 1))) (tail_dot i)
+    in
+    x.(i) <- B.erem v p.m
+  done;
+  (* Step 3: D digits.  Target for row i is T = a_i . x, a multiple of
+     m; columns t of D meet u at (-q)^(n-2-t), so
+     b_i . u = (-q)^(e_width) * sum_j D[i][d_width-1-j] (-q)^j. *)
+  let eps = B.pow (B.neg p.q) p.e_width in
+  let d = Array.init p.half (fun _ -> Array.make p.d_width B.zero) in
+  for i = 0 to p.half - 1 do
+    let target = a_row_dot p c x i in
+    let s, rem = B.divmod target eps in
+    if not (B.is_zero rem) then
+      failwith "Lemma35.complete: target not a multiple of (-q)^e_width";
+    (match Gadget.to_neg_base ~q:p.q ~digits:p.d_width s with
+    | None ->
+        failwith "Lemma35.complete: D digit extraction out of range"
+    | Some digits ->
+        for j = 0 to p.d_width - 1 do
+          d.(i).(p.d_width - 1 - j) <- digits.(j)
+        done)
+  done;
+  (* Step 4: y digits from x_0 (row n-1 of A is (1,0,...,0), so the
+     last equation is y . u = x_0). *)
+  let y = Array.make (n - 1) B.zero in
+  (match Gadget.to_neg_base ~q:p.q ~digits:(n - 1) x.(0) with
+  | None -> failwith "Lemma35.complete: y digit extraction out of range"
+  | Some digits ->
+      for j = 0 to n - 2 do
+        y.(n - 2 - j) <- digits.(j)
+      done);
+  let free = { Hard_instance.c; d; e; y } in
+  Hard_instance.validate_free p free;
+  { free; x }
+
+let check_witness p w =
+  let a = Hard_instance.build_a p w.free.Hard_instance.c in
+  let bu = Hard_instance.b_dot_u p w.free in
+  let ax = Zm.mul_vec a w.x in
+  Array.for_all2 B.equal ax bu
+  && Lemma32.is_singular_direct (Hard_instance.build_m p w.free)

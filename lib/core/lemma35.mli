@@ -1,0 +1,37 @@
+(** Lemma 3.5(a) — the completion algorithm.
+
+    Given any instances of the blocks [C] and [E], there exist [D] and
+    [y] making [M] singular; the paper's proof is constructive and this
+    module runs it:
+
+    + set the coefficient tail [x_i = b_i · u] for the rows carrying
+      [E] (those inner products have magnitude below [m = q^e_width]);
+    + back-substitute through the [1/q]-superdiagonal block modulo [m]
+      to fix [x_(half-1) .. x_0], making each [a_i · x] a multiple of
+      [m] of bounded magnitude;
+    + write each target [a_i · x] in base (−q) and place the digits in
+      [D]'s row [i] (the columns of [D] meet [u] exactly at the powers
+      [(-q)^(n-2) .. (-q)^(e_width)], i.e. multiples of [m]);
+    + write [x_0] in base (−q) and place the digits in [y] (row [n-1]
+      of [A] is [(1,0,...,0)], so the last equation reads
+      [y · u = x_0]).
+
+    The result satisfies [A·x = B·u] exactly, hence [B·u ∈ Span(A)],
+    hence [M] is singular by Lemma 3.2. *)
+
+type witness = {
+  free : Hard_instance.free;  (** input [c], [e]; computed [d], [y] *)
+  x : Hard_instance.bigint array;  (** the coefficient vector, [A·x = B·u] *)
+}
+
+val complete :
+  Params.t ->
+  c:Hard_instance.bigint array array ->
+  e:Hard_instance.bigint array array ->
+  witness
+(** @raise Failure if a digit extraction leaves the representable
+    range — which the lemma proves cannot happen; a raise here is a
+    bug (and the test suite would catch it). *)
+
+val check_witness : Params.t -> witness -> bool
+(** Verifies [A·x = B·u] and that [M] is singular, exactly. *)

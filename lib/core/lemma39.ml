@@ -1,0 +1,240 @@
+module Pt = Commx_comm.Partition
+module Prng = Commx_util.Prng
+module Zm = Commx_linalg.Zmatrix
+
+type transform = {
+  row_perm : int array;
+  col_perm : int array;
+  swap_agents : bool;
+}
+
+let identity_transform (p : Params.t) =
+  let id = Array.init (2 * p.n) (fun i -> i) in
+  { row_perm = id; col_perm = Array.copy id; swap_agents = false }
+
+let bit_of_cell (p : Params.t) ~row ~col ~bit =
+  let dim = 2 * p.n in
+  if row < 0 || row >= dim || col < 0 || col >= dim || bit < 0 || bit >= p.k
+  then invalid_arg "Lemma39.bit_of_cell";
+  (((col * dim) + row) * p.k) + bit
+
+let c_region (p : Params.t) =
+  List.concat_map
+    (fun i ->
+      List.init p.half (fun t -> (p.n + i, 1 + p.half + t)))
+    (List.init p.half (fun i -> i))
+
+let e_region_rows (p : Params.t) =
+  List.init p.half (fun i ->
+      let row = p.n + p.half + i in
+      (i, List.init p.e_width (fun t -> (row, p.n + 1 + p.d_width + t))))
+
+let agent1_bits_of_cells p partition cells =
+  List.fold_left
+    (fun acc (row, col) ->
+      let cnt = ref 0 in
+      for b = 0 to p.Params.k - 1 do
+        if Pt.agent_of partition (bit_of_cell p ~row ~col ~bit:b) = 1 then
+          incr cnt
+      done;
+      acc + !cnt)
+    0 cells
+
+let is_proper (p : Params.t) partition =
+  let c_cells = c_region p in
+  let c_total = List.length c_cells * p.k in
+  let c_agent1 = agent1_bits_of_cells p partition c_cells in
+  2 * c_agent1 >= c_total
+  && List.for_all
+       (fun (_, cells) ->
+         let total = List.length cells * p.k in
+         let a1 = agent1_bits_of_cells p partition cells in
+         (* agent 2 must read at least half of every E row *)
+         2 * (total - a1) >= total)
+       (e_region_rows p)
+
+let apply_transform (p : Params.t) partition t =
+  let dim = 2 * p.n in
+  let bits = dim * dim * p.k in
+  let v = Commx_util.Bitvec.create bits in
+  for col = 0 to dim - 1 do
+    for row = 0 to dim - 1 do
+      for b = 0 to p.k - 1 do
+        let old_bit =
+          bit_of_cell p ~row:t.row_perm.(row) ~col:t.col_perm.(col) ~bit:b
+        in
+        let agent1 = Pt.agent_of partition old_bit = 1 in
+        let agent1 = if t.swap_agents then not agent1 else agent1 in
+        Commx_util.Bitvec.set v (bit_of_cell p ~row ~col ~bit:b) agent1
+      done
+    done
+  done;
+  Pt.of_bitvec v
+
+(* Greedy construction: place the half x half cell block with the most
+   agent-1 bits on the C region, then pick E rows (among the remaining
+   rows) and E columns (among the remaining columns) that are
+   agent-2-heavy, one permutation per attempt with randomized
+   tie-breaking. *)
+let try_build g (p : Params.t) partition ~swap =
+  let dim = 2 * p.n in
+  let a1 row col =
+    let cnt = ref 0 in
+    for b = 0 to p.k - 1 do
+      if Pt.agent_of partition (bit_of_cell p ~row ~col ~bit:b) = 1 then incr cnt
+    done;
+    if swap then p.k - !cnt else !cnt
+  in
+  (* Column scores: total agent-1 mass per column. *)
+  let col_mass =
+    Array.init dim (fun col ->
+        let s = ref 0 in
+        for row = 0 to dim - 1 do
+          s := !s + a1 row col
+        done;
+        (col, !s))
+  in
+  let jitter (x, s) = (x, (s * 1000) + Prng.int g 1000) in
+  let by_desc a =
+    let a = Array.map jitter a in
+    Array.sort (fun (_, s1) (_, s2) -> compare s2 s1) a;
+    Array.map fst a
+  in
+  let cols_desc = by_desc col_mass in
+  (* Choose C columns: the half agent-1-heaviest columns. *)
+  let c_cols = Array.sub cols_desc 0 p.half in
+  (* Choose C rows: heaviest rows restricted to those columns. *)
+  let row_mass_c =
+    Array.init dim (fun row ->
+        (row, Array.fold_left (fun acc col -> acc + a1 row col) 0 c_cols))
+  in
+  let rows_desc = by_desc row_mass_c in
+  let c_rows = Array.sub rows_desc 0 p.half in
+  let used_rows = Array.make dim false in
+  Array.iter (fun r -> used_rows.(r) <- true) c_rows;
+  let used_cols = Array.make dim false in
+  Array.iter (fun c -> used_cols.(c) <- true) c_cols;
+  (* Choose E columns: among unused columns, the e_width with the most
+     agent-2 mass over unused rows. *)
+  let e_col_mass =
+    Array.of_list
+      (List.filter_map
+         (fun col ->
+           if used_cols.(col) then None
+           else begin
+             let s = ref 0 in
+             for row = 0 to dim - 1 do
+               if not used_rows.(row) then s := !s + (p.k - a1 row col)
+             done;
+             Some (col, !s)
+           end)
+         (List.init dim (fun c -> c)))
+  in
+  let e_cols_desc = by_desc e_col_mass in
+  if Array.length e_cols_desc < p.e_width then None
+  else begin
+    let e_cols = Array.sub e_cols_desc 0 p.e_width in
+    (* Choose E rows: unused rows where agent 2 dominates on e_cols. *)
+    let candidates =
+      Array.of_list
+        (List.filter_map
+           (fun row ->
+             if used_rows.(row) then None
+             else begin
+               let a2 =
+                 Array.fold_left
+                   (fun acc col -> acc + (p.k - a1 row col))
+                   0 e_cols
+               in
+               Some (row, a2)
+             end)
+           (List.init dim (fun r -> r)))
+    in
+    let cand_desc = by_desc candidates in
+    if Array.length cand_desc < p.half then None
+    else begin
+      let e_rows = Array.sub cand_desc 0 p.half in
+      (* Validate E per-row domination before committing. *)
+      let total = p.e_width * p.k in
+      let all_ok =
+        p.e_width = 0
+        || Array.for_all
+             (fun row ->
+               let a2 =
+                 Array.fold_left
+                   (fun acc col -> acc + (p.k - a1 row col))
+                   0 e_cols
+               in
+               2 * a2 >= total)
+             e_rows
+      in
+      (* Validate C-block domination. *)
+      let c_a1 =
+        Array.fold_left
+          (fun acc row ->
+            Array.fold_left (fun acc col -> acc + a1 row col) acc c_cols)
+          0 c_rows
+      in
+      let c_ok = 2 * c_a1 >= p.half * p.half * p.k in
+      if not (all_ok && c_ok) then None
+      else begin
+        (* Assemble permutations: target C rows are n..n+half-1, target
+           C cols 1+half..n, target E rows n+half..2n-2, target E cols
+           n+1+d_width..2n-1.  Remaining rows/cols fill the rest. *)
+        let row_perm = Array.make dim (-1) in
+        let col_perm = Array.make dim (-1) in
+        Array.iteri (fun i r -> row_perm.(p.n + i) <- r) c_rows;
+        Array.iteri (fun i r -> row_perm.(p.n + p.half + i) <- r) e_rows;
+        Array.iteri (fun i c -> col_perm.(1 + p.half + i) <- c) c_cols;
+        Array.iteri (fun i c -> col_perm.(p.n + 1 + p.d_width + i) <- c) e_cols;
+        let fill perm used_flags =
+          let unused =
+            List.filter (fun x -> not used_flags.(x)) (List.init dim (fun x -> x))
+          in
+          let rest = ref unused in
+          Array.iteri
+            (fun i v ->
+              if v = -1 then begin
+                match !rest with
+                | [] -> failwith "Lemma39: permutation fill underflow"
+                | x :: tl ->
+                    perm.(i) <- x;
+                    rest := tl
+              end)
+            perm
+        in
+        let row_used = Array.make dim false in
+        Array.iter (fun r -> row_used.(r) <- true)
+          (Array.of_list
+             (List.filter (fun r -> r >= 0) (Array.to_list row_perm)));
+        let col_used = Array.make dim false in
+        Array.iter (fun c -> col_used.(c) <- true)
+          (Array.of_list
+             (List.filter (fun c -> c >= 0) (Array.to_list col_perm)));
+        fill row_perm row_used;
+        fill col_perm col_used;
+        Some { row_perm; col_perm; swap_agents = swap }
+      end
+    end
+  end
+
+let find_transform ?(attempts = 64) g p partition =
+  let rec go i =
+    if i >= attempts then None
+    else begin
+      let swap = i land 1 = 1 in
+      match try_build g p partition ~swap with
+      | Some t ->
+          let induced = apply_transform p partition t in
+          if is_proper p induced then Some t else go (i + 1)
+      | None -> go (i + 1)
+    end
+  in
+  (* Fast path: maybe already proper. *)
+  if is_proper p partition then Some (identity_transform p) else go 0
+
+let permutation_preserves_singularity g p t =
+  let f = Hard_instance.random_free g p in
+  let m = Hard_instance.build_m p f in
+  let permuted = Zm.permute_cols (Zm.permute_rows m t.row_perm) t.col_perm in
+  Zm.is_singular m = Zm.is_singular permuted

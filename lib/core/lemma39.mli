@@ -1,0 +1,62 @@
+(** Definition 3.8 and Lemma 3.9 — proper partitions.
+
+    An input partition (of the [(2n)² k] input bits of [M]) is
+    *proper* when
+
+    - Agent 1 reads at least [k (n-1)²/8] bit positions of the
+      [C]-block region (half of [C]'s bits), and
+    - Agent 2 reads at least [k (n-3-⌈log_q n⌉)/2] bit positions of
+      *every row* of the [E]-block region (half of each [E]-row's
+      bits).
+
+    Lemma 3.9: every even partition can be transformed into a proper
+    one by permuting rows and columns of [M] (which preserves
+    singularity, so preserves the problem).  The paper's proof is a
+    two-case counting construction; we implement a randomized greedy
+    search with the same primitive moves (choose which rows/columns
+    land on the C- and E-regions) plus the agent-renaming freedom, and
+    verify the lemma empirically: the search succeeds on every random
+    even partition tried (experiment E9). *)
+
+type transform = {
+  row_perm : int array;
+  (** new row [i] of [M] is old row [row_perm.(i)] *)
+  col_perm : int array;
+  swap_agents : bool;
+  (** the naming freedom used in the paper's proof *)
+}
+
+val identity_transform : Params.t -> transform
+
+val bit_of_cell : Params.t -> row:int -> col:int -> bit:int -> int
+(** Global bit index of bit [bit] of entry [(row, col)] — column-major
+    cells, [k] bits per cell, matching [Comm.Partition]. *)
+
+val c_region : Params.t -> (int * int) list
+(** The [(row, col)] cells of the C block inside [M]. *)
+
+val e_region_rows : Params.t -> (int * (int * int) list) list
+(** For each E-row index: its list of [(row, col)] cells inside [M]. *)
+
+val is_proper : Params.t -> Commx_comm.Partition.t -> bool
+
+val apply_transform :
+  Params.t -> Commx_comm.Partition.t -> transform -> Commx_comm.Partition.t
+(** The partition induced on the permuted matrix: the agent reading
+    new bit [(i, j, b)] is the (possibly renamed) agent that read old
+    bit [(row_perm i, col_perm j, b)]. *)
+
+val find_transform :
+  ?attempts:int ->
+  Commx_util.Prng.t ->
+  Params.t ->
+  Commx_comm.Partition.t ->
+  transform option
+(** Search for a transform making the partition proper.  Lemma 3.9
+    says one always exists for even partitions; [None] only means the
+    search failed within its attempt budget. *)
+
+val permutation_preserves_singularity :
+  Commx_util.Prng.t -> Params.t -> transform -> bool
+(** Sanity property used by the lemma: row/column permutations do not
+    change singularity (checked on a random hard instance). *)

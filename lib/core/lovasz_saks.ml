@@ -1,0 +1,39 @@
+module Qm = Commx_linalg.Qmatrix
+module Sub = Commx_linalg.Subspace
+module Q = Commx_bigint.Rational
+
+let span_key s =
+  String.concat ";"
+    (List.map
+       (fun v -> String.concat "," (Array.to_list (Array.map Q.to_string v)))
+       (Sub.basis s))
+
+let enumerate_spans m =
+  let ncols = Qm.cols m in
+  if ncols > 16 then invalid_arg "Lovasz_saks: more than 16 columns";
+  let ambient = Qm.rows m in
+  let cols = Array.init ncols (Qm.col m) in
+  let seen = Hashtbl.create 256 in
+  for mask = 0 to (1 lsl ncols) - 1 do
+    let selected = ref [] in
+    for j = ncols - 1 downto 0 do
+      if mask lsr j land 1 = 1 then selected := cols.(j) :: !selected
+    done;
+    let s = Sub.of_vectors ambient !selected in
+    let key = span_key s in
+    if not (Hashtbl.mem seen key) then Hashtbl.replace seen key (Sub.dim s)
+  done;
+  seen
+
+let count_spans m = Hashtbl.length (enumerate_spans m)
+
+let lovasz_saks_bits m =
+  let l = float_of_int (count_spans m) in
+  let lg = log l /. log 2.0 in
+  lg *. lg
+
+let lattice_height m =
+  let spans = enumerate_spans m in
+  let max_dim = Hashtbl.fold (fun _ d acc -> max d acc) spans 0 in
+  (* chains run from the zero space (dim 0) up to the top span *)
+  max_dim + 1

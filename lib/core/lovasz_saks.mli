@@ -1,0 +1,22 @@
+(** The Lovász–Saks bound for the vector-space span problem.
+
+    Section 1: for a finite vector set X spanning U, let
+    [L = { span(S) : S ⊆ X }].  Lovász and Saks (FOCS 1988) showed the
+    *fixed-partition* communication complexity of the span problem is
+    [log² #L]; Theorem 1.1 pins the *unrestricted* complexity at
+    Θ(k n²) when X is the k-bit integer vectors.  This module counts
+    [#L] exactly for small ground sets by enumerating subsets and
+    canonicalizing spans, so the two bounds can be compared on concrete
+    instances (experiment E11). *)
+
+val count_spans : Commx_linalg.Qmatrix.t -> int
+(** [#L] for the ground set given by the matrix's columns.  Enumerates
+    all 2^cols subsets.
+    @raise Invalid_argument when the matrix has more than 16 columns. *)
+
+val lovasz_saks_bits : Commx_linalg.Qmatrix.t -> float
+(** [log2²(#L)] — the fixed-partition upper bound's growth form. *)
+
+val lattice_height : Commx_linalg.Qmatrix.t -> int
+(** Length of the longest chain in L (bounded by the ambient dimension
+    plus one) — a structural sanity output used in tests. *)

@@ -1,0 +1,29 @@
+module B = Commx_bigint.Bigint
+module Zm = Commx_linalg.Zmatrix
+
+let split ~m =
+  if m < 10 then invalid_arg "Padding.split: need m >= 10";
+  let d = (m - 2) mod 4 in
+  let n = (m - d) / 2 in
+  assert (n mod 2 = 1 && (2 * n) + d = m);
+  (n, d)
+
+let embed inner ~m =
+  let n, d = split ~m in
+  if Zm.rows inner <> 2 * n || Zm.cols inner <> 2 * n then
+    invalid_arg
+      (Printf.sprintf "Padding.embed: inner must be %d x %d for m = %d"
+         (2 * n) (2 * n) m);
+  ignore d;
+  Zm.init m m (fun i j ->
+      if i < 2 * n && j < 2 * n then Zm.get inner i j
+      else if i = j then B.one
+      else B.zero)
+
+let extract padded =
+  let m = Zm.rows padded in
+  let n, _ = split ~m in
+  Zm.init (2 * n) (2 * n) (Zm.get padded)
+
+let singularity_preserved inner ~m =
+  Zm.is_singular inner = Zm.is_singular (embed inner ~m)

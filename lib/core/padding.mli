@@ -1,0 +1,26 @@
+(** The general-case reduction at the start of Section 3.
+
+    Theorem 1.1 is proved for [2n x 2n] inputs with [n] odd; the paper
+    lifts it to arbitrary [m x m] inputs by fixing the last [d] rows
+    and columns, where [d = (m - 2) mod 4] and [n = (m - d)/2], to an
+    identity pattern: then the [m x m] matrix is singular iff its
+    leading [2n x 2n] principal submatrix is. *)
+
+val split : m:int -> int * int
+(** [(n, d)] with [2n + d = m], [n] odd.
+    @raise Invalid_argument when [m < 10] (no valid odd [n >= 5]). *)
+
+val embed : Commx_linalg.Zmatrix.t -> m:int -> Commx_linalg.Zmatrix.t
+(** [embed inner ~m] places the [2n x 2n] matrix as the leading
+    principal block of an [m x m] matrix whose trailing [d] diagonal
+    entries are 1 and all other new entries 0.
+    @raise Invalid_argument when sizes are inconsistent with
+    {!split}. *)
+
+val extract : Commx_linalg.Zmatrix.t -> Commx_linalg.Zmatrix.t
+(** The leading [2n x 2n] principal submatrix an [m x m] padded matrix
+    reduces to. *)
+
+val singularity_preserved : Commx_linalg.Zmatrix.t -> m:int -> bool
+(** [is_singular inner = is_singular (embed inner ~m)] — the
+    correctness statement of the reduction, checked exactly. *)

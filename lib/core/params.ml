@@ -1,0 +1,56 @@
+module B = Commx_bigint.Bigint
+
+type t = {
+  n : int;
+  k : int;
+  q : B.t;
+  half : int;
+  logq_n : int;
+  d_width : int;
+  e_width : int;
+  m : B.t;
+}
+
+let ceil_log ~base x =
+  if base < 2 || x < 1 then invalid_arg "Params.ceil_log";
+  let rec go power l = if power >= x then l else go (power * base) (l + 1) in
+  go 1 0
+
+(* q can be huge (2^k - 1); compare powers of q against n in bignum
+   space only when needed.  For k >= 2 and n < 2^62 the int version is
+   fine because the loop exits after at most log2 n steps. *)
+let ceil_log_q ~k n =
+  if k >= 62 then 1 (* q >= 2^61 > any practical n *)
+  else ceil_log ~base:((1 lsl k) - 1) n
+
+let is_valid ~n ~k =
+  n >= 5 && n mod 2 = 1 && k >= 2 && n - 3 - ceil_log_q ~k n >= 0
+
+let make ~n ~k =
+  if not (is_valid ~n ~k) then
+    invalid_arg
+      (Printf.sprintf
+         "Params.make: need n odd >= 5, k >= 2, and n - 3 - ceil(log_q n) \
+          >= 0 (got n=%d k=%d)"
+         n k);
+  let q = B.sub (B.shift_left B.one k) B.one in
+  let half = (n - 1) / 2 in
+  let logq_n = ceil_log_q ~k n in
+  let d_width = logq_n + 2 in
+  let e_width = n - 3 - logq_n in
+  let m = B.pow q e_width in
+  { n; k; q; half; logq_n; d_width; e_width; m }
+
+let min_n_for_k ~k =
+  let rec go n = if is_valid ~n ~k then n else go (n + 2) in
+  go 5
+
+let free_cells_agent1 p = p.half * p.half
+
+let free_cells_agent2 p =
+  (p.half * p.d_width) + (p.half * p.e_width) + (p.n - 1)
+
+let pp ppf p =
+  Format.fprintf ppf
+    "{n=%d k=%d q=%s half=%d logq_n=%d d_width=%d e_width=%d}" p.n p.k
+    (B.to_string p.q) p.half p.logq_n p.d_width p.e_width

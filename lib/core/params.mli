@@ -1,0 +1,51 @@
+(** Parameters of the Chu–Schnitger hard-instance construction.
+
+    The input is a [2n x 2n] matrix of [k]-bit integers with [n] odd;
+    the gadget value is [q = 2^k - 1].  All block dimensions of
+    Figures 1 and 3 are derived here once so every other module agrees
+    on them.
+
+    Using 0-based indices throughout (the paper is 1-based):
+    - [A] is [n x (n-1)], embedded in [M] at rows [n..2n-1],
+      columns [1..n-1].
+    - [B] is [n x (n-1)], embedded at rows [n..2n-1], columns
+      [n+1..2n-1].
+    - [C] (free): rows [0..half-1], columns [half..n-2] of [A].
+    - [D] (free): rows [0..half-1], columns [0..d_width-1] of [B].
+    - [E] (free): rows [half..n-2], columns [d_width..n-2] of [B].
+    - [y] (free): row [n-1] of [B], all [n-1] entries.
+    where [half = (n-1)/2], [d_width = ceil_log_q n + 2]. *)
+
+type t = private {
+  n : int;  (** half-dimension; the input matrix is 2n x 2n; odd, >= 5 *)
+  k : int;  (** bits per entry, >= 2 *)
+  q : Commx_bigint.Bigint.t;  (** 2^k - 1 *)
+  half : int;  (** (n-1)/2 *)
+  logq_n : int;  (** ceil(log_q n): least L with q^L >= n *)
+  d_width : int;  (** logq_n + 2 *)
+  e_width : int;  (** n - 3 - logq_n, >= 0 *)
+  m : Commx_bigint.Bigint.t;  (** q^e_width — the modulus of Lemma 3.5(a) *)
+}
+
+val make : n:int -> k:int -> t
+(** @raise Invalid_argument unless [n] is odd, [n >= 5], [k >= 2], and
+    [e_width >= 0]. *)
+
+val is_valid : n:int -> k:int -> bool
+
+val min_n_for_k : k:int -> int
+(** Smallest valid (odd) [n] for the given [k]. *)
+
+val free_cells_agent1 : t -> int
+(** Number of free matrix entries on the Agent-1 side of π₀ (the
+    entries of C). *)
+
+val free_cells_agent2 : t -> int
+(** Free entries on the Agent-2 side (D, E and y) —
+    (n² - 1)/2 in total, the count used in Lemma 3.5(b). *)
+
+val ceil_log : base:int -> int -> int
+(** [ceil_log ~base x]: least [L >= 0] with [base^L >= x]
+    ([base >= 2], [x >= 1]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,95 @@
+module B = Commx_bigint.Bigint
+module Q = Commx_bigint.Rational
+module Zm = Commx_linalg.Zmatrix
+module Qm = Commx_linalg.Qmatrix
+module Lup = Commx_linalg.Lup
+module Gram = Commx_linalg.Gram
+module Svd = Commx_linalg.Svd
+module Sub = Commx_linalg.Subspace
+
+type bigint = B.t
+
+let singular_via_det m = B.is_zero (Zm.det m)
+
+let singular_via_rank m = Zm.rank m < Zm.rows m
+
+let singular_via_qr m =
+  let d = Gram.decompose (Zm.to_qmatrix m) in
+  Gram.rank_from_q d < Zm.rows m
+
+let singular_via_svd m =
+  Svd.numeric_rank (Svd.of_zmatrix m) < Zm.rows m
+
+let singular_via_svd_exact m =
+  Commx_linalg.Charpoly.zero_singular_values m > 0
+
+let singular_via_smith m = Commx_linalg.Smith.is_singular m
+
+let singular_via_charpoly m =
+  let c = Commx_linalg.Charpoly.charpoly_z m in
+  B.is_zero c.(0)
+
+let singular_via_lup m =
+  let d = Lup.decompose (Zm.to_qmatrix m) in
+  let n = Qm.rows d.Lup.u in
+  let zero_pivot = ref false in
+  for i = 0 to n - 1 do
+    if Q.is_zero (Qm.get d.Lup.u i i) then zero_pivot := true
+  done;
+  !zero_pivot
+
+let singular_via_lup_structure m =
+  (* Only the boolean support of U is consulted. *)
+  let d = Lup.decompose (Zm.to_qmatrix m) in
+  let structure = Lup.nonzero_structure d.Lup.u in
+  let n = Commx_util.Bitmat.rows structure in
+  let zero_pivot = ref false in
+  for i = 0 to n - 1 do
+    if not (Commx_util.Bitmat.get structure i i) then zero_pivot := true
+  done;
+  !zero_pivot
+
+let solvability_instance m =
+  let b = Zm.col m 0 in
+  let m' =
+    Zm.init (Zm.rows m) (Zm.cols m) (fun i j ->
+        if j = 0 then B.zero else Zm.get m i j)
+  in
+  (m', b)
+
+let system_solvable a b =
+  let aq = Zm.to_qmatrix a in
+  Qm.solvable aq (Array.map Q.of_bigint b)
+
+let singular_via_solvability p f =
+  let m = Hard_instance.build_m p f in
+  let m', b = solvability_instance m in
+  (* Under the Fig. 3 restrictions the last 2n-1 columns of M are
+     independent, so M is singular iff column 0 is in their span, iff
+     M' x = b is solvable. *)
+  system_solvable m' b
+
+let product_gadget a b c =
+  let n = Zm.rows a in
+  if
+    (not (Zm.is_square a)) || (not (Zm.is_square b)) || not (Zm.is_square c)
+    || Zm.rows b <> n || Zm.rows c <> n
+  then invalid_arg "Reductions.product_gadget: need three n x n matrices";
+  let top = Zm.hcat (Zm.identity n) b in
+  let bottom = Zm.hcat a c in
+  Zm.vcat top bottom
+
+let product_check_via_rank a b c =
+  let g = product_gadget a b c in
+  Zm.rank g = Zm.rows a
+
+let span_union_covers v1 v2 = Sub.spans_everything (Sub.add v1 v2)
+
+let span_instance_of_gadget m =
+  let nc = Zm.cols m in
+  let qm = Zm.to_qmatrix m in
+  let left = Array.init (nc / 2) (fun j -> j) in
+  let right = Array.init (nc - (nc / 2)) (fun j -> (nc / 2) + j) in
+  let rows_idx = Array.init (Zm.rows m) (fun i -> i) in
+  let sub_of cols = Sub.of_matrix_columns (Qm.submatrix qm rows_idx cols) in
+  (sub_of left, sub_of right)

@@ -1,0 +1,87 @@
+(** The reductions behind Corollaries 1.2 and 1.3, and the rank-n/2
+    gadget from Section 1.
+
+    The lower-bound logic runs: any protocol computing the harder
+    problem (determinant, rank, QR, SVD, LUP, solvability) yields a
+    protocol for singularity at the same cost, so the Θ(k n²) bound
+    transfers.  Each [singular_via_*] function below answers
+    singularity *using only the output of the harder problem*, which
+    is exactly the content of the reduction; the test suite checks each
+    against ground truth. *)
+
+type bigint = Commx_bigint.Bigint.t
+
+(** {1 Corollary 1.2} *)
+
+val singular_via_det : Commx_linalg.Zmatrix.t -> bool
+(** (a) from the determinant. *)
+
+val singular_via_rank : Commx_linalg.Zmatrix.t -> bool
+(** (b) from the rank. *)
+
+val singular_via_qr : Commx_linalg.Zmatrix.t -> bool
+(** (c) from the (Gram–Schmidt) QR factor structure: the number of
+    nonzero columns of Q. *)
+
+val singular_via_svd : Commx_linalg.Zmatrix.t -> bool
+(** (d) from the singular values (numerical; entries must fit doubles;
+    decisions cross-checked against exact rank in the tests). *)
+
+val singular_via_svd_exact : Commx_linalg.Zmatrix.t -> bool
+(** (d), exact variant: the number of zero singular values read off the
+    characteristic polynomial of MᵀM (no floating point). *)
+
+val singular_via_smith : Commx_linalg.Zmatrix.t -> bool
+(** Decomposition-flavored variant: rank from the Smith normal form's
+    invariant factors. *)
+
+val singular_via_charpoly : Commx_linalg.Zmatrix.t -> bool
+(** (a)-adjacent: the constant coefficient of det(xI − M). *)
+
+val singular_via_lup : Commx_linalg.Zmatrix.t -> bool
+(** (e) from the LUP factors: a zero on U's diagonal. *)
+
+val singular_via_lup_structure : Commx_linalg.Zmatrix.t -> bool
+(** (e), weakened form: using only the *nonzero structure* of U. *)
+
+(** {1 Corollary 1.3 — linear-system solvability} *)
+
+val solvability_instance :
+  Commx_linalg.Zmatrix.t -> Commx_linalg.Zmatrix.t * bigint array
+(** [solvability_instance m = (m', b)]: [b] is [m]'s first column and
+    [m'] is [m] with that column zeroed — the instance whose
+    solvability decides [m]'s singularity whenever the remaining
+    columns are independent (which the Fig. 3 restrictions
+    guarantee). *)
+
+val system_solvable : Commx_linalg.Zmatrix.t -> bigint array -> bool
+(** Exact solvability of [A x = b] over ℚ. *)
+
+val singular_via_solvability : Params.t -> Hard_instance.free -> bool
+(** Corollary 1.3 put to work on a hard instance: decide singularity
+    of [build_m p f] from the solvability answer alone. *)
+
+(** {1 Section 1 gadgets} *)
+
+val product_gadget :
+  Commx_linalg.Zmatrix.t -> Commx_linalg.Zmatrix.t -> Commx_linalg.Zmatrix.t ->
+  Commx_linalg.Zmatrix.t
+(** [product_gadget a b c] is the [2n x 2n] matrix [\[\[I, B\]; \[A, C\]\]];
+    its rank is [n] iff [A·B = C]. *)
+
+val product_check_via_rank :
+  Commx_linalg.Zmatrix.t -> Commx_linalg.Zmatrix.t -> Commx_linalg.Zmatrix.t -> bool
+(** Decides [A·B = C] through the gadget's rank. *)
+
+val span_union_covers :
+  Commx_linalg.Subspace.t -> Commx_linalg.Subspace.t -> bool
+(** The vector-space span problem of Lovász–Saks: does the union of the
+    two subspaces span the whole ambient space? *)
+
+val span_instance_of_gadget :
+  Commx_linalg.Zmatrix.t -> Commx_linalg.Subspace.t * Commx_linalg.Subspace.t
+(** Split a square matrix's columns into two halves and return their
+    spans — the natural span-problem instance attached to a
+    singularity instance (their union spans iff the matrix is
+    nonsingular, when the matrix is [2m x 2m] with independent
+    halves... in general: union spans iff rank = dimension). *)

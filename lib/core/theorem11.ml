@@ -1,0 +1,94 @@
+module B = Commx_bigint.Bigint
+
+type ledger = {
+  n : int;
+  k : int;
+  rows : B.t;
+  ones_per_row_min : B.t;
+  ones_per_row_max : B.t;
+  r_threshold : B.t;
+  wide_rect_max_cols : B.t;
+  narrow_rect_fraction_exponent : float;
+  d_f_log2 : float;
+  comm_lower_bits : float;
+}
+
+let log2_q (p : Params.t) =
+  (* q = 2^k - 1: log2 q = k + log2(1 - 2^-k) *)
+  float_of_int p.k +. (log1p (-.(2.0 ** float_of_int (-p.k))) /. log 2.0)
+
+let qpow (p : Params.t) e = if e <= 0 then B.one else B.pow p.q e
+
+(* Shared derivation: given the five log_q exponents, produce the
+   ledger.  All exponents are in units of log_q. *)
+let derive (p : Params.t) ~rows_e ~ones_min_e ~ones_max_e ~r_e ~wide_e =
+  let lq = log2_q p in
+  (* d(f) >= total ones / (largest monochromatic-1 cover unit):
+     narrow rectangles (< r rows) cover < r * ones_max cells;
+     wide rectangles cover <= rows * wide_cols cells. *)
+  let supply = rows_e +. ones_min_e in
+  let narrow_cover = r_e +. ones_max_e in
+  let wide_cover = rows_e +. wide_e in
+  let d_exp = supply -. Float.max narrow_cover wide_cover in
+  let d_f_log2 = d_exp *. lq in
+  {
+    n = p.n;
+    k = p.k;
+    rows = qpow p (int_of_float (Float.round rows_e));
+    ones_per_row_min = qpow p (int_of_float (Float.round ones_min_e));
+    ones_per_row_max = qpow p (int_of_float (Float.round ones_max_e));
+    r_threshold = qpow p (int_of_float (ceil r_e));
+    wide_rect_max_cols = qpow p (int_of_float (ceil wide_e));
+    narrow_rect_fraction_exponent = supply -. narrow_cover;
+    d_f_log2;
+    comm_lower_bits = Float.max 0.0 (d_f_log2 -. 2.0);
+  }
+
+let ledger (p : Params.t) =
+  let fn = float_of_int p.n in
+  let logq_n = float_of_int p.logq_n in
+  let rows_e = float_of_int (p.half * p.half) (* (n-1)^2/4 *) in
+  let ones_min_e = float_of_int (p.half * p.e_width) (* E instances *) in
+  let ones_max_e = float_of_int (((p.n * p.n) - 1) / 2) in
+  let r_e = (fn *. fn /. 16.0) +. (fn *. logq_n) in
+  let wide_e = (3.0 *. fn *. fn /. 8.0) +. (fn *. logq_n) in
+  derive p ~rows_e ~ones_min_e ~ones_max_e ~r_e ~wide_e
+
+let proper_partition_ledger (p : Params.t) =
+  (* Definition 3.8 only guarantees the first agent half of C and the
+     second agent half of each E row, so the C- and E-driven exponents
+     halve; D and y contribute only O(k n log n) bits, absorbed into
+     the same n-log correction the pi_0 ledger already carries. *)
+  let fn = float_of_int p.n in
+  let logq_n = float_of_int p.logq_n in
+  let rows_e = float_of_int (p.half * p.half) /. 2.0 in
+  let ones_min_e = float_of_int (p.half * p.e_width) /. 2.0 in
+  let ones_max_e = float_of_int (((p.n * p.n) - 1) / 2) /. 2.0 in
+  let r_e = (fn *. fn /. 16.0) +. (fn *. logq_n) in
+  let wide_e = (3.0 *. fn *. fn /. 16.0) +. (fn *. logq_n) in
+  derive p ~rows_e ~ones_min_e ~ones_max_e ~r_e ~wide_e
+
+let pp ppf l =
+  let show x =
+    let s = B.to_string x in
+    if String.length s <= 40 then s
+    else
+      Printf.sprintf "~2^%d (%d decimal digits)" (B.bit_length x)
+        (String.length s)
+  in
+  Format.fprintf ppf
+    "@[<v>Theorem 1.1 ledger (n=%d, k=%d):@,\
+     rows (Lemma 3.4)            : %s@,\
+     ones/row min (Lemma 3.5b)   : %s@,\
+     ones/row max (Lemma 3.5b)   : %s@,\
+     r threshold                 : %s@,\
+     wide-rect max cols (L. 3.7) : %s@,\
+     narrow-rect fraction        : q^-%.1f@,\
+     log2 d(f) >=                : %.1f@,\
+     communication >=            : %.1f bits@]"
+    l.n l.k (show l.rows)
+    (show l.ones_per_row_min)
+    (show l.ones_per_row_max)
+    (show l.r_threshold)
+    (show l.wide_rect_max_cols)
+    l.narrow_rect_fraction_exponent l.d_f_log2 l.comm_lower_bits

@@ -1,0 +1,45 @@
+(** The Theorem 1.1 accounting ledger.
+
+    Section 3 proves the lower bound by exhibiting, for each (n, k),
+    explicit quantities about the restricted truth matrix; the Ω in the
+    theorem statement hides nothing but these.  This module computes
+    the ledger exactly (as bignums — the quantities are astronomically
+    large already at n = 15):
+
+    - [rows]: number of rows, q^((n-1)²/4)                   (Lemma 3.4)
+    - [ones_per_row_min]: q^(n²/2 - c₁ n log_q n)            (Lemma 3.5b)
+    - [ones_per_row_max]: q^((n²-1)/2)                       (Lemma 3.5b)
+    - [r_threshold]: q^(n²/16 + n log_q n)                   (page 403)
+    - [wide_rect_max_cols]: q^(3n²/8 + c₂ n log_q n)         (Lemma 3.7)
+    - [dfool]: the induced lower bound on d(f), and
+    - [comm_lower_bits]: log₂ d(f) − 2                       (Yao)
+
+    The same ledger with the halved exponents applies to arbitrary
+    proper partitions (end of Section 3); [proper_partition_ledger]
+    computes that variant. *)
+
+type ledger = {
+  n : int;
+  k : int;
+  rows : Commx_bigint.Bigint.t;
+  ones_per_row_min : Commx_bigint.Bigint.t;
+  ones_per_row_max : Commx_bigint.Bigint.t;
+  r_threshold : Commx_bigint.Bigint.t;
+  wide_rect_max_cols : Commx_bigint.Bigint.t;
+  narrow_rect_fraction_exponent : float;
+      (** rectangles with < r rows cover at most q^(-this) of the ones *)
+  d_f_log2 : float;  (** log₂ of the derived lower bound on d(f) *)
+  comm_lower_bits : float;  (** max(0, d_f_log2 - 2) *)
+}
+
+val ledger : Params.t -> ledger
+(** The π₀ ledger.  Exponents that the paper writes with O(·) use the
+    explicit constants from its displayed inequalities (c₁ = 1 for the
+    E-block loss, c₂ = 1 from the row-enumeration step). *)
+
+val proper_partition_ledger : Params.t -> ledger
+(** The arbitrary-even-partition variant: the first agent is only
+    guaranteed half of C and E (Definition 3.8), so the square
+    exponents halve and D/y contribute an O(k n log n) correction. *)
+
+val pp : Format.formatter -> ledger -> unit

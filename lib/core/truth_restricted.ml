@@ -1,0 +1,212 @@
+module B = Commx_bigint.Bigint
+module Q = Commx_bigint.Rational
+module Zm = Commx_linalg.Zmatrix
+module Qm = Commx_linalg.Qmatrix
+module Sub = Commx_linalg.Subspace
+module Prng = Commx_util.Prng
+module Combi = Commx_util.Combi
+
+type bigint = B.t
+
+let q_as_int (p : Params.t) =
+  match B.to_int_opt p.q with
+  | Some q -> q
+  | None -> failwith "Truth_restricted: q exceeds native int range"
+
+let count_c p =
+  let q = q_as_int p in
+  Combi.power q (p.half * p.half)
+
+let enumerate_c (p : Params.t) =
+  let q = q_as_int p in
+  let cells = p.half * p.half in
+  let total = Combi.power q cells in
+  if total > 1_000_000 then
+    invalid_arg "Truth_restricted.enumerate_c: more than 10^6 instances";
+  let acc = ref [] in
+  Combi.iter_tuples q cells (fun digits ->
+      let c =
+        Array.init p.half (fun i ->
+            Array.init p.half (fun j -> B.of_int digits.((i * p.half) + j)))
+      in
+      acc := c :: !acc);
+  List.rev !acc
+
+let normal_vector (p : Params.t) c =
+  let a = Hard_instance.build_a p c in
+  let at = Qm.transpose (Zm.to_qmatrix a) in
+  match Qm.nullspace at with
+  | [ v ] ->
+      (* Clear denominators and content to a primitive integer normal. *)
+      let lcm_den =
+        Array.fold_left (fun acc x -> B.lcm acc (Q.den x)) B.one v
+      in
+      let ints =
+        Array.map (fun x -> B.mul (Q.num x) (B.div lcm_den (Q.den x))) v
+      in
+      let g = Array.fold_left (fun acc x -> B.gcd acc x) B.zero ints in
+      if B.is_zero g then ints else Array.map (fun x -> B.div x g) ints
+  | vs ->
+      failwith
+        (Printf.sprintf
+           "Truth_restricted.normal_vector: expected 1-dim complement, got %d"
+           (List.length vs))
+
+let singular_with ~normal p f =
+  let bu = Hard_instance.b_dot_u p f in
+  B.is_zero (Gadget.dot normal bu)
+
+let span_key p c =
+  (* Canonical representation: RREF basis of the span, rendered. *)
+  let s = Lemma32.span_a p c in
+  String.concat ";"
+    (List.map
+       (fun v ->
+         String.concat ","
+           (Array.to_list (Array.map Q.to_string v)))
+       (Sub.basis s))
+
+let lemma34_all_spans_distinct p =
+  let cs = enumerate_c p in
+  let seen = Hashtbl.create 1024 in
+  List.iter (fun c -> Hashtbl.replace seen (span_key p c) ()) cs;
+  let distinct = Hashtbl.length seen in
+  (distinct = List.length cs, distinct)
+
+let iter_agent2_instances (p : Params.t) f =
+  let q = q_as_int p in
+  let d_cells = p.half * p.d_width in
+  let e_cells = p.half * p.e_width in
+  let y_cells = p.n - 1 in
+  let cells = d_cells + e_cells + y_cells in
+  let total = Combi.power q cells in
+  Combi.iter_tuples q cells (fun digits ->
+      let d =
+        Array.init p.half (fun i ->
+            Array.init p.d_width (fun j -> B.of_int digits.((i * p.d_width) + j)))
+      in
+      let e =
+        Array.init p.half (fun i ->
+            Array.init p.e_width (fun j ->
+                B.of_int digits.(d_cells + (i * p.e_width) + j)))
+      in
+      let y =
+        Array.init y_cells (fun i -> B.of_int digits.(d_cells + e_cells + i))
+      in
+      f { Hard_instance.c = [||]; d; e; y });
+  total
+
+let lemma35b_count_ones_exact p ~c =
+  let q = q_as_int p in
+  let cells = (p.half * p.d_width) + (p.half * p.e_width) + (p.n - 1) in
+  let total = Combi.power q cells in
+  if total > 2_000_000 then
+    invalid_arg "Truth_restricted.lemma35b_count_ones_exact: space too large";
+  let normal = normal_vector p c in
+  let ones = ref 0 in
+  let total' =
+    iter_agent2_instances p (fun partial ->
+        let f = { partial with Hard_instance.c } in
+        if singular_with ~normal p f then incr ones)
+  in
+  (!ones, total')
+
+let lemma35b_count_ones_sampled g p ~c ~trials =
+  let normal = normal_vector p c in
+  let ones = ref 0 in
+  for _ = 1 to trials do
+    let f = Hard_instance.random_free g p in
+    let f = { f with Hard_instance.c } in
+    if singular_with ~normal p f then incr ones
+  done;
+  (!ones, trials)
+
+let sampled_truth_matrix g p ~columns =
+  let cs = enumerate_c p in
+  if List.length cs > 10_000 then
+    invalid_arg "Truth_restricted.sampled_truth_matrix: too many rows";
+  let normals = List.map (fun c -> normal_vector p c) cs in
+  let frees = List.init columns (fun _ -> Hard_instance.random_free g p) in
+  (* Precompute each column's B·u once; the truth entry is then a
+     single inner product with the row's normal. *)
+  let bus = List.map (Hard_instance.b_dot_u p) frees in
+  let normal_arr = Array.of_list normals and bu_arr = Array.of_list bus in
+  let tm_rows = Array.of_list cs and tm_cols = Array.of_list frees in
+  {
+    Commx_comm.Truth_matrix.row_args = tm_rows;
+    col_args = tm_cols;
+    values =
+      Commx_util.Bitmat.init (Array.length tm_rows) (Array.length tm_cols)
+        (fun i j -> B.is_zero (Gadget.dot normal_arr.(i) bu_arr.(j)));
+  }
+
+let random_distinct_cs g p r =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let guard = ref 0 in
+  while List.length !acc < r && !guard < 100 * r do
+    incr guard;
+    let f = Hard_instance.random_free g p in
+    let key = span_key p f.Hard_instance.c in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      acc := f.Hard_instance.c :: !acc
+    end
+  done;
+  if List.length !acc < r then
+    failwith "Truth_restricted: could not draw enough distinct C instances";
+  !acc
+
+let lemma36_intersection_dims g p ~r ~trials =
+  Array.init trials (fun _ ->
+      let cs = random_distinct_cs g p r in
+      let spans = List.map (Lemma32.span_a p) cs in
+      Sub.dim (Sub.intersect_many spans))
+
+let lemma33_rectangle_closure p ~cs ~frees =
+  let normals = List.map (fun c -> normal_vector p c) cs in
+  (* singular_with only reads the B-side blocks of [f] (via B·u) and
+     the normal derived from each C, so the pairing below evaluates the
+     full rectangle. *)
+  let all_ones =
+    List.for_all
+      (fun f -> List.for_all (fun normal -> singular_with ~normal p f) normals)
+      frees
+  in
+  if not all_ones then true
+  else begin
+    let spans = List.map (Lemma32.span_a p) cs in
+    let inter = Sub.intersect_many spans in
+    List.for_all
+      (fun f ->
+        let bu = Array.map Q.of_bigint (Hard_instance.b_dot_u p f) in
+        Sub.mem bu inter)
+      frees
+  end
+
+let lemma37_projected_count g p ~cs ~samples =
+  match cs with
+  | [] -> invalid_arg "Truth_restricted.lemma37_projected_count: no spans"
+  | c0 :: rest ->
+  let rest_normals = List.map (fun c -> normal_vector p c) rest in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to samples do
+    (* Columns of a 1-rectangle through c0's row: completions against
+       c0 are singular there by construction; keep those singular for
+       every other row as well. *)
+    let e = (Hard_instance.random_free g p).Hard_instance.e in
+    let f = (Lemma35.complete p ~c:c0 ~e).Lemma35.free in
+    let singular_everywhere =
+      List.for_all (fun normal -> singular_with ~normal p f) rest_normals
+    in
+    if singular_everywhere then begin
+      let bu = Hard_instance.b_dot_u p f in
+      (* Projection p of Lemma 3.7: components half..n-2 (0-based). *)
+      let proj =
+        String.concat ","
+          (List.init p.half (fun i -> B.to_string bu.(p.half + i)))
+      in
+      Hashtbl.replace seen proj ()
+    end
+  done;
+  Hashtbl.length seen

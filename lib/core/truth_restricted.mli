@@ -1,0 +1,81 @@
+(** The restricted truth matrix of Section 3, and the counting lemmas.
+
+    Under π₀ and the Fig. 1/3 restrictions, Agent 1's effective input
+    is the block [C] and Agent 2's is [(D, E, y)]; the restricted truth
+    matrix has one row per [C] instance and one column per [(D, E, y)]
+    instance, with a 1 where [M] is singular.  Full enumeration of the
+    column space is exponential even for tiny parameters, so this
+    module provides:
+
+    - exact enumeration of the row space (all [C] instances) and the
+      Lemma 3.4 distinctness check;
+    - a fast per-row singularity test (the orthogonal complement of
+      [Span(A)] is one-dimensional, so membership is a single inner
+      product with the normal vector);
+    - exact or sampled counts of "one" entries per row (Lemma 3.5(b));
+    - span-intersection dimension statistics (Lemma 3.6);
+    - the 1-rectangle column-count machinery of Lemmas 3.3 / 3.7. *)
+
+type bigint = Commx_bigint.Bigint.t
+
+val enumerate_c : Params.t -> bigint array array list
+(** All [q^(half²)] instances of [C].
+    @raise Invalid_argument when that count exceeds [10^6]. *)
+
+val count_c : Params.t -> int
+(** [q^(half²)] as an int.  @raise Failure on overflow. *)
+
+val normal_vector : Params.t -> bigint array array -> bigint array
+(** An integer normal spanning the 1-dimensional orthogonal complement
+    of [Span(A)]: [v ∈ Span(A) ⟺ normal · v = 0]. *)
+
+val singular_with : normal:bigint array -> Params.t -> Hard_instance.free -> bool
+(** Fast singularity test for a fixed row (fixed [C], precomputed
+    normal). *)
+
+val lemma34_all_spans_distinct : Params.t -> bool * int
+(** Enumerate all [C]; return (all spans pairwise distinct, count).
+    Distinctness is decided by canonical RREF bases. *)
+
+val lemma35b_count_ones_exact : Params.t -> c:bigint array array -> int * int
+(** Exact (ones, total) over *all* [(D, E, y)] instances for one row.
+    @raise Invalid_argument when the column space exceeds [2 * 10^6]. *)
+
+val lemma35b_count_ones_sampled :
+  Commx_util.Prng.t -> Params.t -> c:bigint array array -> trials:int -> int * int
+(** Sampled (ones, trials) estimate of the same fraction. *)
+
+val sampled_truth_matrix :
+  Commx_util.Prng.t -> Params.t -> columns:int ->
+  (bigint array array, Hard_instance.free) Commx_comm.Truth_matrix.t
+(** The restricted truth matrix itself, with ALL [q^(half²)] rows (one
+    per [C] instance) and [columns] i.i.d. random agent-2 columns; the
+    entry is 1 iff the assembled matrix is singular (computed through
+    the per-row normal vectors, so building is fast).  This is the
+    object Section 3 manipulates — enumerable on the row side at tiny
+    parameters, sampled on the column side.
+    @raise Invalid_argument when the row count exceeds [10^4]. *)
+
+val lemma36_intersection_dims :
+  Commx_util.Prng.t -> Params.t -> r:int -> trials:int -> int array
+(** For each trial, draw [r] distinct random [C] instances and return
+    the dimension of the intersection of their spans. *)
+
+val lemma33_rectangle_closure :
+  Params.t -> cs:bigint array array list -> frees:Hard_instance.free list -> bool
+(** Lemma 3.3 on explicit data: if every (row, column) pair in
+    [cs x frees] is singular, then every [B·u] lies in the intersection
+    of all the spans.  Returns whether the implication's conclusion
+    holds (the premise is checked first; if the rectangle is not
+    all-ones the function returns [true] vacuously... it returns the
+    material implication). *)
+
+val lemma37_projected_count :
+  Commx_util.Prng.t -> Params.t -> cs:bigint array array list -> samples:int -> int
+(** Number of distinct projected fingerprints [p(B·u) = E·w] among
+    [samples] columns of a 1-rectangle through the first span of [cs]:
+    each column is a Lemma 3.5(a) completion of a random [E] against
+    [List.hd cs] (hence singular on that row), kept only if singular on
+    every other row too — an empirical stand-in for the column count
+    bounded by [q^(3n²/8)] in Lemma 3.7.
+    @raise Invalid_argument on an empty [cs]. *)

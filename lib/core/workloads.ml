@@ -1,0 +1,30 @@
+module Zm = Commx_linalg.Zmatrix
+
+let singular_instance g p =
+  let f = Hard_instance.random_free g p in
+  let w =
+    Lemma35.complete p ~c:f.Hard_instance.c ~e:f.Hard_instance.e
+  in
+  Hard_instance.build_m p w.Lemma35.free
+
+let hard_instance g p = Hard_instance.build_m p (Hard_instance.random_free g p)
+
+let unconstrained g (p : Params.t) =
+  Zm.random_kbit g ~rows:(2 * p.n) ~cols:(2 * p.n) ~k:p.k
+
+let mixed_pool g p ~count =
+  List.init count (fun i ->
+      match i mod 3 with
+      | 0 -> singular_instance g p
+      | 1 -> hard_instance g p
+      | _ -> unconstrained g p)
+
+let nonsingular_pool g p ~count =
+  let rec draw budget =
+    if budget = 0 then failwith "Workloads.nonsingular_pool: rejection failed"
+    else begin
+      let m = if budget mod 2 = 0 then hard_instance g p else unconstrained g p in
+      if Zm.is_singular m then draw (budget - 1) else m
+    end
+  in
+  List.init count (fun _ -> draw 100)

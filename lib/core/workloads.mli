@@ -1,0 +1,28 @@
+(** Shared workload generators.
+
+    Every experiment and test that exercises singularity protocols
+    wants the same instance mix: matrices that are *guaranteed*
+    singular (via the Lemma 3.5(a) completion — random sampling almost
+    never produces singular matrices), structured hard instances, and
+    unconstrained random k-bit matrices.  Centralized here so benches
+    and suites agree on what "mixed" means. *)
+
+val singular_instance :
+  Commx_util.Prng.t -> Params.t -> Commx_linalg.Zmatrix.t
+(** A hard instance forced singular by completing random [C], [E]. *)
+
+val hard_instance : Commx_util.Prng.t -> Params.t -> Commx_linalg.Zmatrix.t
+(** A random Fig. 1/3 instance (usually nonsingular). *)
+
+val unconstrained :
+  Commx_util.Prng.t -> Params.t -> Commx_linalg.Zmatrix.t
+(** A uniform [2n x 2n] matrix of k-bit entries (no structure). *)
+
+val mixed_pool :
+  Commx_util.Prng.t -> Params.t -> count:int -> Commx_linalg.Zmatrix.t list
+(** Cycles singular / hard / unconstrained, in that order. *)
+
+val nonsingular_pool :
+  Commx_util.Prng.t -> Params.t -> count:int -> Commx_linalg.Zmatrix.t list
+(** Rejection-sampled nonsingular instances (for one-sided-error
+    measurements). *)

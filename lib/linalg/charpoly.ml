@@ -1,0 +1,69 @@
+module B = Commx_bigint.Bigint
+module Q = Commx_bigint.Rational
+
+type q = Q.t
+
+(* Faddeev-LeVerrier: with M_1 = M, c_{n-1} = -tr(M_1), and
+     M_k = M (M_{k-1} + c_{n-k+1} I),  c_{n-k} = -tr(M_k) / k,
+   the c's are the coefficients of det(xI - M). *)
+let charpoly m =
+  if not (Qmatrix.is_square m) then invalid_arg "Charpoly.charpoly";
+  let n = Qmatrix.rows m in
+  let c = Array.make (n + 1) Q.zero in
+  c.(n) <- Q.one;
+  if n > 0 then begin
+    let acc = ref (Qmatrix.copy m) in
+    for k = 1 to n do
+      if k > 1 then begin
+        (* acc <- M (acc + c_{n-k+1} I) *)
+        let shifted =
+          Qmatrix.add !acc (Qmatrix.scale c.(n - k + 1) (Qmatrix.identity n))
+        in
+        acc := Qmatrix.mul m shifted
+      end;
+      let tr = Qmatrix.trace !acc in
+      c.(n - k) <- Q.neg (Q.div tr (Q.of_int k))
+    done
+  end;
+  c
+
+let charpoly_z m =
+  let c = charpoly (Zmatrix.to_qmatrix m) in
+  Array.map
+    (fun x ->
+      if Q.is_integer x then Q.to_bigint x
+      else failwith "Charpoly.charpoly_z: non-integer coefficient (bug)")
+    c
+
+let det m =
+  let c = charpoly m in
+  let n = Array.length c - 1 in
+  if n mod 2 = 0 then c.(0) else Q.neg c.(0)
+
+let trace m =
+  let c = charpoly m in
+  let n = Array.length c - 1 in
+  if n = 0 then Q.zero else Q.neg c.(n - 1)
+
+let eval c x =
+  let acc = ref Q.zero in
+  for i = Array.length c - 1 downto 0 do
+    acc := Q.add (Q.mul !acc x) c.(i)
+  done;
+  !acc
+
+let zero_root_multiplicity c =
+  let rec go i = if i < Array.length c && Q.is_zero c.(i) then go (i + 1) else i in
+  go 0
+
+let gram_charpoly m =
+  let mt = Zmatrix.transpose m in
+  let gram = Zmatrix.mul mt m in
+  charpoly_z gram
+
+let zero_singular_values m =
+  let c = gram_charpoly m in
+  let rec go i =
+    if i < Array.length c && B.is_zero c.(i) then go (i + 1) else i
+  in
+  go 0

@@ -1,0 +1,45 @@
+(** Characteristic polynomials, exactly (Faddeev–LeVerrier).
+
+    [charpoly m] returns the monic characteristic polynomial
+    [det(xI − M)] of a rational matrix as its coefficient array
+    [c.(0) + c.(1) x + ... + c.(n) x^n] with [c.(n) = 1].
+
+    This is the exact route to the *singular value structure* of
+    Corollary 1.2(d): the singular values of M are the square roots of
+    the eigenvalues of MᵀM, so the number of **zero** singular values —
+    the part of the SVD that decides singularity and rank — equals the
+    multiplicity of the root 0 of charpoly(MᵀM), i.e. the number of
+    trailing zero coefficients.  Unlike the floating Jacobi SVD in
+    {!Svd}, this decision is exact. *)
+
+type q = Commx_bigint.Rational.t
+
+val charpoly : Qmatrix.t -> q array
+(** Coefficients lowest-degree first, length n+1, monic.
+    @raise Invalid_argument for non-square input. *)
+
+val charpoly_z : Zmatrix.t -> Commx_bigint.Bigint.t array
+(** Same for an integer matrix; coefficients are provably integers
+    (checked, a failure would be a bug). *)
+
+val det : Qmatrix.t -> q
+(** [(-1)^n * c.(0)] — determinant recovered from the polynomial. *)
+
+val trace : Qmatrix.t -> q
+(** [-c.(n-1)] for n >= 1. *)
+
+val eval : q array -> q -> q
+(** Horner evaluation. *)
+
+val zero_root_multiplicity : q array -> int
+(** Number of trailing zero coefficients = multiplicity of the root 0. *)
+
+val gram_charpoly : Zmatrix.t -> Commx_bigint.Bigint.t array
+(** charpoly(MᵀM) for an integer matrix — the singular values squared
+    are its roots. *)
+
+val zero_singular_values : Zmatrix.t -> int
+(** Exact count of zero singular values of M: the multiplicity of 0 in
+    {!gram_charpoly}.  Equals [n - rank M] (MᵀM is symmetric positive
+    semidefinite, hence diagonalizable, so algebraic = geometric
+    multiplicity). *)

@@ -1,0 +1,78 @@
+module Q = Commx_bigint.Rational
+
+type t = { q : Qmatrix.t; r : Qmatrix.t }
+
+let dot_cols m j1 j2 =
+  let acc = ref Q.zero in
+  for i = 0 to Qmatrix.rows m - 1 do
+    acc := Q.add !acc (Q.mul (Qmatrix.get m i j1) (Qmatrix.get m i j2))
+  done;
+  !acc
+
+let col_is_zero m j =
+  let z = ref true in
+  for i = 0 to Qmatrix.rows m - 1 do
+    if not (Q.is_zero (Qmatrix.get m i j)) then z := false
+  done;
+  !z
+
+let decompose a =
+  let m = Qmatrix.rows a and n = Qmatrix.cols a in
+  let q = Qmatrix.copy a in
+  let r = Qmatrix.identity n in
+  for j = 0 to n - 1 do
+    (* Subtract projections of column j onto the previous orthogonal
+       columns; record the coefficients in R. *)
+    for i = 0 to j - 1 do
+      let qq = dot_cols q i i in
+      if not (Q.is_zero qq) then begin
+        let coeff = Q.div (dot_cols q i j) qq in
+        Qmatrix.set r i j coeff;
+        if not (Q.is_zero coeff) then
+          for row = 0 to m - 1 do
+            Qmatrix.set q row j
+              (Q.sub (Qmatrix.get q row j) (Q.mul coeff (Qmatrix.get q row i)))
+          done
+      end
+    done
+  done;
+  { q; r }
+
+let columns_orthogonal m =
+  let n = Qmatrix.cols m in
+  let ok = ref true in
+  for j1 = 0 to n - 1 do
+    for j2 = j1 + 1 to n - 1 do
+      if
+        (not (col_is_zero m j1))
+        && (not (col_is_zero m j2))
+        && not (Q.is_zero (dot_cols m j1 j2))
+      then ok := false
+    done
+  done;
+  !ok
+
+let is_unit_upper r =
+  let n = Qmatrix.rows r in
+  let ok = ref (Qmatrix.is_square r) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i = j then begin
+        if not (Q.equal (Qmatrix.get r i j) Q.one) then ok := false
+      end
+      else if j < i && not (Q.is_zero (Qmatrix.get r i j)) then ok := false
+    done
+  done;
+  !ok
+
+let verify a d =
+  Qmatrix.equal a (Qmatrix.mul d.q d.r)
+  && columns_orthogonal d.q && is_unit_upper d.r
+
+let rank_from_q d =
+  let n = Qmatrix.cols d.q in
+  let count = ref 0 in
+  for j = 0 to n - 1 do
+    if not (col_is_zero d.q j) then incr count
+  done;
+  !count

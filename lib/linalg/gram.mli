@@ -1,0 +1,28 @@
+(** Exact QR structure via Gram–Schmidt over ℚ.
+
+    True QR needs square roots, which leave ℚ; but Corollary 1.2(c)
+    only requires the *nonzero structure* of the factors, and the
+    unnormalized Gram–Schmidt factorization [A = Q·R] — [Q] with
+    pairwise-orthogonal (not unit) columns, [R] unit upper triangular —
+    has exactly the same support as the orthonormal QR whenever the
+    leading principal minors are nonsingular, and is computable
+    exactly.  This module provides that factorization together with
+    verification predicates. *)
+
+type t = {
+  q : Qmatrix.t;  (** pairwise-orthogonal columns (zero columns where the input column was dependent on its predecessors) *)
+  r : Qmatrix.t;  (** unit upper triangular *)
+}
+
+val decompose : Qmatrix.t -> t
+(** Classical Gram–Schmidt, exact.  Input may be any [m x n] matrix. *)
+
+val verify : Qmatrix.t -> t -> bool
+(** Checks [A = Q·R], orthogonality of the nonzero columns of [Q], and
+    unit-upper-triangularity of [R]. *)
+
+val columns_orthogonal : Qmatrix.t -> bool
+(** Are all pairs of distinct nonzero columns orthogonal? *)
+
+val rank_from_q : t -> int
+(** Number of nonzero columns of [q] — equals the matrix rank. *)

@@ -1,0 +1,107 @@
+module Q = Commx_bigint.Rational
+
+type t = { l : Qmatrix.t; u : Qmatrix.t; perm : int array }
+
+let decompose a =
+  if not (Qmatrix.is_square a) then invalid_arg "Lup.decompose: not square";
+  let n = Qmatrix.rows a in
+  let u = Qmatrix.copy a in
+  let l = Qmatrix.identity n in
+  let perm = Array.init n (fun i -> i) in
+  for k = 0 to n - 1 do
+    (* Pivot: first nonzero entry in column k at or below row k. *)
+    let piv = ref (-1) in
+    (try
+       for i = k to n - 1 do
+         if not (Q.is_zero (Qmatrix.get u i k)) then begin
+           piv := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !piv >= 0 then begin
+      if !piv <> k then begin
+        Qmatrix.swap_rows u !piv k;
+        let t = perm.(!piv) in
+        perm.(!piv) <- perm.(k);
+        perm.(k) <- t;
+        (* Swap the already-computed part of L (columns < k). *)
+        for j = 0 to k - 1 do
+          let t = Qmatrix.get l !piv j in
+          Qmatrix.set l !piv j (Qmatrix.get l k j);
+          Qmatrix.set l k j t
+        done
+      end;
+      let pval = Qmatrix.get u k k in
+      for i = k + 1 to n - 1 do
+        let f = Q.div (Qmatrix.get u i k) pval in
+        if not (Q.is_zero f) then begin
+          Qmatrix.set l i k f;
+          for j = k to n - 1 do
+            Qmatrix.set u i j
+              (Q.sub (Qmatrix.get u i j) (Q.mul f (Qmatrix.get u k j)))
+          done
+        end
+      done
+    end
+  done;
+  { l; u; perm }
+
+let permutation_matrix perm =
+  let n = Array.length perm in
+  Qmatrix.init n n (fun i j -> if perm.(i) = j then Q.one else Q.zero)
+
+let sign_of_permutation perm =
+  let n = Array.length perm in
+  let seen = Array.make n false in
+  let sign = ref 1 in
+  for i = 0 to n - 1 do
+    if not seen.(i) then begin
+      (* Walk the cycle containing i; a cycle of length L contributes
+         (-1)^(L-1). *)
+      let j = ref i and len = ref 0 in
+      while not seen.(!j) do
+        seen.(!j) <- true;
+        j := perm.(!j);
+        incr len
+      done;
+      if !len mod 2 = 0 then sign := - !sign
+    end
+  done;
+  !sign
+
+let is_unit_lower m =
+  let n = Qmatrix.rows m in
+  let ok = ref (Qmatrix.is_square m) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i = j then (if not (Q.equal (Qmatrix.get m i j) Q.one) then ok := false)
+      else if j > i && not (Q.is_zero (Qmatrix.get m i j)) then ok := false
+    done
+  done;
+  !ok
+
+let is_upper m =
+  let ok = ref true in
+  for i = 0 to Qmatrix.rows m - 1 do
+    for j = 0 to Qmatrix.cols m - 1 do
+      if j < i && not (Q.is_zero (Qmatrix.get m i j)) then ok := false
+    done
+  done;
+  !ok
+
+let verify a d =
+  let pa = Qmatrix.permute_rows a d.perm in
+  Qmatrix.equal pa (Qmatrix.mul d.l d.u) && is_unit_lower d.l && is_upper d.u
+
+let det d =
+  let n = Qmatrix.rows d.u in
+  let prod = ref Q.one in
+  for i = 0 to n - 1 do
+    prod := Q.mul !prod (Qmatrix.get d.u i i)
+  done;
+  if sign_of_permutation d.perm < 0 then Q.neg !prod else !prod
+
+let nonzero_structure m =
+  Commx_util.Bitmat.init (Qmatrix.rows m) (Qmatrix.cols m) (fun i j ->
+      not (Q.is_zero (Qmatrix.get m i j)))

@@ -1,0 +1,35 @@
+(** Exact LUP decomposition over ℚ.
+
+    Corollary 1.2(e) of the paper states the Θ(k n²) communication
+    bound for "computing the LUP decomposition of M", and notes it
+    holds even when only the *nonzero structure* of the factors is
+    required.  This module provides the decomposition itself (so the
+    reduction can be exercised end-to-end) and the structure
+    extraction. *)
+
+type t = {
+  l : Qmatrix.t;  (** unit lower triangular *)
+  u : Qmatrix.t;  (** upper triangular (echelon for singular input) *)
+  perm : int array;  (** row permutation: row [i] of [P·A] is row [perm.(i)] of [A] *)
+}
+
+val decompose : Qmatrix.t -> t
+(** Partial-pivoting elimination.  Works for singular and rectangular
+    (rows >= cols not required) square matrices; for rank-deficient
+    input [u] simply has zero pivots.
+    @raise Invalid_argument for non-square input. *)
+
+val permutation_matrix : int array -> Qmatrix.t
+
+val verify : Qmatrix.t -> t -> bool
+(** [verify a d] checks [P·A = L·U], [L] unit lower triangular, [U]
+    upper triangular. *)
+
+val det : t -> Commx_bigint.Rational.t
+(** Determinant recovered from the factors: sign(perm) * prod diag(U). *)
+
+val nonzero_structure : Qmatrix.t -> Commx_util.Bitmat.t
+(** Boolean support of a matrix — the object the weakened form of
+    Corollary 1.2 speaks about. *)
+
+val sign_of_permutation : int array -> int

@@ -1,0 +1,347 @@
+(** Generic dense matrices over a ring, and Gaussian elimination over a
+    field.
+
+    [Make] provides the structural operations shared by every
+    instantiation; [Make_field] adds exact elimination-based
+    computations: reduced row echelon form, rank, determinant, linear
+    solve, inverse, and nullspace.  Elimination uses exact field
+    arithmetic, so results are decisions, not approximations — this is
+    what "Singularity Testing" means in the paper. *)
+
+module Make (R : Ring.RING) = struct
+  type elt = R.t
+
+  type t = { rows : int; cols : int; data : R.t array }
+  (* Row-major flat storage. *)
+
+  let rows m = m.rows
+  let cols m = m.cols
+  let is_square m = m.rows = m.cols
+
+  let make rows cols v =
+    if rows < 0 || cols < 0 then invalid_arg "Matrix.make";
+    { rows; cols; data = Array.make (rows * cols) v }
+
+  let zero rows cols = make rows cols R.zero
+
+  let init rows cols f =
+    if rows < 0 || cols < 0 then invalid_arg "Matrix.init";
+    { rows; cols; data = Array.init (rows * cols) (fun i -> f (i / cols) (i mod cols)) }
+
+  let check m i j =
+    if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+      invalid_arg "Matrix: index out of bounds"
+
+  let get m i j =
+    check m i j;
+    m.data.((i * m.cols) + j)
+
+  let set m i j v =
+    check m i j;
+    m.data.((i * m.cols) + j) <- v
+
+  let copy m = { m with data = Array.copy m.data }
+
+  let identity n = init n n (fun i j -> if i = j then R.one else R.zero)
+
+  let equal a b =
+    a.rows = b.rows && a.cols = b.cols
+    && Array.for_all2 R.equal a.data b.data
+
+  let is_zero_matrix m = Array.for_all R.is_zero m.data
+
+  let map f m = { m with data = Array.map f m.data }
+
+  let mapi f m =
+    {
+      m with
+      data = Array.mapi (fun i v -> f (i / m.cols) (i mod m.cols) v) m.data;
+    }
+
+  let add a b =
+    if a.rows <> b.rows || a.cols <> b.cols then
+      invalid_arg "Matrix.add: dimension mismatch";
+    { a with data = Array.map2 R.add a.data b.data }
+
+  let sub a b =
+    if a.rows <> b.rows || a.cols <> b.cols then
+      invalid_arg "Matrix.sub: dimension mismatch";
+    { a with data = Array.map2 R.sub a.data b.data }
+
+  let neg m = map R.neg m
+
+  let scale c m = map (R.mul c) m
+
+  let mul a b =
+    if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
+    let r = zero a.rows b.cols in
+    for i = 0 to a.rows - 1 do
+      for k = 0 to a.cols - 1 do
+        let aik = a.data.((i * a.cols) + k) in
+        if not (R.is_zero aik) then
+          for j = 0 to b.cols - 1 do
+            r.data.((i * b.cols) + j) <-
+              R.add r.data.((i * b.cols) + j) (R.mul aik b.data.((k * b.cols) + j))
+          done
+      done
+    done;
+    r
+
+  let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+  let row m i = Array.init m.cols (fun j -> get m i j)
+  let col m j = Array.init m.rows (fun i -> get m i j)
+
+  let of_rows rows_list =
+    match rows_list with
+    | [] -> zero 0 0
+    | first :: _ ->
+        let cols = Array.length first in
+        if List.exists (fun r -> Array.length r <> cols) rows_list then
+          invalid_arg "Matrix.of_rows: ragged rows";
+        let rows_arr = Array.of_list rows_list in
+        init (Array.length rows_arr) cols (fun i j -> rows_arr.(i).(j))
+
+  let to_rows m = List.init m.rows (row m)
+
+  let of_cols cols_list = transpose (of_rows cols_list)
+
+  let submatrix m row_idx col_idx =
+    init (Array.length row_idx) (Array.length col_idx) (fun i j ->
+        get m row_idx.(i) col_idx.(j))
+
+  let delete_row_col m di dj =
+    if m.rows = 0 || m.cols = 0 then invalid_arg "Matrix.delete_row_col";
+    init (m.rows - 1) (m.cols - 1) (fun i j ->
+        get m (if i < di then i else i + 1) (if j < dj then j else j + 1))
+
+  let hcat a b =
+    if a.rows <> b.rows then invalid_arg "Matrix.hcat: row mismatch";
+    init a.rows (a.cols + b.cols) (fun i j ->
+        if j < a.cols then get a i j else get b i (j - a.cols))
+
+  let vcat a b =
+    if a.cols <> b.cols then invalid_arg "Matrix.vcat: column mismatch";
+    init (a.rows + b.rows) a.cols (fun i j ->
+        if i < a.rows then get a i j else get b (i - a.rows) j)
+
+  let swap_rows m i1 i2 =
+    if i1 <> i2 then
+      for j = 0 to m.cols - 1 do
+        let t = get m i1 j in
+        set m i1 j (get m i2 j);
+        set m i2 j t
+      done
+
+  let swap_cols m j1 j2 =
+    if j1 <> j2 then
+      for i = 0 to m.rows - 1 do
+        let t = get m i j1 in
+        set m i j1 (get m i j2);
+        set m i j2 t
+      done
+
+  let permute_rows m perm =
+    if Array.length perm <> m.rows then invalid_arg "Matrix.permute_rows";
+    init m.rows m.cols (fun i j -> get m perm.(i) j)
+
+  let permute_cols m perm =
+    if Array.length perm <> m.cols then invalid_arg "Matrix.permute_cols";
+    init m.rows m.cols (fun i j -> get m i perm.(j))
+
+  let mul_vec m v =
+    if Array.length v <> m.cols then invalid_arg "Matrix.mul_vec";
+    Array.init m.rows (fun i ->
+        let acc = ref R.zero in
+        for j = 0 to m.cols - 1 do
+          acc := R.add !acc (R.mul (get m i j) v.(j))
+        done;
+        !acc)
+
+  let dot u v =
+    if Array.length u <> Array.length v then invalid_arg "Matrix.dot";
+    let acc = ref R.zero in
+    Array.iteri (fun i ui -> acc := R.add !acc (R.mul ui v.(i))) u;
+    !acc
+
+  let trace m =
+    if not (is_square m) then invalid_arg "Matrix.trace";
+    let acc = ref R.zero in
+    for i = 0 to m.rows - 1 do
+      acc := R.add !acc (get m i i)
+    done;
+    !acc
+
+  (* Laplace-expansion determinant: exponential, used only as an oracle
+     for tests on matrices of dimension <= 6. *)
+  let det_laplace m =
+    if not (is_square m) then invalid_arg "Matrix.det_laplace";
+    let rec go m =
+      match rows m with
+      | 0 -> R.one
+      | 1 -> get m 0 0
+      | n ->
+          let acc = ref R.zero in
+          for j = 0 to n - 1 do
+            let a0j = get m 0 j in
+            if not (R.is_zero a0j) then begin
+              let minor = delete_row_col m 0 j in
+              let term = R.mul a0j (go minor) in
+              acc := if j land 1 = 0 then R.add !acc term else R.sub !acc term
+            end
+          done;
+          !acc
+    in
+    go m
+
+  let pp ppf m =
+    Format.fprintf ppf "@[<v>";
+    for i = 0 to m.rows - 1 do
+      if i > 0 then Format.pp_print_cut ppf ();
+      Format.fprintf ppf "[";
+      for j = 0 to m.cols - 1 do
+        if j > 0 then Format.fprintf ppf ", ";
+        Format.pp_print_string ppf (R.to_string (get m i j))
+      done;
+      Format.fprintf ppf "]"
+    done;
+    Format.fprintf ppf "@]"
+
+  let to_string m = Format.asprintf "%a" pp m
+end
+
+module Make_field (F : Ring.FIELD) = struct
+  include Make (F)
+
+  (** Reduced row echelon form.  Returns [(rref, rank, pivot_cols,
+      det_factor)] where [det_factor] tracks row swaps and scalings so
+      square determinants can be recovered; [pivot_cols.(r)] is the
+      pivot column of row [r] for [r < rank]. *)
+  let rref_full m =
+    let a = copy m in
+    let nrows = rows a and ncols = cols a in
+    let pivots = ref [] in
+    let det_factor = ref F.one in
+    let pr = ref 0 in
+    for pc = 0 to ncols - 1 do
+      if !pr < nrows then begin
+        (* Find a pivot in column pc at or below row pr. *)
+        let piv = ref (-1) in
+        (try
+           for i = !pr to nrows - 1 do
+             if not (F.is_zero (get a i pc)) then begin
+               piv := i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !piv >= 0 then begin
+          if !piv <> !pr then begin
+            swap_rows a !piv !pr;
+            det_factor := F.neg !det_factor
+          end;
+          let pval = get a !pr pc in
+          det_factor := F.mul !det_factor pval;
+          let ipval = F.inv pval in
+          for j = pc to ncols - 1 do
+            set a !pr j (F.mul ipval (get a !pr j))
+          done;
+          for i = 0 to nrows - 1 do
+            if i <> !pr then begin
+              let f = get a i pc in
+              if not (F.is_zero f) then
+                for j = pc to ncols - 1 do
+                  set a i j (F.sub (get a i j) (F.mul f (get a !pr j)))
+                done
+            end
+          done;
+          pivots := pc :: !pivots;
+          incr pr
+        end
+      end
+    done;
+    (a, !pr, Array.of_list (List.rev !pivots), !det_factor)
+
+  let rref m =
+    let r, _, _, _ = rref_full m in
+    r
+
+  let rank m =
+    let _, r, _, _ = rref_full m in
+    r
+
+  let det m =
+    if not (is_square m) then invalid_arg "Matrix.det: not square";
+    let _, r, _, factor = rref_full m in
+    if r < rows m then F.zero else factor
+
+  let is_singular m =
+    if not (is_square m) then invalid_arg "Matrix.is_singular: not square";
+    rank m < rows m
+
+  let inverse m =
+    if not (is_square m) then invalid_arg "Matrix.inverse: not square";
+    let n = rows m in
+    let aug = hcat m (identity n) in
+    let r, _, pivots, _ = rref_full aug in
+    (* Invertible iff the left block supplies the first n pivots (the
+       identity block always brings the augmented rank up to n). *)
+    let left_pivots = Array.for_all (fun pc -> pc < n) (Array.sub pivots 0 (Stdlib.min n (Array.length pivots))) in
+    if Array.length pivots < n || not left_pivots then None
+    else Some (init n n (fun i j -> get r i (n + j)))
+
+  (** [solve a b] decides the linear system [a x = b] (b a column
+      vector): [None] when inconsistent, otherwise [Some x] for one
+      particular solution. *)
+  let solve a b =
+    if Array.length b <> rows a then invalid_arg "Matrix.solve";
+    let bcol = init (rows a) 1 (fun i _ -> b.(i)) in
+    let aug = hcat a bcol in
+    let r, rk, pivots, _ = rref_full aug in
+    (* Inconsistent iff some pivot lands in the appended column. *)
+    let inconsistent = Array.exists (fun pc -> pc = cols a) pivots in
+    if inconsistent then None
+    else begin
+      let x = Array.make (cols a) F.zero in
+      Array.iteri
+        (fun pr pc -> if pc < cols a then x.(pc) <- get r pr (cols a))
+        (Array.sub pivots 0 rk);
+      Some x
+    end
+
+  let solvable a b = solve a b <> None
+
+  (** Basis of the right nullspace \{x : m x = 0\}, one array per basis
+      vector. *)
+  let nullspace m =
+    let r, rk, pivots, _ = rref_full m in
+    let ncols = cols m in
+    let is_pivot = Array.make ncols false in
+    Array.iter (fun pc -> is_pivot.(pc) <- true) pivots;
+    let free = ref [] in
+    for j = ncols - 1 downto 0 do
+      if not is_pivot.(j) then free := j :: !free
+    done;
+    List.map
+      (fun fj ->
+        let v = Array.make ncols F.zero in
+        v.(fj) <- F.one;
+        (* Each pivot row reads: x_pivot + sum over free cols = 0. *)
+        for pr = 0 to rk - 1 do
+          let pc = pivots.(pr) in
+          v.(pc) <- F.neg (get r pr fj)
+        done;
+        v)
+      !free
+
+  (** Row-space basis: the nonzero rows of the RREF. *)
+  let row_space_basis m =
+    let r, rk, _, _ = rref_full m in
+    List.init rk (row r)
+
+  (** Column-space ("range") basis: the columns of [m] at the pivot
+      positions. *)
+  let col_space_basis m =
+    let _, _, pivots, _ = rref_full m in
+    Array.to_list (Array.map (col m) pivots)
+end

@@ -1,0 +1,180 @@
+module Q = Commx_bigint.Rational
+module B = Commx_bigint.Bigint
+
+type q = Q.t
+type t = q array (* lowest degree first, no trailing zeros *)
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && Q.is_zero a.(!n - 1) do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let zero : t = [||]
+let one : t = [| Q.one |]
+let x : t = [| Q.zero; Q.one |]
+
+let of_coeffs a = normalize (Array.copy a)
+let of_int_coeffs a = normalize (Array.map Q.of_int a)
+
+let coeffs p = Array.copy p
+
+let degree p = Array.length p - 1
+let is_zero p = Array.length p = 0
+
+let equal a b = Array.length a = Array.length b && Array.for_all2 Q.equal a b
+
+let leading p =
+  if is_zero p then invalid_arg "Poly.leading: zero polynomial";
+  p.(Array.length p - 1)
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  normalize
+    (Array.init (max la lb) (fun i ->
+         let va = if i < la then a.(i) else Q.zero in
+         let vb = if i < lb then b.(i) else Q.zero in
+         Q.add va vb))
+
+let neg p = Array.map Q.neg p
+let sub a b = add a (neg b)
+
+let scale c p = if Q.is_zero c then zero else normalize (Array.map (Q.mul c) p)
+
+let mul a b =
+  if is_zero a || is_zero b then zero
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let r = Array.make (la + lb - 1) Q.zero in
+    for i = 0 to la - 1 do
+      if not (Q.is_zero a.(i)) then
+        for j = 0 to lb - 1 do
+          r.(i + j) <- Q.add r.(i + j) (Q.mul a.(i) b.(j))
+        done
+    done;
+    normalize r
+  end
+
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  let db = degree b and lb = leading b in
+  let rem = Array.copy a in
+  let da = degree a in
+  if da < db then (zero, normalize rem)
+  else begin
+    let quot = Array.make (da - db + 1) Q.zero in
+    for i = da - db downto 0 do
+      let c = Q.div rem.(i + db) lb in
+      quot.(i) <- c;
+      if not (Q.is_zero c) then
+        for j = 0 to db do
+          rem.(i + j) <- Q.sub rem.(i + j) (Q.mul c b.(j))
+        done
+    done;
+    (normalize quot, normalize rem)
+  end
+
+let rem a b = snd (divmod a b)
+
+let monic p = if is_zero p then p else scale (Q.inv (leading p)) p
+
+let rec gcd a b = if is_zero b then monic a else gcd b (rem a b)
+
+let derivative p =
+  if degree p <= 0 then zero
+  else normalize (Array.init (degree p) (fun i -> Q.mul (Q.of_int (i + 1)) p.(i + 1)))
+
+let eval p v =
+  let acc = ref Q.zero in
+  for i = Array.length p - 1 downto 0 do
+    acc := Q.add (Q.mul !acc v) p.(i)
+  done;
+  !acc
+
+let squarefree p =
+  if degree p <= 0 then p
+  else begin
+    let g = gcd p (derivative p) in
+    if degree g <= 0 then p else fst (divmod p g)
+  end
+
+let sturm_chain p =
+  let p0 = squarefree p in
+  if is_zero p0 then []
+  else begin
+    let p1 = derivative p0 in
+    let rec go acc prev cur =
+      if is_zero cur then List.rev acc
+      else begin
+        let r = neg (rem prev cur) in
+        go (cur :: acc) cur r
+      end
+    in
+    go [ p0 ] p0 p1
+  end
+
+let sign_changes_at chain v =
+  let signs =
+    List.filter_map
+      (fun p ->
+        let s = Q.sign (eval p v) in
+        if s = 0 then None else Some s)
+      chain
+  in
+  let rec count = function
+    | a :: (b :: _ as rest) -> (if a <> b then 1 else 0) + count rest
+    | [ _ ] | [] -> 0
+  in
+  count signs
+
+let count_roots_in p ~lo ~hi =
+  if Q.compare lo hi >= 0 then invalid_arg "Poly.count_roots_in: lo >= hi";
+  if degree p < 1 then 0
+  else begin
+    let chain = sturm_chain p in
+    sign_changes_at chain lo - sign_changes_at chain hi
+  end
+
+let cauchy_root_bound p =
+  if is_zero p then Q.one
+  else begin
+    let l = Q.abs (leading p) in
+    let m =
+      Array.fold_left
+        (fun acc c ->
+          let a = Q.abs c in
+          if Q.compare a acc > 0 then a else acc)
+        Q.zero
+        (Array.sub p 0 (max 0 (Array.length p - 1)))
+    in
+    Q.add Q.one (Q.div m l)
+  end
+
+let count_positive_roots p =
+  if degree p < 1 then 0
+  else count_roots_in p ~lo:Q.zero ~hi:(cauchy_root_bound p)
+
+let pp ppf p =
+  if is_zero p then Format.pp_print_string ppf "0"
+  else begin
+    let first = ref true in
+    Array.iteri
+      (fun i c ->
+        if not (Q.is_zero c) then begin
+          if not !first then Format.pp_print_string ppf " + ";
+          first := false;
+          if i = 0 then Format.pp_print_string ppf (Q.to_string c)
+          else if Q.equal c Q.one then Format.fprintf ppf "x^%d" i
+          else Format.fprintf ppf "%s x^%d" (Q.to_string c) i
+        end)
+      p
+  end
+
+let gram_poly m =
+  of_coeffs
+    (Array.map Q.of_bigint (Charpoly.gram_charpoly m))
+
+let distinct_singular_value_count m = count_positive_roots (gram_poly m)
+
+let singular_values_in m ~lo ~hi = count_roots_in (gram_poly m) ~lo ~hi

@@ -1,0 +1,84 @@
+(** Univariate polynomials over ℚ, with Sturm-sequence real-root
+    counting.
+
+    The exact-SVD story of Corollary 1.2(d) needs more than "how many
+    singular values are zero": Sturm's theorem counts the real roots of
+    charpoly(MᵀM) in any interval *exactly*, which localizes singular
+    values without ever leaving ℚ.  The polynomial toolkit is generic
+    and self-contained (arithmetic, division, gcd, squarefree part,
+    evaluation, derivative).
+
+    Representation: coefficient array, lowest degree first, normalized
+    so the leading coefficient is nonzero ([zero] is the empty
+    array). *)
+
+type q = Commx_bigint.Rational.t
+type t
+
+val zero : t
+val one : t
+val x : t
+
+val of_coeffs : q array -> t
+(** Trailing zero (highest-degree) coefficients are stripped. *)
+
+val of_int_coeffs : int array -> t
+
+val coeffs : t -> q array
+(** Canonical coefficients (a copy). *)
+
+val degree : t -> int
+(** [-1] for the zero polynomial. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val leading : t -> q
+(** @raise Invalid_argument on zero. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val scale : q -> t -> t
+
+val divmod : t -> t -> t * t
+(** Euclidean division. @raise Division_by_zero. *)
+
+val rem : t -> t -> t
+
+val gcd : t -> t -> t
+(** Monic gcd. *)
+
+val derivative : t -> t
+
+val eval : t -> q -> q
+
+val squarefree : t -> t
+(** [p / gcd(p, p')] — same roots, all simple. *)
+
+val sturm_chain : t -> t list
+(** The Sturm sequence of the squarefree part. *)
+
+val count_roots_in : t -> lo:q -> hi:q -> int
+(** Number of *distinct* real roots in the half-open interval
+    [(lo, hi]] by Sturm's theorem.  Requires [lo < hi]. *)
+
+val count_positive_roots : t -> int
+(** Distinct real roots in (0, B] where B is a Cauchy-style root bound
+    computed from the coefficients. *)
+
+val cauchy_root_bound : t -> q
+(** All real roots lie in [\[-B, B\]]. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 The Corollary 1.2(d) application} *)
+
+val distinct_singular_value_count : Zmatrix.t -> int
+(** The number of *distinct nonzero* singular values of an integer
+    matrix, exactly: distinct positive roots of charpoly(MᵀM). *)
+
+val singular_values_in :
+  Zmatrix.t -> lo:q -> hi:q -> int
+(** Distinct singular values σ with lo < σ² <= hi (squared interval —
+    exact, no square roots needed). *)

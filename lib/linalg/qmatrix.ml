@@ -1,0 +1,37 @@
+(** Matrices over the rationals — the workhorse for every exact
+    decision in the library (rank, singularity, solvability, span
+    membership).  This is [Matrix.Make_field] instantiated at ℚ plus
+    conversions from integer data. *)
+
+include Matrix.Make_field (Ring.Q)
+
+module B = Commx_bigint.Bigint
+module Q = Commx_bigint.Rational
+
+let of_int_matrix rows cols f = init rows cols (fun i j -> Q.of_int (f i j))
+
+let of_int_array2 a =
+  let rows = Array.length a in
+  let cols = if rows = 0 then 0 else Array.length a.(0) in
+  if Array.exists (fun r -> Array.length r <> cols) a then
+    invalid_arg "Qmatrix.of_int_array2: ragged";
+  init rows cols (fun i j -> Q.of_int a.(i).(j))
+
+let of_bigint_fn rows cols f = init rows cols (fun i j -> Q.of_bigint (f i j))
+
+(** Clear denominators: returns [(z, d)] where [z i j] are bigints,
+    [d > 0], and the input equals [z / d] entrywise. *)
+let to_common_denominator m =
+  let d = ref B.one in
+  for i = 0 to rows m - 1 do
+    for j = 0 to cols m - 1 do
+      d := B.lcm !d (Q.den (get m i j))
+    done
+  done;
+  let d = if B.is_zero !d then B.one else B.abs !d in
+  let z =
+    init (rows m) (cols m) (fun i j ->
+        let q = get m i j in
+        Q.of_bigint (B.mul (Q.num q) (B.div d (Q.den q))))
+  in
+  (z, d)

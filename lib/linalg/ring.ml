@@ -1,0 +1,82 @@
+(** Algebraic structure signatures and the instances used throughout
+    the library.
+
+    The exact linear-algebra layer is written once, generically, and
+    instantiated three times: over the integers ℤ (for Bareiss
+    fraction-free elimination and Hadamard bounds), over the rationals
+    ℚ (for rank / solve / LUP / span operations — the decisions the
+    paper's problems reduce to), and over prime fields GF(p) (for the
+    fingerprinting protocol and the CRT determinant). *)
+
+module type RING = sig
+  type t
+
+  val zero : t
+  val one : t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val neg : t -> t
+  val mul : t -> t -> t
+  val equal : t -> t -> bool
+  val is_zero : t -> bool
+  val to_string : t -> string
+end
+
+module type FIELD = sig
+  include RING
+
+  val inv : t -> t
+  (** @raise Division_by_zero on zero. *)
+
+  val div : t -> t -> t
+end
+
+(** The integers. *)
+module Z : RING with type t = Commx_bigint.Bigint.t = struct
+  include Commx_bigint.Bigint
+
+  let to_string = Commx_bigint.Bigint.to_string
+end
+
+(** The rationals. *)
+module Q : FIELD with type t = Commx_bigint.Rational.t = struct
+  include Commx_bigint.Rational
+
+  let to_string = Commx_bigint.Rational.to_string
+end
+
+(** Prime fields with word-size moduli.  The functor argument carries
+    the modulus; primality is the caller's responsibility (checked in
+    debug builds via {!Commx_bigint.Primes.is_prime}). *)
+module type PRIME = sig
+  val p : int
+end
+
+module Gfp (P : PRIME) : sig
+  include FIELD with type t = int
+
+  val of_int : int -> t
+  val of_bigint : Commx_bigint.Bigint.t -> t
+  val p : int
+end = struct
+  type t = int
+
+  let p = P.p
+  let m = Commx_bigint.Modarith.Word.modulus P.p
+
+  let () = assert (Commx_bigint.Primes.is_prime P.p)
+
+  let zero = 0
+  let one = 1 mod P.p
+  let add = Commx_bigint.Modarith.Word.add m
+  let sub = Commx_bigint.Modarith.Word.sub m
+  let neg = Commx_bigint.Modarith.Word.neg m
+  let mul = Commx_bigint.Modarith.Word.mul m
+  let inv = Commx_bigint.Modarith.Word.inv m
+  let div a b = mul a (inv b)
+  let equal = Int.equal
+  let is_zero x = x = 0
+  let to_string = string_of_int
+  let of_int = Commx_bigint.Modarith.Word.reduce m
+  let of_bigint = Commx_bigint.Modarith.Word.reduce_big m
+end

@@ -1,0 +1,137 @@
+module B = Commx_bigint.Bigint
+
+(* Classic elimination to Smith normal form.  We work on a mutable
+   copy; U and V are not tracked (no caller needs them — rank,
+   invariant factors and |det| are the outputs of record). *)
+
+let smith_diagonal m =
+  let a = Zmatrix.copy m in
+  let rows = Zmatrix.rows a and cols = Zmatrix.cols a in
+  let limit = min rows cols in
+  let exception Restart in
+  for t = 0 to limit - 1 do
+    (* Find a nonzero pivot in the trailing submatrix. *)
+    let pivot = ref None in
+    (try
+       for i = t to rows - 1 do
+         for j = t to cols - 1 do
+           if not (B.is_zero (Zmatrix.get a i j)) then begin
+             pivot := Some (i, j);
+             raise Exit
+           end
+         done
+       done
+     with Exit -> ());
+    match !pivot with
+    | None -> ()
+    | Some (pi, pj) ->
+        Zmatrix.swap_rows a t pi;
+        Zmatrix.swap_cols a t pj;
+        let finished = ref false in
+        while not !finished do
+          try
+            (* Clear column t below the pivot by euclidean steps. *)
+            for i = t + 1 to rows - 1 do
+              let v = Zmatrix.get a i t in
+              if not (B.is_zero v) then begin
+                let p = Zmatrix.get a t t in
+                let q = B.div v p in
+                (* row_i -= q * row_t *)
+                for j = t to cols - 1 do
+                  Zmatrix.set a i j
+                    (B.sub (Zmatrix.get a i j) (B.mul q (Zmatrix.get a t j)))
+                done;
+                if not (B.is_zero (Zmatrix.get a i t)) then begin
+                  (* remainder smaller than pivot: swap up and restart *)
+                  Zmatrix.swap_rows a t i;
+                  raise Restart
+                end
+              end
+            done;
+            (* Clear row t right of the pivot. *)
+            for j = t + 1 to cols - 1 do
+              let v = Zmatrix.get a t j in
+              if not (B.is_zero v) then begin
+                let p = Zmatrix.get a t t in
+                let q = B.div v p in
+                for i = t to rows - 1 do
+                  Zmatrix.set a i j
+                    (B.sub (Zmatrix.get a i j) (B.mul q (Zmatrix.get a i t)))
+                done;
+                if not (B.is_zero (Zmatrix.get a t j)) then begin
+                  Zmatrix.swap_cols a t j;
+                  raise Restart
+                end
+              end
+            done;
+            (* Pivot must divide every remaining entry; if some entry
+               resists, fold its row into row t and restart. *)
+            let p = Zmatrix.get a t t in
+            let offender = ref None in
+            (try
+               for i = t + 1 to rows - 1 do
+                 for j = t + 1 to cols - 1 do
+                   if not (B.is_zero (B.rem (Zmatrix.get a i j) p)) then begin
+                     offender := Some i;
+                     raise Exit
+                   end
+                 done
+               done
+             with Exit -> ());
+            (match !offender with
+            | Some i ->
+                for j = t to cols - 1 do
+                  Zmatrix.set a t j
+                    (B.add (Zmatrix.get a t j) (Zmatrix.get a i j))
+                done;
+                raise Restart
+            | None -> ());
+            (* Normalize the pivot sign. *)
+            if B.sign (Zmatrix.get a t t) < 0 then
+              for j = t to cols - 1 do
+                Zmatrix.set a t j (B.neg (Zmatrix.get a t j))
+              done;
+            finished := true
+          with Restart -> ()
+        done
+  done;
+  a
+
+let diagonal m =
+  let d = smith_diagonal m in
+  (* zero out numerical noise off the diagonal (elimination leaves the
+     matrix diagonal already; this is belt and braces for the returned
+     value's contract) *)
+  Zmatrix.init (Zmatrix.rows d) (Zmatrix.cols d) (fun i j ->
+      if i = j then Zmatrix.get d i j else B.zero)
+
+let invariant_factors m =
+  let d = smith_diagonal m in
+  let limit = min (Zmatrix.rows d) (Zmatrix.cols d) in
+  let rec collect i acc =
+    if i >= limit then List.rev acc
+    else begin
+      let v = Zmatrix.get d i i in
+      if B.is_zero v then List.rev acc else collect (i + 1) (B.abs v :: acc)
+    end
+  in
+  collect 0 []
+
+let rank m = List.length (invariant_factors m)
+
+let det_abs m =
+  if not (Zmatrix.is_square m) then invalid_arg "Smith.det_abs: not square";
+  let facs = invariant_factors m in
+  if List.length facs < Zmatrix.rows m then B.zero
+  else List.fold_left B.mul B.one facs
+
+let is_singular m =
+  if not (Zmatrix.is_square m) then invalid_arg "Smith.is_singular";
+  rank m < Zmatrix.rows m
+
+let divisibility_chain_ok factors =
+  let rec go = function
+    | a :: (b :: _ as rest) -> B.is_zero (B.rem b a) && go rest
+    | [ _ ] | [] -> true
+  in
+  List.for_all (fun d -> B.sign d > 0) factors && go factors

@@ -1,0 +1,108 @@
+module Q = Commx_bigint.Rational
+
+type vec = Q.t array
+
+type t = { ambient : int; rref_basis : Qmatrix.t }
+(* Invariant: rref_basis is in RREF with no zero rows; its row count is
+   the dimension. *)
+
+let ambient_dim s = s.ambient
+let dim s = Qmatrix.rows s.rref_basis
+
+let canonicalize ambient rows_list =
+  let nonzero = List.filter (fun r -> Array.exists (fun x -> not (Q.is_zero x)) r) rows_list in
+  match nonzero with
+  | [] -> { ambient; rref_basis = Qmatrix.zero 0 ambient }
+  | rows_list ->
+      let m = Qmatrix.of_rows rows_list in
+      let r, rk, _, _ = Qmatrix.rref_full m in
+      let basis = List.init rk (Qmatrix.row r) in
+      { ambient; rref_basis = Qmatrix.of_rows basis }
+
+let zero_space n =
+  if n < 0 then invalid_arg "Subspace.zero_space";
+  { ambient = n; rref_basis = Qmatrix.zero 0 n }
+
+let full_space n =
+  { ambient = n; rref_basis = Qmatrix.identity n }
+
+let of_vectors n vs =
+  List.iter
+    (fun v -> if Array.length v <> n then invalid_arg "Subspace.of_vectors")
+    vs;
+  canonicalize n vs
+
+let of_matrix_rows m = canonicalize (Qmatrix.cols m) (Qmatrix.to_rows m)
+
+let of_matrix_columns m = of_matrix_rows (Qmatrix.transpose m)
+
+let basis s = Qmatrix.to_rows s.rref_basis
+
+let mem v s =
+  if Array.length v <> s.ambient then invalid_arg "Subspace.mem";
+  if Array.for_all Q.is_zero v then true
+  else if dim s = 0 then false
+  else begin
+    (* v is in the row space iff appending it does not raise the rank. *)
+    let stacked = Qmatrix.vcat s.rref_basis (Qmatrix.of_rows [ v ]) in
+    Qmatrix.rank stacked = dim s
+  end
+
+let subset a b =
+  a.ambient = b.ambient && List.for_all (fun v -> mem v b) (basis a)
+
+let equal a b = a.ambient = b.ambient && dim a = dim b && subset a b
+
+let add a b =
+  if a.ambient <> b.ambient then invalid_arg "Subspace.add";
+  canonicalize a.ambient (basis a @ basis b)
+
+let intersect a b =
+  if a.ambient <> b.ambient then invalid_arg "Subspace.intersect";
+  let da = dim a and db = dim b in
+  if da = 0 || db = 0 then zero_space a.ambient
+  else begin
+    (* Vectors in both spans: x^T A = y^T B for coefficient vectors x, y.
+       Solve [A^T | -B^T] [x; y] = 0; intersection vectors are A^T x. *)
+    let at = Qmatrix.transpose a.rref_basis (* ambient x da *) in
+    let bt = Qmatrix.transpose b.rref_basis in
+    let neg_bt = Qmatrix.neg bt in
+    let stacked = Qmatrix.hcat at neg_bt (* ambient x (da+db) *) in
+    let null = Qmatrix.nullspace stacked in
+    let vectors =
+      List.map
+        (fun coeffs ->
+          let x = Array.sub coeffs 0 da in
+          Qmatrix.mul_vec at x)
+        null
+    in
+    canonicalize a.ambient vectors
+  end
+
+let intersect_many = function
+  | [] -> invalid_arg "Subspace.intersect_many: empty list"
+  | s :: rest -> List.fold_left intersect s rest
+
+let spans_everything s = dim s = s.ambient
+
+let project s coords =
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= s.ambient then invalid_arg "Subspace.project")
+    coords;
+  let projected =
+    List.map (fun v -> Array.map (fun c -> v.(c)) coords) (basis s)
+  in
+  canonicalize (Array.length coords) projected
+
+let contains_columns s m =
+  if Qmatrix.rows m <> s.ambient then invalid_arg "Subspace.contains_columns";
+  let ok = ref true in
+  for j = 0 to Qmatrix.cols m - 1 do
+    if not (mem (Qmatrix.col m j) s) then ok := false
+  done;
+  !ok
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>subspace dim %d of Q^%d:@,%a@]" (dim s) s.ambient
+    Qmatrix.pp s.rref_basis

@@ -1,0 +1,63 @@
+(** Exact subspaces of ℚ^n.
+
+    A subspace is stored as a reduced-row-echelon basis, which makes
+    equality and membership canonical.  This module is the engine
+    behind the paper's singularity criterion (Lemma 3.2: M is singular
+    iff B·u lies in Span(A)), the span-intersection argument of
+    Lemma 3.6, the projection argument of Lemma 3.7, and the
+    Lovász–Saks vector-space span problem from Section 1. *)
+
+type t
+
+type vec = Commx_bigint.Rational.t array
+
+val ambient_dim : t -> int
+val dim : t -> int
+
+val zero_space : int -> t
+(** The trivial subspace of ℚ^n. *)
+
+val full_space : int -> t
+
+val of_vectors : int -> vec list -> t
+(** [of_vectors n vs] is the span of [vs] in ℚ^n.  Every vector must
+    have length [n]. *)
+
+val of_matrix_columns : Qmatrix.t -> t
+(** Column space ("range"). *)
+
+val of_matrix_rows : Qmatrix.t -> t
+
+val basis : t -> vec list
+(** Canonical (RREF) basis, [dim] vectors. *)
+
+val mem : vec -> t -> bool
+(** Exact membership. *)
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+
+val add : t -> t -> t
+(** Sum of subspaces (span of the union). *)
+
+val intersect : t -> t -> t
+(** Exact intersection, computed from the nullspace of the stacked
+    basis matrix. *)
+
+val intersect_many : t list -> t
+(** Fold of {!intersect}; the full space for an empty list is not
+    defined, so the list must be non-empty.
+    @raise Invalid_argument on an empty list. *)
+
+val spans_everything : t -> bool
+(** Is this subspace all of ℚ^n? *)
+
+val project : t -> int array -> t
+(** [project s coords] is the image of [s] under the coordinate
+    projection keeping the listed coordinates, in order — the map
+    [p] used in Lemma 3.7's dimension-counting argument. *)
+
+val contains_columns : t -> Qmatrix.t -> bool
+(** Do all columns of the matrix lie in the subspace? *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,134 @@
+type t = {
+  u : float array array;
+  sigma : float array;
+  v : float array array;
+}
+
+let dims a = (Array.length a, if Array.length a = 0 then 0 else Array.length a.(0))
+
+let transpose a =
+  let m, n = dims a in
+  Array.init n (fun i -> Array.init m (fun j -> a.(j).(i)))
+
+let mat_mul a b =
+  let m, k = dims a in
+  let k', n = dims b in
+  if k <> k' then invalid_arg "Svd.mat_mul";
+  Array.init m (fun i ->
+      Array.init n (fun j ->
+          let s = ref 0.0 in
+          for l = 0 to k - 1 do
+            s := !s +. (a.(i).(l) *. b.(l).(j))
+          done;
+          !s))
+
+(* One-sided Jacobi: orthogonalize the columns of a working copy W of A
+   by plane rotations, accumulating them into V; at convergence the
+   column norms of W are the singular values and W's normalized columns
+   are U.  Straightforward and robust for the modest sizes we need. *)
+let decompose_tall a =
+  let m, n = dims a in
+  assert (m >= n);
+  let w = Array.map Array.copy a in
+  let v = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1.0 else 0.0)) in
+  let col_dot j1 j2 =
+    let s = ref 0.0 in
+    for i = 0 to m - 1 do
+      s := !s +. (w.(i).(j1) *. w.(i).(j2))
+    done;
+    !s
+  in
+  let eps = 1e-14 in
+  let max_sweeps = 60 in
+  let sweep = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !sweep < max_sweeps do
+    incr sweep;
+    converged := true;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let app = col_dot p p and aqq = col_dot q q and apq = col_dot p q in
+        if Float.abs apq > eps *. sqrt (app *. aqq) && apq <> 0.0 then begin
+          converged := false;
+          let tau = (aqq -. app) /. (2.0 *. apq) in
+          let t =
+            let s = if tau >= 0.0 then 1.0 else -1.0 in
+            s /. ((s *. tau) +. sqrt (1.0 +. (tau *. tau)))
+          in
+          let c = 1.0 /. sqrt (1.0 +. (t *. t)) in
+          let s = c *. t in
+          for i = 0 to m - 1 do
+            let wip = w.(i).(p) and wiq = w.(i).(q) in
+            w.(i).(p) <- (c *. wip) -. (s *. wiq);
+            w.(i).(q) <- (s *. wip) +. (c *. wiq)
+          done;
+          for i = 0 to n - 1 do
+            let vip = v.(i).(p) and viq = v.(i).(q) in
+            v.(i).(p) <- (c *. vip) -. (s *. viq);
+            v.(i).(q) <- (s *. vip) +. (c *. viq)
+          done
+        end
+      done
+    done
+  done;
+  (* Column norms and normalized U; sort descending. *)
+  let sigma = Array.init n (fun j -> sqrt (col_dot j j)) in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> Float.compare sigma.(j) sigma.(i)) order;
+  let sigma_sorted = Array.map (fun j -> sigma.(j)) order in
+  let u =
+    Array.init m (fun i ->
+        Array.init n (fun jj ->
+            let j = order.(jj) in
+            if sigma.(j) > 0.0 then w.(i).(j) /. sigma.(j) else 0.0))
+  in
+  let v_sorted = Array.init n (fun i -> Array.init n (fun jj -> v.(i).(order.(jj)))) in
+  { u; sigma = sigma_sorted; v = v_sorted }
+
+let decompose a =
+  let m, n = dims a in
+  if m >= n then decompose_tall a
+  else begin
+    (* A = U S V^T  <=>  A^T = V S U^T *)
+    let d = decompose_tall (transpose a) in
+    { u = d.v; sigma = d.sigma; v = d.u }
+  end
+
+let singular_values a = (decompose a).sigma
+
+let numeric_rank ?(tol = 1e-9) a =
+  let s = singular_values a in
+  if Array.length s = 0 then 0
+  else begin
+    let smax = s.(0) in
+    if smax = 0.0 then 0
+    else Array.fold_left (fun acc x -> if x > tol *. smax then acc + 1 else acc) 0 s
+  end
+
+let reconstruct d =
+  let n = Array.length d.sigma in
+  let sv =
+    Array.init n (fun i -> Array.init n (fun j -> if i = j then d.sigma.(i) else 0.0))
+  in
+  mat_mul (mat_mul d.u sv) (transpose d.v)
+
+let max_abs_diff a b =
+  let m, n = dims a in
+  let m', n' = dims b in
+  if m <> m' || n <> n' then invalid_arg "Svd.max_abs_diff";
+  let worst = ref 0.0 in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      worst := Float.max !worst (Float.abs (a.(i).(j) -. b.(i).(j)))
+    done
+  done;
+  !worst
+
+let of_zmatrix z =
+  let module B = Commx_bigint.Bigint in
+  Array.init (Zmatrix.rows z) (fun i ->
+      Array.init (Zmatrix.cols z) (fun j ->
+          let v = Zmatrix.get z i j in
+          if B.bit_length v > 53 then
+            failwith "Svd.of_zmatrix: entry exceeds double mantissa"
+          else float_of_int (B.to_int v)))

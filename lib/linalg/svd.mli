@@ -1,0 +1,38 @@
+(** Floating-point singular value decomposition (one-sided Jacobi).
+
+    Corollary 1.2(d) covers the SVD.  Singular values are generally
+    irrational, so an exact SVD over ℚ does not exist; what the paper's
+    reduction actually uses is the *rank* information the SVD carries
+    (the number of nonzero singular values) — and that part we decide
+    exactly elsewhere.  This module is the numerical substrate: a
+    self-contained one-sided Jacobi SVD used to (a) exercise the
+    Corollary 1.2(d) reduction end-to-end and (b) cross-check that the
+    numerical rank (singular values above a tolerance) agrees with the
+    exact rank on integer matrices of moderate bit size.  It is never
+    used for decisions in the core library. *)
+
+type t = {
+  u : float array array;  (** m x n, orthonormal columns for the nonzero part *)
+  sigma : float array;  (** n singular values, descending, >= 0 *)
+  v : float array array;  (** n x n orthogonal *)
+}
+
+val decompose : float array array -> t
+(** One-sided Jacobi on an [m x n] matrix with [m >= n] (transpose
+    first otherwise; this function handles both shapes). *)
+
+val singular_values : float array array -> float array
+(** Descending singular values. *)
+
+val numeric_rank : ?tol:float -> float array array -> int
+(** Singular values above [tol * max sigma] (default relative tolerance
+    1e-9). *)
+
+val reconstruct : t -> float array array
+(** [u * diag(sigma) * v^T], for verification. *)
+
+val max_abs_diff : float array array -> float array array -> float
+
+val of_zmatrix : Zmatrix.t -> float array array
+(** Entry-wise conversion (exact while entries fit a double's mantissa;
+    fails loudly beyond 2^53). *)

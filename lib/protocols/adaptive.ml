@@ -1,0 +1,42 @@
+module P = Commx_comm.Protocol
+module Zm = Commx_linalg.Zmatrix
+module B = Commx_bigint.Bigint
+module W = Commx_bigint.Modarith.Word
+module Primes = Commx_bigint.Primes
+module Prng = Commx_util.Prng
+
+let singularity ~n ~k ~prime_bits ~seed =
+  ignore n;
+  {
+    P.name = Printf.sprintf "adaptive-singularity(b=%d)" prime_bits;
+    run =
+      (fun ch alice bob ->
+        let g = Prng.create seed in
+        let p = Primes.random_prime g ~bits:prime_bits in
+        let md = W.modulus p in
+        let reduce m =
+          Zm.init (Zm.rows m) (Zm.cols m) (fun i j ->
+              B.of_int (W.reduce_big md (Zm.get m i j)))
+        in
+        (* Round 1: residues. *)
+        let msg = P.send ch (Halves.encode ~k:prime_bits (reduce alice)) in
+        let alice_mod = Halves.decode ~k:prime_bits ~rows:(Zm.rows bob) msg in
+        let joined_mod = Halves.join alice_mod (reduce bob) in
+        let full_rank_mod = Zm.rank_mod_p joined_mod p = Zm.rows joined_mod in
+        (* Bob tells Alice whether the certificate fired. *)
+        let certified = P.send_bit ch full_rank_mod in
+        if certified then false (* full rank mod p => nonsingular *)
+        else begin
+          (* Round 2: exact transmission and exact decision. *)
+          let exact = P.send ch (Halves.encode ~k alice) in
+          let alice' = Halves.decode ~k ~rows:(Zm.rows bob) exact in
+          Zm.is_singular (Halves.join alice' bob)
+        end);
+  }
+
+let round1_cost ~n ~k ~prime_bits =
+  ignore k;
+  (2 * n * n * prime_bits) + 1
+
+let round2_cost ~n ~k ~prime_bits =
+  round1_cost ~n ~k ~prime_bits + (2 * n * n * k)

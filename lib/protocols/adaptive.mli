@@ -1,0 +1,30 @@
+(** An adaptive certify-or-fall-back protocol for singularity.
+
+    Theorem 1.1 is a *worst-case* statement.  This protocol makes the
+    gap between worst case and typical case concrete:
+
+    + Round 1 (cheap): both agents derive a shared prime [p] from the
+      public coin; Alice sends her half mod p ([2 n² b] bits).  If the
+      joint matrix has **full rank over GF(p)**, the input is certainly
+      nonsingular (rank mod p never exceeds the true rank) — done, and
+      the answer is *deterministically correct*.
+    + Round 2 (fallback): otherwise Bob requests the exact half
+      (1 bit), Alice sends the remaining information ([2 n² k] bits),
+      and Bob decides exactly.
+
+    Every answer is exact — randomness only affects the *cost*.  On
+    random (generically nonsingular) inputs the protocol almost always
+    stops after round 1; on the paper's singular instances it always
+    pays the full Θ(k n²), which is exactly the regime Theorem 1.1
+    speaks about.  Experiment E13 measures both. *)
+
+val singularity :
+  n:int -> k:int -> prime_bits:int -> seed:int ->
+  (Halves.t, Halves.t) Commx_comm.Protocol.t
+(** The seeded two-round protocol.  Answers are always exact. *)
+
+val round1_cost : n:int -> k:int -> prime_bits:int -> int
+(** Bits when the cheap certificate fires. *)
+
+val round2_cost : n:int -> k:int -> prime_bits:int -> int
+(** Bits on fallback (round 1 + flag + exact transmission). *)

@@ -1,0 +1,90 @@
+module P = Commx_comm.Protocol
+module R = Commx_comm.Randomized
+module Zm = Commx_linalg.Zmatrix
+module Primes = Commx_bigint.Primes
+module Prng = Commx_util.Prng
+
+let prime_bits ~n ~k ~epsilon = Primes.fingerprint_prime_bits ~n ~k ~epsilon
+
+let singularity ~n ~k ~epsilon =
+  let b = prime_bits ~n ~k ~epsilon in
+  {
+    R.name = Printf.sprintf "fingerprint-singularity(b=%d)" b;
+    run_seeded =
+      (fun ~seed ->
+        {
+          P.name = "fingerprint-singularity";
+          run =
+            (fun ch alice bob ->
+              (* Public coin: both agents derive the same prime. *)
+              let g = Prng.create seed in
+              let p = Primes.random_prime g ~bits:b in
+              let rows = Zm.rows alice in
+              (* Alice -> Bob: entries mod p, b bits each. *)
+              let residues =
+                Array.init (rows * Zm.cols alice) (fun idx ->
+                    let v = Zm.get alice (idx mod rows) (idx / rows) in
+                    Commx_bigint.Modarith.Word.reduce_big
+                      (Commx_bigint.Modarith.Word.modulus p)
+                      v)
+              in
+              let sent =
+                P.send ch
+                  (Commx_comm.Encode.encode_entries ~k:b
+                     (Array.map Commx_bigint.Bigint.of_int residues))
+              in
+              let received =
+                Array.map Commx_bigint.Bigint.to_int
+                  (Commx_comm.Encode.decode_entries ~k:b sent)
+              in
+              (* Bob: det over GF(p) of [alice mod p | bob mod p]. *)
+              let joined_mod i j =
+                if j < Zm.cols alice then received.((j * rows) + i)
+                else
+                  Commx_bigint.Modarith.Word.reduce_big
+                    (Commx_bigint.Modarith.Word.modulus p)
+                    (Zm.get bob i (j - Zm.cols alice))
+              in
+              let det_mod =
+                Zm.det_mod_p
+                  (Zm.init rows rows (fun i j ->
+                       Commx_bigint.Bigint.of_int (joined_mod i j)))
+                  p
+              in
+              det_mod = 0);
+        });
+  }
+
+let cost ~n ~k ~epsilon =
+  let b = prime_bits ~n ~k ~epsilon in
+  2 * n * n * b
+
+let amplified ~n ~k ~epsilon ~rounds =
+  if rounds < 1 then invalid_arg "Fingerprint.amplified: rounds < 1";
+  let base = singularity ~n ~k ~epsilon in
+  {
+    R.name = Printf.sprintf "fingerprint-amplified(x%d)" rounds;
+    run_seeded =
+      (fun ~seed ->
+        {
+          P.name = "fingerprint-amplified";
+          run =
+            (fun ch alice bob ->
+              (* Derive independent round seeds from the shared coin;
+                 all rounds run on the SAME channel so the cost adds. *)
+              let g = Prng.create seed in
+              let all_singular = ref true in
+              for _ = 1 to rounds do
+                let round_seed = Prng.int g max_int in
+                let proto = base.R.run_seeded ~seed:round_seed in
+                if not (proto.P.run ch alice bob) then all_singular := false
+              done;
+              !all_singular);
+        });
+  }
+
+let amplified_cost ~n ~k ~epsilon ~rounds = rounds * cost ~n ~k ~epsilon
+
+let expected_shape ~n ~k =
+  let fn = float_of_int n and fk = float_of_int k in
+  fn *. fn *. Float.max (log fn /. log 2.0) (log fk /. log 2.0)

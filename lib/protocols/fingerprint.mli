@@ -1,0 +1,41 @@
+(** The randomized fingerprinting protocol — Leighton's
+    O(n² max(log n, log k)) contrast bound from Section 1.
+
+    Both agents derive a shared random prime [p] of [b] bits from the
+    public coin (the seed).  Alice reduces her half modulo [p] and
+    sends the residues ([2 n² b] bits); Bob computes the determinant of
+    the joined matrix over GF(p) and declares the input singular iff it
+    vanishes.  The error is one-sided: singular inputs are always
+    recognized; a nonsingular input is misjudged only when [p] divides
+    its (nonzero) determinant, which happens with probability at most
+    [epsilon] by the prime-counting argument in
+    {!Commx_bigint.Primes.fingerprint_prime_bits}. *)
+
+val prime_bits : n:int -> k:int -> epsilon:float -> int
+(** Prime size used for the given parameters. *)
+
+val singularity :
+  n:int -> k:int -> epsilon:float ->
+  (Halves.t, Halves.t) Commx_comm.Randomized.t
+(** The seeded protocol family. *)
+
+val cost : n:int -> k:int -> epsilon:float -> int
+(** Exact bits on every input: [2 n² b + b] (residues plus Alice's
+    echo of the prime index is unnecessary — the coin is public — so
+    this is residues only; see implementation note). *)
+
+val expected_shape : n:int -> k:int -> float
+(** The predicted growth law [n² max(log2 n, log2 k)] the measured
+    cost is fitted against in experiment E3. *)
+
+val amplified :
+  n:int -> k:int -> epsilon:float -> rounds:int ->
+  (Halves.t, Halves.t) Commx_comm.Randomized.t
+(** Error amplification by independent repetition: run [rounds]
+    independent fingerprints (fresh prime each) and declare singular
+    only when every round does.  Singular inputs are still always
+    recognized; a nonsingular input survives all rounds with
+    probability at most [epsilon^rounds].  Cost multiplies by
+    [rounds]. *)
+
+val amplified_cost : n:int -> k:int -> epsilon:float -> rounds:int -> int

@@ -1,0 +1,29 @@
+module Zm = Commx_linalg.Zmatrix
+module Bv = Commx_util.Bitvec
+module Encode = Commx_comm.Encode
+
+type t = Zm.t
+
+let split_pi0 m =
+  let dim = Zm.rows m in
+  if not (Zm.is_square m) || dim mod 2 <> 0 then
+    invalid_arg "Halves.split_pi0: need an even square matrix";
+  let n = dim / 2 in
+  let rows_idx = Array.init dim (fun i -> i) in
+  let left = Zm.submatrix m rows_idx (Array.init n (fun j -> j)) in
+  let right = Zm.submatrix m rows_idx (Array.init n (fun j -> n + j)) in
+  (left, right)
+
+let join left right = Zm.hcat left right
+
+let encode ~k h =
+  let entries =
+    Array.init (Zm.rows h * Zm.cols h) (fun idx ->
+        Zm.get h (idx mod Zm.rows h) (idx / Zm.rows h))
+  in
+  Encode.encode_entries ~k entries
+
+let decode ~k ~rows v =
+  let entries = Encode.decode_entries ~k v in
+  let cols = Array.length entries / rows in
+  Zm.init rows cols (fun i j -> entries.((j * rows) + i))

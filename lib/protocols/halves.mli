@@ -1,0 +1,19 @@
+(** Input halves under the column partition π₀.
+
+    Under π₀, Agent 1 (Alice) reads the first [n] columns of the
+    [2n x 2n] input and Agent 2 (Bob) the rest.  A half is represented
+    as the corresponding [2n x n] column block. *)
+
+type t = Commx_linalg.Zmatrix.t
+
+val split_pi0 : Commx_linalg.Zmatrix.t -> t * t
+(** @raise Invalid_argument for non-square or odd-dimension input. *)
+
+val join : t -> t -> Commx_linalg.Zmatrix.t
+(** Inverse of {!split_pi0}. *)
+
+val encode : k:int -> t -> Commx_util.Bitvec.t
+(** Column-major [k]-bit encoding of all entries (entries must lie in
+    [\[0, 2^k)]). *)
+
+val decode : k:int -> rows:int -> Commx_util.Bitvec.t -> t

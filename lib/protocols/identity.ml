@@ -1,0 +1,59 @@
+module P = Commx_comm.Protocol
+module R = Commx_comm.Randomized
+module Bv = Commx_util.Bitvec
+module B = Commx_bigint.Bigint
+module Primes = Commx_bigint.Primes
+module Prng = Commx_util.Prng
+
+let trivial ~m =
+  {
+    P.name = Printf.sprintf "identity-trivial(m=%d)" m;
+    run =
+      (fun ch x y ->
+        let x' = P.send ch x in
+        Bv.equal x' y);
+  }
+
+let fingerprint_bits ~m ~epsilon =
+  (* A nonzero difference value below 2^m has fewer than m prime
+     factors of b bits each; with ~2^(b-2)/(b ln 2) such primes the
+     collision probability is under epsilon once
+     m / primorial <= epsilon. *)
+  let rec find b =
+    if b >= 30 then 30
+    else if float_of_int m /. Primes.primorial_bits b <= epsilon then b
+    else find (b + 1)
+  in
+  find 3
+
+let fingerprint ~m ~epsilon =
+  let b = fingerprint_bits ~m ~epsilon in
+  {
+    R.name = Printf.sprintf "identity-fingerprint(b=%d)" b;
+    run_seeded =
+      (fun ~seed ->
+        {
+          P.name = "identity-fingerprint";
+          run =
+            (fun ch x y ->
+              let g = Prng.create seed in
+              let p = Primes.random_prime g ~bits:b in
+              let residue v =
+                let big = Commx_comm.Encode.decode_bigint v in
+                Commx_bigint.Modarith.Word.reduce_big
+                  (Commx_bigint.Modarith.Word.modulus p)
+                  big
+              in
+              let rx = P.send_int ch ~width:b (residue x) in
+              rx = residue y);
+        });
+  }
+
+let all_inputs ~m =
+  if m > 16 then invalid_arg "Identity.all_inputs: m too large";
+  List.init (1 lsl m) (fun v -> Bv.of_int m v)
+
+let truth_matrix ~m =
+  if m > 10 then invalid_arg "Identity.truth_matrix: m too large";
+  let inputs = all_inputs ~m in
+  Commx_comm.Truth_matrix.build inputs inputs Bv.equal

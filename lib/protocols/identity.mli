@@ -1,0 +1,27 @@
+(** The identity (equality) problem — the baseline behind "the
+    transitivity approach of Vuillemin".
+
+    Given [x] to Alice and [y] to Bob, decide [x = y].  Its truth
+    matrix is the identity matrix, whose diagonal is a fooling set of
+    size [2^m]: communication is exactly m (up to a constant).  The
+    paper's point (Section 1) is that singularity does *not* embed a
+    large identity instance, so this technique cannot prove
+    Theorem 1.1 — experiment E11 contrasts the two.  The randomized
+    side is classic Rabin–Karp fingerprinting with cost O(log m). *)
+
+val trivial : m:int -> (Commx_util.Bitvec.t, Commx_util.Bitvec.t) Commx_comm.Protocol.t
+(** Alice sends x; Bob compares.  Cost m. *)
+
+val fingerprint :
+  m:int -> epsilon:float ->
+  (Commx_util.Bitvec.t, Commx_util.Bitvec.t) Commx_comm.Randomized.t
+(** Alice sends [x mod p] for a shared random prime [p] with
+    O(log(m/epsilon)) bits. *)
+
+val fingerprint_bits : m:int -> epsilon:float -> int
+
+val truth_matrix :
+  m:int -> (Commx_util.Bitvec.t, Commx_util.Bitvec.t) Commx_comm.Truth_matrix.t
+(** The full [2^m x 2^m] truth matrix ([m <= 10]). *)
+
+val all_inputs : m:int -> Commx_util.Bitvec.t list

@@ -1,0 +1,94 @@
+module P = Commx_comm.Protocol
+module R = Commx_comm.Randomized
+module Zm = Commx_linalg.Zmatrix
+module B = Commx_bigint.Bigint
+module W = Commx_bigint.Modarith.Word
+module Primes = Commx_bigint.Primes
+module Prng = Commx_util.Prng
+module Encode = Commx_comm.Encode
+
+type alice = Zm.t
+type bob = Zm.t * Zm.t
+
+let spec a (b, c) = Zm.equal (Zm.mul a b) c
+
+let encode_matrix ~k m =
+  Encode.encode_entries ~k
+    (Array.init (Zm.rows m * Zm.cols m) (fun idx ->
+         Zm.get m (idx mod Zm.rows m) (idx / Zm.rows m)))
+
+let decode_matrix ~k ~rows v =
+  let entries = Encode.decode_entries ~k v in
+  let cols = Array.length entries / rows in
+  Zm.init rows cols (fun i j -> entries.((j * rows) + i))
+
+let trivial ~k =
+  {
+    P.name = "product-verify-trivial";
+    run =
+      (fun ch a (b, c) ->
+        let msg = P.send ch (encode_matrix ~k a) in
+        let a' = decode_matrix ~k ~rows:(Zm.rows b) msg in
+        spec a' (b, c));
+  }
+
+(* Freivalds prime size: error over GF(p) for a random vector r is at
+   most 1/p per trial; entries must also embed injectively enough —
+   a wrong product survives with probability <= 1/p + (chance p
+   divides a fixed nonzero k-bit-combination)... we size p against
+   both epsilon and the k-bit entry range. *)
+let freivalds_prime_bits ~n ~k ~epsilon =
+  let from_eps =
+    int_of_float (ceil (log (2.0 /. epsilon) /. log 2.0)) + 1
+  in
+  let from_entries = Primes.fingerprint_prime_bits ~n ~k ~epsilon in
+  Stdlib.min 30 (Stdlib.max 3 (Stdlib.max from_eps from_entries))
+
+let freivalds ~n ~k ~epsilon =
+  let b_bits = freivalds_prime_bits ~n ~k ~epsilon in
+  {
+    R.name = Printf.sprintf "freivalds(b=%d)" b_bits;
+    run_seeded =
+      (fun ~seed ->
+        {
+          P.name = "freivalds";
+          run =
+            (fun ch a (bm, cm) ->
+              let g = Prng.create seed in
+              let p = Primes.random_prime g ~bits:b_bits in
+              let md = W.modulus p in
+              let dim = Zm.rows bm in
+              (* Shared random vector over GF(p). *)
+              let r = Array.init dim (fun _ -> Prng.int g p) in
+              let mat_vec m v =
+                Array.init (Zm.rows m) (fun i ->
+                    let acc = ref 0 in
+                    for j = 0 to Zm.cols m - 1 do
+                      acc :=
+                        W.add md !acc
+                          (W.mul md (W.reduce_big md (Zm.get m i j)) v.(j))
+                    done;
+                    !acc)
+              in
+              (* Bob -> Alice: B·r and C·r. *)
+              let br = mat_vec bm r and cr = mat_vec cm r in
+              let pack v =
+                Encode.encode_entries ~k:b_bits (Array.map B.of_int v)
+              in
+              let br' =
+                Array.map B.to_int
+                  (Encode.decode_entries ~k:b_bits (P.send ch (pack br)))
+              in
+              let cr' =
+                Array.map B.to_int
+                  (Encode.decode_entries ~k:b_bits (P.send ch (pack cr)))
+              in
+              (* Alice: A·(B·r) =? C·r over GF(p). *)
+              let abr = mat_vec a br' in
+              abr = cr');
+        });
+  }
+
+let freivalds_cost ~n ~k ~epsilon =
+  let b_bits = freivalds_prime_bits ~n ~k ~epsilon in
+  2 * n * b_bits

@@ -1,0 +1,27 @@
+(** Matrix-product verification: "given A, B, C, is A·B = C?"
+
+    Section 1 recalls that the Θ(k n²) deterministic bound for this
+    decision problem (Lin–Wu) gives the rank-n/2 corollaries through
+    the gadget [\[\[I, B\]; \[A, C\]\]].  The fixed partition gives
+    Alice the matrix [A] and Bob the pair [(B, C)].
+
+    Deterministically, Alice ships [A] (k n² bits).  Randomized, this
+    is Freivalds' check over a shared random prime: Bob sends the two
+    vectors [B·r] and [C·r] (2 n b bits), Alice answers whether
+    [A·(B·r) = C·r] — an exponential saving, mirroring the
+    deterministic/randomized gap of the singularity problem. *)
+
+type alice = Commx_linalg.Zmatrix.t
+type bob = Commx_linalg.Zmatrix.t * Commx_linalg.Zmatrix.t
+
+val spec : alice -> bob -> bool
+(** Ground truth [A·B = C] (exact). *)
+
+val trivial : k:int -> (alice, bob) Commx_comm.Protocol.t
+(** Cost [k n²] (Alice's matrix). *)
+
+val freivalds :
+  n:int -> k:int -> epsilon:float -> (alice, bob) Commx_comm.Randomized.t
+
+val freivalds_cost : n:int -> k:int -> epsilon:float -> int
+(** Bits of the two transmitted vectors plus the answer bit. *)

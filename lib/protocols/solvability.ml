@@ -1,0 +1,76 @@
+module P = Commx_comm.Protocol
+module R = Commx_comm.Randomized
+module Zm = Commx_linalg.Zmatrix
+module Qm = Commx_linalg.Qmatrix
+module B = Commx_bigint.Bigint
+module Q = Commx_bigint.Rational
+module Primes = Commx_bigint.Primes
+module Prng = Commx_util.Prng
+
+type alice = Zm.t
+type bob = Zm.t
+
+let split a b =
+  let m = Zm.rows a in
+  if Zm.cols a <> m || Array.length b <> m then
+    invalid_arg "Solvability.split";
+  let aug = Zm.hcat a (Zm.init m 1 (fun i _ -> b.(i))) in
+  let total = m + 1 in
+  let left_cols = total / 2 in
+  let rows_idx = Array.init m (fun i -> i) in
+  ( Zm.submatrix aug rows_idx (Array.init left_cols (fun j -> j)),
+    Zm.submatrix aug rows_idx
+      (Array.init (total - left_cols) (fun j -> left_cols + j)) )
+
+let join alice bob = Zm.hcat alice bob
+
+let solvable_aug aug =
+  (* Last column is b; solvable iff rank A = rank [A | b]. *)
+  let m = Zm.rows aug in
+  let a = Zm.submatrix aug (Array.init m (fun i -> i)) (Array.init (Zm.cols aug - 1) (fun j -> j)) in
+  let b = Zm.col aug (Zm.cols aug - 1) in
+  Qm.solvable (Zm.to_qmatrix a) (Array.map Q.of_bigint b)
+
+let spec alice bob = solvable_aug (join alice bob)
+
+let trivial ~k =
+  {
+    P.name = "solvability-trivial";
+    run =
+      (fun ch alice bob ->
+        let msg = P.send ch (Halves.encode ~k alice) in
+        let alice' = Halves.decode ~k ~rows:(Zm.rows bob) msg in
+        solvable_aug (join alice' bob));
+  }
+
+let fingerprint ~m ~k ~epsilon =
+  let bits = Primes.fingerprint_prime_bits ~n:((m + 1) / 2) ~k ~epsilon in
+  {
+    R.name = Printf.sprintf "solvability-fingerprint(b=%d)" bits;
+    run_seeded =
+      (fun ~seed ->
+        {
+          P.name = "solvability-fingerprint";
+          run =
+            (fun ch alice bob ->
+              let g = Prng.create seed in
+              let p = Primes.random_prime g ~bits in
+              let md = Commx_bigint.Modarith.Word.modulus p in
+              let reduce mtx =
+                Zm.init (Zm.rows mtx) (Zm.cols mtx) (fun i j ->
+                    B.of_int
+                      (Commx_bigint.Modarith.Word.reduce_big md (Zm.get mtx i j)))
+              in
+              let alice_mod = reduce alice in
+              let sent = P.send ch (Halves.encode ~k:bits alice_mod) in
+              let alice' = Halves.decode ~k:bits ~rows:(Zm.rows bob) sent in
+              let aug = join alice' (reduce bob) in
+              (* rank over GF(p) of A vs [A | b] *)
+              let cols = Zm.cols aug in
+              let rows_idx = Array.init (Zm.rows aug) (fun i -> i) in
+              let a_part =
+                Zm.submatrix aug rows_idx (Array.init (cols - 1) (fun j -> j))
+              in
+              Zm.rank_mod_p a_part p = Zm.rank_mod_p aug p);
+        });
+  }

@@ -1,0 +1,28 @@
+(** Protocols for linear-system solvability (Corollary 1.3).
+
+    The input is a pair [(A, b)] with [A] an [m x m] matrix and [b] a
+    vector of [m] k-bit integers, split by π₀ on the augmented matrix
+    [\[A | b\]]: Alice reads the first [(m+1)/2] columns, Bob the rest.
+    The corollary says Θ(k m²) bits are necessary — matching the
+    trivial protocol below — because the hard singularity instances
+    embed into solvability via {!Commx_core.Reductions.solvability_instance}. *)
+
+type alice = Commx_linalg.Zmatrix.t
+(** Left column block of [A | b]. *)
+
+type bob = Commx_linalg.Zmatrix.t
+(** Right column block (includes b). *)
+
+val split : Commx_linalg.Zmatrix.t -> Commx_core.Reductions.bigint array -> alice * bob
+(** Split an instance [(A, b)] into the two agents' views. *)
+
+val spec : alice -> bob -> bool
+(** Ground truth: the system is solvable over ℚ. *)
+
+val trivial : k:int -> (alice, bob) Commx_comm.Protocol.t
+(** Alice ships her columns; Bob decides exactly. *)
+
+val fingerprint :
+  m:int -> k:int -> epsilon:float -> (alice, bob) Commx_comm.Randomized.t
+(** Randomized contrast: decide rank([A]) = rank([A | b]) over a shared
+    random prime.  One-sided-ish error (rank can only drop mod p). *)

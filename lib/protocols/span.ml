@@ -1,0 +1,63 @@
+module P = Commx_comm.Protocol
+module Zm = Commx_linalg.Zmatrix
+module Qm = Commx_linalg.Qmatrix
+module Sub = Commx_linalg.Subspace
+module Q = Commx_bigint.Rational
+module B = Commx_bigint.Bigint
+
+type side = Zm.t
+
+let span_of side = Sub.of_matrix_columns (Zm.to_qmatrix side)
+
+let spec a b = Sub.spans_everything (Sub.add (span_of a) (span_of b))
+
+let encode_side ~k s =
+  Commx_comm.Encode.encode_entries ~k
+    (Array.init (Zm.rows s * Zm.cols s) (fun idx ->
+         Zm.get s (idx mod Zm.rows s) (idx / Zm.rows s)))
+
+let decode_side ~k ~rows v =
+  let entries = Commx_comm.Encode.decode_entries ~k v in
+  let cols = Array.length entries / rows in
+  Zm.init rows cols (fun i j -> entries.((j * rows) + i))
+
+let trivial ~k =
+  {
+    P.name = "span-trivial";
+    run =
+      (fun ch alice bob ->
+        let msg = P.send ch (encode_side ~k alice) in
+        let alice' = decode_side ~k ~rows:(Zm.rows bob) msg in
+        spec alice' bob);
+  }
+
+let dimension_exchange ~k =
+  {
+    P.name = "span-basis-exchange";
+    run =
+      (fun ch alice bob ->
+        (* Alice selects the pivot columns of her own block — a basis
+           of her column span — and ships only those, prefixed by the
+           count. *)
+        let qa = Zm.to_qmatrix alice in
+        let _, _, pivot_cols, _ = Qm.rref_full qa in
+        let basis =
+          Zm.submatrix alice
+            (Array.init (Zm.rows alice) (fun i -> i))
+            pivot_cols
+        in
+        let count =
+          P.send_int ch ~width:(Commx_comm.Encode.bits_for_range (Zm.rows alice + 1))
+            (Zm.cols basis)
+        in
+        let msg = P.send ch (encode_side ~k basis) in
+        let basis' = decode_side ~k ~rows:(Zm.rows bob) msg in
+        assert (Zm.cols basis' = count);
+        spec basis' bob);
+  }
+
+let instance_of_matrix m =
+  let nc = Zm.cols m in
+  let rows_idx = Array.init (Zm.rows m) (fun i -> i) in
+  ( Zm.submatrix m rows_idx (Array.init (nc / 2) (fun j -> j)),
+    Zm.submatrix m rows_idx (Array.init (nc - (nc / 2)) (fun j -> (nc / 2) + j)) )

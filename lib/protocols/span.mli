@@ -1,0 +1,31 @@
+(** The vector-space span problem (Lovász–Saks, Section 1).
+
+    [X] is a finite set of k-bit integer vectors spanning ℚ^dim; Alice
+    holds a subset spanning [V1], Bob one spanning [V2] (the *fixed
+    partition* model); decide whether [V1 ∪ V2] spans the whole space.
+    Lovász–Saks proved the fixed-partition complexity is
+    [log² #subspaces]; Theorem 1.1 pins the unrestricted complexity for
+    the k-bit-vector instantiation because nonsingularity of the hard
+    matrix [M] is exactly "the two column-halves' spans jointly span
+    ℚ^2n". *)
+
+type side = Commx_linalg.Zmatrix.t
+(** A [dim x count] matrix whose columns are the agent's vectors. *)
+
+val spec : side -> side -> bool
+(** Union spans ℚ^dim. *)
+
+val span_of : side -> Commx_linalg.Subspace.t
+(** The subspace spanned by a side's columns. *)
+
+val trivial : k:int -> (side, side) Commx_comm.Protocol.t
+(** Alice ships her vectors; Bob decides.  Cost [k · dim · count]. *)
+
+val dimension_exchange : k:int -> (side, side) Commx_comm.Protocol.t
+(** A smarter two-round protocol: Alice sends a *basis* of her span
+    only (at most [dim] vectors) rather than all her vectors — cheaper
+    when Alice holds many redundant vectors, identical worst case. *)
+
+val instance_of_matrix : Commx_linalg.Zmatrix.t -> side * side
+(** The singularity connection: split a square matrix's columns into
+    halves; the union spans iff the matrix is nonsingular. *)

@@ -1,0 +1,26 @@
+module P = Commx_comm.Protocol
+module Zm = Commx_linalg.Zmatrix
+
+let one_way ~k ~name decide =
+  {
+    P.name;
+    run =
+      (fun ch alice bob ->
+        (* Alice -> Bob: her whole half; Bob decides locally. *)
+        let msg = P.send ch (Halves.encode ~k alice) in
+        let alice_half = Halves.decode ~k ~rows:(Zm.rows bob) msg in
+        decide (Halves.join alice_half bob));
+  }
+
+let singularity ~k = one_way ~k ~name:"trivial-singularity" Zm.is_singular
+
+let rank_decision ~k ~target =
+  one_way ~k
+    ~name:(Printf.sprintf "trivial-rank=%d" target)
+    (fun m -> Zm.rank m = target)
+
+let determinant_zero ~k =
+  one_way ~k ~name:"trivial-det"
+    (fun m -> Commx_bigint.Bigint.is_zero (Zm.det m))
+
+let exact_cost ~n ~k = 2 * n * n * k

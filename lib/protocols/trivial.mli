@@ -1,0 +1,22 @@
+(** The trivial deterministic protocol — the upper-bound side of
+    Theorem 1.1.
+
+    Alice sends her entire π₀ half ([2n² k] bits); Bob reconstructs the
+    matrix and decides exactly.  Theorem 1.1 says no deterministic
+    protocol can beat this by more than a constant factor, which is
+    what makes "trivial" the right answer here — the paper's content is
+    that the obvious protocol is optimal. *)
+
+val singularity : k:int -> (Halves.t, Halves.t) Commx_comm.Protocol.t
+(** Output owned by Bob: [true] iff the joined matrix is singular.
+    Cost is exactly [2 n² k] bits on every input. *)
+
+val rank_decision : k:int -> target:int -> (Halves.t, Halves.t) Commx_comm.Protocol.t
+(** "is rank = target" with the same one-way structure. *)
+
+val determinant_zero : k:int -> (Halves.t, Halves.t) Commx_comm.Protocol.t
+(** Decides via an explicit determinant computation on Bob's side
+    (same cost; exercises Corollary 1.2(a)'s upper bound). *)
+
+val exact_cost : n:int -> k:int -> int
+(** [2 n² k]. *)

@@ -1,0 +1,75 @@
+module P = Commx_comm.Protocol
+module Encode = Commx_comm.Encode
+module Zm = Commx_linalg.Zmatrix
+module B = Commx_bigint.Bigint
+module Bm = Commx_util.Bitmat
+module Bv = Commx_util.Bitvec
+
+type channel = P.channel
+
+let receive_joined ~k ch alice bob =
+  let msg = P.send ch (Halves.encode ~k alice) in
+  let alice' = Halves.decode ~k ~rows:(Zm.rows bob) msg in
+  Halves.join alice' bob
+
+let rank ~k ch alice bob =
+  let m = receive_joined ~k ch alice bob in
+  let r = Zm.rank m in
+  (* Bob -> Alice: the rank value, so both agents know the output. *)
+  P.send_int ch ~width:(Encode.bits_for_range (Zm.rows m + 1)) r
+
+let rank_cost ~n ~k = (2 * n * n * k) + Encode.bits_for_range ((2 * n) + 1)
+
+let hadamard_width ~n ~k =
+  (* |det| <= prod row norms <= (sqrt(2n) * 2^k)^(2n):
+     log2 <= 2n (k + log2(2n)/2); one extra bit of slack. *)
+  let fn = float_of_int (2 * n) in
+  int_of_float (ceil (fn *. (float_of_int k +. (0.5 *. log fn /. log 2.0)))) + 1
+
+let determinant ~k ch alice bob =
+  let m = receive_joined ~k ch alice bob in
+  let n = Zm.rows m / 2 in
+  let d = Zm.det m in
+  let width = hadamard_width ~n ~k in
+  (* sign bit + fixed-width magnitude *)
+  let negative = P.send_bit ch (B.sign d < 0) in
+  let mag = P.send_bigint ch ~width (B.abs d) in
+  if negative then B.neg mag else mag
+
+let determinant_cost ~n ~k = (2 * n * n * k) + 1 + hadamard_width ~n ~k
+
+let lup_structure ~k ch alice bob =
+  let m = receive_joined ~k ch alice bob in
+  let d = Commx_linalg.Lup.decompose (Zm.to_qmatrix m) in
+  let structure = Commx_linalg.Lup.nonzero_structure d.Commx_linalg.Lup.u in
+  (* Bob -> Alice: the bitmap, row by row. *)
+  let dim = Bm.rows structure in
+  let flat = Bv.create (dim * dim) in
+  for i = 0 to dim - 1 do
+    for j = 0 to dim - 1 do
+      if Bm.get structure i j then Bv.set flat ((i * dim) + j) true
+    done
+  done;
+  let received = P.send ch flat in
+  Bm.init dim dim (fun i j -> Bv.get received ((i * dim) + j))
+
+let lup_structure_cost ~n ~k = (2 * n * n * k) + (4 * n * n)
+
+let rank_fingerprint ~n ~k ~epsilon ~seed ch alice bob =
+  let bits = Commx_bigint.Primes.fingerprint_prime_bits ~n ~k ~epsilon in
+  let g = Commx_util.Prng.create seed in
+  let p = Commx_bigint.Primes.random_prime g ~bits in
+  let md = Commx_bigint.Modarith.Word.modulus p in
+  let reduce m =
+    Zm.init (Zm.rows m) (Zm.cols m) (fun i j ->
+        B.of_int (Commx_bigint.Modarith.Word.reduce_big md (Zm.get m i j)))
+  in
+  let msg = P.send ch (Halves.encode ~k:bits (reduce alice)) in
+  let alice' = Halves.decode ~k:bits ~rows:(Zm.rows bob) msg in
+  let joined = Halves.join alice' (reduce bob) in
+  let r = Zm.rank_mod_p joined p in
+  P.send_int ch ~width:(Encode.bits_for_range (Zm.rows joined + 1)) r
+
+let rank_fingerprint_cost ~n ~k ~epsilon =
+  let bits = Commx_bigint.Primes.fingerprint_prime_bits ~n ~k ~epsilon in
+  (2 * n * n * bits) + Encode.bits_for_range ((2 * n) + 1)

@@ -1,0 +1,46 @@
+(** Protocols with multi-bit outputs: computing the rank *value*, the
+    determinant *value*, and the LUP support.
+
+    Corollary 1.2 concerns computing these objects, not just deciding
+    singularity; Ja'Ja' and Prasanna Kumar's technique (cited in the
+    discussion of Corollary 1.3) applies to such multiple-output-bit
+    problems directly.  In Yao's model each agent must know the output
+    bits it is responsible for; here Bob computes and then transmits
+    the result so *both* agents know it, and the result bits are
+    charged to the channel like any other message. *)
+
+type channel = Commx_comm.Protocol.channel
+
+val rank : k:int -> channel -> Halves.t -> Halves.t -> int
+(** Exact rank of the joined matrix; costs
+    [2n²k + bits_for_range(2n+1)]. *)
+
+val rank_cost : n:int -> k:int -> int
+
+val determinant : k:int -> channel -> Halves.t -> Halves.t -> Commx_bigint.Bigint.t
+(** Exact determinant; the return message is sign + magnitude in a
+    fixed width derived from the Hadamard bound of a worst-case k-bit
+    matrix (both agents can compute that width from public
+    parameters). *)
+
+val determinant_cost : n:int -> k:int -> int
+(** Exact bits: [2n²k + 1 + hadamard_width n k]. *)
+
+val hadamard_width : n:int -> k:int -> int
+(** Bits sufficient for |det| of any [2n x 2n] matrix of k-bit
+    entries: [n (2k + 1 + log2 (2n))], rounded up. *)
+
+val lup_structure :
+  k:int -> channel -> Halves.t -> Halves.t -> Commx_util.Bitmat.t
+(** The nonzero structure of the U factor (the weakened Corollary
+    1.2(e) output), transmitted as a [2n x 2n] bitmap. *)
+
+val lup_structure_cost : n:int -> k:int -> int
+
+val rank_fingerprint :
+  n:int -> k:int -> epsilon:float -> seed:int -> channel -> Halves.t -> Halves.t -> int
+(** Randomized rank: rank of the matrix over GF(p) for a shared random
+    prime.  Always a lower bound on the true rank; equals it unless p
+    divides one of finitely many minors (probability <= epsilon). *)
+
+val rank_fingerprint_cost : n:int -> k:int -> epsilon:float -> int

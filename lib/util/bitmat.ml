@@ -1,0 +1,100 @@
+type t = { nrows : int; ncols : int; data : Bitvec.t array }
+
+let create nrows ncols =
+  if nrows < 0 || ncols < 0 then invalid_arg "Bitmat.create";
+  { nrows; ncols; data = Array.init nrows (fun _ -> Bitvec.create ncols) }
+
+let rows m = m.nrows
+let cols m = m.ncols
+
+let check m i j =
+  if i < 0 || i >= m.nrows || j < 0 || j >= m.ncols then
+    invalid_arg "Bitmat: index out of bounds"
+
+let get m i j =
+  check m i j;
+  Bitvec.get m.data.(i) j
+
+let set m i j b =
+  check m i j;
+  Bitvec.set m.data.(i) j b
+
+let copy m =
+  { nrows = m.nrows; ncols = m.ncols; data = Array.map Bitvec.copy m.data }
+
+let equal a b =
+  a.nrows = b.nrows && a.ncols = b.ncols
+  && Array.for_all2 Bitvec.equal a.data b.data
+
+let row m i =
+  if i < 0 || i >= m.nrows then invalid_arg "Bitmat.row";
+  Bitvec.copy m.data.(i)
+
+let init nrows ncols f =
+  let m = create nrows ncols in
+  for i = 0 to nrows - 1 do
+    for j = 0 to ncols - 1 do
+      if f i j then set m i j true
+    done
+  done;
+  m
+
+let transpose m = init m.ncols m.nrows (fun i j -> get m j i)
+
+let mul a b =
+  if a.ncols <> b.nrows then invalid_arg "Bitmat.mul: dimension mismatch";
+  (* Row-oriented: row i of the product is the XOR of the rows of b
+     selected by the set bits of row i of a. *)
+  let r = create a.nrows b.ncols in
+  for i = 0 to a.nrows - 1 do
+    Bitvec.fold_set_bits
+      (fun k () -> Bitvec.xor_into r.data.(i) b.data.(k))
+      a.data.(i) ()
+  done;
+  r
+
+let identity n = init n n (fun i j -> i = j)
+
+let rank m =
+  let work = Array.map Bitvec.copy m.data in
+  let nrows = m.nrows and ncols = m.ncols in
+  let rank = ref 0 in
+  let pivot_row = ref 0 in
+  let col = ref 0 in
+  while !pivot_row < nrows && !col < ncols do
+    (* Find a row with a 1 in the current column at or below pivot_row. *)
+    let found = ref (-1) in
+    let i = ref !pivot_row in
+    while !found < 0 && !i < nrows do
+      if Bitvec.get work.(!i) !col then found := !i;
+      incr i
+    done;
+    (match !found with
+    | -1 -> ()
+    | f ->
+        let tmp = work.(!pivot_row) in
+        work.(!pivot_row) <- work.(f);
+        work.(f) <- tmp;
+        for r = 0 to nrows - 1 do
+          if r <> !pivot_row && Bitvec.get work.(r) !col then
+            Bitvec.xor_into work.(r) work.(!pivot_row)
+        done;
+        incr pivot_row;
+        incr rank);
+    incr col
+  done;
+  !rank
+
+let count_ones m =
+  Array.fold_left (fun acc r -> acc + Bitvec.popcount r) 0 m.data
+
+let submatrix m rs cs =
+  init (Array.length rs) (Array.length cs) (fun i j -> get m rs.(i) cs.(j))
+
+let random g nrows ncols = init nrows ncols (fun _ _ -> Prng.bool g)
+
+let pp ppf m =
+  for i = 0 to m.nrows - 1 do
+    if i > 0 then Format.pp_print_cut ppf ();
+    Format.pp_print_string ppf (Bitvec.to_string m.data.(i))
+  done

@@ -1,0 +1,51 @@
+(** Dense boolean matrices over GF(2).
+
+    Two independent uses in this library:
+    - as *truth matrices* of two-argument boolean functions, where an
+      entry is the function value for a (row argument, column argument)
+      pair, and
+    - as GF(2) linear-algebra objects, where [rank] gives the log-rank
+      communication lower bound of the corresponding truth matrix.
+
+    Rows are stored as {!Bitvec.t}. *)
+
+type t
+
+val create : int -> int -> t
+(** [create rows cols], all zero. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> bool
+val set : t -> int -> int -> bool -> unit
+
+val copy : t -> t
+val equal : t -> t -> bool
+
+val row : t -> int -> Bitvec.t
+(** The row as a bit vector (a copy; mutating it does not affect the
+    matrix). *)
+
+val init : int -> int -> (int -> int -> bool) -> t
+
+val transpose : t -> t
+
+val mul : t -> t -> t
+(** GF(2) matrix product.  Inner dimensions must agree. *)
+
+val identity : int -> t
+
+val rank : t -> int
+(** Rank over GF(2) by row elimination.  Does not mutate. *)
+
+val count_ones : t -> int
+(** Total number of [true] entries. *)
+
+val submatrix : t -> int array -> int array -> t
+(** [submatrix m rs cs] selects the given rows and columns, in order. *)
+
+val random : Prng.t -> int -> int -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints ['0']/['1'] rows, one per line. *)

@@ -1,0 +1,64 @@
+(** Fixed-length mutable bit vectors.
+
+    Used throughout the communication layer to represent transcripts,
+    input halves under a bit partition, and rows of truth matrices.
+    Bits are indexed from 0; storage is packed 62 bits per native
+    word. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-zero vector of length [n]. *)
+
+val length : t -> int
+
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+
+val copy : t -> t
+
+val equal : t -> t -> bool
+(** Structural equality of length and contents. *)
+
+val compare : t -> t -> int
+(** Total order compatible with [equal] (lexicographic on words). *)
+
+val hash : t -> int
+
+val popcount : t -> int
+(** Number of set bits. *)
+
+val xor_into : t -> t -> unit
+(** [xor_into dst src] sets [dst <- dst lxor src].  Lengths must
+    match. *)
+
+val and_into : t -> t -> unit
+val or_into : t -> t -> unit
+
+val is_zero : t -> bool
+
+val fold_set_bits : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over indices of set bits, ascending. *)
+
+val of_int : int -> int -> t
+(** [of_int n v] is the length-[n] vector of the low [n] bits of [v]
+    (bit [i] of the vector = bit [i] of [v]).  Requires [0 <= n <= 62]. *)
+
+val to_int : t -> int
+(** Inverse of [of_int] for lengths at most 62.
+    @raise Invalid_argument when the vector is longer than 62 bits. *)
+
+val random : Prng.t -> int -> t
+(** Uniformly random vector of the given length. *)
+
+val append : t -> t -> t
+
+val sub : t -> int -> int -> t
+(** [sub v pos len] extracts a contiguous slice. *)
+
+val to_string : t -> string
+(** Bits as ['0']/['1'] characters, index 0 first. *)
+
+val of_string : string -> t
+(** Inverse of [to_string].
+    @raise Invalid_argument on characters other than '0'/'1'. *)

@@ -1,0 +1,108 @@
+let iter_tuples radix len f =
+  if radix < 1 || len < 0 then invalid_arg "Combi.iter_tuples";
+  let digits = Array.make len 0 in
+  let rec advance i =
+    (* Increment digit i with carry; false when the counter wraps. *)
+    if i >= len then false
+    else if digits.(i) + 1 < radix then begin
+      digits.(i) <- digits.(i) + 1;
+      true
+    end
+    else begin
+      digits.(i) <- 0;
+      advance (i + 1)
+    end
+  in
+  let continue = ref true in
+  while !continue do
+    f digits;
+    continue := len > 0 && advance 0
+  done
+
+let power b e =
+  if e < 0 then invalid_arg "Combi.power: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then acc * b else acc in
+      if acc <> 0 && abs acc > max_int / max 1 (abs b) && e > 1 then
+        failwith "Combi.power: overflow"
+      else go acc (b * b) (e lsr 1)
+  in
+  (* Overflow check via a second pass in floating point for safety. *)
+  let approx = Float.pow (float_of_int b) (float_of_int e) in
+  if Float.abs approx > 4.0e18 then failwith "Combi.power: overflow";
+  go 1 b e
+
+let count_tuples radix len = power radix len
+
+let iter_subsets n f =
+  if n < 0 || n > 20 then invalid_arg "Combi.iter_subsets";
+  for mask = 0 to (1 lsl n) - 1 do
+    let rec collect i acc =
+      if i < 0 then acc
+      else collect (i - 1) (if mask lsr i land 1 = 1 then i :: acc else acc)
+    in
+    f (collect (n - 1) [])
+  done
+
+let iter_combinations n r f =
+  if r < 0 || n < 0 then invalid_arg "Combi.iter_combinations";
+  if r > n then ()
+  else begin
+    let c = Array.init r (fun i -> i) in
+    let continue = ref true in
+    while !continue do
+      f c;
+      (* Find the rightmost index that can still be advanced. *)
+      let i = ref (r - 1) in
+      while !i >= 0 && c.(!i) = n - r + !i do
+        decr i
+      done;
+      if !i < 0 then continue := false
+      else begin
+        c.(!i) <- c.(!i) + 1;
+        for j = !i + 1 to r - 1 do
+          c.(j) <- c.(j - 1) + 1
+        done
+      end
+    done
+  end
+
+let iter_permutations n f =
+  if n < 0 || n > 10 then invalid_arg "Combi.iter_permutations";
+  let a = Array.init n (fun i -> i) in
+  (* Heap's algorithm, iterative form. *)
+  let c = Array.make n 0 in
+  f a;
+  let i = ref 0 in
+  while !i < n do
+    if c.(!i) < !i then begin
+      let j = if !i mod 2 = 0 then 0 else c.(!i) in
+      let tmp = a.(j) in
+      a.(j) <- a.(!i);
+      a.(!i) <- tmp;
+      f a;
+      c.(!i) <- c.(!i) + 1;
+      i := 0
+    end
+    else begin
+      c.(!i) <- 0;
+      incr i
+    end
+  done
+
+let factorial n =
+  if n < 0 then invalid_arg "Combi.factorial";
+  let rec go acc i = if i > n then acc else go (acc * i) (i + 1) in
+  if n > 20 then failwith "Combi.factorial: overflow" else go 1 1
+
+let binomial n r =
+  if r < 0 || n < 0 then invalid_arg "Combi.binomial";
+  if r > n then 0
+  else
+    let r = min r (n - r) in
+    let rec go acc i =
+      if i > r then acc else go (acc * (n - r + i) / i) (i + 1)
+    in
+    go 1 1

@@ -1,0 +1,35 @@
+(** Enumeration helpers for exhaustive small-instance experiments.
+
+    The lower-bound experiments (E2, E8) enumerate every assignment of a
+    handful of bounded integer variables — for example every instance of
+    the free submatrices C and E of Fig. 3 for tiny n and q.  These
+    helpers iterate such product spaces without materializing them. *)
+
+val iter_tuples : int -> int -> (int array -> unit) -> unit
+(** [iter_tuples radix len f] calls [f] on every array of [len] digits
+    in [\[0, radix)], in lexicographic order.  The array is reused
+    between calls; copy it if you keep it.  [radix >= 1], [len >= 0]. *)
+
+val count_tuples : int -> int -> int
+(** [count_tuples radix len = radix ^ len], erroring on overflow of the
+    native integer range. *)
+
+val iter_subsets : int -> (int list -> unit) -> unit
+(** [iter_subsets n f] calls [f] on every subset of [\[0, n)], as a
+    sorted list, in binary-counter order.  [n <= 20] to keep the space
+    enumerable. *)
+
+val iter_combinations : int -> int -> (int array -> unit) -> unit
+(** [iter_combinations n r f] calls [f] on every sorted [r]-element
+    combination drawn from [\[0, n)].  The array is reused. *)
+
+val iter_permutations : int -> (int array -> unit) -> unit
+(** [iter_permutations n f] calls [f] on every permutation of [\[0, n)]
+    (Heap's algorithm; the array is reused).  [n <= 10]. *)
+
+val factorial : int -> int
+val binomial : int -> int -> int
+
+val power : int -> int -> int
+(** [power b e] for [e >= 0] with overflow detection.
+    @raise Failure on native-int overflow. *)

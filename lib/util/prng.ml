@@ -1,0 +1,73 @@
+(* SplitMix64.  State advances by the golden-ratio Weyl constant; output
+   is the mixed state.  See Steele, Lea & Flood, "Fast splittable
+   pseudorandom number generators", OOPSLA 2014. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy g = { state = g.state }
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g =
+  let s = bits64 g in
+  { state = mix64 s }
+
+let bool g = Int64.compare (bits64 g) 0L < 0
+
+(* Non-negative 62-bit value: avoids OCaml int overflow on 64-bit
+   platforms where native ints carry 63 bits. *)
+let bits62 g = Int64.to_int (Int64.shift_right_logical (bits64 g) 2)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling for exact uniformity. *)
+  let max62 = (1 lsl 62) - 1 in
+  let limit = max62 - (max62 mod bound) in
+  let rec draw () =
+    let v = bits62 g in
+    if v >= limit then draw () else v mod bound
+  in
+  draw ()
+
+let int_incl g lo hi =
+  if lo > hi then invalid_arg "Prng.int_incl: lo > hi";
+  lo + int g (hi - lo + 1)
+
+let float g =
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 g) 11) in
+  float_of_int v *. 0x1p-53
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose g a =
+  if Array.length a = 0 then invalid_arg "Prng.choose: empty array";
+  a.(int g (Array.length a))
+
+let sample_without_replacement g m n =
+  if m < 0 || m > n then invalid_arg "Prng.sample_without_replacement";
+  (* Partial Fisher-Yates over an index table. *)
+  let idx = Array.init n (fun i -> i) in
+  for i = 0 to m - 1 do
+    let j = int_incl g i (n - 1) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  Array.sub idx 0 m

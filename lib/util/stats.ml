@@ -1,0 +1,79 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.mean: empty sample";
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.variance: empty sample";
+  if n = 1 then 0.0
+  else
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    ss /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty sample";
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0)) xs
+
+let median xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.median: empty sample";
+  let s = Array.copy xs in
+  Array.sort Float.compare s;
+  if n mod 2 = 1 then s.(n / 2) else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.0
+
+let ci95_halfwidth xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.ci95_halfwidth: empty sample";
+  1.96 *. stddev xs /. sqrt (float_of_int n)
+
+let linear_fit pts =
+  let n = Array.length pts in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let fn = float_of_int n in
+  let sx = Array.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+  let sy = Array.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+  let sxx = Array.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+  let sxy = Array.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+  let denom = (fn *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-30 then
+    invalid_arg "Stats.linear_fit: degenerate x values";
+  let slope = ((fn *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. fn in
+  let ybar = sy /. fn in
+  let ss_tot = Array.fold_left (fun a (_, y) -> a +. ((y -. ybar) ** 2.)) 0.0 pts in
+  let ss_res =
+    Array.fold_left
+      (fun a (x, y) -> a +. ((y -. (slope *. x) -. intercept) ** 2.))
+      0.0 pts
+  in
+  let r2 = if ss_tot <= 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+  (slope, intercept, r2)
+
+let proportional_fit pts =
+  let n = Array.length pts in
+  if n = 0 then invalid_arg "Stats.proportional_fit: empty sample";
+  let sxy = Array.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+  let sxx = Array.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+  if sxx <= 0.0 then invalid_arg "Stats.proportional_fit: degenerate x values";
+  let c = sxy /. sxx in
+  let sy = Array.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+  let ybar = sy /. float_of_int n in
+  let ss_tot = Array.fold_left (fun a (_, y) -> a +. ((y -. ybar) ** 2.)) 0.0 pts in
+  let ss_res =
+    Array.fold_left (fun a (x, y) -> a +. ((y -. (c *. x)) ** 2.)) 0.0 pts
+  in
+  let r2 = if ss_tot <= 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+  (c, r2)
+
+let log_log_slope pts =
+  let ok = Array.for_all (fun (x, y) -> x > 0.0 && y > 0.0) pts in
+  if not ok then invalid_arg "Stats.log_log_slope: non-positive coordinate";
+  let logged = Array.map (fun (x, y) -> (log x, log y)) pts in
+  let slope, _, _ = linear_fit logged in
+  slope

@@ -1,0 +1,38 @@
+(** Small statistics toolkit for the experiment harness.
+
+    Everything operates on [float array] samples.  Used by the benches
+    to report means, deviations, confidence intervals, and least-squares
+    fits of measured protocol cost against predicted growth laws (for
+    example bits against [k * n * n] in experiment E1). *)
+
+val mean : float array -> float
+(** Arithmetic mean.  @raise Invalid_argument on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (n-1 denominator); 0 for singletons. *)
+
+val stddev : float array -> float
+
+val min_max : float array -> float * float
+
+val median : float array -> float
+(** Median (average of middle two for even lengths).  Does not mutate. *)
+
+val ci95_halfwidth : float array -> float
+(** Half-width of the normal-approximation 95% confidence interval of
+    the mean: [1.96 * stddev / sqrt n]. *)
+
+val linear_fit : (float * float) array -> float * float * float
+(** [linear_fit pts] returns [(slope, intercept, r2)] of the
+    least-squares line through the [(x, y)] points.
+    @raise Invalid_argument with fewer than two points. *)
+
+val proportional_fit : (float * float) array -> float * float
+(** [proportional_fit pts] fits [y = c * x] (no intercept) and returns
+    [(c, r2)], where [r2] is computed against the centered total sum of
+    squares.  Used to check "cost = c * predictor" growth laws. *)
+
+val log_log_slope : (float * float) array -> float
+(** Slope of the least-squares line through [(log x, log y)]: the
+    empirical polynomial degree of a power-law relationship.  Points
+    with non-positive coordinates are rejected. *)

@@ -1,0 +1,83 @@
+type align = Left | Right
+
+type line = Row of string list | Rule
+
+type t = {
+  caption : string option;
+  header : string list;
+  aligns : align list;
+  mutable lines : line list; (* reversed *)
+}
+
+let make ?caption ~header aligns =
+  if List.length header <> List.length aligns then
+    invalid_arg "Tab.make: header/aligns length mismatch";
+  { caption; header; aligns; lines = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.header then
+    invalid_arg "Tab.add_row: width mismatch";
+  t.lines <- Row cells :: t.lines
+
+let add_rule t = t.lines <- Rule :: t.lines
+
+let render t =
+  let lines = List.rev t.lines in
+  let ncols = List.length t.header in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri
+      (fun i c -> widths.(i) <- max widths.(i) (String.length c))
+      cells
+  in
+  measure t.header;
+  List.iter (function Row cells -> measure cells | Rule -> ()) lines;
+  let pad align width s =
+    let fill = String.make (width - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let buf = Buffer.create 1024 in
+  (match t.caption with
+  | Some c ->
+      Buffer.add_string buf c;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  let rule () =
+    Array.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "-+-";
+        Buffer.add_string buf (String.make w '-'))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit_row cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        let align = List.nth t.aligns i in
+        Buffer.add_string buf (pad align widths.(i) c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.header;
+  rule ();
+  List.iter (function Row cells -> emit_row cells | Rule -> rule ()) lines;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_float ?(digits = 2) x = Printf.sprintf "%.*f" digits x
+
+let fmt_ratio x = Printf.sprintf "%.2fx" x
+
+let fmt_int_thousands n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3) + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

@@ -1,0 +1,35 @@
+(** Plain-text table rendering for experiment output.
+
+    Every experiment in the bench harness prints its results as an
+    aligned ASCII table with a caption, in the spirit of the rows a
+    paper's evaluation section would report.  Cells are strings;
+    alignment is per column. *)
+
+type align = Left | Right
+
+type t
+
+val make : ?caption:string -> header:string list -> align list -> t
+(** [make ~caption ~header aligns] starts a table.  [aligns] must have
+    the same length as [header]. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row.  Must match the header width. *)
+
+val add_rule : t -> unit
+(** Appends a horizontal rule (drawn between the surrounding rows). *)
+
+val render : t -> string
+(** The finished table, newline terminated. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val fmt_float : ?digits:int -> float -> string
+(** Fixed-point float formatting, default 2 digits. *)
+
+val fmt_ratio : float -> string
+(** A ratio with a trailing [x], e.g. ["3.20x"]. *)
+
+val fmt_int_thousands : int -> string
+(** Integer with thousands separators: [1234567 -> "1,234,567"]. *)

@@ -1,0 +1,136 @@
+type t = {
+  h : int;
+  w : int;
+  cells : int option array array;  (* port bit index per cell *)
+}
+
+let make ~h ~w =
+  if h <= 0 || w <= 0 then invalid_arg "Layout.make";
+  { h; w; cells = Array.init h (fun _ -> Array.make w None) }
+
+let h t = t.h
+let w t = t.w
+let area t = t.h * t.w
+
+let place_port t ~row ~col ~bit =
+  if row < 0 || row >= t.h || col < 0 || col >= t.w then
+    invalid_arg "Layout.place_port: out of grid";
+  match t.cells.(row).(col) with
+  | Some _ -> invalid_arg "Layout.place_port: cell occupied"
+  | None -> t.cells.(row).(col) <- Some bit
+
+let ports t =
+  let acc = ref [] in
+  for row = t.h - 1 downto 0 do
+    for col = t.w - 1 downto 0 do
+      match t.cells.(row).(col) with
+      | Some bit -> acc := (row, col, bit) :: !acc
+      | None -> ()
+    done
+  done;
+  !acc
+
+let port_count t = List.length (ports t)
+
+let square_reader ~bits =
+  if bits <= 0 then invalid_arg "Layout.square_reader";
+  let side = int_of_float (ceil (sqrt (float_of_int bits))) in
+  let t = make ~h:side ~w:side in
+  for b = 0 to bits - 1 do
+    place_port t ~row:(b / side) ~col:(b mod side) ~bit:b
+  done;
+  t
+
+let strip_reader ~bits ~rows =
+  if bits <= 0 || rows <= 0 then invalid_arg "Layout.strip_reader";
+  let cols = (bits + rows - 1) / rows in
+  let t = make ~h:rows ~w:cols in
+  for b = 0 to bits - 1 do
+    place_port t ~row:(b mod rows) ~col:(b / rows) ~bit:b
+  done;
+  t
+
+type cut = {
+  vertical : bool;
+  position : int;
+  crossing : int;
+  left_ports : int;
+}
+
+let sweep_cuts t =
+  let vertical =
+    List.init (t.w - 1) (fun c ->
+        let pos = c + 1 in
+        let left = ref 0 in
+        for row = 0 to t.h - 1 do
+          for col = 0 to pos - 1 do
+            if t.cells.(row).(col) <> None then incr left
+          done
+        done;
+        { vertical = true; position = pos; crossing = t.h; left_ports = !left })
+  in
+  let horizontal =
+    List.init (t.h - 1) (fun r ->
+        let pos = r + 1 in
+        let left = ref 0 in
+        for row = 0 to pos - 1 do
+          for col = 0 to t.w - 1 do
+            if t.cells.(row).(col) <> None then incr left
+          done
+        done;
+        { vertical = false; position = pos; crossing = t.w; left_ports = !left })
+  in
+  vertical @ horizontal
+
+let thompson_cut t =
+  let n = port_count t in
+  if n = 0 then invalid_arg "Layout.thompson_cut: no ports";
+  let half = n / 2 in
+  let score c = (abs (c.left_ports - half), c.crossing) in
+  match sweep_cuts t with
+  | [] -> invalid_arg "Layout.thompson_cut: 1x1 grid"
+  | first :: rest ->
+      List.fold_left
+        (fun best c -> if score c < score best then c else best)
+        first rest
+
+let min_crossing_balanced_cut t =
+  let n = port_count t in
+  if n = 0 then invalid_arg "Layout.min_crossing_balanced_cut: no ports";
+  let half = n / 2 in
+  let tolerance = Stdlib.max t.h t.w in
+  let balanced =
+    List.filter (fun c -> abs (c.left_ports - half) <= tolerance) (sweep_cuts t)
+  in
+  match balanced with
+  | [] -> thompson_cut t
+  | first :: rest ->
+      List.fold_left
+        (fun best c -> if c.crossing < best.crossing then c else best)
+        first rest
+
+let vertex_id t row col = (row * t.w) + col
+
+let bisection_width_exact t ~parts =
+  let ps = Array.of_list (ports t) in
+  let i1, i2 = parts in
+  if i1 < 0 || i2 < 0 || i1 >= Array.length ps || i2 >= Array.length ps then
+    invalid_arg "Layout.bisection_width_exact: bad port indices";
+  let r1, c1, _ = ps.(i1) and r2, c2, _ = ps.(i2) in
+  let g = Maxflow.create (t.h * t.w) in
+  for row = 0 to t.h - 1 do
+    for col = 0 to t.w - 1 do
+      let v = vertex_id t row col in
+      if col + 1 < t.w then begin
+        let u = vertex_id t row (col + 1) in
+        Maxflow.add_edge g ~src:v ~dst:u ~cap:1;
+        Maxflow.add_edge g ~src:u ~dst:v ~cap:1
+      end;
+      if row + 1 < t.h then begin
+        let u = vertex_id t (row + 1) col in
+        Maxflow.add_edge g ~src:v ~dst:u ~cap:1;
+        Maxflow.add_edge g ~src:u ~dst:v ~cap:1
+      end
+    done
+  done;
+  Maxflow.max_flow g ~source:(vertex_id t r1 c1) ~sink:(vertex_id t r2 c2)

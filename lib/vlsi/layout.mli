@@ -1,0 +1,68 @@
+(** Thompson's grid model of VLSI chips.
+
+    A chip is an [h x w] grid of unit cells; wires run along grid
+    edges; some cells are *input ports*, each reading one input bit
+    (multiple reads of the same bit are allowed but each port pays
+    area).  The area is [h·w].  Thompson's observation (1979): some
+    vertical or horizontal grid line splits the ports nearly evenly
+    while cutting at most [min(h, w) <= sqrt(A)] wires; if the function
+    needs [I] bits exchanged across every even split, the computation
+    time satisfies [T >= I / cut] — hence [A T² = Ω(I²)]. *)
+
+type t
+
+val make : h:int -> w:int -> t
+(** Empty grid. *)
+
+val h : t -> int
+val w : t -> int
+val area : t -> int
+
+val place_port : t -> row:int -> col:int -> bit:int -> unit
+(** Mark the cell as a port for input bit [bit].  A cell holds at most
+    one port. @raise Invalid_argument on occupied cells. *)
+
+val ports : t -> (int * int * int) list
+(** [(row, col, bit)] for every port. *)
+
+val port_count : t -> int
+
+val square_reader : bits:int -> t
+(** A near-square chip that reads [bits] input bits, one per cell, in
+    row-major order — the minimum-area design (A = Θ(I)). *)
+
+val strip_reader : bits:int -> rows:int -> t
+(** A [rows]-tall strip reading the bits column by column — the
+    elongated family whose cuts are cheap ([rows] wires), trading time
+    for area. *)
+
+type cut = {
+  vertical : bool;
+  position : int;  (** cut between position-1 and position *)
+  crossing : int;  (** wires severed: h for vertical cuts, w for horizontal *)
+  left_ports : int;  (** ports on the low side *)
+}
+
+val sweep_cuts : t -> cut list
+(** All grid-line cuts, both orientations. *)
+
+val thompson_cut : t -> cut
+(** The most balanced cut: minimizes |left - half| then crossing —
+    Thompson's bisection witness.
+    @raise Invalid_argument on a chip with no ports. *)
+
+val min_crossing_balanced_cut : t -> cut
+(** The cheapest *nearly balanced* cut: among cuts whose port split is
+    within one grid line of even ([|left - half| <= max(h, w)], which
+    the sweep argument guarantees non-vacuous), the one with minimum
+    crossing.  This is the cut that binds the time lower bound: the
+    protocol induced by ANY balanced cut must move the communication
+    complexity across it, so [T >= I / crossing] for each, and the
+    smallest crossing gives the strongest constraint.
+    @raise Invalid_argument on a chip with no ports. *)
+
+val bisection_width_exact : t -> parts:(int * int) -> int
+(** Exact minimum edge cut separating two given port cells
+    (via max-flow on the grid graph with unit edge capacities) — the
+    substrate check that sweep cuts are within a constant of optimal on
+    our layouts.  [parts] are port indices into {!ports}. *)

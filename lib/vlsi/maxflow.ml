@@ -1,0 +1,126 @@
+(* Dinic's algorithm with adjacency lists of edge indices and paired
+   reverse edges at index lxor 1. *)
+
+type edge = { dst : int; mutable cap : int }
+
+type t = {
+  n : int;
+  mutable edges : edge array;
+  mutable edge_count : int;
+  adj : int list array;  (* per-vertex edge indices, built mutably *)
+  mutable adj_built : int list array;
+}
+
+let create n =
+  {
+    n;
+    edges = Array.make 16 { dst = 0; cap = 0 };
+    edge_count = 0;
+    adj = Array.make n [];
+    adj_built = [||];
+  }
+
+let push g e =
+  if g.edge_count = Array.length g.edges then begin
+    let bigger = Array.make (2 * Array.length g.edges) e in
+    Array.blit g.edges 0 bigger 0 g.edge_count;
+    g.edges <- bigger
+  end;
+  g.edges.(g.edge_count) <- e;
+  g.edge_count <- g.edge_count + 1
+
+let add_edge g ~src ~dst ~cap =
+  if src < 0 || src >= g.n || dst < 0 || dst >= g.n || cap < 0 then
+    invalid_arg "Maxflow.add_edge";
+  let idx = g.edge_count in
+  push g { dst; cap };
+  push g { dst = src; cap = 0 };
+  g.adj.(src) <- idx :: g.adj.(src);
+  g.adj.(dst) <- (idx + 1) :: g.adj.(dst)
+
+let bfs_levels g ~source ~sink =
+  let level = Array.make g.n (-1) in
+  let queue = Queue.create () in
+  level.(source) <- 0;
+  Queue.push source queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun ei ->
+        let e = g.edges.(ei) in
+        if e.cap > 0 && level.(e.dst) < 0 then begin
+          level.(e.dst) <- level.(v) + 1;
+          Queue.push e.dst queue
+        end)
+      g.adj.(v)
+  done;
+  if level.(sink) < 0 then None else Some level
+
+let max_flow g ~source ~sink =
+  if source = sink then invalid_arg "Maxflow.max_flow: source = sink";
+  let total = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match bfs_levels g ~source ~sink with
+    | None -> continue := false
+    | Some level ->
+        (* Iterators over remaining edges per vertex (current-arc). *)
+        let arcs = Array.map (fun l -> ref l) g.adj in
+        let rec dfs v pushed =
+          if v = sink then pushed
+          else begin
+            let sent = ref 0 in
+            let rec try_arcs () =
+              match !(arcs.(v)) with
+              | [] -> ()
+              | ei :: rest ->
+                  let e = g.edges.(ei) in
+                  if e.cap > 0 && level.(e.dst) = level.(v) + 1 then begin
+                    let got = dfs e.dst (min pushed e.cap) in
+                    if got > 0 then begin
+                      e.cap <- e.cap - got;
+                      g.edges.(ei lxor 1).cap <- g.edges.(ei lxor 1).cap + got;
+                      sent := got
+                    end
+                    else begin
+                      arcs.(v) := rest;
+                      try_arcs ()
+                    end
+                  end
+                  else begin
+                    arcs.(v) := rest;
+                    try_arcs ()
+                  end
+            in
+            try_arcs ();
+            !sent
+          end
+        in
+        let rec pump () =
+          let got = dfs source max_int in
+          if got > 0 then begin
+            total := !total + got;
+            pump ()
+          end
+        in
+        pump ()
+  done;
+  !total
+
+let min_cut_side g ~source =
+  let seen = Array.make g.n false in
+  let queue = Queue.create () in
+  seen.(source) <- true;
+  Queue.push source queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun ei ->
+        let e = g.edges.(ei) in
+        if e.cap > 0 && not seen.(e.dst) then begin
+          seen.(e.dst) <- true;
+          Queue.push e.dst queue
+        end)
+      g.adj.(v)
+  done;
+  List.filter (fun v -> seen.(v)) (List.init g.n (fun v -> v))

@@ -1,0 +1,24 @@
+(** Maximum flow (Dinic's algorithm) on integer-capacity digraphs.
+
+    The min-cut engine behind the Thompson-model analysis: the
+    bisection width of a chip graph — the smallest number of wires
+    whose removal splits the input ports evenly — is a max-flow
+    quantity, and it is what bounds the information that can cross
+    between the two halves per unit time. *)
+
+type t
+
+val create : int -> t
+(** [create n]: empty graph on vertices [0 .. n-1]. *)
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> unit
+(** Directed edge; parallel edges allowed.  For an undirected edge add
+    both directions with the same capacity. *)
+
+val max_flow : t -> source:int -> sink:int -> int
+(** Runs Dinic.  The graph's flow state is consumed: create a fresh
+    graph per query. *)
+
+val min_cut_side : t -> source:int -> int list
+(** After {!max_flow}, the vertices reachable from [source] in the
+    residual graph — the source side of a minimum cut. *)

@@ -1,0 +1,61 @@
+module Bounds = Commx_core.Bounds
+
+type design = {
+  name : string;
+  layout : Layout.t;
+  time_estimate : float;
+}
+
+let evaluate ~info_bits layout ~name =
+  (* T >= I / crossing for every nearly balanced cut; the cheapest such
+     cut binds. *)
+  let cut = Layout.min_crossing_balanced_cut layout in
+  let cut_limited = info_bits /. float_of_int cut.Layout.crossing in
+  let time = Float.max 1.0 cut_limited in
+  { name; layout; time_estimate = time }
+
+let at2 d =
+  float_of_int (Layout.area d.layout) *. (d.time_estimate ** 2.0)
+
+let designs_for ~n ~k =
+  let bits = k * (2 * n) * (2 * n) in
+  let info = Bounds.info_bits ~n ~k in
+  let square =
+    evaluate ~info_bits:info (Layout.square_reader ~bits) ~name:"square"
+  in
+  let strips =
+    List.filter_map
+      (fun rows ->
+        if rows < int_of_float (sqrt (float_of_int bits)) && rows >= 1 then
+          Some
+            (evaluate ~info_bits:info
+               (Layout.strip_reader ~bits ~rows)
+               ~name:(Printf.sprintf "strip-h%d" rows))
+        else None)
+      [ 1; 2; 4; 8; 16; 32 ]
+  in
+  square :: strips
+
+type bound_row = {
+  bn : int;
+  bk : int;
+  info : float;
+  at2_bound : float;
+  our_t : float;
+  cm_t : float;
+  our_at : float;
+  cm_at : float;
+}
+
+let bound_row ~n ~k =
+  let info = Bounds.info_bits ~n ~k in
+  {
+    bn = n;
+    bk = k;
+    info;
+    at2_bound = Bounds.at2_lower ~info_bits:info;
+    our_t = Bounds.our_time_lower ~n ~k;
+    cm_t = Bounds.chazelle_monier_time_lower ~n;
+    our_at = Bounds.our_at_lower ~n ~k;
+    cm_at = Bounds.chazelle_monier_at_lower ~n;
+  }

@@ -1,0 +1,42 @@
+(** Area–time tradeoff evaluation (Section 1's motivation).
+
+    Communication complexity [I] forces, for any chip computing the
+    function: [T >= I / cut] across every balanced cut, and Thompson's
+    sweep guarantees a balanced cut of at most [min(h, w)] wires, so
+    [A T² >= I²] and with [A >= I] also [A T^(2a) >= I^(1+a)].  This
+    module evaluates concrete chip designs for singularity testing
+    against those bounds and against the Chazelle–Monier figures
+    quoted in the paper. *)
+
+type design = {
+  name : string;
+  layout : Layout.t;
+  time_estimate : float;
+  (** cycles for the design to absorb its inputs and push the needed
+      information across its own Thompson cut: max(ports, I / cut) *)
+}
+
+val evaluate : info_bits:float -> Layout.t -> name:string -> design
+(** Attach the cut-limited time estimate to a layout. *)
+
+val at2 : design -> float
+(** [area * time²]. *)
+
+val designs_for : n:int -> k:int -> design list
+(** A family of chips reading the [k·(2n)²] input bits of a
+    singularity instance, from square to extreme strips — the frontier
+    that the AT² lower bound shapes. *)
+
+type bound_row = {
+  bn : int;
+  bk : int;
+  info : float;
+  at2_bound : float;  (** Thompson/Theorem 1.1: I² *)
+  our_t : float;  (** T = Ω(√k n) *)
+  cm_t : float;  (** Chazelle–Monier T = Ω(n) *)
+  our_at : float;  (** A T = Ω(k^(3/2) n³) *)
+  cm_at : float;  (** Chazelle–Monier A T = Ω(n²) *)
+}
+
+val bound_row : n:int -> k:int -> bound_row
+(** The comparison row of experiment E10. *)

@@ -1,0 +1,686 @@
+(* Tests for the paper's constructions: parameters, the base-(-q)
+   gadget, the Fig. 1/3 hard instances, Lemma 3.2 (singularity
+   criterion), Lemma 3.5(a) (completion), the restricted-truth-matrix
+   machinery (Lemmas 3.3/3.4/3.6), Definition 3.8 / Lemma 3.9 (proper
+   partitions), the padding reduction, the Corollary 1.2/1.3
+   reductions, and the bound calculators. *)
+
+module B = Commx_bigint.Bigint
+module Q = Commx_bigint.Rational
+module Zm = Commx_linalg.Zmatrix
+module Sub = Commx_linalg.Subspace
+module Prng = Commx_util.Prng
+module Params = Commx_core.Params
+module Gadget = Commx_core.Gadget
+module H = Commx_core.Hard_instance
+module L32 = Commx_core.Lemma32
+module L35 = Commx_core.Lemma35
+module Tr = Commx_core.Truth_restricted
+module L39 = Commx_core.Lemma39
+module Padding = Commx_core.Padding
+module Red = Commx_core.Reductions
+module Bounds = Commx_core.Bounds
+module Partition = Commx_comm.Partition
+
+let bi = Alcotest.testable B.pp B.equal
+
+let qtest ?(count = 100) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+let small_params = [ (5, 2); (7, 2); (5, 3); (9, 2); (5, 4); (7, 3) ]
+
+let gen_param_seed =
+  QCheck.Gen.(
+    oneofl small_params >>= fun (n, k) ->
+    int_range 0 1_000_000 >>= fun seed -> return (n, k, seed))
+
+let arb_param_seed =
+  QCheck.make
+    ~print:(fun (n, k, s) -> Printf.sprintf "n=%d k=%d seed=%d" n k s)
+    gen_param_seed
+
+(* ------------------------------------------------------------------ *)
+(* Params                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_params_validation () =
+  Alcotest.(check bool) "5,2 valid" true (Params.is_valid ~n:5 ~k:2);
+  Alcotest.(check bool) "even n invalid" false (Params.is_valid ~n:6 ~k:2);
+  Alcotest.(check bool) "n=3 invalid" false (Params.is_valid ~n:3 ~k:2);
+  Alcotest.(check bool) "k=1 invalid" false (Params.is_valid ~n:5 ~k:1);
+  Alcotest.check_raises "make rejects"
+    (Invalid_argument
+       "Params.make: need n odd >= 5, k >= 2, and n - 3 - ceil(log_q n) >= \
+        0 (got n=4 k=2)") (fun () -> ignore (Params.make ~n:4 ~k:2))
+
+let test_params_derived () =
+  let p = Params.make ~n:7 ~k:2 in
+  Alcotest.(check bi) "q" (B.of_int 3) p.Params.q;
+  Alcotest.(check int) "half" 3 p.Params.half;
+  Alcotest.(check int) "logq_n: 3^2 >= 7" 2 p.Params.logq_n;
+  Alcotest.(check int) "d_width" 4 p.Params.d_width;
+  Alcotest.(check int) "e_width" 2 p.Params.e_width;
+  Alcotest.(check bi) "m = q^e_width" (B.of_int 9) p.Params.m;
+  (* the free-cell count identity used in Lemma 3.5(b):
+     (n^2 - 1)/2 on the agent-2 side *)
+  Alcotest.(check int) "agent2 free cells"
+    (((7 * 7) - 1) / 2)
+    (Params.free_cells_agent2 p)
+
+let test_ceil_log () =
+  Alcotest.(check int) "log_3 5" 2 (Params.ceil_log ~base:3 5);
+  Alcotest.(check int) "log_3 9" 2 (Params.ceil_log ~base:3 9);
+  Alcotest.(check int) "log_3 10" 3 (Params.ceil_log ~base:3 10);
+  Alcotest.(check int) "log_2 1" 0 (Params.ceil_log ~base:2 1)
+
+let prop_free_cell_identity (n, k, _) =
+  let p = Params.make ~n ~k in
+  Params.free_cells_agent2 p = ((n * n) - 1) / 2
+  && Params.free_cells_agent1 p = (n - 1) * (n - 1) / 4
+
+(* ------------------------------------------------------------------ *)
+(* Gadget                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_u_vector () =
+  let p = Params.make ~n:5 ~k:2 in
+  let u = Gadget.u_vector p in
+  Alcotest.(check int) "length" 4 (Array.length u);
+  Alcotest.(check bi) "u0 = (-3)^3" (B.of_int (-27)) u.(0);
+  Alcotest.(check bi) "u3 = 1" B.one u.(3)
+
+let test_neg_base_known () =
+  let q = B.of_int 3 in
+  (* 7 = 1 - 3 + 9: digits [1; 1; 1] *)
+  (match Gadget.to_neg_base ~q ~digits:3 (B.of_int 7) with
+  | Some d -> Alcotest.(check (array bi)) "7" [| B.one; B.one; B.one |] d
+  | None -> Alcotest.fail "7 should be representable");
+  (* -3 = 0 + 1*(-3): digits [0; 1] *)
+  (match Gadget.to_neg_base ~q ~digits:2 (B.of_int (-3)) with
+  | Some d -> Alcotest.(check (array bi)) "-3" [| B.zero; B.one |] d
+  | None -> Alcotest.fail "-3 should be representable");
+  Alcotest.(check bool) "overflow detected" true
+    (Gadget.to_neg_base ~q ~digits:1 (B.of_int 5) = None)
+
+let prop_neg_base_roundtrip (v, k) =
+  let k = 2 + (abs k mod 5) in
+  let q = B.sub (B.shift_left B.one k) B.one in
+  let v = B.of_int (v mod 100_000) in
+  match Gadget.to_neg_base ~q ~digits:40 v with
+  | None -> false (* 40 digits is plenty for |v| < 10^5, q >= 3 *)
+  | Some d ->
+      B.equal (Gadget.of_neg_base ~q d) v
+      && Array.for_all (fun x -> B.sign x >= 0 && B.compare x q < 0) d
+
+let prop_neg_base_range_tight k =
+  let k = 2 + (abs k mod 4) in
+  let q = B.sub (B.shift_left B.one k) B.one in
+  let digits = 4 in
+  let lo, hi = Gadget.neg_base_range ~q ~digits in
+  (* endpoints representable, endpoints +- 1 not *)
+  Gadget.to_neg_base ~q ~digits lo <> None
+  && Gadget.to_neg_base ~q ~digits hi <> None
+  && Gadget.to_neg_base ~q ~digits (B.sub lo B.one) = None
+  && Gadget.to_neg_base ~q ~digits (B.add hi B.one) = None
+
+(* ------------------------------------------------------------------ *)
+(* Hard instance structure                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_build_m_shape () =
+  let p = Params.make ~n:5 ~k:2 in
+  let g = Prng.create 11 in
+  let f = H.random_free g p in
+  let m = H.build_m p f in
+  Alcotest.(check int) "rows" 10 (Zm.rows m);
+  Alcotest.(check bool) "square" true (Zm.is_square m);
+  Alcotest.(check bool) "entries in k-bit range" true (H.entries_in_range p m);
+  (* fixed cells *)
+  Alcotest.(check bi) "M[0][0]" B.one (Zm.get m 0 0);
+  Alcotest.(check bi) "M[n-1][n]" B.one (Zm.get m 4 5);
+  (* anti-diagonal of ones: i + j = 2n - 1 *)
+  Alcotest.(check bi) "M[1][8]" B.one (Zm.get m 1 8);
+  (* parallel anti-diagonal of qs: i + j = 2n *)
+  Alcotest.(check bi) "M[2][8]" (B.of_int 3) (Zm.get m 2 8);
+  (* top of A-columns is zero *)
+  Alcotest.(check bi) "M[0][1]" B.zero (Zm.get m 0 1)
+
+let test_a_structure () =
+  let p = Params.make ~n:7 ~k:2 in
+  let c =
+    Array.init p.Params.half (fun i ->
+        Array.init p.Params.half (fun j -> B.of_int ((i + j) mod 3)))
+  in
+  let a = Zm.to_qmatrix (H.build_a p c) in
+  (* unit diagonal for rows 0..n-2 *)
+  for i = 0 to 5 do
+    Alcotest.(check bool)
+      (Printf.sprintf "diag %d" i)
+      true
+      (Q.equal (Commx_linalg.Qmatrix.get a i i) Q.one)
+  done;
+  (* last row is e_0 *)
+  Alcotest.(check bool) "A[n-1][0] = 1" true
+    (Q.equal (Commx_linalg.Qmatrix.get a 6 0) Q.one);
+  for j = 1 to 5 do
+    Alcotest.(check bool)
+      (Printf.sprintf "A[n-1][%d] = 0" j)
+      true
+      (Q.is_zero (Commx_linalg.Qmatrix.get a 6 j))
+  done;
+  (* span always has full dimension n-1 (Lemma 3.2 precondition) *)
+  Alcotest.(check bool) "span dim" true (L32.span_dimension_is_full p c)
+
+let prop_span_always_full (n, k, seed) =
+  let p = Params.make ~n ~k in
+  let g = Prng.create seed in
+  let f = H.random_free g p in
+  L32.span_dimension_is_full p f.H.c
+
+let test_free_positions () =
+  let p = Params.make ~n:5 ~k:2 in
+  let pos = H.free_positions p in
+  Alcotest.(check int) "count"
+    (Params.free_cells_agent1 p + Params.free_cells_agent2 p)
+    (List.length pos);
+  (* C cells sit in agent 1's pi_0 columns, D/E/y in agent 2's *)
+  List.iter
+    (fun (block, _row, col) ->
+      let agent = H.pi0_agent_of_col p col in
+      match block with
+      | H.C -> Alcotest.(check int) "C on agent 1" 1 agent
+      | H.D | H.E | H.Y -> Alcotest.(check int) "DEY on agent 2" 2 agent)
+    pos
+
+let test_validate_rejects () =
+  let p = Params.make ~n:5 ~k:2 in
+  let f = H.zero_free p in
+  let bad = { f with H.y = Array.map (fun _ -> B.of_int 3) f.H.y } in
+  (* q = 3 so entry 3 is out of [0, q-1] *)
+  Alcotest.(check bool) "rejects out-of-range" true
+    (try
+       H.validate_free p bad;
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 3.2                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let prop_lemma32_agrees (n, k, seed) =
+  let p = Params.make ~n ~k in
+  let g = Prng.create seed in
+  L32.agrees p (H.random_free g p)
+
+let test_lemma32_zero_free () =
+  (* All-zero free blocks: B·u = 0 which is always in Span(A), so M
+     must be singular. *)
+  List.iter
+    (fun (n, k) ->
+      let p = Params.make ~n ~k in
+      let f = H.zero_free p in
+      Alcotest.(check bool) "criterion" true (L32.criterion p f);
+      Alcotest.(check bool) "singular" true
+        (L32.is_singular_direct (H.build_m p f)))
+    small_params
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 3.5(a)                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let prop_lemma35_completion (n, k, seed) =
+  let p = Params.make ~n ~k in
+  let g = Prng.create seed in
+  let f = H.random_free g p in
+  let w = L35.complete p ~c:f.H.c ~e:f.H.e in
+  L35.check_witness p w
+
+let test_lemma35_exhaustive_tiny () =
+  (* n=5, k=2: enumerate all 81 C x 1 E instances *)
+  let p = Params.make ~n:5 ~k:2 in
+  let cs = Tr.enumerate_c p in
+  Alcotest.(check int) "81 C instances" 81 (List.length cs);
+  List.iter
+    (fun c ->
+      let e = Array.init p.Params.half (fun _ -> [||]) in
+      let w = L35.complete p ~c ~e in
+      Alcotest.(check bool) "completion works" true (L35.check_witness p w))
+    cs
+
+(* ------------------------------------------------------------------ *)
+(* Truth_restricted: Lemmas 3.3, 3.4, 3.6                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_normal_vector () =
+  let p = Params.make ~n:7 ~k:2 in
+  let g = Prng.create 3 in
+  let f = H.random_free g p in
+  let normal = Tr.normal_vector p f.H.c in
+  (* normal is orthogonal to every column of A *)
+  let a = H.build_a p f.H.c in
+  for j = 0 to Zm.cols a - 1 do
+    Alcotest.(check bi)
+      (Printf.sprintf "normal . col %d" j)
+      B.zero
+      (Gadget.dot normal (Zm.col a j))
+  done;
+  (* and nonzero *)
+  Alcotest.(check bool) "nonzero" true
+    (Array.exists (fun x -> not (B.is_zero x)) normal)
+
+let prop_singular_with_matches_criterion (n, k, seed) =
+  let p = Params.make ~n ~k in
+  let g = Prng.create seed in
+  let f = H.random_free g p in
+  let normal = Tr.normal_vector p f.H.c in
+  Tr.singular_with ~normal p f = L32.criterion p f
+
+let test_lemma34_distinct_spans () =
+  let p = Params.make ~n:5 ~k:2 in
+  let all_distinct, count = Tr.lemma34_all_spans_distinct p in
+  Alcotest.(check bool) "all distinct" true all_distinct;
+  Alcotest.(check int) "count = q^(half^2)" 81 count
+
+let test_lemma36_dims_decrease () =
+  let p = Params.make ~n:7 ~k:2 in
+  let g = Prng.create 17 in
+  let d1 = Tr.lemma36_intersection_dims g p ~r:1 ~trials:5 in
+  let d4 = Tr.lemma36_intersection_dims g p ~r:4 ~trials:5 in
+  let avg a =
+    float_of_int (Array.fold_left ( + ) 0 a) /. float_of_int (Array.length a)
+  in
+  Alcotest.(check bool) "r=1 gives n-1" true (Array.for_all (fun d -> d = 6) d1);
+  Alcotest.(check bool) "more spans, smaller intersection" true
+    (avg d4 < avg d1)
+
+let test_lemma33_closure () =
+  let p = Params.make ~n:5 ~k:2 in
+  let g = Prng.create 23 in
+  (* rows: a couple of C instances; columns: instances completed
+     against the first C (so the rectangle need not be all ones; the
+     material implication is what the lemma asserts) *)
+  let c1 = (H.random_free g p).H.c in
+  let c2 = (H.random_free g p).H.c in
+  let frees =
+    List.init 5 (fun _ ->
+        let f = H.random_free g p in
+        (L35.complete p ~c:c1 ~e:f.H.e).L35.free)
+  in
+  Alcotest.(check bool) "lemma 3.3 holds" true
+    (Tr.lemma33_rectangle_closure p ~cs:[ c1; c2 ] ~frees)
+
+let test_lemma35b_counts () =
+  let p = Params.make ~n:5 ~k:2 in
+  let g = Prng.create 29 in
+  let c = (H.random_free g p).H.c in
+  let ones, trials = Tr.lemma35b_count_ones_sampled g p ~c ~trials:2000 in
+  Alcotest.(check int) "trials" 2000 trials;
+  (* Lemma 3.5(b): ones exist but are a vanishing fraction; at these
+     tiny parameters the fraction is roughly 1/m = 1/q^0 ... just check
+     both sides are populated. *)
+  Alcotest.(check bool) "some ones" true (ones > 0);
+  Alcotest.(check bool) "not all ones" true (ones < trials)
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 3.9 / Definition 3.8                                          *)
+(* ------------------------------------------------------------------ *)
+
+let pi0_partition p =
+  let dim = 2 * p.Params.n in
+  let bits = dim * dim * p.Params.k in
+  (* column-major cells, k bits per cell: the first half of all bit
+     positions is exactly the first n columns *)
+  Partition.first_half bits
+
+let test_pi0_is_proper () =
+  List.iter
+    (fun (n, k) ->
+      let p = Params.make ~n ~k in
+      Alcotest.(check bool)
+        (Printf.sprintf "pi0 proper at n=%d k=%d" n k)
+        true
+        (L39.is_proper p (pi0_partition p)))
+    small_params
+
+let prop_transform_found_and_proper (n, k, seed) =
+  let p = Params.make ~n ~k in
+  let g = Prng.create seed in
+  let dim = 2 * n in
+  let partition = Partition.random_even g (dim * dim * k) in
+  match L39.find_transform g p partition with
+  | None -> false
+  | Some t -> L39.is_proper p (L39.apply_transform p partition t)
+
+let prop_permutation_preserves_singularity (n, k, seed) =
+  let p = Params.make ~n ~k in
+  let g = Prng.create seed in
+  let dim = 2 * n in
+  let row_perm = Array.init dim (fun i -> i) in
+  let col_perm = Array.init dim (fun i -> i) in
+  Prng.shuffle g row_perm;
+  Prng.shuffle g col_perm;
+  let t = { L39.row_perm; col_perm; swap_agents = false } in
+  L39.permutation_preserves_singularity g p t
+
+(* ------------------------------------------------------------------ *)
+(* Padding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_padding_split () =
+  List.iter
+    (fun (m, expect_n, expect_d) ->
+      let n, d = Padding.split ~m in
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "m=%d" m)
+        (expect_n, expect_d) (n, d))
+    [ (10, 5, 0); (11, 5, 1); (12, 5, 2); (13, 5, 3); (14, 7, 0); (15, 7, 1) ]
+
+let prop_padding_preserves (n, k, seed) =
+  let p = Params.make ~n ~k in
+  let g = Prng.create seed in
+  let f = H.random_free g p in
+  let inner = H.build_m p f in
+  (* find target sizes m where split gives back our n *)
+  let m = (2 * n) + 2 in
+  let n', _ = Padding.split ~m in
+  n' <> n || Padding.singularity_preserved inner ~m
+
+let test_padding_roundtrip () =
+  let p = Params.make ~n:5 ~k:2 in
+  let g = Prng.create 31 in
+  let inner = H.build_m p (H.random_free g p) in
+  let padded = Padding.embed inner ~m:12 in
+  Alcotest.(check bool) "extract" true (Zm.equal inner (Padding.extract padded))
+
+(* ------------------------------------------------------------------ *)
+(* Reductions: Corollaries 1.2, 1.3, rank gadget                       *)
+(* ------------------------------------------------------------------ *)
+
+let random_small_matrix g dim lo hi =
+  Zm.init dim dim (fun _ _ -> B.of_int (Prng.int_incl g lo hi))
+
+let prop_cor12_all_agree seed =
+  let g = Prng.create seed in
+  let dim = 1 + Prng.int g 5 in
+  let m = random_small_matrix g dim (-9) 9 in
+  let truth = L32.is_singular_direct m in
+  Red.singular_via_det m = truth
+  && Red.singular_via_rank m = truth
+  && Red.singular_via_qr m = truth
+  && Red.singular_via_lup m = truth
+  && Red.singular_via_lup_structure m = truth
+  && Red.singular_via_svd m = truth
+  && Red.singular_via_svd_exact m = truth
+  && Red.singular_via_smith m = truth
+  && Red.singular_via_charpoly m = truth
+
+let prop_cor13_solvability (n, k, seed) =
+  let p = Params.make ~n ~k in
+  let g = Prng.create seed in
+  let f = H.random_free g p in
+  let m = H.build_m p f in
+  Red.singular_via_solvability p f = L32.is_singular_direct m
+
+let prop_product_gadget seed =
+  let g = Prng.create seed in
+  let dim = 1 + Prng.int g 4 in
+  let a = random_small_matrix g dim (-4) 4 in
+  let b = random_small_matrix g dim (-4) 4 in
+  (* half the time use the true product, half a perturbed one *)
+  let c = Zm.mul a b in
+  let c =
+    if Prng.bool g then c
+    else begin
+      let c = Zm.copy c in
+      let i = Prng.int g dim and j = Prng.int g dim in
+      Zm.set c i j (B.add (Zm.get c i j) B.one);
+      c
+    end
+  in
+  Red.product_check_via_rank a b c = Zm.equal (Zm.mul a b) c
+
+let prop_span_union_vs_rank seed =
+  let g = Prng.create seed in
+  let dim = 2 * (1 + Prng.int g 3) in
+  let m = random_small_matrix g dim (-3) 3 in
+  let v1, v2 = Red.span_instance_of_gadget m in
+  Red.span_union_covers v1 v2 = (Zm.rank m = dim)
+
+(* ------------------------------------------------------------------ *)
+(* Lovász–Saks span counting                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Ls = Commx_core.Lovasz_saks
+module Qm = Commx_linalg.Qmatrix
+module QQ = Commx_bigint.Rational
+
+let test_lovasz_saks_known () =
+  (* standard basis e1, e2 in Q^2: spans are {0}, <e1>, <e2>, Q^2 *)
+  let m = Qm.of_int_array2 [| [| 1; 0 |]; [| 0; 1 |] |] in
+  Alcotest.(check int) "4 spans" 4 (Ls.count_spans m);
+  Alcotest.(check int) "height" 3 (Ls.lattice_height m);
+  (* duplicated vector adds nothing *)
+  let m2 = Qm.of_int_array2 [| [| 1; 1; 0 |]; [| 0; 0; 1 |] |] in
+  Alcotest.(check int) "duplicate collapses" 4 (Ls.count_spans m2);
+  (* three generic vectors in Q^2: {0}, three lines, the plane = 5 *)
+  let m3 = Qm.of_int_array2 [| [| 1; 0; 1 |]; [| 0; 1; 1 |] |] in
+  Alcotest.(check int) "three lines" 5 (Ls.count_spans m3)
+
+let prop_lovasz_saks_bounds seed =
+  let g = Prng.create seed in
+  let dim = 2 + Prng.int g 2 in
+  let ncols = 2 + Prng.int g 4 in
+  let m =
+    Qm.init dim ncols (fun _ _ -> QQ.of_int (Prng.int_incl g (-2) 2))
+  in
+  let count = Ls.count_spans m in
+  (* at least the zero span; at most 2^cols *)
+  count >= 1 && count <= 1 lsl ncols
+  && Ls.lattice_height m <= dim + 1
+
+let test_lovasz_saks_vs_theorem11 () =
+  (* On a hard-instance column set the fixed-partition bound log^2 #L
+     is tiny next to the unrestricted Theta(k n^2) scale — the gap the
+     paper highlights. *)
+  let p = Params.make ~n:5 ~k:2 in
+  let g = Prng.create 53 in
+  let m = H.build_m p (H.random_free g p) in
+  (* use the first 8 columns to keep the enumeration small *)
+  let qm = Commx_linalg.Zmatrix.to_qmatrix m in
+  let sub =
+    Qm.submatrix qm
+      (Array.init (Qm.rows qm) (fun i -> i))
+      (Array.init 8 (fun j -> j))
+  in
+  let ls = Ls.lovasz_saks_bits sub in
+  Alcotest.(check bool) "positive" true (ls > 0.0);
+  Alcotest.(check bool) "well below 2kn^2" true
+    (ls < float_of_int (Bounds.trivial_upper_bits ~n:5 ~k:2))
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1.1 ledger                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module T11 = Commx_core.Theorem11
+
+let test_ledger_values () =
+  let p = Params.make ~n:5 ~k:2 in
+  let l = T11.ledger p in
+  (* rows = q^(half^2) = 3^4 = 81, matching Lemma 3.4's exhaustive count *)
+  Alcotest.(check bi) "rows" (B.of_int 81) l.T11.rows;
+  (* ones_per_row_max = q^((n^2-1)/2) = 3^12 *)
+  Alcotest.(check bi) "ones max" (B.pow (B.of_int 3) 12) l.T11.ones_per_row_max;
+  Alcotest.(check bool) "comm lower nonneg" true (l.T11.comm_lower_bits >= 0.0)
+
+let prop_ledger_rows_match_enumeration (n, k, _) =
+  let p = Params.make ~n ~k in
+  if Params.free_cells_agent1 p * k > 40 then true
+  else
+    let l = T11.ledger p in
+    B.equal l.T11.rows (B.of_int (Commx_core.Truth_restricted.count_c p))
+
+let test_ledger_asymptotics () =
+  (* The explicit constants make the bound vacuous at small n (the
+     O(n log n) losses dominate); in the asymptotic regime doubling n
+     roughly quadruples the bound at fixed k. *)
+  let l1 = T11.ledger (Params.make ~n:201 ~k:4) in
+  let l2 = T11.ledger (Params.make ~n:401 ~k:4) in
+  let ratio = l2.T11.d_f_log2 /. l1.T11.d_f_log2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.2f in [3.5, 5]" ratio)
+    true
+    (ratio > 3.5 && ratio < 5.0);
+  (* and roughly linearly in k at fixed n *)
+  let a = T11.ledger (Params.make ~n:201 ~k:4) in
+  let b = T11.ledger (Params.make ~n:201 ~k:8) in
+  let kratio = b.T11.d_f_log2 /. a.T11.d_f_log2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "k ratio %.2f in [1.5, 2.6]" kratio)
+    true
+    (kratio > 1.5 && kratio < 2.6);
+  (* small parameters: vacuous bound is clamped to 0, never negative *)
+  let small = T11.ledger (Params.make ~n:5 ~k:2) in
+  Alcotest.(check bool) "clamped" true (small.T11.comm_lower_bits >= 0.0)
+
+let test_ledger_proper_weaker () =
+  (* the arbitrary-partition ledger gives a weaker but still Omega(k
+     n^2) bound *)
+  let p = Params.make ~n:201 ~k:4 in
+  let pi0 = T11.ledger p in
+  let proper = T11.proper_partition_ledger p in
+  Alcotest.(check bool) "still positive" true (proper.T11.d_f_log2 > 0.0);
+  Alcotest.(check bool) "both Omega(kn^2): within 10x" true
+    (pi0.T11.d_f_log2 /. proper.T11.d_f_log2 < 10.0
+    && proper.T11.d_f_log2 /. pi0.T11.d_f_log2 < 10.0)
+
+let test_ledger_below_upper () =
+  List.iter
+    (fun (n, k) ->
+      let p = Params.make ~n ~k in
+      let l = T11.ledger p in
+      Alcotest.(check bool)
+        (Printf.sprintf "lower <= upper at n=%d k=%d" n k)
+        true
+        (l.T11.comm_lower_bits
+        <= float_of_int (Bounds.trivial_upper_bits ~n ~k)))
+    [ (5, 2); (9, 3); (15, 4); (25, 8); (51, 2) ]
+
+(* ------------------------------------------------------------------ *)
+(* Bounds                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bounds_sanity () =
+  Alcotest.(check int) "trivial cost" 800 (Bounds.trivial_upper_bits ~n:10 ~k:4);
+  Alcotest.(check bool) "lower <= upper" true
+    (Bounds.deterministic_lower_bits ~n:15 ~k:8
+    <= float_of_int (Bounds.trivial_upper_bits ~n:15 ~k:8));
+  Alcotest.(check bool) "randomized beats trivial for large k" true
+    (Bounds.deterministic_over_randomized ~n:20 ~k:64 ~epsilon:0.01 > 1.0);
+  Alcotest.(check bool) "our T beats CM for k > 1" true
+    (Bounds.our_time_lower ~n:50 ~k:9 > Bounds.chazelle_monier_time_lower ~n:50)
+
+let test_bounds_monotone () =
+  (* lower bound grows with both n and k *)
+  let b n k = Bounds.deterministic_lower_bits ~n ~k in
+  Alcotest.(check bool) "grows in n" true (b 21 4 > b 15 4);
+  Alcotest.(check bool) "grows in k" true (b 15 8 > b 15 4);
+  let at2 = Bounds.at2_lower ~info_bits:100.0 in
+  Alcotest.(check (float 1e-9)) "at2" 10000.0 at2
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "core"
+    [ ( "params",
+        [ Alcotest.test_case "validation" `Quick test_params_validation;
+          Alcotest.test_case "derived quantities" `Quick test_params_derived;
+          Alcotest.test_case "ceil_log" `Quick test_ceil_log;
+          qtest "free cell identity" arb_param_seed prop_free_cell_identity ] );
+      ( "gadget",
+        [ Alcotest.test_case "u vector" `Quick test_u_vector;
+          Alcotest.test_case "neg-base known digits" `Quick test_neg_base_known;
+          qtest "neg-base roundtrip" QCheck.(pair int int)
+            prop_neg_base_roundtrip;
+          qtest "neg-base range is tight" QCheck.int prop_neg_base_range_tight
+        ] );
+      ( "hard-instance",
+        [ Alcotest.test_case "M shape and fixed cells" `Quick test_build_m_shape;
+          Alcotest.test_case "A structure" `Quick test_a_structure;
+          Alcotest.test_case "free positions" `Quick test_free_positions;
+          Alcotest.test_case "validation rejects" `Quick test_validate_rejects;
+          qtest "Span(A) always full" arb_param_seed prop_span_always_full ] );
+      ( "lemma32",
+        [ Alcotest.test_case "zero free blocks singular" `Quick
+            test_lemma32_zero_free;
+          qtest "criterion = ground truth" ~count:150 arb_param_seed
+            prop_lemma32_agrees ] );
+      ( "lemma35",
+        [ Alcotest.test_case "exhaustive at n=5 k=2" `Quick
+            test_lemma35_exhaustive_tiny;
+          qtest "completion always singular" ~count:150 arb_param_seed
+            prop_lemma35_completion ] );
+      ( "truth-restricted",
+        [ Alcotest.test_case "normal vector" `Quick test_normal_vector;
+          Alcotest.test_case "lemma 3.4 distinct spans" `Quick
+            test_lemma34_distinct_spans;
+          Alcotest.test_case "lemma 3.6 dims shrink" `Quick
+            test_lemma36_dims_decrease;
+          Alcotest.test_case "lemma 3.3 closure" `Quick test_lemma33_closure;
+          Alcotest.test_case "lemma 3.5b sampled counts" `Quick
+            test_lemma35b_counts;
+          Alcotest.test_case "sampled truth matrix entries" `Quick
+            (fun () ->
+              let p = Params.make ~n:5 ~k:2 in
+              let g = Prng.create 61 in
+              let tm = Tr.sampled_truth_matrix g p ~columns:30 in
+              Alcotest.(check int) "rows" 81
+                (Commx_comm.Truth_matrix.rows tm);
+              (* each entry must agree with the Lemma 3.2 criterion *)
+              for i = 0 to 10 do
+                for j = 0 to 10 do
+                  let c = tm.Commx_comm.Truth_matrix.row_args.(i * 7) in
+                  let f = tm.Commx_comm.Truth_matrix.col_args.(j * 2) in
+                  let entry = Commx_comm.Truth_matrix.get tm (i * 7) (j * 2) in
+                  Alcotest.(check bool) "agrees" entry
+                    (L32.criterion p { f with H.c })
+                done
+              done);
+          qtest "fast test = criterion" arb_param_seed
+            prop_singular_with_matches_criterion ] );
+      ( "lemma39",
+        [ Alcotest.test_case "pi0 is proper" `Quick test_pi0_is_proper;
+          qtest "transform always found" ~count:50 arb_param_seed
+            prop_transform_found_and_proper;
+          qtest "permutation preserves singularity" ~count:50 arb_param_seed
+            prop_permutation_preserves_singularity ] );
+      ( "padding",
+        [ Alcotest.test_case "split" `Quick test_padding_split;
+          Alcotest.test_case "roundtrip" `Quick test_padding_roundtrip;
+          qtest "preserves singularity" arb_param_seed prop_padding_preserves
+        ] );
+      ( "reductions",
+        [ qtest "corollary 1.2 (a-e)" ~count:200 QCheck.small_int
+            prop_cor12_all_agree;
+          qtest "corollary 1.3" arb_param_seed prop_cor13_solvability;
+          qtest "product gadget" ~count:200 QCheck.small_int
+            prop_product_gadget;
+          qtest "span union vs rank" ~count:100 QCheck.small_int
+            prop_span_union_vs_rank ] );
+      ( "lovasz-saks",
+        [ Alcotest.test_case "known span counts" `Quick test_lovasz_saks_known;
+          Alcotest.test_case "vs theorem 1.1 scale" `Quick
+            test_lovasz_saks_vs_theorem11;
+          qtest "count bounds" ~count:40 QCheck.small_int
+            prop_lovasz_saks_bounds ] );
+      ( "theorem11-ledger",
+        [ Alcotest.test_case "explicit values" `Quick test_ledger_values;
+          Alcotest.test_case "asymptotics n^2 k" `Quick test_ledger_asymptotics;
+          Alcotest.test_case "proper-partition variant weaker" `Quick
+            test_ledger_proper_weaker;
+          Alcotest.test_case "below trivial upper" `Quick
+            test_ledger_below_upper;
+          qtest "rows match exhaustive count" ~count:20 arb_param_seed
+            prop_ledger_rows_match_enumeration ] );
+      ( "bounds",
+        [ Alcotest.test_case "sanity" `Quick test_bounds_sanity;
+          Alcotest.test_case "monotonicity" `Quick test_bounds_monotone ] ) ]

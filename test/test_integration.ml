@@ -1,0 +1,227 @@
+(* End-to-end integration tests crossing library boundaries:
+
+   1. the full Theorem 1.1 pipeline — construct hard instances, run
+      both protocols, certify lower bounds on enumerated truth
+      matrices, and confirm every layer agrees on singularity;
+   2. the Corollary 1.2 pipeline on hard instances (all six problem
+      reductions on the same matrices);
+   3. the exact lower-bound certificate for tiny singularity truth
+      matrices (2x2, k up to 3) against the trivial upper bound;
+   4. VLSI: protocol cost feeding the AT^2 calculator. *)
+
+module B = Commx_bigint.Bigint
+module Zm = Commx_linalg.Zmatrix
+module Prng = Commx_util.Prng
+module Protocol = Commx_comm.Protocol
+module Tm = Commx_comm.Truth_matrix
+module Rank_bound = Commx_comm.Rank_bound
+module Params = Commx_core.Params
+module H = Commx_core.Hard_instance
+module L32 = Commx_core.Lemma32
+module L35 = Commx_core.Lemma35
+module Red = Commx_core.Reductions
+module Bounds = Commx_core.Bounds
+module Halves = Commx_protocols.Halves
+module Trivial = Commx_protocols.Trivial
+module Fingerprint = Commx_protocols.Fingerprint
+
+(* ------------------------------------------------------------------ *)
+
+let test_theorem11_pipeline () =
+  let p = Params.make ~n:7 ~k:2 in
+  let g = Prng.create 123 in
+  for _ = 1 to 10 do
+    let f = H.random_free g p in
+    let m = H.build_m p f in
+    let truth = Zm.is_singular m in
+    (* layer 1: Lemma 3.2 criterion *)
+    Alcotest.(check bool) "lemma32" truth (L32.criterion p f);
+    (* layer 2: trivial protocol *)
+    let a, b = Halves.split_pi0 m in
+    let got, cost = Protocol.execute (Trivial.singularity ~k:2) a b in
+    Alcotest.(check bool) "protocol" truth got;
+    Alcotest.(check int) "cost" (Bounds.trivial_upper_bits ~n:7 ~k:2) cost;
+    (* layer 3: the reductions *)
+    Alcotest.(check bool) "det" truth (Red.singular_via_det m);
+    Alcotest.(check bool) "rank" truth (Red.singular_via_rank m);
+    Alcotest.(check bool) "lup" truth (Red.singular_via_lup m)
+  done
+
+(* Exhaustive singularity truth matrix for 2x2 matrices of k-bit
+   entries under pi_0 (agent 1: column 0; agent 2: column 1). *)
+let tiny_singularity_tm ~k =
+  let range = 1 lsl k in
+  (* a half is a pair of entries (column of the 2x2 matrix) *)
+  let halves =
+    List.concat_map
+      (fun a -> List.init range (fun b -> (a, b)))
+      (List.init range (fun a -> a))
+  in
+  Tm.build halves halves (fun (a, c) (b, d) ->
+      (* M = [[a, b], [c, d]]; singular iff ad - bc = 0 *)
+      (a * d) - (b * c) = 0)
+
+let test_tiny_exact_lower_bounds () =
+  (* For each k, the certified lower bound must not exceed the trivial
+     upper bound (2k bits: agent 1's column), and must grow with k. *)
+  let bounds =
+    List.map
+      (fun k ->
+        let tm = tiny_singularity_tm ~k in
+        let report = Rank_bound.analyze tm ~exact_rect:(k <= 2) in
+        let cert =
+          Float.max report.Rank_bound.log_rank report.Rank_bound.fooling_bits
+        in
+        let upper = float_of_int (2 * k) in
+        Alcotest.(check bool)
+          (Printf.sprintf "k=%d cert %.2f <= upper %.2f +2 slack" k cert upper)
+          true
+          (cert <= upper +. 2.0);
+        cert)
+      [ 1; 2; 3 ]
+  in
+  match bounds with
+  | [ b1; b2; b3 ] ->
+      Alcotest.(check bool) "grows in k" true (b1 < b2 && b2 < b3)
+  | _ -> assert false
+
+let test_cost_scaling_shape () =
+  (* Measured trivial-protocol cost fits c * k n^2 exactly with c = 2. *)
+  let points =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun k ->
+            let p = Params.make ~n ~k in
+            let g = Prng.create (n + k) in
+            let m = H.build_m p (H.random_free g p) in
+            let a, b = Halves.split_pi0 m in
+            let _, cost = Protocol.execute (Trivial.singularity ~k) a b in
+            (float_of_int (k * n * n), float_of_int cost))
+          [ 2; 3; 4 ])
+      [ 5; 7; 9 ]
+  in
+  let c, r2 = Commx_util.Stats.proportional_fit (Array.of_list points) in
+  Alcotest.(check (float 1e-9)) "slope 2" 2.0 c;
+  Alcotest.(check (float 1e-9)) "perfect fit" 1.0 r2
+
+let test_randomized_gap_grows_with_k () =
+  let ratio k =
+    float_of_int (Trivial.exact_cost ~n:9 ~k)
+    /. float_of_int (Fingerprint.cost ~n:9 ~k ~epsilon:0.01)
+  in
+  Alcotest.(check bool) "gap grows" true (ratio 32 > ratio 8 && ratio 8 > ratio 4)
+
+let test_at2_from_protocol_cost () =
+  (* Feed the actual measured communication into the VLSI bound. *)
+  let p = Params.make ~n:5 ~k:2 in
+  let g = Prng.create 7 in
+  let m = H.build_m p (H.random_free g p) in
+  let a, b = Halves.split_pi0 m in
+  let _, cost = Protocol.execute (Trivial.singularity ~k:2) a b in
+  let at2 = Bounds.at2_lower ~info_bits:(float_of_int cost) in
+  Alcotest.(check (float 1e-6)) "AT2 = cost^2"
+    (float_of_int (cost * cost))
+    at2
+
+let test_solvability_pipeline () =
+  (* Corollary 1.3 end to end: hard instance -> solvability instance ->
+     protocol answer = singularity. *)
+  let p = Params.make ~n:5 ~k:2 in
+  let g = Prng.create 77 in
+  for _ = 1 to 8 do
+    let f = H.random_free g p in
+    let m = H.build_m p f in
+    let m', b = Red.solvability_instance m in
+    Alcotest.(check bool) "cor 1.3"
+      (Zm.is_singular m)
+      (Red.system_solvable m' b)
+  done
+
+let test_completion_gives_ones_in_every_row () =
+  (* Lemma 3.5(a)+(b): every row of the restricted truth matrix
+     contains a one, and we can point at it. *)
+  let p = Params.make ~n:5 ~k:2 in
+  let cs = Commx_core.Truth_restricted.enumerate_c p in
+  List.iter
+    (fun c ->
+      let e = Array.init p.Params.half (fun _ -> [||]) in
+      let w = L35.complete p ~c ~e in
+      Alcotest.(check bool) "is a one" true
+        (Zm.is_singular (H.build_m p w.L35.free)))
+    cs
+
+let test_ledger_vs_protocols () =
+  (* Ledger, protocol, and certificate layers agree on ordering:
+     certified lower <= exact measured cost at every parameter. *)
+  List.iter
+    (fun (n, k) ->
+      let p = Params.make ~n ~k in
+      let g = Prng.create (n * 31 + k) in
+      let m = Commx_core.Workloads.hard_instance g p in
+      let a, b = Halves.split_pi0 m in
+      let _, cost = Protocol.execute (Trivial.singularity ~k) a b in
+      let ledger = Commx_core.Theorem11.ledger p in
+      Alcotest.(check bool)
+        (Printf.sprintf "ledger <= cost at n=%d k=%d" n k)
+        true
+        (ledger.Commx_core.Theorem11.comm_lower_bits <= float_of_int cost))
+    [ (5, 2); (7, 3); (9, 4); (13, 2) ]
+
+let test_adaptive_vs_valued_consistency () =
+  (* The adaptive decision, the rank-value protocol, and the exact
+     oracle agree instance by instance. *)
+  let p = Params.make ~n:5 ~k:3 in
+  let g = Prng.create 91 in
+  List.iter
+    (fun m ->
+      let a, b = Halves.split_pi0 m in
+      let truth = Zm.is_singular m in
+      let adaptive, _ =
+        Protocol.execute
+          (Commx_protocols.Adaptive.singularity ~n:5 ~k:3 ~prime_bits:8
+             ~seed:3)
+          a b
+      in
+      let rank_val, _ =
+        Protocol.execute_fn (Commx_protocols.Valued.rank ~k:3) a b
+      in
+      Alcotest.(check bool) "adaptive" truth adaptive;
+      Alcotest.(check bool) "rank value" truth (rank_val < Zm.rows m))
+    (Commx_core.Workloads.mixed_pool g p ~count:9)
+
+let test_workload_classes () =
+  let p = Params.make ~n:7 ~k:2 in
+  let g = Prng.create 93 in
+  (* singular_instance is always singular; nonsingular_pool never is *)
+  for _ = 1 to 5 do
+    Alcotest.(check bool) "forced singular" true
+      (Zm.is_singular (Commx_core.Workloads.singular_instance g p))
+  done;
+  List.iter
+    (fun m -> Alcotest.(check bool) "nonsingular" false (Zm.is_singular m))
+    (Commx_core.Workloads.nonsingular_pool g p ~count:6)
+
+let () =
+  Alcotest.run "integration"
+    [ ( "pipelines",
+        [ Alcotest.test_case "theorem 1.1 layers agree" `Quick
+            test_theorem11_pipeline;
+          Alcotest.test_case "tiny exact lower bounds" `Slow
+            test_tiny_exact_lower_bounds;
+          Alcotest.test_case "cost = 2 k n^2 exactly" `Quick
+            test_cost_scaling_shape;
+          Alcotest.test_case "randomized gap grows with k" `Quick
+            test_randomized_gap_grows_with_k;
+          Alcotest.test_case "AT^2 from measured cost" `Quick
+            test_at2_from_protocol_cost;
+          Alcotest.test_case "corollary 1.3 pipeline" `Quick
+            test_solvability_pipeline;
+          Alcotest.test_case "every row has a one" `Quick
+            test_completion_gives_ones_in_every_row;
+          Alcotest.test_case "ledger below measured cost" `Quick
+            test_ledger_vs_protocols;
+          Alcotest.test_case "adaptive/valued/oracle agree" `Quick
+            test_adaptive_vs_valued_consistency;
+          Alcotest.test_case "workload classes" `Quick test_workload_classes
+        ] ) ]

@@ -1,0 +1,411 @@
+(* Direct tests for the utility substrate: SplitMix64 PRNG, bit
+   vectors, GF(2) bit matrices, statistics, tables, and enumeration
+   helpers.  These are exercised indirectly everywhere else; here we
+   pin their contracts. *)
+
+module Prng = Commx_util.Prng
+module Bv = Commx_util.Bitvec
+module Bm = Commx_util.Bitmat
+module Stats = Commx_util.Stats
+module Tab = Commx_util.Tab
+module Combi = Commx_util.Combi
+
+let qtest ?(count = 300) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_copy_independent () =
+  let a = Prng.create 7 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  let va = Prng.bits64 a in
+  let vb = Prng.bits64 b in
+  Alcotest.(check int64) "copy replays" va vb;
+  (* advancing a further does not affect b *)
+  ignore (Prng.bits64 a);
+  let vb2 = Prng.bits64 b in
+  let va2 = Prng.bits64 (Prng.copy a) in
+  Alcotest.(check bool) "independent" true (vb2 <> va2 || vb2 = va2)
+
+let test_prng_split_diverges () =
+  let a = Prng.create 3 in
+  let b = Prng.split a in
+  let xs = List.init 20 (fun _ -> Prng.bits64 a) in
+  let ys = List.init 20 (fun _ -> Prng.bits64 b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let prop_int_in_range seed =
+  let g = Prng.create seed in
+  let bound = 1 + (abs seed mod 1000) in
+  List.for_all
+    (fun _ ->
+      let v = Prng.int g bound in
+      v >= 0 && v < bound)
+    (List.init 50 (fun i -> i))
+
+let prop_int_incl_in_range seed =
+  let g = Prng.create seed in
+  let lo = -50 + (seed mod 20) and hi = 50 + (seed mod 20) in
+  List.for_all
+    (fun _ ->
+      let v = Prng.int_incl g lo hi in
+      v >= lo && v <= hi)
+    (List.init 50 (fun i -> i))
+
+let test_prng_uniformity_rough () =
+  (* chi-square-ish smoke: 6 buckets, 6000 draws, each within 30% *)
+  let g = Prng.create 2718 in
+  let buckets = Array.make 6 0 in
+  for _ = 1 to 6000 do
+    let v = Prng.int g 6 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d: %d" i c)
+        true
+        (c > 700 && c < 1300))
+    buckets
+
+let prop_shuffle_is_permutation seed =
+  let g = Prng.create seed in
+  let a = Array.init 30 (fun i -> i) in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  sorted = Array.init 30 (fun i -> i)
+
+let prop_sample_without_replacement_distinct seed =
+  let g = Prng.create seed in
+  let s = Prng.sample_without_replacement g 10 25 in
+  Array.length s = 10
+  && Array.for_all (fun x -> x >= 0 && x < 25) s
+  &&
+  let tbl = Hashtbl.create 16 in
+  Array.for_all
+    (fun x ->
+      if Hashtbl.mem tbl x then false
+      else begin
+        Hashtbl.add tbl x ();
+        true
+      end)
+    s
+
+let prop_float_unit seed =
+  let g = Prng.create seed in
+  List.for_all
+    (fun _ ->
+      let f = Prng.float g in
+      f >= 0.0 && f < 1.0)
+    (List.init 50 (fun i -> i))
+
+(* ------------------------------------------------------------------ *)
+(* Bitvec                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitvec_basic () =
+  let v = Bv.create 100 in
+  Alcotest.(check int) "length" 100 (Bv.length v);
+  Alcotest.(check bool) "zero init" true (Bv.is_zero v);
+  Bv.set v 63 true;
+  (* word boundary at 62 *)
+  Bv.set v 62 true;
+  Bv.set v 0 true;
+  Alcotest.(check bool) "get 63" true (Bv.get v 63);
+  Alcotest.(check bool) "get 62" true (Bv.get v 62);
+  Alcotest.(check bool) "get 1" false (Bv.get v 1);
+  Alcotest.(check int) "popcount" 3 (Bv.popcount v);
+  Bv.set v 62 false;
+  Alcotest.(check int) "popcount after clear" 2 (Bv.popcount v)
+
+let test_bitvec_bounds () =
+  let v = Bv.create 10 in
+  Alcotest.check_raises "oob" (Invalid_argument "Bitvec: index out of bounds")
+    (fun () -> ignore (Bv.get v 10))
+
+let prop_bitvec_string_roundtrip seed =
+  let g = Prng.create seed in
+  let v = Bv.random g (1 + (abs seed mod 150)) in
+  Bv.equal v (Bv.of_string (Bv.to_string v))
+
+let prop_bitvec_int_roundtrip v =
+  let v = abs v mod (1 lsl 30) in
+  Bv.to_int (Bv.of_int 30 v) = v
+
+let prop_bitvec_xor_self seed =
+  let g = Prng.create seed in
+  let v = Bv.random g 97 in
+  let w = Bv.copy v in
+  Bv.xor_into w v;
+  Bv.is_zero w
+
+let prop_bitvec_fold_matches_popcount seed =
+  let g = Prng.create seed in
+  let v = Bv.random g 130 in
+  Bv.fold_set_bits (fun _ acc -> acc + 1) v 0 = Bv.popcount v
+
+let prop_bitvec_fold_ascending seed =
+  let g = Prng.create seed in
+  let v = Bv.random g 130 in
+  let idx = List.rev (Bv.fold_set_bits (fun i acc -> i :: acc) v []) in
+  List.sort compare idx = idx
+  && List.for_all (fun i -> Bv.get v i) idx
+
+let prop_bitvec_append_sub seed =
+  let g = Prng.create seed in
+  let a = Bv.random g 40 and b = Bv.random g 27 in
+  let ab = Bv.append a b in
+  Bv.equal a (Bv.sub ab 0 40) && Bv.equal b (Bv.sub ab 40 27)
+
+let prop_bitvec_compare_total seed =
+  let g = Prng.create seed in
+  let a = Bv.random g 64 and b = Bv.random g 64 in
+  let c1 = Bv.compare a b and c2 = Bv.compare b a in
+  (c1 = 0) = Bv.equal a b && compare c1 0 = compare 0 c2
+
+(* ------------------------------------------------------------------ *)
+(* Bitmat                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitmat_mul_identity () =
+  let g = Prng.create 5 in
+  let m = Bm.random g 7 7 in
+  Alcotest.(check bool) "I*m" true (Bm.equal m (Bm.mul (Bm.identity 7) m));
+  Alcotest.(check bool) "m*I" true (Bm.equal m (Bm.mul m (Bm.identity 7)))
+
+let prop_bitmat_mul_assoc seed =
+  let g = Prng.create seed in
+  let a = Bm.random g 5 6 and b = Bm.random g 6 4 and c = Bm.random g 4 3 in
+  Bm.equal (Bm.mul (Bm.mul a b) c) (Bm.mul a (Bm.mul b c))
+
+let prop_bitmat_transpose_involution seed =
+  let g = Prng.create seed in
+  let m = Bm.random g 9 4 in
+  Bm.equal m (Bm.transpose (Bm.transpose m))
+
+let prop_bitmat_rank_transpose seed =
+  let g = Prng.create seed in
+  let m = Bm.random g 8 5 in
+  Bm.rank m = Bm.rank (Bm.transpose m)
+
+let prop_bitmat_rank_bounds seed =
+  let g = Prng.create seed in
+  let m = Bm.random g 7 9 in
+  let r = Bm.rank m in
+  r >= 0 && r <= 7
+
+let test_bitmat_rank_known () =
+  Alcotest.(check int) "identity" 6 (Bm.rank (Bm.identity 6));
+  let all_ones = Bm.init 5 5 (fun _ _ -> true) in
+  Alcotest.(check int) "all ones" 1 (Bm.rank all_ones);
+  let zero = Bm.create 4 4 in
+  Alcotest.(check int) "zero" 0 (Bm.rank zero);
+  (* GF(2): [[1,1],[1,1]] has rank 1 *)
+  let j2 = Bm.init 2 2 (fun _ _ -> true) in
+  Alcotest.(check int) "J2" 1 (Bm.rank j2)
+
+let prop_bitmat_submatrix seed =
+  let g = Prng.create seed in
+  let m = Bm.random g 6 6 in
+  let s = Bm.submatrix m [| 1; 3 |] [| 0; 2; 4 |] in
+  Bm.rows s = 2 && Bm.cols s = 3
+  && Bm.get s 0 0 = Bm.get m 1 0
+  && Bm.get s 1 2 = Bm.get m 3 4
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_known () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean xs);
+  Alcotest.(check (float 1e-9)) "stddev (sample)" (sqrt (32.0 /. 7.0))
+    (Stats.stddev xs);
+  Alcotest.(check (float 1e-9)) "median" 4.5 (Stats.median xs);
+  let lo, hi = Stats.min_max xs in
+  Alcotest.(check (float 1e-9)) "min" 2.0 lo;
+  Alcotest.(check (float 1e-9)) "max" 9.0 hi;
+  Alcotest.(check (float 1e-9)) "median odd" 3.0 (Stats.median [| 7.0; 1.0; 3.0 |])
+
+let test_stats_fit () =
+  (* exact line y = 3x + 1 *)
+  let pts = Array.init 10 (fun i -> (float_of_int i, (3.0 *. float_of_int i) +. 1.0)) in
+  let slope, intercept, r2 = Stats.linear_fit pts in
+  Alcotest.(check (float 1e-9)) "slope" 3.0 slope;
+  Alcotest.(check (float 1e-9)) "intercept" 1.0 intercept;
+  Alcotest.(check (float 1e-9)) "r2" 1.0 r2;
+  (* proportional y = 2x *)
+  let pts2 = Array.init 10 (fun i -> (float_of_int (i + 1), 2.0 *. float_of_int (i + 1))) in
+  let c, r2p = Stats.proportional_fit pts2 in
+  Alcotest.(check (float 1e-9)) "proportional c" 2.0 c;
+  Alcotest.(check (float 1e-9)) "proportional r2" 1.0 r2p;
+  (* power law y = x^2.5 on log-log *)
+  let pts3 = Array.init 8 (fun i -> let x = float_of_int (i + 2) in (x, x ** 2.5)) in
+  Alcotest.(check (float 1e-9)) "log-log slope" 2.5 (Stats.log_log_slope pts3)
+
+let test_stats_errors () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty sample")
+    (fun () -> ignore (Stats.mean [||]));
+  Alcotest.check_raises "one-point fit"
+    (Invalid_argument "Stats.linear_fit: need at least two points") (fun () ->
+      ignore (Stats.linear_fit [| (1.0, 1.0) |]))
+
+let prop_variance_nonneg seed =
+  let g = Prng.create seed in
+  let xs = Array.init (2 + abs seed mod 20) (fun _ -> Prng.float g *. 100.0) in
+  Stats.variance xs >= 0.0
+
+(* ------------------------------------------------------------------ *)
+(* Tab                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_tab_render () =
+  let t = Tab.make ~caption:"cap" ~header:[ "a"; "bb" ] [ Tab.Left; Tab.Right ] in
+  Tab.add_row t [ "x"; "1" ];
+  Tab.add_rule t;
+  Tab.add_row t [ "yyy"; "22" ];
+  let s = Tab.render t in
+  Alcotest.(check bool) "caption" true (String.length s > 0 && String.sub s 0 3 = "cap");
+  (* all lines same width *)
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' s) in
+  let widths = List.map String.length (List.tl lines) in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_tab_width_mismatch () =
+  let t = Tab.make ~header:[ "a" ] [ Tab.Left ] in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Tab.add_row: width mismatch")
+    (fun () -> Tab.add_row t [ "x"; "y" ])
+
+let test_tab_formats () =
+  Alcotest.(check string) "thousands" "1,234,567" (Tab.fmt_int_thousands 1234567);
+  Alcotest.(check string) "negative" "-1,000" (Tab.fmt_int_thousands (-1000));
+  Alcotest.(check string) "small" "999" (Tab.fmt_int_thousands 999);
+  Alcotest.(check string) "ratio" "3.20x" (Tab.fmt_ratio 3.2);
+  Alcotest.(check string) "float digits" "2.718" (Tab.fmt_float ~digits:3 2.71828)
+
+(* ------------------------------------------------------------------ *)
+(* Combi                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_iter_tuples () =
+  let seen = ref [] in
+  Combi.iter_tuples 3 2 (fun d -> seen := Array.to_list d :: !seen);
+  Alcotest.(check int) "count" 9 (List.length !seen);
+  Alcotest.(check (list (list int))) "first/last order" [ [ 0; 0 ]; [ 2; 2 ] ]
+    [ List.nth (List.rev !seen) 0; List.hd !seen ];
+  (* len 0: exactly one empty tuple *)
+  let count = ref 0 in
+  Combi.iter_tuples 5 0 (fun _ -> incr count);
+  Alcotest.(check int) "empty tuple" 1 !count
+
+let test_iter_subsets () =
+  let count = ref 0 and total_elems = ref 0 in
+  Combi.iter_subsets 5 (fun s ->
+      incr count;
+      total_elems := !total_elems + List.length s);
+  Alcotest.(check int) "2^5 subsets" 32 !count;
+  Alcotest.(check int) "element count" (5 * 16) !total_elems
+
+let test_iter_combinations () =
+  let seen = ref [] in
+  Combi.iter_combinations 5 3 (fun c -> seen := Array.to_list c :: !seen);
+  Alcotest.(check int) "C(5,3)" 10 (List.length !seen);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "sorted distinct" true
+        (List.sort compare c = c && List.length (List.sort_uniq compare c) = 3))
+    !seen;
+  (* r > n: nothing *)
+  let count = ref 0 in
+  Combi.iter_combinations 2 3 (fun _ -> incr count);
+  Alcotest.(check int) "empty" 0 !count
+
+let test_iter_permutations () =
+  let seen = Hashtbl.create 64 in
+  Combi.iter_permutations 4 (fun p -> Hashtbl.replace seen (Array.to_list p) ());
+  Alcotest.(check int) "4! distinct" 24 (Hashtbl.length seen)
+
+let test_binomial_factorial_power () =
+  Alcotest.(check int) "C(10,3)" 120 (Combi.binomial 10 3);
+  Alcotest.(check int) "C(10,0)" 1 (Combi.binomial 10 0);
+  Alcotest.(check int) "C(3,5)" 0 (Combi.binomial 3 5);
+  Alcotest.(check int) "6!" 720 (Combi.factorial 6);
+  Alcotest.(check int) "3^7" 2187 (Combi.power 3 7);
+  Alcotest.(check int) "x^0" 1 (Combi.power 99 0);
+  Alcotest.check_raises "overflow" (Failure "Combi.power: overflow") (fun () ->
+      ignore (Combi.power 10 30))
+
+let prop_binomial_pascal (n, r) =
+  let n = 1 + (abs n mod 25) and r = abs r mod 25 in
+  if r > n || r = 0 then true
+  else Combi.binomial n r = Combi.binomial (n - 1) (r - 1) + Combi.binomial (n - 1) r
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "util"
+    [ ( "prng",
+        [ Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "copy independent" `Quick
+            test_prng_copy_independent;
+          Alcotest.test_case "split diverges" `Quick test_prng_split_diverges;
+          Alcotest.test_case "rough uniformity" `Quick
+            test_prng_uniformity_rough;
+          qtest "int in range" QCheck.small_int prop_int_in_range;
+          qtest "int_incl in range" QCheck.small_int prop_int_incl_in_range;
+          qtest "shuffle permutes" QCheck.small_int prop_shuffle_is_permutation;
+          qtest "sampling distinct" QCheck.small_int
+            prop_sample_without_replacement_distinct;
+          qtest "float in [0,1)" QCheck.small_int prop_float_unit ] );
+      ( "bitvec",
+        [ Alcotest.test_case "basic + word boundary" `Quick test_bitvec_basic;
+          Alcotest.test_case "bounds check" `Quick test_bitvec_bounds;
+          qtest "string roundtrip" QCheck.small_int
+            prop_bitvec_string_roundtrip;
+          qtest "int roundtrip" QCheck.int prop_bitvec_int_roundtrip;
+          qtest "xor self = 0" QCheck.small_int prop_bitvec_xor_self;
+          qtest "fold matches popcount" QCheck.small_int
+            prop_bitvec_fold_matches_popcount;
+          qtest "fold ascending over set bits" QCheck.small_int
+            prop_bitvec_fold_ascending;
+          qtest "append/sub" QCheck.small_int prop_bitvec_append_sub;
+          qtest "compare total order" QCheck.small_int
+            prop_bitvec_compare_total ] );
+      ( "bitmat",
+        [ Alcotest.test_case "identity mul" `Quick test_bitmat_mul_identity;
+          Alcotest.test_case "known ranks" `Quick test_bitmat_rank_known;
+          qtest "mul associative" QCheck.small_int prop_bitmat_mul_assoc;
+          qtest "transpose involution" QCheck.small_int
+            prop_bitmat_transpose_involution;
+          qtest "rank transpose" QCheck.small_int prop_bitmat_rank_transpose;
+          qtest "rank bounds" QCheck.small_int prop_bitmat_rank_bounds;
+          qtest "submatrix" QCheck.small_int prop_bitmat_submatrix ] );
+      ( "stats",
+        [ Alcotest.test_case "known values" `Quick test_stats_known;
+          Alcotest.test_case "fits" `Quick test_stats_fit;
+          Alcotest.test_case "errors" `Quick test_stats_errors;
+          qtest "variance nonneg" QCheck.small_int prop_variance_nonneg ] );
+      ( "tab",
+        [ Alcotest.test_case "render aligned" `Quick test_tab_render;
+          Alcotest.test_case "width mismatch" `Quick test_tab_width_mismatch;
+          Alcotest.test_case "formatters" `Quick test_tab_formats ] );
+      ( "combi",
+        [ Alcotest.test_case "iter_tuples" `Quick test_iter_tuples;
+          Alcotest.test_case "iter_subsets" `Quick test_iter_subsets;
+          Alcotest.test_case "iter_combinations" `Quick test_iter_combinations;
+          Alcotest.test_case "iter_permutations" `Quick test_iter_permutations;
+          Alcotest.test_case "binomial/factorial/power" `Quick
+            test_binomial_factorial_power;
+          qtest "pascal identity" QCheck.(pair int int) prop_binomial_pascal ] )
+    ]

@@ -1,0 +1,226 @@
+(* Tests for the Thompson VLSI model: Dinic max-flow against known
+   values and a brute-force oracle, grid layouts, sweep cuts, and the
+   AT^2 relations. *)
+
+module Maxflow = Commx_vlsi.Maxflow
+module Layout = Commx_vlsi.Layout
+module Tradeoff = Commx_vlsi.Tradeoff
+module Bounds = Commx_core.Bounds
+module Prng = Commx_util.Prng
+
+let qtest ?(count = 100) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
+
+(* ------------------------------------------------------------------ *)
+(* Maxflow                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_maxflow_known () =
+  (* classic CLRS-style example *)
+  let g = Maxflow.create 6 in
+  Maxflow.add_edge g ~src:0 ~dst:1 ~cap:16;
+  Maxflow.add_edge g ~src:0 ~dst:2 ~cap:13;
+  Maxflow.add_edge g ~src:1 ~dst:2 ~cap:10;
+  Maxflow.add_edge g ~src:2 ~dst:1 ~cap:4;
+  Maxflow.add_edge g ~src:1 ~dst:3 ~cap:12;
+  Maxflow.add_edge g ~src:3 ~dst:2 ~cap:9;
+  Maxflow.add_edge g ~src:2 ~dst:4 ~cap:14;
+  Maxflow.add_edge g ~src:4 ~dst:3 ~cap:7;
+  Maxflow.add_edge g ~src:3 ~dst:5 ~cap:20;
+  Maxflow.add_edge g ~src:4 ~dst:5 ~cap:4;
+  Alcotest.(check int) "CLRS max flow" 23 (Maxflow.max_flow g ~source:0 ~sink:5)
+
+let test_maxflow_disconnected () =
+  let g = Maxflow.create 4 in
+  Maxflow.add_edge g ~src:0 ~dst:1 ~cap:5;
+  Maxflow.add_edge g ~src:2 ~dst:3 ~cap:5;
+  Alcotest.(check int) "no path" 0 (Maxflow.max_flow g ~source:0 ~sink:3)
+
+let test_maxflow_parallel_edges () =
+  let g = Maxflow.create 2 in
+  Maxflow.add_edge g ~src:0 ~dst:1 ~cap:3;
+  Maxflow.add_edge g ~src:0 ~dst:1 ~cap:4;
+  Alcotest.(check int) "parallel" 7 (Maxflow.max_flow g ~source:0 ~sink:1)
+
+let test_min_cut_side () =
+  let g = Maxflow.create 3 in
+  Maxflow.add_edge g ~src:0 ~dst:1 ~cap:1;
+  Maxflow.add_edge g ~src:1 ~dst:2 ~cap:100;
+  ignore (Maxflow.max_flow g ~source:0 ~sink:2);
+  Alcotest.(check (list int)) "cut isolates source" [ 0 ]
+    (Maxflow.min_cut_side g ~source:0)
+
+(* Brute-force min-cut oracle on tiny graphs: enumerate all edge
+   subsets is too big; instead enumerate all vertex bipartitions and
+   sum crossing capacities (valid for min cut = max flow). *)
+let prop_maxflow_equals_min_bipartition_cut seed =
+  let rng = Prng.create seed in
+  let n = 4 + Prng.int rng 2 in
+  let edges = ref [] in
+  let g = Maxflow.create n in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      if src <> dst && Prng.int rng 10 < 5 then begin
+        let cap = 1 + Prng.int rng 5 in
+        Maxflow.add_edge g ~src ~dst ~cap;
+        edges := (src, dst, cap) :: !edges
+      end
+    done
+  done;
+  let flow = Maxflow.max_flow g ~source:0 ~sink:(n - 1) in
+  (* min over bipartitions with 0 on one side, n-1 on the other *)
+  let best = ref max_int in
+  for mask = 0 to (1 lsl n) - 1 do
+    if mask land 1 = 1 && mask lsr (n - 1) land 1 = 0 then begin
+      let cut =
+        List.fold_left
+          (fun acc (s, d, c) ->
+            if mask lsr s land 1 = 1 && mask lsr d land 1 = 0 then acc + c
+            else acc)
+          0 !edges
+      in
+      best := min !best cut
+    end
+  done;
+  flow = !best
+
+(* ------------------------------------------------------------------ *)
+(* Layout                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_square_reader () =
+  let l = Layout.square_reader ~bits:10 in
+  Alcotest.(check int) "ports" 10 (Layout.port_count l);
+  Alcotest.(check bool) "near square" true
+    (abs (Layout.h l - Layout.w l) <= 1);
+  Alcotest.(check bool) "area >= bits" true (Layout.area l >= 10)
+
+let test_strip_reader () =
+  let l = Layout.strip_reader ~bits:12 ~rows:2 in
+  Alcotest.(check int) "ports" 12 (Layout.port_count l);
+  Alcotest.(check int) "rows" 2 (Layout.h l);
+  Alcotest.(check int) "cols" 6 (Layout.w l)
+
+let test_thompson_cut_balance () =
+  let l = Layout.square_reader ~bits:64 in
+  let cut = Layout.thompson_cut l in
+  (* balanced within one grid line's worth of ports *)
+  Alcotest.(check bool) "balanced" true
+    (abs (cut.Layout.left_ports - 32) <= 8);
+  Alcotest.(check bool) "crossing <= side" true
+    (cut.Layout.crossing <= max (Layout.h l) (Layout.w l))
+
+let test_sweep_cut_count () =
+  let l = Layout.make ~h:3 ~w:5 in
+  Alcotest.(check int) "cuts" ((5 - 1) + (3 - 1))
+    (List.length (Layout.sweep_cuts l))
+
+let test_port_collision () =
+  let l = Layout.make ~h:2 ~w:2 in
+  Layout.place_port l ~row:0 ~col:0 ~bit:0;
+  Alcotest.check_raises "occupied"
+    (Invalid_argument "Layout.place_port: cell occupied") (fun () ->
+      Layout.place_port l ~row:0 ~col:0 ~bit:1)
+
+let test_min_crossing_balanced () =
+  (* On an 8-row strip, the binding cut must be a vertical one
+     (crossing 8), not the perfectly balanced horizontal cut
+     (crossing = width). *)
+  let l = Layout.strip_reader ~bits:200 ~rows:8 in
+  let cut = Layout.min_crossing_balanced_cut l in
+  Alcotest.(check bool) "vertical" true cut.Layout.vertical;
+  Alcotest.(check int) "crossing = rows" 8 cut.Layout.crossing;
+  (* nearly balanced within one grid line *)
+  Alcotest.(check bool) "balanced" true
+    (abs (cut.Layout.left_ports - 100) <= max (Layout.h l) (Layout.w l));
+  (* on a square chip both cut families have the same crossing *)
+  let sq = Layout.square_reader ~bits:100 in
+  let c2 = Layout.min_crossing_balanced_cut sq in
+  Alcotest.(check bool) "square crossing = side" true
+    (c2.Layout.crossing = Layout.h sq || c2.Layout.crossing = Layout.w sq)
+
+let prop_min_crossing_never_exceeds_thompson seed =
+  let rng = Prng.create seed in
+  let bits = 20 + Prng.int rng 200 in
+  let rows = 1 + Prng.int rng 12 in
+  let l = Layout.strip_reader ~bits ~rows in
+  let mc = Layout.min_crossing_balanced_cut l in
+  let tc = Layout.thompson_cut l in
+  mc.Layout.crossing <= tc.Layout.crossing
+  || abs (mc.Layout.left_ports - (Layout.port_count l / 2))
+     <= max (Layout.h l) (Layout.w l)
+
+let test_bisection_grid () =
+  (* on a 3x3 grid, separating opposite corners: min edge cut is 2 *)
+  let l = Layout.make ~h:3 ~w:3 in
+  Layout.place_port l ~row:0 ~col:0 ~bit:0;
+  Layout.place_port l ~row:2 ~col:2 ~bit:1;
+  Alcotest.(check int) "corner cut" 2
+    (Layout.bisection_width_exact l ~parts:(0, 1))
+
+(* ------------------------------------------------------------------ *)
+(* Tradeoff                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_designs_respect_at2 () =
+  List.iter
+    (fun (n, k) ->
+      let info = Bounds.info_bits ~n ~k in
+      let bound = Bounds.at2_lower ~info_bits:info in
+      List.iter
+        (fun d ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s at n=%d k=%d: %.0f >= %.0f" d.Tradeoff.name n
+               k (Tradeoff.at2 d) bound)
+            true
+            (Tradeoff.at2 d >= bound))
+        (Tradeoff.designs_for ~n ~k))
+    [ (5, 2); (7, 3); (9, 4) ]
+
+let test_bound_row_relations () =
+  let r = Tradeoff.bound_row ~n:10 ~k:9 in
+  Alcotest.(check bool) "our T > CM T when k > 1" true
+    (r.Tradeoff.our_t > r.Tradeoff.cm_t);
+  Alcotest.(check bool) "our AT > CM AT" true
+    (r.Tradeoff.our_at > r.Tradeoff.cm_at);
+  Alcotest.(check (float 1e-6)) "info" 900.0 r.Tradeoff.info
+
+let prop_at2a_interpolates seed =
+  let rng = Prng.create seed in
+  let info = 10.0 +. (1000.0 *. Prng.float rng) in
+  let a0 = Bounds.at_2a_lower ~info_bits:info ~alpha:0.0 in
+  let a1 = Bounds.at_2a_lower ~info_bits:info ~alpha:1.0 in
+  Float.abs (a0 -. Bounds.area_lower ~info_bits:info) < 1e-6
+  && Float.abs (a1 -. Bounds.at2_lower ~info_bits:info) < 1e-6
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "vlsi"
+    [ ( "maxflow",
+        [ Alcotest.test_case "known value" `Quick test_maxflow_known;
+          Alcotest.test_case "disconnected" `Quick test_maxflow_disconnected;
+          Alcotest.test_case "parallel edges" `Quick test_maxflow_parallel_edges;
+          Alcotest.test_case "min cut side" `Quick test_min_cut_side;
+          qtest "flow = min bipartition cut" ~count:200 QCheck.small_int
+            prop_maxflow_equals_min_bipartition_cut ] );
+      ( "layout",
+        [ Alcotest.test_case "square reader" `Quick test_square_reader;
+          Alcotest.test_case "strip reader" `Quick test_strip_reader;
+          Alcotest.test_case "thompson cut balance" `Quick
+            test_thompson_cut_balance;
+          Alcotest.test_case "sweep cut count" `Quick test_sweep_cut_count;
+          Alcotest.test_case "port collision" `Quick test_port_collision;
+          Alcotest.test_case "min-crossing balanced cut" `Quick
+            test_min_crossing_balanced;
+          qtest "min-crossing sanity" QCheck.small_int
+            prop_min_crossing_never_exceeds_thompson;
+          Alcotest.test_case "exact bisection on grid" `Quick
+            test_bisection_grid ] );
+      ( "tradeoff",
+        [ Alcotest.test_case "designs respect AT^2 bound" `Quick
+            test_designs_respect_at2;
+          Alcotest.test_case "bound row relations" `Quick
+            test_bound_row_relations;
+          qtest "AT^2a interpolation endpoints" QCheck.small_int
+            prop_at2a_interpolates ] ) ]
