@@ -1,39 +1,135 @@
 (* Experiment harness.
 
    Usage:
-     dune exec bench/main.exe              # run every experiment E1-E11
-     dune exec bench/main.exe -- E3 E9     # run selected experiments
-     dune exec bench/main.exe -- micro     # Bechamel substrate benches
-     dune exec bench/main.exe -- all micro # everything
+     dune exec bench/main.exe                      # run every experiment
+     dune exec bench/main.exe -- E3 E9             # run selected experiments
+     dune exec bench/main.exe -- E3 --jobs 4       # domain-parallel hot loops
+     dune exec bench/main.exe -- all --json out/   # also write BENCH_E*.json
+     dune exec bench/main.exe -- micro             # Bechamel substrate benches
+     dune exec bench/main.exe -- all micro         # everything
 
    Each experiment regenerates one of the paper's claims (this paper
    has no empirical tables; the reproducible units are the theorem,
    corollaries, lemmas and constructions — see DESIGN.md section 4 and
-   EXPERIMENTS.md for the mapping). *)
+   EXPERIMENTS.md for the mapping).
+
+   Seeded experiments derive per-work-item generators by splitting the
+   master seed BEFORE fanning out, so the measured values in the tables
+   and JSON artifacts are bit-identical at any --jobs value.  With
+   --json DIR, each experiment E<i> additionally writes
+   DIR/BENCH_E<i>.json containing the same measurements as structured
+   rows plus wall-clock and job-count metadata (schema documented in
+   EXPERIMENTS.md). *)
+
+module Json = Commx_util.Json
+module Pool = Commx_util.Pool
+
+let usage_exit () =
+  Printf.eprintf
+    "usage: main.exe [EXPERIMENT...] [--jobs N] [--json DIR]\n\
+     available experiments: %s micro all\n"
+    (String.concat " " (List.map fst Experiments.all));
+  exit 1
+
+(* Minimal flag parsing: experiments name their IDs positionally;
+   --jobs/--json take a value either as the next argument or inline
+   after '='. *)
+let parse_args argv =
+  let jobs = ref 1 and json_dir = ref None and ids = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--jobs" :: v :: rest -> set_jobs v; go rest
+    | "--json" :: v :: rest -> json_dir := Some v; go rest
+    | [ ("--jobs" | "--json") ] ->
+        Printf.eprintf "missing value for final flag\n";
+        usage_exit ()
+    | arg :: rest ->
+        (match String.index_opt arg '=' with
+        | Some i when String.length arg > 2 && String.sub arg 0 2 = "--" ->
+            let key = String.sub arg 0 i in
+            let v = String.sub arg (i + 1) (String.length arg - i - 1) in
+            (match key with
+            | "--jobs" -> set_jobs v
+            | "--json" -> json_dir := Some v
+            | _ ->
+                Printf.eprintf "unknown flag: %s\n" key;
+                usage_exit ())
+        | _ ->
+            if String.length arg > 1 && arg.[0] = '-' then begin
+              Printf.eprintf "unknown flag: %s\n" arg;
+              usage_exit ()
+            end
+            else ids := arg :: !ids);
+        go rest
+  and set_jobs v =
+    match int_of_string_opt v with
+    | Some n when n >= 1 -> jobs := n
+    | _ ->
+        Printf.eprintf "--jobs expects a positive integer, got %s\n" v;
+        usage_exit ()
+  in
+  go argv;
+  (!jobs, !json_dir, List.rev !ids)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
+  then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_artifact dir ~jobs ~wall_s (r : Experiments.report) =
+  mkdir_p dir;
+  let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" r.id) in
+  let doc =
+    Json.Obj
+      [ ("schema_version", Json.Int 1);
+        ("experiment", Json.String r.Experiments.id);
+        ("title", Json.String r.Experiments.title);
+        ("jobs", Json.Int jobs);
+        ("wall_s", Json.Float wall_s);
+        ("params", Json.Obj r.Experiments.params);
+        ("rows", Json.List r.Experiments.rows);
+        ("fits", Json.Obj r.Experiments.fits) ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty doc);
+  close_out oc;
+  Printf.printf "[json] wrote %s (%d rows)\n" path
+    (List.length r.Experiments.rows)
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args = if args = [] then [ "all" ] else args in
-  let run_all = List.mem "all" args in
-  let ran = ref 0 in
-  Printf.printf
-    "Chu-Schnitger (SPAA 1989 / J. Complexity 1991) reproduction — \
-     experiment harness\n";
-  List.iter
-    (fun (id, f) ->
-      if run_all || List.mem id args then begin
-        f ();
-        incr ran
-      end)
-    Experiments.all;
-  if List.mem "micro" args then begin
-    Micro.run ();
-    incr ran
-  end;
-  if !ran = 0 then begin
-    Printf.eprintf
-      "unknown experiment(s): %s\navailable: %s micro all\n"
-      (String.concat " " args)
+  let jobs, json_dir, ids = parse_args (List.tl (Array.to_list Sys.argv)) in
+  let ids = if ids = [] then [ "all" ] else ids in
+  (* Validate EVERY requested id up front: a typo like `E99` must fail
+     the whole invocation, not silently run the valid subset. *)
+  let known id =
+    id = "all" || id = "micro" || List.mem_assoc id Experiments.all
+  in
+  let unknown = List.filter (fun id -> not (known id)) ids in
+  if unknown <> [] then begin
+    Printf.eprintf "unknown experiment(s): %s\navailable: %s micro all\n"
+      (String.concat " " unknown)
       (String.concat " " (List.map fst Experiments.all));
     exit 1
-  end
+  end;
+  let run_all = List.mem "all" ids in
+  Printf.printf
+    "Chu-Schnitger (SPAA 1989 / J. Complexity 1991) reproduction — \
+     experiment harness (jobs: %d)\n"
+    jobs;
+  Pool.with_pool ~jobs (fun pool ->
+      let ctx = { Experiments.pool; jobs } in
+      List.iter
+        (fun (id, f) ->
+          if run_all || List.mem id ids then begin
+            let t0 = Unix.gettimeofday () in
+            let report = f ctx in
+            let wall_s = Unix.gettimeofday () -. t0 in
+            Printf.printf "[%s] wall-clock: %.3f s\n" id wall_s;
+            match json_dir with
+            | Some dir -> write_artifact dir ~jobs ~wall_s report
+            | None -> ()
+          end)
+        Experiments.all);
+  if List.mem "micro" ids then Micro.run ()

@@ -30,6 +30,12 @@ let execute_fn run a b =
 let execute p a b = execute_fn p.run a b
 
 let worst_case_cost p xs ys =
+  (match (xs, ys) with
+  | [], _ | _, [] ->
+      (* An empty rectangle would fold to 0, which reads downstream as
+         "free protocol" — refuse instead. *)
+      invalid_arg "Protocol.worst_case_cost: empty input list"
+  | _ -> ());
   List.fold_left
     (fun acc x ->
       List.fold_left

@@ -43,7 +43,9 @@ val execute_fn : (channel -> 'a -> 'b -> 'r) -> 'a -> 'b -> 'r * int
     channel. *)
 
 val worst_case_cost : ('a, 'b) t -> 'a list -> 'b list -> int
-(** Maximum bits over the input rectangle [as x bs]. *)
+(** Maximum bits over the input rectangle [as x bs].
+    @raise Invalid_argument if either input list is empty (a maximum
+    over an empty rectangle would read as a zero-cost protocol). *)
 
 val check_correct :
   ('a, 'b) t -> spec:('a -> 'b -> bool) -> 'a list -> 'b list ->

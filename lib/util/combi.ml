@@ -100,9 +100,25 @@ let factorial n =
 let binomial n r =
   if r < 0 || n < 0 then invalid_arg "Combi.binomial";
   if r > n then 0
-  else
+  else begin
     let r = min r (n - r) in
+    let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+    (* Invariant: acc = C(n - r + i - 1, i - 1), always exact.  The
+       next value is acc * m / i with m = n - r + i; reducing m and i
+       by their gcd first leaves a denominator coprime to m that must
+       divide acc, so we can divide before multiplying and the guard
+       below only fires when the true value exceeds the native range
+       (not on benign intermediate products, cf. C(62, 31)). *)
     let rec go acc i =
-      if i > r then acc else go (acc * (n - r + i) / i) (i + 1)
+      if i > r then acc
+      else begin
+        let m = n - r + i in
+        let g = gcd m i in
+        let m = m / g and i_red = i / g in
+        let acc = acc / i_red in
+        if acc > max_int / m then failwith "Combi.binomial: overflow"
+        else go (acc * m) (i + 1)
+      end
     in
     go 1 1
+  end

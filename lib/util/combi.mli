@@ -28,7 +28,14 @@ val iter_permutations : int -> (int array -> unit) -> unit
     (Heap's algorithm; the array is reused).  [n <= 10]. *)
 
 val factorial : int -> int
+(** @raise Failure on native-int overflow ([n > 20]). *)
+
 val binomial : int -> int -> int
+(** [binomial n r] = C(n, r), exact over native ints ([0] when
+    [r > n]).  Factors common to numerator and denominator are
+    cancelled before multiplying, so values near the native-int limit
+    (e.g. [binomial 62 31]) are computed exactly rather than wrapping.
+    @raise Failure on native-int overflow of the result. *)
 
 val power : int -> int -> int
 (** [power b e] for [e >= 0] with overflow detection.

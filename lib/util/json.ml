@@ -1,0 +1,295 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Emitter                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Shortest decimal that round-trips; falls back to 17 significant
+   digits, which is always exact for a double. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let add_number buf f =
+  if not (Float.is_finite f) then Buffer.add_string buf "null"
+  else Buffer.add_string buf (float_repr f)
+
+let rec emit ~indent ~level buf v =
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let sep_open c = Buffer.add_char buf c; if indent then Buffer.add_char buf '\n' in
+  let sep_close c =
+    if indent then begin Buffer.add_char buf '\n'; pad level end;
+    Buffer.add_char buf c
+  in
+  let comma () =
+    Buffer.add_char buf ',';
+    if indent then Buffer.add_char buf '\n'
+  in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> add_number buf f
+  | String s -> escape_string buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      sep_open '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then comma ();
+          pad (level + 1);
+          emit ~indent ~level:(level + 1) buf item)
+        items;
+      sep_close ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      sep_open '{';
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then comma ();
+          pad (level + 1);
+          escape_string buf key;
+          Buffer.add_string buf (if indent then ": " else ":");
+          emit ~indent ~level:(level + 1) buf value)
+        fields;
+      sep_close '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  emit ~indent:false ~level:0 buf v;
+  Buffer.contents buf
+
+let to_string_pretty v =
+  let buf = Buffer.create 256 in
+  emit ~indent:true ~level:0 buf v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { src : string; mutable pos : int }
+
+let fail cur msg =
+  failwith (Printf.sprintf "Json.of_string: %s at offset %d" msg cur.pos)
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  while
+    match peek cur with
+    | Some (' ' | '\t' | '\n' | '\r') -> true
+    | _ -> false
+  do
+    advance cur
+  done
+
+let expect cur c =
+  match peek cur with
+  | Some c' when c' = c -> advance cur
+  | _ -> fail cur (Printf.sprintf "expected %C" c)
+
+let parse_literal cur word value =
+  let n = String.length word in
+  if
+    cur.pos + n <= String.length cur.src
+    && String.sub cur.src cur.pos n = word
+  then begin
+    cur.pos <- cur.pos + n;
+    value
+  end
+  else fail cur (Printf.sprintf "expected %s" word)
+
+(* Encode a Unicode code point as UTF-8. *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_hex4 cur =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    (match peek cur with
+    | Some c when c >= '0' && c <= '9' -> v := (!v * 16) + Char.code c - Char.code '0'
+    | Some c when c >= 'a' && c <= 'f' -> v := (!v * 16) + Char.code c - Char.code 'a' + 10
+    | Some c when c >= 'A' && c <= 'F' -> v := (!v * 16) + Char.code c - Char.code 'A' + 10
+    | _ -> fail cur "expected hex digit");
+    advance cur
+  done;
+  !v
+
+let parse_string cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek cur with
+    | None -> fail cur "unterminated string"
+    | Some '"' -> advance cur
+    | Some '\\' ->
+        advance cur;
+        (match peek cur with
+        | Some '"' -> Buffer.add_char buf '"'; advance cur
+        | Some '\\' -> Buffer.add_char buf '\\'; advance cur
+        | Some '/' -> Buffer.add_char buf '/'; advance cur
+        | Some 'n' -> Buffer.add_char buf '\n'; advance cur
+        | Some 'r' -> Buffer.add_char buf '\r'; advance cur
+        | Some 't' -> Buffer.add_char buf '\t'; advance cur
+        | Some 'b' -> Buffer.add_char buf '\b'; advance cur
+        | Some 'f' -> Buffer.add_char buf '\012'; advance cur
+        | Some 'u' ->
+            advance cur;
+            let cp = parse_hex4 cur in
+            (* Surrogate pair *)
+            if cp >= 0xD800 && cp <= 0xDBFF then begin
+              expect cur '\\';
+              expect cur 'u';
+              let lo = parse_hex4 cur in
+              if lo < 0xDC00 || lo > 0xDFFF then fail cur "invalid low surrogate";
+              add_utf8 buf (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+            end
+            else add_utf8 buf cp
+        | _ -> fail cur "invalid escape");
+        loop ()
+    | Some c -> Buffer.add_char buf c; advance cur; loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_float = ref false in
+  let consume () =
+    while
+      match peek cur with
+      | Some ('0' .. '9' | '-' | '+') -> true
+      | Some ('.' | 'e' | 'E') ->
+          is_float := true;
+          true
+      | _ -> false
+    do
+      advance cur
+    done
+  in
+  consume ();
+  let s = String.sub cur.src start (cur.pos - start) in
+  if !is_float then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail cur "malformed number"
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        (* Integer literal out of native range: keep it as a float. *)
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> fail cur "malformed number")
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some 'n' -> parse_literal cur "null" Null
+  | Some 't' -> parse_literal cur "true" (Bool true)
+  | Some 'f' -> parse_literal cur "false" (Bool false)
+  | Some '"' -> String (parse_string cur)
+  | Some '[' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some ']' then begin
+        advance cur;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec loop () =
+          items := parse_value cur :: !items;
+          skip_ws cur;
+          match peek cur with
+          | Some ',' -> advance cur; loop ()
+          | Some ']' -> advance cur
+          | _ -> fail cur "expected ',' or ']'"
+        in
+        loop ();
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some '}' then begin
+        advance cur;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec loop () =
+          skip_ws cur;
+          let key = parse_string cur in
+          skip_ws cur;
+          expect cur ':';
+          fields := (key, parse_value cur) :: !fields;
+          skip_ws cur;
+          match peek cur with
+          | Some ',' -> advance cur; loop ()
+          | Some '}' -> advance cur
+          | _ -> fail cur "expected ',' or '}'"
+        in
+        loop ();
+        Obj (List.rev !fields)
+      end
+  | Some ('-' | '0' .. '9') -> parse_number cur
+  | Some c -> fail cur (Printf.sprintf "unexpected character %C" c)
+
+let of_string s =
+  let cur = { src = s; pos = 0 } in
+  let v = parse_value cur in
+  skip_ws cur;
+  if cur.pos <> String.length s then fail cur "trailing garbage";
+  v

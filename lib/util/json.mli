@@ -1,0 +1,40 @@
+(** Minimal dependency-free JSON, for machine-readable bench artifacts.
+
+    The experiment harness writes one [BENCH_E<id>.json] file per
+    experiment so that performance and measured quantities leave a
+    trajectory that later PRs can diff mechanically, instead of only
+    ASCII tables on stdout.  This module is deliberately tiny: a value
+    type, a compact/pretty emitter, and a strict parser sufficient to
+    round-trip what the emitter produces (used by the tests and by the
+    CI smoke check).  It is not a general-purpose JSON library — no
+    streaming, no number-precision haggling beyond what [float]
+    carries. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact serialization (no insignificant whitespace).  Non-finite
+    floats have no JSON representation and are emitted as [null]. *)
+
+val to_string_pretty : t -> string
+(** Two-space-indented serialization, trailing newline, for artifacts
+    meant to be read (and diffed) by humans too. *)
+
+val of_string : string -> t
+(** Strict parser for the JSON subset the emitter produces (which is
+    all of standard JSON except non-UTF-8 escapes are passed through
+    decoded).  Numbers without [.], [e] or [E] parse as [Int], others
+    as [Float].
+    @raise Failure with a position-annotated message on malformed
+    input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] is the first binding of [key], if any; [None]
+    on non-objects. *)

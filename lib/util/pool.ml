@@ -1,0 +1,140 @@
+(* Fixed-size domain pool.  Worker domains block on a thunk queue;
+   each batch (parallel_for / parallel_map call) posts one helper thunk
+   per worker, all pulling chunk indices from a shared atomic counter,
+   and the calling domain pulls chunks too — so jobs = 1 degenerates to
+   an inline loop with no synchronization beyond two atomics. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.closed do
+    Condition.wait pool.nonempty pool.mutex
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.mutex (* closed: exit *)
+  else begin
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    task ();
+    worker_loop pool
+  end
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let pool =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      domains = [];
+    }
+  in
+  pool.domains <-
+    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let jobs pool = pool.jobs
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.closed <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+let with_pool ~jobs f =
+  let pool = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let parallel_for pool ?chunk n body =
+  if n < 0 then invalid_arg "Pool.parallel_for: negative count";
+  if n > 0 then begin
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some _ -> invalid_arg "Pool.parallel_for: chunk must be >= 1"
+      | None -> max 1 (n / (4 * pool.jobs))
+    in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let run_chunks () =
+      let rec go () =
+        let lo = Atomic.fetch_and_add next chunk in
+        if lo < n && Option.is_none (Atomic.get failure) then begin
+          (try
+             for i = lo to min n (lo + chunk) - 1 do
+               body i
+             done
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+          go ()
+        end
+      in
+      go ()
+    in
+    let helpers = List.length pool.domains in
+    let pending = ref helpers in
+    let done_mutex = Mutex.create () in
+    let all_done = Condition.create () in
+    if helpers > 0 then begin
+      Mutex.lock pool.mutex;
+      for _ = 1 to helpers do
+        Queue.add
+          (fun () ->
+            run_chunks ();
+            Mutex.lock done_mutex;
+            decr pending;
+            if !pending = 0 then Condition.signal all_done;
+            Mutex.unlock done_mutex)
+          pool.queue
+      done;
+      Condition.broadcast pool.nonempty;
+      Mutex.unlock pool.mutex
+    end;
+    run_chunks ();
+    if helpers > 0 then begin
+      Mutex.lock done_mutex;
+      while !pending > 0 do
+        Condition.wait all_done done_mutex
+      done;
+      Mutex.unlock done_mutex
+    end;
+    match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let parallel_map pool ?chunk f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for pool ?chunk n (fun i -> out.(i) <- Some (f arr.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let parallel_map_seeded pool g f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    (* Split sequentially, in index order, before any parallelism: the
+       generator item i sees depends only on g's state and i. *)
+    let gens = Array.make n g in
+    for i = 0 to n - 1 do
+      gens.(i) <- Prng.split g
+    done;
+    let out = Array.make n None in
+    parallel_for pool n (fun i -> out.(i) <- Some (f gens.(i) arr.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end

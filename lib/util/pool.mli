@@ -1,0 +1,61 @@
+(** Fixed-size domain pool for the embarrassingly parallel stages of
+    the experiment harness.
+
+    The expensive experiments (exact truth-matrix enumeration, the
+    game-tree search of the exact-CC solver, Monte-Carlo error sweeps)
+    are independent across instances, trials, or sub-problems.  This
+    module fans such work out over a fixed set of OCaml 5 domains while
+    keeping every run {e bit-identical at any job count}:
+
+    - results are written back by item index, so output order never
+      depends on scheduling;
+    - randomized work draws from per-item generators pre-derived with
+      {!Prng.split} from one master generator, in deterministic item
+      order, before any domain runs ({!parallel_map_seeded}) — the
+      streams an item sees are a function of the master seed and the
+      item index only, never of [jobs] or of interleaving.
+
+    Worker domains are spawned once at {!create} and reused across
+    calls; the calling domain participates in every batch, so a pool
+    with [jobs = 1] runs everything inline with no domains spawned.
+    An exception raised by any item cancels the remaining chunks and is
+    re-raised (with its backtrace) in the calling domain. *)
+
+type t
+(** A pool of worker domains.  Values of this type own OS resources
+    ([jobs - 1] domains); release them with {!shutdown} or scope them
+    with {!with_pool}. *)
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains ([jobs >= 1]).
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+(** The parallelism the pool was created with. *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  Idempotent.  The pool must not be used
+    afterwards. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down on
+    exit, normal or exceptional. *)
+
+val parallel_for : t -> ?chunk:int -> int -> (int -> unit) -> unit
+(** [parallel_for pool n body] runs [body i] for every [i] in
+    [\[0, n)], distributed over the pool in contiguous chunks of
+    [chunk] indices (default: [n / (4 * jobs)], at least 1).  Blocks
+    until all items finish.  The first exception raised by any [body]
+    is re-raised here after the batch stops. *)
+
+val parallel_map : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map pool f arr] is [Array.map f arr] computed in
+    parallel; element order is preserved. *)
+
+val parallel_map_seeded :
+  t -> Prng.t -> (Prng.t -> 'a -> 'b) -> 'a array -> 'b array
+(** [parallel_map_seeded pool g f arr] maps [f gen_i arr.(i)] where
+    [gen_i] is the [i]-th generator split off [g] sequentially before
+    any parallel work starts.  [g] is advanced [length arr] times.
+    Results are bit-identical for every [jobs], given equal [g]
+    states. *)

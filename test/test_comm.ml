@@ -111,6 +111,16 @@ let test_channel_counts () =
   Alcotest.(check int) "worst case" 6
     (Protocol.worst_case_cost p [ 1; 2; 3 ] [ 0; 7 ])
 
+(* Regression: an empty side of the rectangle used to fold to cost 0,
+   which read downstream as a free protocol. *)
+let test_worst_case_empty_inputs () =
+  let p = { Protocol.name = "id"; run = (fun _ x y -> x = y) } in
+  let expect = Invalid_argument "Protocol.worst_case_cost: empty input list" in
+  Alcotest.check_raises "empty xs" expect (fun () ->
+      ignore (Protocol.worst_case_cost p [] [ 1; 2 ]));
+  Alcotest.check_raises "empty ys" expect (fun () ->
+      ignore (Protocol.worst_case_cost p [ 1; 2 ] []))
+
 let test_check_correct () =
   let eq_proto =
     {
@@ -653,6 +663,8 @@ let () =
             prop_permutation_preserves_evenness ] );
       ( "protocol",
         [ Alcotest.test_case "channel counts bits" `Quick test_channel_counts;
+          Alcotest.test_case "worst case rejects empty inputs" `Quick
+            test_worst_case_empty_inputs;
           Alcotest.test_case "correctness checker" `Quick test_check_correct ] );
       ( "truth-matrix",
         [ Alcotest.test_case "basics" `Quick test_truth_matrix_basics;

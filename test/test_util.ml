@@ -9,6 +9,8 @@ module Bm = Commx_util.Bitmat
 module Stats = Commx_util.Stats
 module Tab = Commx_util.Tab
 module Combi = Commx_util.Combi
+module Json = Commx_util.Json
+module Pool = Commx_util.Pool
 
 let qtest ?(count = 300) name arb prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
@@ -351,6 +353,152 @@ let prop_binomial_pascal (n, r) =
   if r > n || r = 0 then true
   else Combi.binomial n r = Combi.binomial (n - 1) (r - 1) + Combi.binomial (n - 1) r
 
+(* Regression: binomial used to wrap silently near the native-int
+   limit.  C(62,31) and C(60,30) are representable and must be exact;
+   C(66,33) exceeds max_int and must raise, not wrap. *)
+let test_binomial_boundary () =
+  Alcotest.(check int) "C(62,31)" 465428353255261088 (Combi.binomial 62 31);
+  Alcotest.(check int) "C(61,30)" 232714176627630544 (Combi.binomial 61 30);
+  Alcotest.(check int) "C(60,30)" 118264581564861424 (Combi.binomial 60 30);
+  Alcotest.(check bool) "C(62,31) positive (no wraparound)" true
+    (Combi.binomial 62 31 > 0);
+  Alcotest.check_raises "C(66,33) overflows"
+    (Failure "Combi.binomial: overflow") (fun () ->
+      ignore (Combi.binomial 66 33));
+  Alcotest.check_raises "C(100,50) overflows"
+    (Failure "Combi.binomial: overflow") (fun () ->
+      ignore (Combi.binomial 100 50))
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_emit () =
+  Alcotest.(check string) "compact"
+    {|{"a":1,"b":[true,null,"x\"y"],"c":-2.5}|}
+    (Json.to_string
+       (Json.Obj
+          [ ("a", Json.Int 1);
+            ("b", Json.List [ Json.Bool true; Json.Null; Json.String "x\"y" ]);
+            ("c", Json.Float (-2.5)) ]));
+  Alcotest.(check string) "integral float keeps point" "1.0"
+    (Json.to_string (Json.Float 1.0));
+  Alcotest.(check string) "non-finite is null" "null"
+    (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "escapes" "\"\\n\\t\\\\\\u0001\""
+    (Json.to_string (Json.String "\n\t\\\x01"))
+
+let test_json_roundtrip () =
+  let docs =
+    [ Json.Null; Json.Bool false; Json.Int max_int; Json.Int min_int;
+      Json.Int 0; Json.Float 0.1; Json.Float 1e-300; Json.Float (-3.75);
+      Json.Float 6.02214076e23; Json.String ""; Json.String "caf\xc3\xa9 \\ \"q\"";
+      Json.List [];
+      Json.Obj
+        [ ("rows", Json.List [ Json.Int 1; Json.Float 2.5 ]);
+          ("nested", Json.Obj [ ("deep", Json.List [ Json.Null ]) ]) ] ]
+  in
+  List.iter
+    (fun d ->
+      let s = Json.to_string d in
+      Alcotest.(check bool) ("roundtrip " ^ s) true (Json.of_string s = d);
+      let p = Json.to_string_pretty d in
+      Alcotest.(check bool) ("pretty roundtrip " ^ s) true
+        (Json.of_string p = d))
+    docs
+
+let prop_json_float_roundtrip x =
+  (* Any finite float must survive emit/parse bit-exactly. *)
+  (not (Float.is_finite x))
+  ||
+  match Json.of_string (Json.to_string (Json.Float x)) with
+  | Json.Float y -> Int64.bits_of_float y = Int64.bits_of_float x
+  | Json.Int y -> float_of_int y = x
+  | _ -> false
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | exception Failure _ -> ()
+      | v ->
+          Alcotest.failf "expected parse failure on %S, got %s" s
+            (Json.to_string v))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated"; "{1:2}";
+      "[1] trailing" ];
+  (* member lookup *)
+  let o = Json.of_string {|{"x": 3, "y": [1]}|} in
+  Alcotest.(check bool) "member hit" true (Json.member "x" o = Some (Json.Int 3));
+  Alcotest.(check bool) "member miss" true (Json.member "z" o = None)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_matches_sequential () =
+  let input = Array.init 257 (fun i -> i) in
+  let f i = (i * i) + 1 in
+  let expect = Array.map f input in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "jobs=%d" jobs)
+            expect
+            (Pool.parallel_map pool f input)))
+    [ 1; 2; 4 ]
+
+let test_pool_for_covers_all_indices () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let n = 1000 in
+      let marks = Array.init n (fun _ -> Atomic.make 0) in
+      Pool.parallel_for pool ~chunk:7 n (fun i -> Atomic.incr marks.(i));
+      Array.iteri
+        (fun i a ->
+          if Atomic.get a <> 1 then
+            Alcotest.failf "index %d visited %d times" i (Atomic.get a))
+        marks)
+
+(* The determinism contract the bench harness relies on: a seeded
+   Monte-Carlo workload (E3-style — per-item PRNG draws feeding float
+   accumulation) must be bit-identical at any job count. *)
+let test_pool_seeded_deterministic () =
+  let work g x =
+    let acc = ref (float_of_int x) in
+    for _ = 1 to 100 do
+      acc := !acc +. Prng.float g -. (0.5 *. float_of_int (Prng.int g 3))
+    done;
+    !acc
+  in
+  let run jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        Pool.parallel_map_seeded pool (Prng.create 9) work
+          (Array.init 64 (fun i -> i)))
+  in
+  let r1 = run 1 and r4 = run 4 in
+  Array.iteri
+    (fun i v ->
+      if Int64.bits_of_float v <> Int64.bits_of_float r4.(i) then
+        Alcotest.failf "element %d differs: %.17g vs %.17g" i v r4.(i))
+    r1
+
+let test_pool_exception_propagates () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.check_raises "worker exception reaches caller"
+        (Failure "boom-17") (fun () ->
+          ignore
+            (Pool.parallel_map pool
+               (fun i -> if i = 17 then failwith "boom-17" else i)
+               (Array.init 64 (fun i -> i))));
+      (* the pool must still be usable after a failed batch *)
+      Alcotest.(check (array int)) "pool survives" [| 0; 2; 4 |]
+        (Pool.parallel_map pool (fun i -> 2 * i) [| 0; 1; 2 |]))
+
+let test_pool_invalid_jobs () =
+  Alcotest.check_raises "jobs=0 rejected"
+    (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Pool.create ~jobs:0))
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -407,5 +555,24 @@ let () =
           Alcotest.test_case "iter_permutations" `Quick test_iter_permutations;
           Alcotest.test_case "binomial/factorial/power" `Quick
             test_binomial_factorial_power;
-          qtest "pascal identity" QCheck.(pair int int) prop_binomial_pascal ] )
+          Alcotest.test_case "binomial native-int boundary" `Quick
+            test_binomial_boundary;
+          qtest "pascal identity" QCheck.(pair int int) prop_binomial_pascal ] );
+      ( "json",
+        [ Alcotest.test_case "emitter" `Quick test_json_emit;
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors + member" `Quick
+            test_json_parse_errors;
+          qtest "float roundtrip bit-exact" QCheck.float
+            prop_json_float_roundtrip ] );
+      ( "pool",
+        [ Alcotest.test_case "map matches sequential" `Quick
+            test_pool_map_matches_sequential;
+          Alcotest.test_case "for covers all indices" `Quick
+            test_pool_for_covers_all_indices;
+          Alcotest.test_case "seeded map jobs-invariant" `Quick
+            test_pool_seeded_deterministic;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "invalid jobs" `Quick test_pool_invalid_jobs ] )
     ]
