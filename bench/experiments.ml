@@ -52,7 +52,13 @@ module Tradeoff = Commx_vlsi.Tradeoff
 (* Harness plumbing: execution context and machine-readable reports    *)
 (* ------------------------------------------------------------------ *)
 
-type ctx = { pool : Pool.t; jobs : int }
+(* [tick] is the cooperative cancellation poll: sequential sections
+   (the per-(n,k) sweeps that never enter the pool) call it once per
+   outer iteration so a supervised timeout can stop them between
+   configurations; pool batches poll the same ambient token between
+   chunks on their own.  It raises [Pool.Cancelled] when the
+   supervisor's deadline has passed, and is a no-op otherwise. *)
+type ctx = { pool : Pool.t; jobs : int; tick : unit -> unit }
 
 type report = {
   id : string;
@@ -85,7 +91,7 @@ let mixed_pool = Commx_core.Workloads.mixed_pool
 (* E1: Theorem 1.1 upper bound — trivial protocol cost = 2 k n^2       *)
 (* ------------------------------------------------------------------ *)
 
-let e1 _ctx =
+let e1 ctx =
   let title = "Theorem 1.1 upper bound: deterministic cost Theta(k n^2)" in
   section "E1" title;
   let g = Prng.create 101 in
@@ -100,6 +106,7 @@ let e1 _ctx =
   let rows = ref [] in
   List.iter
     (fun (n, k) ->
+      ctx.tick ();
       let p = Params.make ~n ~k in
       let m = H.build_m p (H.random_free g p) in
       let a, b = Halves.split_pi0 m in
@@ -206,6 +213,7 @@ let e2 ctx =
      rows, sampled columns.  (n=5, k=3) is the smallest setting with
      e_width >= 1; at (n=5, k=2) the E block is empty and all rows
      coincide — the construction needs E to differentiate rows. *)
+  ctx.tick ();
   let g = Prng.create 102 in
   let p = Params.make ~n:5 ~k:3 in
   let rtm = Tr.sampled_truth_matrix g p ~columns:1200 in
@@ -370,7 +378,7 @@ let e3 ctx =
 (* E4: Corollary 1.2 — reductions (a)-(e)                              *)
 (* ------------------------------------------------------------------ *)
 
-let e4 _ctx =
+let e4 ctx =
   let title = "Corollary 1.2: det / rank / QR / SVD / LUP reductions" in
   section "E4" title;
   let g = Prng.create 104 in
@@ -398,6 +406,7 @@ let e4 _ctx =
   let rows = ref [] in
   List.iter
     (fun (name, via) ->
+      ctx.tick ();
       let agree =
         List.for_all (fun m -> via m = Zm.is_singular m) pool
       in
@@ -425,7 +434,7 @@ let e4 _ctx =
 (* E5: Corollary 1.3 — solvability                                     *)
 (* ------------------------------------------------------------------ *)
 
-let e5 _ctx =
+let e5 ctx =
   let title = "Corollary 1.3: linear-system solvability" in
   section "E5" title;
   let g = Prng.create 105 in
@@ -440,6 +449,7 @@ let e5 _ctx =
   let rows = ref [] in
   List.iter
     (fun (n, k) ->
+      ctx.tick ();
       let p = Params.make ~n ~k in
       let trials = 20 in
       let ok = ref 0 in
@@ -471,7 +481,7 @@ let e5 _ctx =
 (* E6: Lemma 3.2                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let e6 _ctx =
+let e6 ctx =
   let title = "Lemma 3.2: M singular <=> B.u in Span(A)" in
   section "E6" title;
   let g = Prng.create 106 in
@@ -484,6 +494,7 @@ let e6 _ctx =
   let rows = ref [] in
   List.iter
     (fun (n, k) ->
+      ctx.tick ();
       let p = Params.make ~n ~k in
       let trials = 50 in
       let agree = ref 0 and singular = ref 0 in
@@ -525,7 +536,7 @@ let e6 _ctx =
 (* E7: Lemma 3.5(a) completion                                         *)
 (* ------------------------------------------------------------------ *)
 
-let e7 _ctx =
+let e7 ctx =
   let title = "Lemma 3.5(a): completion algorithm (given C, E find D, y)" in
   section "E7" title;
   let g = Prng.create 107 in
@@ -540,6 +551,7 @@ let e7 _ctx =
   let rows = ref [] in
   List.iter
     (fun (n, k) ->
+      ctx.tick ();
       let p = Params.make ~n ~k in
       let trials = 50 in
       let ok = ref 0 in
@@ -726,6 +738,7 @@ let e9 ctx =
   let rows = ref [] in
   List.iter
     (fun (n, k) ->
+      ctx.tick ();
       let p = Params.make ~n ~k in
       let dim = 2 * n in
       let total = 60 in
@@ -769,7 +782,7 @@ let e9 ctx =
 (* E10: VLSI area-time consequences                                    *)
 (* ------------------------------------------------------------------ *)
 
-let e10 _ctx =
+let e10 ctx =
   let title = "VLSI: AT^2 = Omega(I^2) and the Chazelle-Monier comparison" in
   section "E10" title;
   let tab =
@@ -784,6 +797,7 @@ let e10 _ctx =
   let rows = ref [] in
   List.iter
     (fun (n, k) ->
+      ctx.tick ();
       let r = Tradeoff.bound_row ~n ~k in
       rows :=
         row
@@ -847,7 +861,7 @@ let e10 _ctx =
 (* E11: Section 1 baselines                                            *)
 (* ------------------------------------------------------------------ *)
 
-let e11 _ctx =
+let e11 ctx =
   let title = "Baselines: identity, product verification, span problem" in
   section "E11" title;
   let rows = ref [] in
@@ -894,6 +908,7 @@ let e11 _ctx =
   in
   List.iter
     (fun (n, k) ->
+      ctx.tick ();
       let trivial_bits = k * n * n in
       let fr = Mat_verify.freivalds_cost ~n ~k ~epsilon:0.05 in
       (* error on wrong products *)
@@ -976,7 +991,7 @@ let e11 _ctx =
 (* E12: the Theorem 1.1 accounting ledger                              *)
 (* ------------------------------------------------------------------ *)
 
-let e12 _ctx =
+let e12 ctx =
   let title = "Theorem 1.1 ledger: the Section 3 accounting, explicit" in
   section "E12" title;
   let module T11 = Commx_core.Theorem11 in
@@ -996,6 +1011,7 @@ let e12 _ctx =
   let rows = ref [] in
   List.iter
     (fun (n, k) ->
+      ctx.tick ();
       let p = Params.make ~n ~k in
       let l = T11.ledger p in
       let lb x = float_of_int (B.bit_length x) in
@@ -1032,7 +1048,7 @@ let e12 _ctx =
 (* E13: worst case vs typical case — the adaptive protocol             *)
 (* ------------------------------------------------------------------ *)
 
-let e13 _ctx =
+let e13 ctx =
   let title =
     "Worst case vs typical case: adaptive certify-or-fall-back protocol"
   in
@@ -1054,6 +1070,7 @@ let e13 _ctx =
   let rows = ref [] in
   List.iter
     (fun (n, k) ->
+      ctx.tick ();
       let p = Params.make ~n ~k in
       let prime_bits = 8 in
       let run_class name gen trials =

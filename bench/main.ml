@@ -18,88 +18,101 @@
    and JSON artifacts are bit-identical at any --jobs value.  With
    --json DIR, each experiment E<i> additionally writes
    DIR/BENCH_E<i>.json containing the same measurements as structured
-   rows plus wall-clock and job-count metadata (schema documented in
-   EXPERIMENTS.md). *)
+   rows plus wall-clock, job-count and supervision metadata (schema
+   version 2, documented in EXPERIMENTS.md).
+
+   Supervision (Commx_util.Supervisor): every experiment runs under an
+   ok / failed / timed_out classification.  --timeout S bounds each
+   attempt with a cooperative wall-clock deadline; --retries N retries
+   transient (injected) failures with exponential backoff; --keep-going
+   records failures and continues the sweep instead of aborting, the
+   exit code (0 all ok / 1 otherwise) summarizing the run.  Artifacts
+   are written atomically (temp file + rename) and stamped with a
+   status, so --resume DIR skips experiments whose valid `status: ok`
+   artifact already exists.  --inject-faults SEED (or the env var
+   COMMX_INJECT_FAULTS) enables the deterministic fault injector that
+   exercises all of the above reproducibly. *)
 
 module Json = Commx_util.Json
 module Pool = Commx_util.Pool
+module Cli = Commx_util.Cli
+module Faults = Commx_util.Faults
+module Supervisor = Commx_util.Supervisor
 
 let usage_exit () =
   Printf.eprintf
-    "usage: main.exe [EXPERIMENT...] [--jobs N] [--json DIR]\n\
+    "usage: main.exe [EXPERIMENT...] %s\n\
      available experiments: %s micro all\n"
+    Cli.usage
     (String.concat " " (List.map fst Experiments.all));
   exit 1
 
-(* Minimal flag parsing: experiments name their IDs positionally;
-   --jobs/--json take a value either as the next argument or inline
-   after '='. *)
-let parse_args argv =
-  let jobs = ref 1 and json_dir = ref None and ids = ref [] in
-  let rec go = function
-    | [] -> ()
-    | "--jobs" :: v :: rest -> set_jobs v; go rest
-    | "--json" :: v :: rest -> json_dir := Some v; go rest
-    | [ ("--jobs" | "--json") ] ->
-        Printf.eprintf "missing value for final flag\n";
-        usage_exit ()
-    | arg :: rest ->
-        (match String.index_opt arg '=' with
-        | Some i when String.length arg > 2 && String.sub arg 0 2 = "--" ->
-            let key = String.sub arg 0 i in
-            let v = String.sub arg (i + 1) (String.length arg - i - 1) in
-            (match key with
-            | "--jobs" -> set_jobs v
-            | "--json" -> json_dir := Some v
-            | _ ->
-                Printf.eprintf "unknown flag: %s\n" key;
-                usage_exit ())
-        | _ ->
-            if String.length arg > 1 && arg.[0] = '-' then begin
-              Printf.eprintf "unknown flag: %s\n" arg;
-              usage_exit ()
-            end
-            else ids := arg :: !ids);
-        go rest
-  and set_jobs v =
-    match int_of_string_opt v with
-    | Some n when n >= 1 -> jobs := n
-    | _ ->
-        Printf.eprintf "--jobs expects a positive integer, got %s\n" v;
-        usage_exit ()
+let artifact_path dir id = Filename.concat dir (Printf.sprintf "BENCH_%s.json" id)
+
+(* Artifact schema version 2: v1 plus status / error / attempts.  The
+   write is atomic (Json.to_file: temp file + rename), so a crash
+   mid-write never leaves a truncated BENCH_E*.json behind. *)
+let write_artifact dir ~jobs ~wall_s ~attempts ~id outcome =
+  Cli.mkdir_p dir;
+  let path = artifact_path dir id in
+  let status = Json.String (Supervisor.outcome_label outcome) in
+  let error =
+    match outcome with
+    | Supervisor.Ok _ -> Json.Null
+    | Supervisor.Failed { exn; _ } -> Json.String exn
+    | Supervisor.Timed_out budget ->
+        Json.String (Printf.sprintf "deadline exceeded (%.3f s budget)" budget)
   in
-  go argv;
-  (!jobs, !json_dir, List.rev !ids)
-
-let rec mkdir_p dir =
-  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir)
-  then begin
-    mkdir_p (Filename.dirname dir);
-    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
-
-let write_artifact dir ~jobs ~wall_s (r : Experiments.report) =
-  mkdir_p dir;
-  let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" r.id) in
+  let report_fields =
+    match outcome with
+    | Supervisor.Ok (r : Experiments.report) ->
+        [ ("title", Json.String r.Experiments.title);
+          ("params", Json.Obj r.Experiments.params);
+          ("rows", Json.List r.Experiments.rows);
+          ("fits", Json.Obj r.Experiments.fits) ]
+    | Supervisor.Failed _ | Supervisor.Timed_out _ ->
+        [ ("title", Json.Null); ("params", Json.Obj []); ("rows", Json.List []);
+          ("fits", Json.Obj []) ]
+  in
   let doc =
     Json.Obj
-      [ ("schema_version", Json.Int 1);
-        ("experiment", Json.String r.Experiments.id);
-        ("title", Json.String r.Experiments.title);
-        ("jobs", Json.Int jobs);
-        ("wall_s", Json.Float wall_s);
-        ("params", Json.Obj r.Experiments.params);
-        ("rows", Json.List r.Experiments.rows);
-        ("fits", Json.Obj r.Experiments.fits) ]
+      ([ ("schema_version", Json.Int 2);
+         ("experiment", Json.String id);
+         ("status", status);
+         ("error", error);
+         ("attempts", Json.Int attempts);
+         ("jobs", Json.Int jobs);
+         ("wall_s", Json.Float wall_s) ]
+      @ report_fields)
   in
-  let oc = open_out path in
-  output_string oc (Json.to_string_pretty doc);
-  close_out oc;
-  Printf.printf "[json] wrote %s (%d rows)\n" path
-    (List.length r.Experiments.rows)
+  Json.to_file ~path doc;
+  match outcome with
+  | Supervisor.Ok r ->
+      Printf.printf "[json] wrote %s (%d rows)\n" path
+        (List.length r.Experiments.rows)
+  | _ -> Printf.printf "[json] wrote %s (status: %s)\n" path
+           (Supervisor.outcome_label outcome)
+
+(* --resume DIR: an experiment is done iff its artifact exists, parses,
+   and carries status "ok".  Truncated files cannot occur (atomic
+   writes) but artifacts from killed runs may be absent or non-ok;
+   both re-execute. *)
+let resume_done dir id =
+  let path = artifact_path dir id in
+  Sys.file_exists path
+  && (match Json.of_file path with
+     | doc -> Json.member "status" doc = Some (Json.String "ok")
+     | exception _ -> false)
 
 let () =
-  let jobs, json_dir, ids = parse_args (List.tl (Array.to_list Sys.argv)) in
+  let argv = List.tl (Array.to_list Sys.argv) in
+  let opts, ids =
+    match Cli.parse argv with
+    | Ok v -> v
+    | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        usage_exit ()
+  in
   let ids = if ids = [] then [ "all" ] else ids in
   (* Validate EVERY requested id up front: a typo like `E99` must fail
      the whole invocation, not silently run the valid subset. *)
@@ -114,22 +127,83 @@ let () =
     exit 1
   end;
   let run_all = List.mem "all" ids in
+  (* --resume DIR implies writing artifacts into DIR unless --json
+     points elsewhere. *)
+  let json_dir =
+    match (opts.Cli.json_dir, opts.Cli.resume_dir) with
+    | (Some _ as d), _ | None, d -> d
+  in
+  let faults =
+    Option.map (fun seed -> Faults.create ~seed ()) opts.Cli.fault_seed
+  in
   Printf.printf
     "Chu-Schnitger (SPAA 1989 / J. Complexity 1991) reproduction — \
-     experiment harness (jobs: %d)\n"
-    jobs;
-  Pool.with_pool ~jobs (fun pool ->
-      let ctx = { Experiments.pool; jobs } in
+     experiment harness (jobs: %d%s%s%s)\n"
+    opts.Cli.jobs
+    (match opts.Cli.timeout_s with
+    | Some s -> Printf.sprintf ", timeout: %gs" s
+    | None -> "")
+    (if opts.Cli.retries > 0 then Printf.sprintf ", retries: %d" opts.Cli.retries
+     else "")
+    (match opts.Cli.fault_seed with
+    | Some s -> Printf.sprintf ", fault injection seed: %d" s
+    | None -> "");
+  let ok = ref 0 and failed = ref 0 and timed_out = ref 0 and skipped = ref 0 in
+  let aborted = ref false in
+  let config =
+    Supervisor.config ?timeout_s:opts.Cli.timeout_s ~retries:opts.Cli.retries ()
+  in
+  Pool.with_pool ~jobs:opts.Cli.jobs (fun pool ->
+      Pool.set_faults pool faults;
+      let ctx =
+        { Experiments.pool;
+          jobs = opts.Cli.jobs;
+          tick = (fun () -> Pool.check_cancel pool) }
+      in
       List.iter
         (fun (id, f) ->
-          if run_all || List.mem id ids then begin
-            let t0 = Unix.gettimeofday () in
-            let report = f ctx in
-            let wall_s = Unix.gettimeofday () -. t0 in
-            Printf.printf "[%s] wall-clock: %.3f s\n" id wall_s;
-            match json_dir with
-            | Some dir -> write_artifact dir ~jobs ~wall_s report
-            | None -> ()
-          end)
+          if (run_all || List.mem id ids) && not !aborted then
+            match opts.Cli.resume_dir with
+            | Some dir when resume_done dir id ->
+                incr skipped;
+                Printf.printf "[resume] %s: ok artifact present, skipping\n" id
+            | _ ->
+                let t0 = Unix.gettimeofday () in
+                let outcome, attempts =
+                  Supervisor.run ~config ~pool ~name:id (fun ~attempt ->
+                      Faults.point faults
+                        ~site:(Printf.sprintf "%s:attempt%d" id attempt);
+                      f ctx)
+                in
+                let wall_s = Unix.gettimeofday () -. t0 in
+                (match outcome with
+                | Supervisor.Ok _ ->
+                    incr ok;
+                    Printf.printf "[%s] wall-clock: %.3f s\n" id wall_s
+                | Supervisor.Failed { exn; backtrace } ->
+                    incr failed;
+                    Printf.printf
+                      "[%s] FAILED after %d attempt(s): %s\n%s" id attempts exn
+                      (if backtrace = "" then "" else backtrace ^ "\n");
+                    if not opts.Cli.keep_going then aborted := true
+                | Supervisor.Timed_out budget ->
+                    incr timed_out;
+                    Printf.printf
+                      "[%s] TIMED OUT after %d attempt(s) (%.3f s budget, \
+                       %.3f s elapsed)\n"
+                      id attempts budget wall_s;
+                    if not opts.Cli.keep_going then aborted := true);
+                (match json_dir with
+                | Some dir ->
+                    write_artifact dir ~jobs:opts.Cli.jobs ~wall_s ~attempts ~id
+                      outcome
+                | None -> ()))
         Experiments.all);
-  if List.mem "micro" ids then Micro.run ()
+  if List.mem "micro" ids && not !aborted then Micro.run ();
+  if !failed + !timed_out + !skipped > 0 || opts.Cli.timeout_s <> None then
+    Printf.printf
+      "summary: %d ok, %d failed, %d timed out, %d skipped (resume)\n"
+      !ok !failed !timed_out !skipped;
+  if !aborted then
+    Printf.eprintf "aborting after first failure (use --keep-going to continue)\n";
+  exit (if !failed + !timed_out > 0 then 1 else 0)

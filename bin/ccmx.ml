@@ -21,6 +21,9 @@ module Partition = Commx_comm.Partition
 module Halves = Commx_protocols.Halves
 module Trivial = Commx_protocols.Trivial
 module Fingerprint = Commx_protocols.Fingerprint
+module Cli = Commx_util.Cli
+module Faults = Commx_util.Faults
+module Supervisor = Commx_util.Supervisor
 
 open Cmdliner
 
@@ -222,45 +225,81 @@ let bounds_cmd =
 (* lemmas                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let lemmas n k seed trials jobs =
+let lemmas n k seed trials jobs timeout retries fault_seed =
   match params_of n k with
   | `Error _ as e -> e
   | `Ok p ->
       if jobs < 1 then `Error (false, "--jobs must be >= 1")
       else begin
-        let g = Prng.create seed in
-        (* Trials are independent; each draws from a generator split
-           off the master seed before the fan-out, so the counts are
-           identical at any --jobs value. *)
-        let results =
-          Commx_util.Pool.with_pool ~jobs (fun pool ->
-              Commx_util.Pool.parallel_map_seeded pool g
-                (fun g () ->
-                  let f = H.random_free g p in
-                  let a32 = L32.agrees p f in
-                  let w = L35.complete p ~c:f.H.c ~e:f.H.e in
-                  let a35 = L35.check_witness p w in
-                  let dim = 2 * n in
-                  let partition = Partition.random_even g (dim * dim * k) in
-                  let a39 =
-                    match L39.find_transform g p partition with
-                    | Some t ->
-                        L39.is_proper p (L39.apply_transform p partition t)
-                    | None -> false
-                  in
-                  (a32, a35, a39))
-                (Array.make trials ()))
+        (* Same supervision options as bench/main.exe, defined once in
+           Commx_util.Cli (env fallback included) and enforced by
+           Commx_util.Supervisor: per-attempt deadline via the pool's
+           cancel token, bounded retry for injected faults. *)
+        let opts =
+          Cli.with_env_fault_seed
+            { Cli.defaults with
+              Cli.jobs; timeout_s = timeout; retries; fault_seed }
         in
-        let count f = Array.fold_left (fun a r -> if f r then a + 1 else a) 0 results in
-        let ok32 = count (fun (a, _, _) -> a)
-        and ok35 = count (fun (_, a, _) -> a)
-        and ok39 = count (fun (_, _, a) -> a) in
-        Printf.printf
-          "lemma 3.2 (criterion = ground truth): %d/%d\n\
-           lemma 3.5 (completion singular)     : %d/%d\n\
-           lemma 3.9 (proper transform found)  : %d/%d\n"
-          ok32 trials ok35 trials ok39 trials;
-        `Ok ()
+        let faults =
+          Option.map (fun s -> Faults.create ~seed:s ()) opts.Cli.fault_seed
+        in
+        let config =
+          Supervisor.config ?timeout_s:opts.Cli.timeout_s
+            ~retries:opts.Cli.retries ()
+        in
+        let run_trials pool ~attempt =
+          Faults.point faults
+            ~site:(Printf.sprintf "lemmas:attempt%d" attempt);
+          let g = Prng.create seed in
+          (* Trials are independent; each draws from a generator split
+             off the master seed before the fan-out, so the counts are
+             identical at any --jobs value. *)
+          Commx_util.Pool.parallel_map_seeded pool g
+            (fun g () ->
+              let f = H.random_free g p in
+              let a32 = L32.agrees p f in
+              let w = L35.complete p ~c:f.H.c ~e:f.H.e in
+              let a35 = L35.check_witness p w in
+              let dim = 2 * n in
+              let partition = Partition.random_even g (dim * dim * k) in
+              let a39 =
+                match L39.find_transform g p partition with
+                | Some t ->
+                    L39.is_proper p (L39.apply_transform p partition t)
+                | None -> false
+              in
+              (a32, a35, a39))
+            (Array.make trials ())
+        in
+        let outcome, attempts =
+          Commx_util.Pool.with_pool ~jobs (fun pool ->
+              Commx_util.Pool.set_faults pool faults;
+              Supervisor.run ~config ~pool ~name:"lemmas" (run_trials pool))
+        in
+        match outcome with
+        | Supervisor.Ok results ->
+            let count f =
+              Array.fold_left (fun a r -> if f r then a + 1 else a) 0 results
+            in
+            let ok32 = count (fun (a, _, _) -> a)
+            and ok35 = count (fun (_, a, _) -> a)
+            and ok39 = count (fun (_, _, a) -> a) in
+            Printf.printf
+              "lemma 3.2 (criterion = ground truth): %d/%d\n\
+               lemma 3.5 (completion singular)     : %d/%d\n\
+               lemma 3.9 (proper transform found)  : %d/%d\n"
+              ok32 trials ok35 trials ok39 trials;
+            `Ok ()
+        | Supervisor.Failed { exn; _ } ->
+            `Error
+              (false,
+               Printf.sprintf "lemmas failed after %d attempt(s): %s" attempts
+                 exn)
+        | Supervisor.Timed_out budget ->
+            `Error
+              (false,
+               Printf.sprintf "lemmas timed out (%.3f s budget, %d attempt(s))"
+                 budget attempts)
       end
 
 let lemmas_cmd =
@@ -275,9 +314,38 @@ let lemmas_cmd =
             "Worker domains for the trial loop.  Results are \
              deterministic in the seed regardless of $(docv).")
   in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-attempt wall-clock budget; the trial loop is cancelled \
+             cooperatively when it expires.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Extra attempts for retryable (injected) failures.")
+  in
+  let inject_faults =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "inject-faults" ] ~docv:"SEED"
+          ~doc:
+            (Printf.sprintf
+               "Deterministically inject faults into pool tasks (also \
+                read from $(b,%s))."
+               Cli.fault_seed_env_var))
+  in
   let doc = "Spot-check Lemmas 3.2, 3.5(a) and 3.9 on random instances." in
   Cmd.v (Cmd.info "lemmas" ~doc)
-    Term.(ret (const lemmas $ n_arg $ k_arg $ seed_arg $ trials $ jobs))
+    Term.(
+      ret
+        (const lemmas $ n_arg $ k_arg $ seed_arg $ trials $ jobs $ timeout
+       $ retries $ inject_faults))
 
 (* ------------------------------------------------------------------ *)
 (* ledger                                                              *)

@@ -1,0 +1,114 @@
+(* Shared harness options, flag parsing, and filesystem helpers. *)
+
+type opts = {
+  jobs : int;
+  json_dir : string option;
+  timeout_s : float option;
+  retries : int;
+  keep_going : bool;
+  resume_dir : string option;
+  fault_seed : int option;
+}
+
+let defaults =
+  {
+    jobs = 1;
+    json_dir = None;
+    timeout_s = None;
+    retries = 0;
+    keep_going = false;
+    resume_dir = None;
+    fault_seed = None;
+  }
+
+let fault_seed_env_var = "COMMX_INJECT_FAULTS"
+
+let with_env_fault_seed opts =
+  match opts.fault_seed with
+  | Some _ -> opts
+  | None -> (
+      match Sys.getenv_opt fault_seed_env_var with
+      | Some v -> { opts with fault_seed = int_of_string_opt v }
+      | None -> opts)
+
+let usage =
+  "[--jobs N] [--json DIR] [--timeout SECONDS] [--retries N] \
+   [--keep-going] [--resume DIR] [--inject-faults SEED]"
+
+(* One entry per value-taking flag: name, validating setter. *)
+let parse argv =
+  let opts = ref defaults in
+  let positional = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let set_valued key v =
+    match key with
+    | "--jobs" -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 -> Stdlib.Ok { !opts with jobs = n }
+        | _ -> err "--jobs expects a positive integer, got %s" v)
+    | "--json" -> Stdlib.Ok { !opts with json_dir = Some v }
+    | "--timeout" -> (
+        match float_of_string_opt v with
+        | Some s when s > 0.0 -> Stdlib.Ok { !opts with timeout_s = Some s }
+        | _ -> err "--timeout expects a positive number of seconds, got %s" v)
+    | "--retries" -> (
+        match int_of_string_opt v with
+        | Some n when n >= 0 -> Stdlib.Ok { !opts with retries = n }
+        | _ -> err "--retries expects a non-negative integer, got %s" v)
+    | "--resume" -> Stdlib.Ok { !opts with resume_dir = Some v }
+    | "--inject-faults" -> (
+        match int_of_string_opt v with
+        | Some s -> Stdlib.Ok { !opts with fault_seed = Some s }
+        | None -> err "--inject-faults expects an integer seed, got %s" v)
+    | _ -> err "unknown flag: %s" key
+  in
+  let valued key = List.mem key [ "--jobs"; "--json"; "--timeout"; "--retries"; "--resume"; "--inject-faults" ] in
+  let rec go = function
+    | [] ->
+        Stdlib.Ok (with_env_fault_seed !opts, List.rev !positional)
+    | "--keep-going" :: rest ->
+        opts := { !opts with keep_going = true };
+        go rest
+    | key :: v :: rest when valued key -> (
+        match set_valued key v with
+        | Stdlib.Ok o ->
+            opts := o;
+            go rest
+        | Error _ as e -> e)
+    | [ key ] when valued key -> err "missing value for final flag %s" key
+    | arg :: rest -> (
+        match String.index_opt arg '=' with
+        | Some i when String.length arg > 2 && String.sub arg 0 2 = "--" -> (
+            let key = String.sub arg 0 i in
+            let v = String.sub arg (i + 1) (String.length arg - i - 1) in
+            if key = "--keep-going" then err "--keep-going takes no value"
+            else
+              match set_valued key v with
+              | Stdlib.Ok o ->
+                  opts := o;
+                  go rest
+              | Error _ as e -> e)
+        | _ ->
+            if String.length arg > 1 && arg.[0] = '-' then
+              err "unknown flag: %s" arg
+            else begin
+              positional := arg :: !positional;
+              go rest
+            end)
+  in
+  go argv
+
+(* Race-free recursive mkdir: attempt every level unconditionally and
+   treat EEXIST as success, so concurrent creators of the same fresh
+   directory all win.  ENOENT means a parent is missing: create it,
+   then retry this level once. *)
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" then
+    match Unix.mkdir dir 0o755 with
+    | () -> ()
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> (
+        mkdir_p (Filename.dirname dir);
+        match Unix.mkdir dir 0o755 with
+        | () -> ()
+        | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ())

@@ -1,0 +1,72 @@
+(* Deterministic fault injection.  Decisions are a pure function of
+   (seed, site): FNV-1a over the site string folded into the seed,
+   finalized with the SplitMix64 mixer (same finalizer as Prng), then
+   mapped to a uniform float in [0, 1).  No state advances between
+   calls, so call order, scheduling and job count cannot change the
+   fault pattern. *)
+
+type t = {
+  seed : int;
+  rate : float;
+  pool_rate : float;
+  delay_rate : float;
+  delay_s : float;
+}
+
+exception Injected of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected site -> Some (Printf.sprintf "Faults.Injected(%s)" site)
+    | _ -> None)
+
+let check_rate name r =
+  if not (r >= 0.0 && r <= 1.0) then
+    invalid_arg (Printf.sprintf "Faults.create: %s must be in [0, 1]" name)
+
+let create ~seed ?(rate = 0.25) ?(pool_rate = 0.003) ?(delay_rate = 0.01)
+    ?(delay_s = 0.02) () =
+  check_rate "rate" rate;
+  check_rate "pool_rate" pool_rate;
+  check_rate "delay_rate" delay_rate;
+  if delay_s < 0.0 then invalid_arg "Faults.create: delay_s must be >= 0";
+  { seed; rate; pool_rate; delay_rate; delay_s }
+
+let seed t = t.seed
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+(* FNV-1a 64-bit over the site bytes, seeded; explicit Int64 arithmetic
+   so the value is identical on every platform. *)
+let site_unit_float seed site =
+  let h = ref (Int64.logxor 0xCBF29CE484222325L (Int64.of_int seed)) in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    site;
+  let bits53 = Int64.shift_right_logical (mix64 !h) 11 in
+  Int64.to_float bits53 *. 0x1.0p-53
+
+type decision = Pass | Raise | Delay
+
+let decide t ~site ~rate ~delay_rate =
+  let u = site_unit_float t.seed site in
+  if u < rate then Raise else if u < rate +. delay_rate then Delay else Pass
+
+let point t ~site =
+  match t with
+  | None -> ()
+  | Some t -> (
+      match decide t ~site ~rate:t.rate ~delay_rate:0.0 with
+      | Raise -> raise (Injected site)
+      | Delay | Pass -> ())
+
+let pool_point t ~batch ~item =
+  let site = Printf.sprintf "pool:%d:%d" batch item in
+  match decide t ~site ~rate:t.pool_rate ~delay_rate:t.delay_rate with
+  | Raise -> raise (Injected site)
+  | Delay -> Unix.sleepf t.delay_s
+  | Pass -> ()

@@ -1,0 +1,73 @@
+(** Deterministic fault injection for the experiment runtime.
+
+    The supervised harness (see {!Supervisor}) claims to isolate
+    crashing experiments, retry transient failures, and resume
+    interrupted sweeps.  Those paths only run when something actually
+    fails, so this module manufactures failures {e reproducibly}: an
+    injector is seeded once (CLI [--inject-faults SEED] or the
+    [COMMX_INJECT_FAULTS] environment variable) and every injection
+    site then decides {e raise / delay / pass} as a pure function of
+    the seed and the site name — never of wall-clock time, scheduling,
+    or call order.  The same seed therefore produces the same fault
+    pattern in every run, in CI and locally, at any [--jobs] value
+    (pool sites are keyed by batch and item index, both
+    schedule-independent).
+
+    Two families of sites exist:
+
+    - {e entry sites} ([point], rate {!val-create}[ ~rate]): one per
+      experiment attempt, named ["E3:attempt1"] and the like, so a
+      retry re-rolls the decision;
+    - {e pool sites} ([pool_point], rate [~pool_rate], much smaller
+      since a run contains hundreds of work items): one per
+      (batch, item) inside {!Pool.parallel_for} bodies, which is where
+      a real crash in a worker domain would surface.
+
+    The hash is FNV-1a over the site string, seeded, finalized with
+    the SplitMix64 mixer — self-contained and stable across OCaml
+    versions and platforms. *)
+
+type t
+(** An injector: a seed plus the three rates.  Immutable; safe to
+    share across domains. *)
+
+exception Injected of string
+(** Raised at a site that decided to fail; the payload is the site
+    name.  Classified as retryable by {!Supervisor.default_config}. *)
+
+val create :
+  seed:int ->
+  ?rate:float ->
+  ?pool_rate:float ->
+  ?delay_rate:float ->
+  ?delay_s:float ->
+  unit ->
+  t
+(** [create ~seed ()] builds an injector.  [rate] (default [0.25]) is
+    the raise probability at entry sites; [pool_rate] (default
+    [0.003]) the raise probability per pool work item; [delay_rate]
+    (default [0.01]) the probability a pool item sleeps [delay_s]
+    (default [0.02]) seconds instead — exercising the deadline
+    machinery.  Rates must lie in [[0, 1]].
+    @raise Invalid_argument on an out-of-range rate. *)
+
+val seed : t -> int
+(** The seed the injector was created with. *)
+
+type decision = Pass | Raise | Delay
+
+val decide : t -> site:string -> rate:float -> delay_rate:float -> decision
+(** [decide t ~site ~rate ~delay_rate] is the pure decision function:
+    a uniform value in [[0, 1)] derived from [(seed, site)] compared
+    against the rates.  Exposed for tests; [point] and [pool_point]
+    are the executing wrappers. *)
+
+val point : t option -> site:string -> unit
+(** [point (Some t) ~site] raises [Injected site] with probability
+    [rate]; [point None ~site] is a no-op (injection disabled). *)
+
+val pool_point : t -> batch:int -> item:int -> unit
+(** Injection site inside a pool task: site ["pool:<batch>:<item>"],
+    raise probability [pool_rate], else sleep [delay_s] with
+    probability [delay_rate].  Keyed by batch and item index only, so
+    the decision is identical at every job count. *)

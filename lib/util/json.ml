@@ -293,3 +293,32 @@ let of_string s =
   skip_ws cur;
   if cur.pos <> String.length s then fail cur "trailing garbage";
   v
+
+(* ------------------------------------------------------------------ *)
+(* Atomic file IO                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let to_file ~path doc =
+  (* Write the full document to a sibling temp file, then rename: a
+     crash mid-write leaves the final path either absent or intact,
+     never truncated.  rename(2) is atomic within a filesystem, and
+     the ".tmp" sibling is guaranteed to be on the same one. *)
+  let tmp = path ^ ".tmp" in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () -> output_string oc (to_string_pretty doc))
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let of_file path =
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  of_string s

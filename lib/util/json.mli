@@ -38,3 +38,14 @@ val of_string : string -> t
 val member : string -> t -> t option
 (** [member key (Obj _)] is the first binding of [key], if any; [None]
     on non-objects. *)
+
+val to_file : path:string -> t -> unit
+(** [to_file ~path doc] writes [to_string_pretty doc] to [path]
+    {e atomically}: the document goes to [path ^ ".tmp"] first and is
+    renamed into place, so a crash mid-write never leaves a truncated
+    artifact at [path]; the channel is closed (via [Fun.protect]) and
+    the temp file removed on any exception. *)
+
+val of_file : string -> t
+(** [of_file path] parses the whole file as one document.
+    @raise Failure as {!of_string}, or [Sys_error] on IO errors. *)

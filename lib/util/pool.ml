@@ -2,7 +2,27 @@
    each batch (parallel_for / parallel_map call) posts one helper thunk
    per worker, all pulling chunk indices from a shared atomic counter,
    and the calling domain pulls chunks too — so jobs = 1 degenerates to
-   an inline loop with no synchronization beyond two atomics. *)
+   an inline loop with no synchronization beyond two atomics.
+
+   Cancellation is cooperative: a batch polls its cancel token (an
+   atomic flag plus an optional wall-clock deadline) between chunks, so
+   a timed-out batch stops dispensing work to its own helpers instead
+   of orphaning them, and the pool stays usable for the next batch. *)
+
+exception Cancelled
+
+module Token = struct
+  type t = { flag : bool Atomic.t; deadline : float }
+
+  (* deadline = infinity means "no deadline"; comparing against
+     gettimeofday is then always false, no branch needed. *)
+  let create ?(deadline = infinity) () = { flag = Atomic.make false; deadline }
+  let cancel t = Atomic.set t.flag true
+
+  let cancelled t =
+    Atomic.get t.flag
+    || (t.deadline < infinity && Unix.gettimeofday () >= t.deadline)
+end
 
 type t = {
   jobs : int;
@@ -11,6 +31,12 @@ type t = {
   queue : (unit -> unit) Queue.t;
   mutable closed : bool;
   mutable domains : unit Domain.t list;
+  (* Ambient supervision state, installed by Supervisor/tests around a
+     sequence of batches.  Written only from the calling domain between
+     batches; workers read it through the batch closure. *)
+  mutable cancel : Token.t option;
+  mutable faults : Faults.t option;
+  mutable batches : int;
 }
 
 let rec worker_loop pool =
@@ -36,6 +62,9 @@ let create ~jobs =
       queue = Queue.create ();
       closed = false;
       domains = [];
+      cancel = None;
+      faults = None;
+      batches = 0;
     }
   in
   pool.domains <-
@@ -43,6 +72,13 @@ let create ~jobs =
   pool
 
 let jobs pool = pool.jobs
+let set_cancel pool token = pool.cancel <- token
+let set_faults pool faults = pool.faults <- faults
+
+let check_cancel pool =
+  match pool.cancel with
+  | Some token when Token.cancelled token -> raise Cancelled
+  | Some _ | None -> ()
 
 let shutdown pool =
   Mutex.lock pool.mutex;
@@ -56,7 +92,7 @@ let with_pool ~jobs f =
   let pool = create ~jobs in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
-let parallel_for pool ?chunk n body =
+let parallel_for pool ?chunk ?cancel n body =
   if n < 0 then invalid_arg "Pool.parallel_for: negative count";
   if n > 0 then begin
     let chunk =
@@ -65,20 +101,39 @@ let parallel_for pool ?chunk n body =
       | Some _ -> invalid_arg "Pool.parallel_for: chunk must be >= 1"
       | None -> max 1 (n / (4 * pool.jobs))
     in
+    let cancel = match cancel with Some _ as c -> c | None -> pool.cancel in
+    let faults = pool.faults in
+    let batch = pool.batches in
+    pool.batches <- batch + 1;
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
+    let record_failure e bt =
+      ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+    in
+    let cancelled () =
+      match cancel with Some t -> Token.cancelled t | None -> false
+    in
     let run_chunks () =
       let rec go () =
-        let lo = Atomic.fetch_and_add next chunk in
-        if lo < n && Option.is_none (Atomic.get failure) then begin
-          (try
-             for i = lo to min n (lo + chunk) - 1 do
-               body i
-             done
-           with e ->
-             let bt = Printexc.get_raw_backtrace () in
-             ignore (Atomic.compare_and_set failure None (Some (e, bt))));
-          go ()
+        if cancelled () then
+          (* Materialize a backtrace so the caller re-raises uniformly. *)
+          try raise Cancelled
+          with Cancelled -> record_failure Cancelled (Printexc.get_raw_backtrace ())
+        else begin
+          let lo = Atomic.fetch_and_add next chunk in
+          if lo < n && Option.is_none (Atomic.get failure) then begin
+            (try
+               for i = lo to min n (lo + chunk) - 1 do
+                 (match faults with
+                 | Some f -> Faults.pool_point f ~batch ~item:i
+                 | None -> ());
+                 body i
+               done
+             with e ->
+               let bt = Printexc.get_raw_backtrace () in
+               record_failure e bt);
+            go ()
+          end
         end
       in
       go ()
@@ -115,26 +170,28 @@ let parallel_for pool ?chunk n body =
     | None -> ()
   end
 
-let parallel_map pool ?chunk f arr =
+let parallel_map pool ?chunk ?cancel f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
     let out = Array.make n None in
-    parallel_for pool ?chunk n (fun i -> out.(i) <- Some (f arr.(i)));
+    parallel_for pool ?chunk ?cancel n (fun i -> out.(i) <- Some (f arr.(i)));
     Array.map (function Some v -> v | None -> assert false) out
   end
 
-let parallel_map_seeded pool g f arr =
+let parallel_map_seeded pool ?cancel g f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
     (* Split sequentially, in index order, before any parallelism: the
-       generator item i sees depends only on g's state and i. *)
+       generator item i sees depends only on g's state and i.  This
+       also holds under cancellation: a cancelled sibling batch never
+       touches g, so the next batch's splits are unaffected. *)
     let gens = Array.make n g in
     for i = 0 to n - 1 do
       gens.(i) <- Prng.split g
     done;
     let out = Array.make n None in
-    parallel_for pool n (fun i -> out.(i) <- Some (f gens.(i) arr.(i)));
+    parallel_for pool ?cancel n (fun i -> out.(i) <- Some (f gens.(i) arr.(i)));
     Array.map (function Some v -> v | None -> assert false) out
   end

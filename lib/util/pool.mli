@@ -19,7 +19,48 @@
     calls; the calling domain participates in every batch, so a pool
     with [jobs = 1] runs everything inline with no domains spawned.
     An exception raised by any item cancels the remaining chunks and is
-    re-raised (with its backtrace) in the calling domain. *)
+    re-raised (with its backtrace) in the calling domain.
+
+    {2 Cooperative cancellation}
+
+    A batch can be bounded by a {!Token.t}: a shared atomic flag plus
+    an optional wall-clock deadline, polled between chunks by every
+    participant.  When the token fires, workers stop taking chunks (no
+    orphaned work), the batch raises {!Cancelled} in the caller, and
+    the pool remains usable.  Tokens come either per call
+    ([?cancel]) or ambiently via {!set_cancel} — the latter is how
+    {!Supervisor} bounds a whole experiment without threading a token
+    through every call site.  Cancellation is cooperative: a body that
+    never returns cannot be interrupted mid-item, only between items/
+    chunks.
+
+    Batches that complete normally are unaffected by supervision: the
+    jobs-invariance guarantee above is unchanged, including for batches
+    that run after a cancelled or failed sibling batch. *)
+
+exception Cancelled
+(** Raised in the calling domain when a batch stops because its cancel
+    token fired (explicit {!Token.cancel} or deadline passed), and by
+    {!check_cancel}. *)
+
+(** Shared cancel tokens. *)
+module Token : sig
+  type t
+  (** An atomic cancel flag, optionally with a wall-clock deadline.
+      Safe to poll and cancel from any domain. *)
+
+  val create : ?deadline:float -> unit -> t
+  (** [create ~deadline ()] fires once [Unix.gettimeofday () >=
+      deadline] (an absolute time) or once {!cancel} is called,
+      whichever comes first.  Without [deadline], only {!cancel}
+      fires it. *)
+
+  val cancel : t -> unit
+  (** Fire the token.  Idempotent. *)
+
+  val cancelled : t -> bool
+  (** Poll: has the token fired (flag set or deadline passed)? *)
+end
 
 type t
 (** A pool of worker domains.  Values of this type own OS resources
@@ -33,6 +74,22 @@ val create : jobs:int -> t
 val jobs : t -> int
 (** The parallelism the pool was created with. *)
 
+val set_cancel : t -> Token.t option -> unit
+(** Install (or clear) the ambient cancel token consulted by batches
+    that were not given an explicit [?cancel].  Call only from the
+    domain that issues batches, between batches. *)
+
+val check_cancel : t -> unit
+(** Poll the ambient token from sequential (non-pool) code.
+    @raise Cancelled if the ambient token has fired.  No-op when no
+    token is installed. *)
+
+val set_faults : t -> Faults.t option -> unit
+(** Install (or clear) a deterministic fault injector: every work item
+    of every subsequent batch passes through {!Faults.pool_point},
+    keyed by the pool's batch counter and the item index — so the
+    injected fault pattern is identical at every job count. *)
+
 val shutdown : t -> unit
 (** Join all worker domains.  Idempotent.  The pool must not be used
     afterwards. *)
@@ -41,21 +98,27 @@ val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] on a fresh pool and shuts it down on
     exit, normal or exceptional. *)
 
-val parallel_for : t -> ?chunk:int -> int -> (int -> unit) -> unit
+val parallel_for : t -> ?chunk:int -> ?cancel:Token.t -> int -> (int -> unit) -> unit
 (** [parallel_for pool n body] runs [body i] for every [i] in
     [\[0, n)], distributed over the pool in contiguous chunks of
     [chunk] indices (default: [n / (4 * jobs)], at least 1).  Blocks
     until all items finish.  The first exception raised by any [body]
-    is re-raised here after the batch stops. *)
+    is re-raised here after the batch stops.  [?cancel] (default: the
+    ambient token of {!set_cancel}, if any) is polled between chunks;
+    when it fires the batch stops and {!Cancelled} is raised — unless
+    a [body] exception was recorded first, which takes precedence. *)
 
-val parallel_map : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+val parallel_map :
+  t -> ?chunk:int -> ?cancel:Token.t -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map pool f arr] is [Array.map f arr] computed in
     parallel; element order is preserved. *)
 
 val parallel_map_seeded :
-  t -> Prng.t -> (Prng.t -> 'a -> 'b) -> 'a array -> 'b array
+  t -> ?cancel:Token.t -> Prng.t -> (Prng.t -> 'a -> 'b) -> 'a array -> 'b array
 (** [parallel_map_seeded pool g f arr] maps [f gen_i arr.(i)] where
     [gen_i] is the [i]-th generator split off [g] sequentially before
     any parallel work starts.  [g] is advanced [length arr] times.
     Results are bit-identical for every [jobs], given equal [g]
-    states. *)
+    states — including when an earlier batch on the same pool was
+    cancelled or failed (splitting happens before any parallel work,
+    so sibling batches cannot perturb the streams). *)

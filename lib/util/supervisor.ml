@@ -1,0 +1,71 @@
+(* Supervised execution: classify each attempt, enforce a per-attempt
+   deadline through the pool's ambient cancel token, retry transient
+   failures with exponential backoff. *)
+
+type failure = { exn : string; backtrace : string }
+
+type 'a outcome = Ok of 'a | Failed of failure | Timed_out of float
+
+type config = {
+  timeout_s : float option;
+  retries : int;
+  backoff_s : float;
+  retryable : exn -> bool;
+}
+
+let default_config =
+  {
+    timeout_s = None;
+    retries = 0;
+    backoff_s = 0.1;
+    retryable = (function Faults.Injected _ -> true | _ -> false);
+  }
+
+let config ?timeout_s ?(retries = default_config.retries)
+    ?(backoff_s = default_config.backoff_s)
+    ?(retryable = default_config.retryable) () =
+  (match timeout_s with
+  | Some s when s <= 0.0 -> invalid_arg "Supervisor.config: timeout_s must be > 0"
+  | Some _ | None -> ());
+  if retries < 0 then invalid_arg "Supervisor.config: retries must be >= 0";
+  { timeout_s; retries; backoff_s; retryable }
+
+let run ?(config = default_config) ~pool ~name f =
+  let rec go n =
+    let token =
+      match config.timeout_s with
+      | Some s -> Pool.Token.create ~deadline:(Unix.gettimeofday () +. s) ()
+      | None -> Pool.Token.create ()
+    in
+    Pool.set_cancel pool (Some token);
+    (* Classify with the raw exception in hand, clear the ambient
+       token, and only then decide whether to retry. *)
+    let classified =
+      match f ~attempt:n with
+      | v -> `Ok v
+      | exception Pool.Cancelled -> `Timeout
+      | exception e ->
+          let bt = Printexc.get_backtrace () in
+          `Raised (e, bt)
+    in
+    Pool.set_cancel pool None;
+    match classified with
+    | `Ok v -> (Ok v, n)
+    | `Timeout -> (Timed_out (Option.value config.timeout_s ~default:infinity), n)
+    | `Raised (e, bt) ->
+        if n <= config.retries && config.retryable e then begin
+          let pause = config.backoff_s *. (2.0 ** float_of_int (n - 1)) in
+          Printf.eprintf
+            "[supervisor] %s: attempt %d failed (%s), retrying in %.2fs\n%!"
+            name n (Printexc.to_string e) pause;
+          if pause > 0.0 then Unix.sleepf pause;
+          go (n + 1)
+        end
+        else (Failed { exn = Printexc.to_string e; backtrace = bt }, n)
+  in
+  go 1
+
+let outcome_label = function
+  | Ok _ -> "ok"
+  | Failed _ -> "failed"
+  | Timed_out _ -> "timed_out"

@@ -1,0 +1,71 @@
+(** Supervised execution of harness experiments.
+
+    One raising or hanging experiment must not abort a whole sweep:
+    the supervisor runs each unit of work under a classification —
+    [Ok] / [Failed] (exception + backtrace) / [Timed_out] — with a
+    per-attempt wall-clock deadline enforced through the pool's
+    cooperative cancel token ({!Pool.Token}), and bounded retry with
+    exponential backoff for failures the policy deems transient
+    (by default, injected faults — see {!Faults}).
+
+    The deadline is installed as the pool's {e ambient} token
+    ({!Pool.set_cancel}), so every pool batch the experiment issues,
+    and every {!Pool.check_cancel} poll in its sequential sections,
+    observes it without the experiment threading a token around.  The
+    token is cleared again after each attempt, succeed or fail. *)
+
+type failure = {
+  exn : string;  (** [Printexc.to_string] of the raised exception *)
+  backtrace : string;  (** captured backtrace, possibly empty *)
+}
+
+type 'a outcome =
+  | Ok of 'a
+  | Failed of failure
+  | Timed_out of float
+      (** the per-attempt budget, in seconds, that was exceeded *)
+
+type config = {
+  timeout_s : float option;  (** per-attempt wall-clock budget *)
+  retries : int;  (** additional attempts after the first *)
+  backoff_s : float;  (** sleep before retry [i] is [backoff_s * 2^(i-1)] *)
+  retryable : exn -> bool;  (** which failures are worth retrying *)
+}
+
+val default_config : config
+(** No timeout, no retries, [backoff_s = 0.1], and [retryable] true
+    exactly for {!Faults.Injected} (real bugs are deterministic; only
+    injected/transient faults benefit from another attempt). *)
+
+val config :
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?retryable:(exn -> bool) ->
+  unit ->
+  config
+(** {!default_config} with the given fields replaced.
+    @raise Invalid_argument if [timeout_s <= 0] or [retries < 0]. *)
+
+val run :
+  ?config:config -> pool:Pool.t -> name:string -> (attempt:int -> 'a) -> 'a outcome * int
+(** [run ~pool ~name f] calls [f ~attempt:1]; on a retryable exception
+    it backs off and calls [f ~attempt:2], and so on, up to
+    [1 + retries] attempts.  Returns the final outcome and the number
+    of attempts made.  Classification per attempt:
+
+    - normal return: [Ok];
+    - {!Pool.Cancelled} escaping [f]: [Timed_out] (the only installed
+      token is the supervisor's deadline) — never retried, since a
+      repeat attempt would deterministically exceed the same budget;
+    - any other exception: [Failed] (after exhausting retries if
+      [retryable]).
+
+    [name] is used only for attempt-numbered log lines on retry.  The
+    pool's ambient cancel token is replaced for the duration of each
+    attempt and restored to [None] afterwards; [run] itself never
+    raises on [f]'s behalf. *)
+
+val outcome_label : 'a outcome -> string
+(** ["ok"], ["failed"] or ["timed_out"] — the [status] vocabulary of
+    the JSON artifacts (EXPERIMENTS.md, schema version 2). *)

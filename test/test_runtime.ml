@@ -1,0 +1,448 @@
+(* Tests for the resilient experiment runtime: Pool cancellation and
+   deadlines, the deterministic fault injector, the supervisor's
+   ok / failed / timed_out / retry classification, the shared harness
+   flag parser, and atomic JSON artifact IO. *)
+
+module Pool = Commx_util.Pool
+module Prng = Commx_util.Prng
+module Faults = Commx_util.Faults
+module Supervisor = Commx_util.Supervisor
+module Cli = Commx_util.Cli
+module Json = Commx_util.Json
+
+(* ------------------------------------------------------------------ *)
+(* Pool: cancellation and failure paths                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_precancelled_token () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let token = Pool.Token.create () in
+      Pool.Token.cancel token;
+      let executed = Atomic.make 0 in
+      Alcotest.check_raises "cancelled batch raises" Pool.Cancelled (fun () ->
+          Pool.parallel_for pool ~chunk:1 ~cancel:token 100 (fun _ ->
+              Atomic.incr executed));
+      Alcotest.(check int) "no item ran" 0 (Atomic.get executed);
+      (* the pool survives a cancelled batch *)
+      Alcotest.(check (array int)) "pool survives" [| 0; 2; 4 |]
+        (Pool.parallel_map pool (fun i -> 2 * i) [| 0; 1; 2 |]))
+
+let test_pool_deadline_fires () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let token =
+        Pool.Token.create ~deadline:(Unix.gettimeofday () +. 0.05) ()
+      in
+      let executed = Atomic.make 0 in
+      let t0 = Unix.gettimeofday () in
+      Alcotest.check_raises "deadline raises Cancelled" Pool.Cancelled
+        (fun () ->
+          (* 400 deliberately slow items: ~2 s sequential, the deadline
+             must cut the batch off between chunks near 0.05 s. *)
+          Pool.parallel_for pool ~chunk:1 ~cancel:token 400 (fun _ ->
+              Atomic.incr executed;
+              Unix.sleepf 0.005));
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "stopped early (%.3f s, %d items)" elapsed
+           (Atomic.get executed))
+        true
+        (elapsed < 1.0 && Atomic.get executed < 400))
+
+let test_pool_failure_stops_remaining_chunks () =
+  (* jobs = 1 runs chunks inline and in order: after item 0 raises, no
+     further chunk may start. *)
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let executed = ref 0 in
+      Alcotest.check_raises "failure re-raised" (Failure "boom") (fun () ->
+          Pool.parallel_for pool ~chunk:1 100 (fun _ ->
+              incr executed;
+              failwith "boom"));
+      Alcotest.(check int) "only the failing chunk ran" 1 !executed);
+  (* with helpers, in-flight chunks may finish but the dispenser must
+     stop well short of the full range *)
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let executed = Atomic.make 0 in
+      Alcotest.check_raises "failure re-raised" (Failure "boom") (fun () ->
+          Pool.parallel_for pool ~chunk:1 10_000 (fun i ->
+              Atomic.incr executed;
+              if i = 0 then failwith "boom" else Unix.sleepf 0.0002));
+      Alcotest.(check bool)
+        (Printf.sprintf "remaining chunks cancelled (%d ran)"
+           (Atomic.get executed))
+        true
+        (Atomic.get executed < 10_000))
+
+let test_pool_failure_carries_backtrace () =
+  Printexc.record_backtrace true;
+  Pool.with_pool ~jobs:2 (fun pool ->
+      match
+        Pool.parallel_for pool ~chunk:1 8 (fun i ->
+            if i = 3 then failwith "with-backtrace")
+      with
+      | () -> Alcotest.fail "expected Failure"
+      | exception Failure _ ->
+          (* raise_with_backtrace preserved the worker's trace: the
+             caller can read it via the usual API. *)
+          let bt = Printexc.get_backtrace () in
+          Alcotest.(check bool) "backtrace captured" true
+            (String.length bt > 0))
+
+(* The guarantee the resume machinery leans on: a cancelled or failed
+   sibling batch must not perturb seeded results of later batches, at
+   any job count. *)
+let test_pool_seeded_invariant_after_cancelled_sibling () =
+  let work g x =
+    let acc = ref (float_of_int x) in
+    for _ = 1 to 50 do
+      acc := !acc +. Prng.float g -. (0.5 *. float_of_int (Prng.int g 3))
+    done;
+    !acc
+  in
+  let clean =
+    Pool.with_pool ~jobs:1 (fun pool ->
+        Pool.parallel_map_seeded pool (Prng.create 77) work
+          (Array.init 48 (fun i -> i)))
+  in
+  List.iter
+    (fun jobs ->
+      let got =
+        Pool.with_pool ~jobs (fun pool ->
+            (* sibling batch 1: cancelled mid-flight *)
+            let token = Pool.Token.create () in
+            Pool.Token.cancel token;
+            (try
+               Pool.parallel_for pool ~chunk:1 ~cancel:token 100 (fun _ -> ())
+             with Pool.Cancelled -> ());
+            (* sibling batch 2: fails *)
+            (try
+               Pool.parallel_for pool ~chunk:1 100 (fun i ->
+                   if i = 5 then failwith "sibling")
+             with Failure _ -> ());
+            Pool.parallel_map_seeded pool (Prng.create 77) work
+              (Array.init 48 (fun i -> i)))
+      in
+      Array.iteri
+        (fun i v ->
+          if Int64.bits_of_float v <> Int64.bits_of_float clean.(i) then
+            Alcotest.failf "jobs=%d element %d differs: %.17g vs %.17g" jobs i
+              v clean.(i))
+        got)
+    [ 1; 2; 4 ]
+
+let test_pool_check_cancel () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      (* no token installed: no-op *)
+      Pool.check_cancel pool;
+      let token = Pool.Token.create () in
+      Pool.set_cancel pool (Some token);
+      Pool.check_cancel pool;
+      Pool.Token.cancel token;
+      Alcotest.check_raises "fired token raises" Pool.Cancelled (fun () ->
+          Pool.check_cancel pool);
+      Pool.set_cancel pool None;
+      Pool.check_cancel pool)
+
+(* ------------------------------------------------------------------ *)
+(* Faults: deterministic injection                                     *)
+(* ------------------------------------------------------------------ *)
+
+let decisions seed sites =
+  let f = Faults.create ~seed () in
+  List.map (fun site -> Faults.decide f ~site ~rate:0.25 ~delay_rate:0.05) sites
+
+let test_faults_deterministic () =
+  let sites = List.init 300 (Printf.sprintf "site-%d") in
+  Alcotest.(check bool) "same seed, same pattern" true
+    (decisions 42 sites = decisions 42 sites);
+  Alcotest.(check bool) "different seed, different pattern" true
+    (decisions 42 sites <> decisions 43 sites);
+  (* the decision is a pure function of (seed, site): order-free *)
+  let f = Faults.create ~seed:7 () in
+  let d site = Faults.decide f ~site ~rate:0.5 ~delay_rate:0.0 in
+  let first = d "a" in
+  ignore (d "b");
+  ignore (d "c");
+  Alcotest.(check bool) "stateless" true (d "a" = first)
+
+let test_faults_rates () =
+  let f = Faults.create ~seed:1 () in
+  let sites = List.init 200 (Printf.sprintf "s%d") in
+  Alcotest.(check bool) "rate 0 never raises" true
+    (List.for_all
+       (fun s -> Faults.decide f ~site:s ~rate:0.0 ~delay_rate:0.0 = Faults.Pass)
+       sites);
+  Alcotest.(check bool) "rate 1 always raises" true
+    (List.for_all
+       (fun s -> Faults.decide f ~site:s ~rate:1.0 ~delay_rate:0.0 = Faults.Raise)
+       sites);
+  Alcotest.check_raises "rate out of range"
+    (Invalid_argument "Faults.create: rate must be in [0, 1]") (fun () ->
+      ignore (Faults.create ~seed:0 ~rate:1.5 ()))
+
+let test_faults_point () =
+  Faults.point None ~site:"anything";
+  (* rate 1 injector: every entry site raises, payload names the site *)
+  let f = Faults.create ~seed:5 ~rate:1.0 () in
+  Alcotest.check_raises "entry site raises" (Faults.Injected "E1:attempt1")
+    (fun () -> Faults.point (Some f) ~site:"E1:attempt1")
+
+let test_faults_in_pool_tasks () =
+  (* pool_rate 1.0: the very first work item of the batch raises
+     Injected, and the batch is cancelled like any worker failure *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      Pool.set_faults pool (Some (Faults.create ~seed:3 ~pool_rate:1.0 ()));
+      (match Pool.parallel_map pool (fun i -> i) (Array.init 32 (fun i -> i)) with
+      | _ -> Alcotest.fail "expected Faults.Injected"
+      | exception Faults.Injected site ->
+          Alcotest.(check bool) "site names batch and item" true
+            (String.length site >= 5 && String.sub site 0 5 = "pool:"));
+      (* clearing the injector restores normal operation *)
+      Pool.set_faults pool None;
+      Alcotest.(check (array int)) "clean after clear" [| 0; 1; 2 |]
+        (Pool.parallel_map pool (fun i -> i) [| 0; 1; 2 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_supervisor_ok () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let outcome, attempts =
+        Supervisor.run ~pool ~name:"t" (fun ~attempt -> attempt * 10)
+      in
+      (match outcome with
+      | Supervisor.Ok v -> Alcotest.(check int) "value" 10 v
+      | _ -> Alcotest.fail "expected Ok");
+      Alcotest.(check int) "one attempt" 1 attempts;
+      Alcotest.(check string) "label" "ok" (Supervisor.outcome_label outcome))
+
+let test_supervisor_failed_not_retryable () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let config = Supervisor.config ~retries:5 ~backoff_s:0.0 () in
+      let calls = ref 0 in
+      let outcome, attempts =
+        Supervisor.run ~config ~pool ~name:"t" (fun ~attempt:_ ->
+            incr calls;
+            failwith "real bug")
+      in
+      (match outcome with
+      | Supervisor.Failed { exn; _ } ->
+          let contains hay needle =
+            let nh = String.length hay and nn = String.length needle in
+            let rec go i = i + nn <= nh
+                           && (String.sub hay i nn = needle || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool) "message kept" true (contains exn "real bug")
+      | _ -> Alcotest.fail "expected Failed");
+      Alcotest.(check int) "no retry for a real bug" 1 attempts;
+      Alcotest.(check int) "called once" 1 !calls;
+      Alcotest.(check string) "label" "failed"
+        (Supervisor.outcome_label outcome))
+
+let test_supervisor_retry_then_ok () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let config = Supervisor.config ~retries:2 ~backoff_s:0.0 () in
+      let outcome, attempts =
+        Supervisor.run ~config ~pool ~name:"t" (fun ~attempt ->
+            if attempt < 3 then raise (Faults.Injected "transient") else attempt)
+      in
+      (match outcome with
+      | Supervisor.Ok v -> Alcotest.(check int) "succeeded on attempt 3" 3 v
+      | _ -> Alcotest.fail "expected Ok after retries");
+      Alcotest.(check int) "three attempts" 3 attempts)
+
+let test_supervisor_retries_exhausted () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let config = Supervisor.config ~retries:2 ~backoff_s:0.0 () in
+      let outcome, attempts =
+        Supervisor.run ~config ~pool ~name:"t" (fun ~attempt:_ ->
+            raise (Faults.Injected "always"))
+      in
+      (match outcome with
+      | Supervisor.Failed _ -> ()
+      | _ -> Alcotest.fail "expected Failed");
+      Alcotest.(check int) "1 + 2 retries" 3 attempts)
+
+let test_supervisor_timeout_pool_batch () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let config = Supervisor.config ~timeout_s:0.05 ~retries:3 () in
+      let outcome, attempts =
+        Supervisor.run ~config ~pool ~name:"t" (fun ~attempt:_ ->
+            (* the experiment's own pool batch inherits the ambient
+               deadline token *)
+            Pool.parallel_for pool ~chunk:1 400 (fun _ -> Unix.sleepf 0.005))
+      in
+      (match outcome with
+      | Supervisor.Timed_out budget ->
+          Alcotest.(check (float 1e-9)) "budget reported" 0.05 budget
+      | _ -> Alcotest.fail "expected Timed_out");
+      Alcotest.(check int) "timeouts are not retried" 1 attempts;
+      Alcotest.(check string) "label" "timed_out"
+        (Supervisor.outcome_label outcome);
+      (* ambient token cleared: the pool is reusable *)
+      Pool.check_cancel pool;
+      Alcotest.(check (array int)) "pool usable" [| 0; 1 |]
+        (Pool.parallel_map pool (fun i -> i) [| 0; 1 |]))
+
+let test_supervisor_timeout_sequential_tick () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let config = Supervisor.config ~timeout_s:0.05 () in
+      let outcome, _ =
+        Supervisor.run ~config ~pool ~name:"t" (fun ~attempt:_ ->
+            (* sequential section polling like Experiments.ctx.tick *)
+            while true do
+              Unix.sleepf 0.002;
+              Pool.check_cancel pool
+            done)
+      in
+      match outcome with
+      | Supervisor.Timed_out _ -> ()
+      | _ -> Alcotest.fail "expected Timed_out")
+
+let test_supervisor_config_validation () =
+  Alcotest.check_raises "timeout_s <= 0"
+    (Invalid_argument "Supervisor.config: timeout_s must be > 0") (fun () ->
+      ignore (Supervisor.config ~timeout_s:0.0 ()));
+  Alcotest.check_raises "retries < 0"
+    (Invalid_argument "Supervisor.config: retries must be >= 0") (fun () ->
+      ignore (Supervisor.config ~retries:(-1) ()))
+
+(* ------------------------------------------------------------------ *)
+(* Cli                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_cli_parse_full () =
+  match
+    Cli.parse
+      [ "E3"; "--jobs"; "4"; "--timeout=2.5"; "--retries"; "1"; "--keep-going";
+        "--resume"; "/tmp/r"; "--inject-faults"; "9"; "E5"; "--json=out" ]
+  with
+  | Error m -> Alcotest.failf "unexpected parse error: %s" m
+  | Ok (opts, positional) ->
+      Alcotest.(check int) "jobs" 4 opts.Cli.jobs;
+      Alcotest.(check (option string)) "json" (Some "out") opts.Cli.json_dir;
+      Alcotest.(check (option (float 1e-9))) "timeout" (Some 2.5)
+        opts.Cli.timeout_s;
+      Alcotest.(check int) "retries" 1 opts.Cli.retries;
+      Alcotest.(check bool) "keep-going" true opts.Cli.keep_going;
+      Alcotest.(check (option string)) "resume" (Some "/tmp/r")
+        opts.Cli.resume_dir;
+      Alcotest.(check (option int)) "faults" (Some 9) opts.Cli.fault_seed;
+      Alcotest.(check (list string)) "positional order" [ "E3"; "E5" ]
+        positional
+
+let test_cli_parse_errors () =
+  let expect_error argv =
+    match Cli.parse argv with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected error on %s" (String.concat " " argv)
+  in
+  expect_error [ "--jobs"; "0" ];
+  expect_error [ "--jobs"; "x" ];
+  expect_error [ "--timeout"; "-1" ];
+  expect_error [ "--timeout"; "0" ];
+  expect_error [ "--retries"; "-2" ];
+  expect_error [ "--inject-faults"; "zzz" ];
+  expect_error [ "--wat" ];
+  expect_error [ "--jobs" ];
+  expect_error [ "--keep-going=yes" ]
+
+let test_cli_env_fallback () =
+  Unix.putenv Cli.fault_seed_env_var "1234";
+  let from_env =
+    match Cli.parse [] with
+    | Ok (o, _) -> o.Cli.fault_seed
+    | Error m -> Alcotest.failf "parse failed: %s" m
+  in
+  (* an explicit flag wins over the environment *)
+  let explicit =
+    match Cli.parse [ "--inject-faults"; "7" ] with
+    | Ok (o, _) -> o.Cli.fault_seed
+    | Error m -> Alcotest.failf "parse failed: %s" m
+  in
+  Unix.putenv Cli.fault_seed_env_var "";
+  Alcotest.(check (option int)) "env fallback" (Some 1234) from_env;
+  Alcotest.(check (option int)) "flag wins" (Some 7) explicit
+
+let test_cli_mkdir_p () =
+  let base =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "commx-mkdir-%d" (Unix.getpid ()))
+  in
+  let deep = Filename.concat (Filename.concat base "a") "b" in
+  Cli.mkdir_p deep;
+  Alcotest.(check bool) "created" true
+    (Sys.file_exists deep && Sys.is_directory deep);
+  (* idempotent, and fine when every prefix already exists *)
+  Cli.mkdir_p deep;
+  Cli.mkdir_p (Filename.concat base "a");
+  Alcotest.(check bool) "still there" true (Sys.is_directory deep)
+
+(* ------------------------------------------------------------------ *)
+(* Json atomic file IO                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_file_roundtrip () =
+  let path = Filename.temp_file "commx-artifact" ".json" in
+  let doc =
+    Json.Obj
+      [ ("schema_version", Json.Int 2); ("status", Json.String "ok");
+        ("rows", Json.List [ Json.Obj [ ("n", Json.Int 5) ] ]) ]
+  in
+  Json.to_file ~path doc;
+  Alcotest.(check bool) "roundtrip" true (Json.of_file path = doc);
+  Alcotest.(check bool) "no temp file left" false
+    (Sys.file_exists (path ^ ".tmp"));
+  (* overwriting an existing artifact is atomic too: the old content is
+     fully replaced *)
+  let doc2 = Json.Obj [ ("status", Json.String "failed") ] in
+  Json.to_file ~path doc2;
+  Alcotest.(check bool) "replaced" true (Json.of_file path = doc2);
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "runtime"
+    [ ( "pool-cancel",
+        [ Alcotest.test_case "pre-cancelled token" `Quick
+            test_pool_precancelled_token;
+          Alcotest.test_case "deadline fires on slow body" `Quick
+            test_pool_deadline_fires;
+          Alcotest.test_case "failure stops remaining chunks" `Quick
+            test_pool_failure_stops_remaining_chunks;
+          Alcotest.test_case "failure carries backtrace" `Quick
+            test_pool_failure_carries_backtrace;
+          Alcotest.test_case "seeded invariant after cancelled sibling" `Quick
+            test_pool_seeded_invariant_after_cancelled_sibling;
+          Alcotest.test_case "check_cancel" `Quick test_pool_check_cancel ] );
+      ( "faults",
+        [ Alcotest.test_case "deterministic given a seed" `Quick
+            test_faults_deterministic;
+          Alcotest.test_case "rate envelope" `Quick test_faults_rates;
+          Alcotest.test_case "entry points" `Quick test_faults_point;
+          Alcotest.test_case "inject inside pool tasks" `Quick
+            test_faults_in_pool_tasks ] );
+      ( "supervisor",
+        [ Alcotest.test_case "ok" `Quick test_supervisor_ok;
+          Alcotest.test_case "failed, not retryable" `Quick
+            test_supervisor_failed_not_retryable;
+          Alcotest.test_case "retry then ok" `Quick test_supervisor_retry_then_ok;
+          Alcotest.test_case "retries exhausted" `Quick
+            test_supervisor_retries_exhausted;
+          Alcotest.test_case "timeout via pool batch" `Quick
+            test_supervisor_timeout_pool_batch;
+          Alcotest.test_case "timeout via sequential tick" `Quick
+            test_supervisor_timeout_sequential_tick;
+          Alcotest.test_case "config validation" `Quick
+            test_supervisor_config_validation ] );
+      ( "cli",
+        [ Alcotest.test_case "full parse" `Quick test_cli_parse_full;
+          Alcotest.test_case "errors" `Quick test_cli_parse_errors;
+          Alcotest.test_case "env fallback" `Quick test_cli_env_fallback;
+          Alcotest.test_case "mkdir_p" `Quick test_cli_mkdir_p ] );
+      ( "json-file",
+        [ Alcotest.test_case "atomic write + roundtrip" `Quick
+            test_json_file_roundtrip ] )
+    ]
