@@ -105,6 +105,9 @@ let resume_done dir id =
      | exception _ -> false)
 
 let () =
+  (* Without this, Supervisor's captured backtraces are empty strings
+     and Failed artifacts lose their most useful debugging field. *)
+  Printexc.record_backtrace true;
   let argv = List.tl (Array.to_list Sys.argv) in
   let opts, ids =
     match Cli.parse argv with

@@ -413,6 +413,9 @@ let exactcc_cmd =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  (* Supervised `lemmas` runs record backtraces in Failed outcomes;
+     they are empty unless recording is on. *)
+  Printexc.record_backtrace true;
   let doc =
     "communication complexity of matrix computation (Chu-Schnitger \
      1989) — reproduction toolkit"

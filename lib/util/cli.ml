@@ -63,19 +63,22 @@ let parse argv =
     | _ -> err "unknown flag: %s" key
   in
   let valued key = List.mem key [ "--jobs"; "--json"; "--timeout"; "--retries"; "--resume"; "--inject-faults" ] in
+  (* A "--"-prefixed token is never a flag's value: `--json --keep-going`
+     is a missing value (fail loudly), not json_dir = "--keep-going". *)
+  let looks_like_flag v = String.length v >= 2 && String.sub v 0 2 = "--" in
   let rec go = function
     | [] ->
         Stdlib.Ok (with_env_fault_seed !opts, List.rev !positional)
     | "--keep-going" :: rest ->
         opts := { !opts with keep_going = true };
         go rest
-    | key :: v :: rest when valued key -> (
+    | key :: v :: rest when valued key && not (looks_like_flag v) -> (
         match set_valued key v with
         | Stdlib.Ok o ->
             opts := o;
             go rest
         | Error _ as e -> e)
-    | [ key ] when valued key -> err "missing value for final flag %s" key
+    | key :: _ when valued key -> err "missing value for flag %s" key
     | arg :: rest -> (
         match String.index_opt arg '=' with
         | Some i when String.length arg > 2 && String.sub arg 0 2 = "--" -> (

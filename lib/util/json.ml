@@ -301,9 +301,16 @@ let of_string s =
 let to_file ~path doc =
   (* Write the full document to a sibling temp file, then rename: a
      crash mid-write leaves the final path either absent or intact,
-     never truncated.  rename(2) is atomic within a filesystem, and
-     the ".tmp" sibling is guaranteed to be on the same one. *)
-  let tmp = path ^ ".tmp" in
+     never truncated.  rename(2) is atomic within a filesystem, and a
+     sibling in the same directory is guaranteed to be on the same
+     one.  The temp name must be unique per writer ([Filename.temp_file]
+     creates it with O_EXCL) — a fixed ".tmp" sibling would let two
+     concurrent writers of the same path interleave into one temp file
+     and publish corrupt JSON. *)
+  let tmp =
+    Filename.temp_file ~temp_dir:(Filename.dirname path)
+      (Filename.basename path ^ ".") ".tmp"
+  in
   (try
      let oc = open_out tmp in
      Fun.protect
@@ -312,7 +319,10 @@ let to_file ~path doc =
    with e ->
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
-  Sys.rename tmp path
+  try Sys.rename tmp path
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
 
 let of_file path =
   let ic = open_in_bin path in

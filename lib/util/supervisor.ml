@@ -39,14 +39,18 @@ let run ?(config = default_config) ~pool ~name f =
     in
     Pool.set_cancel pool (Some token);
     (* Classify with the raw exception in hand, clear the ambient
-       token, and only then decide whether to retry. *)
+       token, and only then decide whether to retry.  Cancelled is a
+       timeout only when THIS attempt's token fired: a stray Cancelled
+       (external token, experiment code raising it) is a failure, not a
+       deadline.  The raw backtrace must be grabbed at the catch point,
+       before anything else can raise over it. *)
     let classified =
       match f ~attempt:n with
       | v -> `Ok v
-      | exception Pool.Cancelled -> `Timeout
+      | exception Pool.Cancelled when Pool.Token.cancelled token -> `Timeout
       | exception e ->
-          let bt = Printexc.get_backtrace () in
-          `Raised (e, bt)
+          let bt = Printexc.get_raw_backtrace () in
+          `Raised (e, Printexc.raw_backtrace_to_string bt)
     in
     Pool.set_cancel pool None;
     match classified with

@@ -55,11 +55,12 @@ val run :
     of attempts made.  Classification per attempt:
 
     - normal return: [Ok];
-    - {!Pool.Cancelled} escaping [f]: [Timed_out] (the only installed
-      token is the supervisor's deadline) — never retried, since a
-      repeat attempt would deterministically exceed the same budget;
-    - any other exception: [Failed] (after exhausting retries if
-      [retryable]).
+    - {!Pool.Cancelled} escaping [f] while this attempt's token has
+      fired: [Timed_out] — never retried, since a repeat attempt would
+      deterministically exceed the same budget;
+    - any other exception — including a {!Pool.Cancelled} whose cause
+      is not this attempt's deadline: [Failed] (after exhausting
+      retries if [retryable]).
 
     [name] is used only for attempt-numbered log lines on retry.  The
     pool's ambient cancel token is replaced for the duration of each

@@ -346,6 +346,9 @@ let test_cli_parse_errors () =
   expect_error [ "--inject-faults"; "zzz" ];
   expect_error [ "--wat" ];
   expect_error [ "--jobs" ];
+  (* a valued flag must not swallow a following flag as its value *)
+  expect_error [ "--json"; "--keep-going" ];
+  expect_error [ "--resume"; "--json"; "d" ];
   expect_error [ "--keep-going=yes" ]
 
 let test_cli_env_fallback () =
@@ -392,8 +395,14 @@ let test_json_file_roundtrip () =
   in
   Json.to_file ~path doc;
   Alcotest.(check bool) "roundtrip" true (Json.of_file path = doc);
-  Alcotest.(check bool) "no temp file left" false
-    (Sys.file_exists (path ^ ".tmp"));
+  (* temp names are unique per writer, so scan for any sibling still
+     carrying the artifact's prefix rather than probing one fixed name *)
+  let leftover_temps () =
+    Sys.readdir (Filename.dirname path)
+    |> Array.to_list
+    |> List.filter (String.starts_with ~prefix:(Filename.basename path ^ "."))
+  in
+  Alcotest.(check (list string)) "no temp file left" [] (leftover_temps ());
   (* overwriting an existing artifact is atomic too: the old content is
      fully replaced *)
   let doc2 = Json.Obj [ ("status", Json.String "failed") ] in
