@@ -18,6 +18,7 @@ module Q = Commx_bigint.Rational
 module Zm = Commx_linalg.Zmatrix
 module Sub = Commx_linalg.Subspace
 module Prng = Commx_util.Prng
+module Tel = Commx_util.Telemetry
 module Stats = Commx_util.Stats
 module Tab = Commx_util.Tab
 module Json = Commx_util.Json
@@ -87,6 +88,16 @@ let json_sweep sweep =
 
 let mixed_pool = Commx_core.Workloads.mixed_pool
 
+(* Phase accounting (Tel.with_phase): every experiment tags its stages
+   as "generate" (instance construction), "enumerate" (exhaustive /
+   Monte-Carlo sweeps), or "verify" (checking claims against ground
+   truth), so artifacts and --metrics break wall-clock down uniformly.
+   Durations are wall-clock-ish: unlike counters they are NOT expected
+   to be identical across --jobs values. *)
+let gen f = Tel.with_phase "generate" f
+let enum f = Tel.with_phase "enumerate" f
+let verify f = Tel.with_phase "verify" f
+
 (* ------------------------------------------------------------------ *)
 (* E1: Theorem 1.1 upper bound — trivial protocol cost = 2 k n^2       *)
 (* ------------------------------------------------------------------ *)
@@ -108,9 +119,11 @@ let e1 ctx =
     (fun (n, k) ->
       ctx.tick ();
       let p = Params.make ~n ~k in
-      let m = H.build_m p (H.random_free g p) in
+      let m = gen (fun () -> H.build_m p (H.random_free g p)) in
       let a, b = Halves.split_pi0 m in
-      let _, bits = Protocol.execute (Trivial.singularity ~k) a b in
+      let _, bits =
+        verify (fun () -> Protocol.execute (Trivial.singularity ~k) a b)
+      in
       points := (float_of_int (k * n * n), float_of_int bits) :: !points;
       rows :=
         row
@@ -167,20 +180,21 @@ let e2 ctx =
   (* Each k is an independent enumeration of the full instance space:
      fan the three out over the pool (k=3 analyzes a 64x64 matrix). *)
   let per_k =
-    Pool.parallel_map ctx.pool
-      (fun k ->
-        let tm = tiny_singularity_tm ~k in
-        let exact = k <= 2 in
-        let report = Rank_bound.analyze tm ~exact_rect:exact in
-        let m = Tm.to_bitmat tm in
-        let rect_area =
-          if exact then Rect.area (Rect.max_one_rectangle_exact m)
-          else
-            let g = Prng.create 7 in
-            Rect.area (Rect.max_one_rectangle_greedy g m)
-        in
-        (k, Tm.rows tm, Tm.cols tm, exact, report, rect_area))
-      [| 1; 2; 3 |]
+    enum (fun () ->
+        Pool.parallel_map ctx.pool
+          (fun k ->
+            let tm = tiny_singularity_tm ~k in
+            let exact = k <= 2 in
+            let report = Rank_bound.analyze tm ~exact_rect:exact in
+            let m = Tm.to_bitmat tm in
+            let rect_area =
+              if exact then Rect.area (Rect.max_one_rectangle_exact m)
+              else
+                let g = Prng.create 7 in
+                Rect.area (Rect.max_one_rectangle_greedy g m)
+            in
+            (k, Tm.rows tm, Tm.cols tm, exact, report, rect_area))
+          [| 1; 2; 3 |])
   in
   let rows = ref [] in
   Array.iter
@@ -216,14 +230,14 @@ let e2 ctx =
   ctx.tick ();
   let g = Prng.create 102 in
   let p = Params.make ~n:5 ~k:3 in
-  let rtm = Tr.sampled_truth_matrix g p ~columns:1200 in
+  let rtm = gen (fun () -> Tr.sampled_truth_matrix g p ~columns:1200) in
   let bm = Tm.to_bitmat rtm in
   let ones = Commx_util.Bitmat.count_ones bm in
   let per_row = Tm.ones_per_row rtm in
   let populated = Array.fold_left (fun a c -> if c > 0 then a + 1 else a) 0 per_row in
   let max_row = Array.fold_left max 0 per_row in
-  let gf2 = Commx_comm.Rank_bound.gf2_rank bm in
-  let rect = Rect.max_one_rectangle_greedy g bm in
+  let gf2 = verify (fun () -> Commx_comm.Rank_bound.gf2_rank bm) in
+  let rect = verify (fun () -> Rect.max_one_rectangle_greedy g bm) in
   rows :=
     row
       [ ("kind", jstr "restricted"); ("n", jint 5); ("k", jint 3);
@@ -294,6 +308,7 @@ let e3 ctx =
      the fingerprint protocol — independent across configs, so map them
      over the pool with per-config generators. *)
   let measured =
+    verify (fun () ->
     Pool.parallel_map_seeded ctx.pool g
       (fun g (n, k) ->
         let p = Params.make ~n ~k in
@@ -314,7 +329,7 @@ let e3 ctx =
                 (List.map Halves.split_pi0 ms)
         in
         (n, k, cost, shape, trivial, err))
-      configs
+      configs)
   in
   let rows = ref [] in
   Array.iter
@@ -345,10 +360,10 @@ let e3 ctx =
   let sing2 = Tm.to_bitmat (tiny_singularity_tm ~k:2) in
   let ip3 = Disc.inner_product_matrix ~m:3 in
   let ip4 = Disc.inner_product_matrix ~m:4 in
-  let disc_sing1 = Disc.discrepancy_exact sing1 in
-  let disc_sing2 = Disc.discrepancy_exact sing2 in
-  let disc_ip3 = Disc.discrepancy_exact ip3 in
-  let disc_ip4 = Disc.discrepancy_exact ip4 in
+  let disc_sing1 = enum (fun () -> Disc.discrepancy_exact sing1) in
+  let disc_sing2 = enum (fun () -> Disc.discrepancy_exact sing2) in
+  let disc_ip3 = enum (fun () -> Disc.discrepancy_exact ip3) in
+  let disc_ip4 = enum (fun () -> Disc.discrepancy_exact ip4) in
   let rlb_sing2 = Disc.randomized_lower_bound sing2 ~epsilon:0.1 in
   let rlb_ip4 = Disc.randomized_lower_bound ip4 ~epsilon:0.1 in
   Printf.printf
@@ -402,13 +417,13 @@ let e4 ctx =
       [ Tab.Left; Tab.Right; Tab.Right; Tab.Right ]
   in
   let p = Params.make ~n:7 ~k:2 in
-  let pool = mixed_pool g p ~count:30 in
+  let pool = gen (fun () -> mixed_pool g p ~count:30) in
   let rows = ref [] in
   List.iter
     (fun (name, via) ->
       ctx.tick ();
       let agree =
-        List.for_all (fun m -> via m = Zm.is_singular m) pool
+        verify (fun () -> List.for_all (fun m -> via m = Zm.is_singular m) pool)
       in
       rows :=
         row
@@ -453,11 +468,12 @@ let e5 ctx =
       let p = Params.make ~n ~k in
       let trials = 20 in
       let ok = ref 0 in
-      for _ = 1 to trials do
-        let f = H.random_free g p in
-        let m = H.build_m p f in
-        if Red.singular_via_solvability p f = Zm.is_singular m then incr ok
-      done;
+      verify (fun () ->
+          for _ = 1 to trials do
+            let f = H.random_free g p in
+            let m = H.build_m p f in
+            if Red.singular_via_solvability p f = Zm.is_singular m then incr ok
+          done);
       (* protocol bits: trivial on the augmented (2n x 2n+1) system *)
       let m = H.build_m p (H.random_free g p) in
       let m', b = Red.solvability_instance m in
@@ -498,6 +514,7 @@ let e6 ctx =
       let p = Params.make ~n ~k in
       let trials = 50 in
       let agree = ref 0 and singular = ref 0 in
+      verify (fun () ->
       for t = 1 to trials do
         (* Random free blocks are almost never singular, so exercise
            both sides: completions (singular by Lemma 3.5a), perturbed
@@ -516,7 +533,7 @@ let e6 ctx =
         let truth = L32.is_singular_direct (H.build_m p f) in
         if truth then incr singular;
         if L32.criterion p f = truth then incr agree
-      done;
+      done);
       rows :=
         row
           [ ("n", jint n); ("k", jint k); ("trials", jint trials);
@@ -555,11 +572,12 @@ let e7 ctx =
       let p = Params.make ~n ~k in
       let trials = 50 in
       let ok = ref 0 in
-      for _ = 1 to trials do
-        let f = H.random_free g p in
-        let w = L35.complete p ~c:f.H.c ~e:f.H.e in
-        if L35.check_witness p w then incr ok
-      done;
+      verify (fun () ->
+          for _ = 1 to trials do
+            let f = H.random_free g p in
+            let w = L35.complete p ~c:f.H.c ~e:f.H.e in
+            if L35.check_witness p w then incr ok
+          done);
       rows :=
         row
           [ ("n", jint n); ("k", jint k); ("trials", jint trials);
@@ -592,12 +610,13 @@ let e8 ctx =
       [ Tab.Right; Tab.Right; Tab.Right; Tab.Right; Tab.Right ]
   in
   let l34 =
-    Pool.parallel_map ctx.pool
-      (fun (n, k) ->
-        let p = Params.make ~n ~k in
-        let all, distinct = Tr.lemma34_all_spans_distinct p in
-        (n, k, Tr.count_c p, distinct, all))
-      [| (5, 2); (5, 3) |]
+    enum (fun () ->
+        Pool.parallel_map ctx.pool
+          (fun (n, k) ->
+            let p = Params.make ~n ~k in
+            let all, distinct = Tr.lemma34_all_spans_distinct p in
+            (n, k, Tr.count_c p, distinct, all))
+          [| (5, 2); (5, 3) |])
   in
   Array.iter
     (fun (n, k, count, distinct, all) ->
@@ -626,9 +645,10 @@ let e8 ctx =
   in
   let p = Params.make ~n:7 ~k:2 in
   let l36 =
-    Pool.parallel_map_seeded ctx.pool g
-      (fun g r -> (r, Tr.lemma36_intersection_dims g p ~r ~trials:5))
-      [| 1; 2; 4; 8; 16 |]
+    enum (fun () ->
+        Pool.parallel_map_seeded ctx.pool g
+          (fun g r -> (r, Tr.lemma36_intersection_dims g p ~r ~trials:5))
+          [| 1; 2; 4; 8; 16 |])
   in
   Array.iter
     (fun (r, dims) ->
@@ -651,9 +671,10 @@ let e8 ctx =
   let c1 = (H.random_free g p52).H.c in
   let c2 = (H.random_free g p52).H.c in
   let l35b =
-    Pool.parallel_map ctx.pool
-      (fun c -> Tr.lemma35b_count_ones_exact p52 ~c)
-      [| c1; c2 |]
+    enum (fun () ->
+        Pool.parallel_map ctx.pool
+          (fun c -> Tr.lemma35b_count_ones_exact p52 ~c)
+          [| c1; c2 |])
   in
   let ones1, total = l35b.(0) in
   let ones2, _ = l35b.(1) in
@@ -672,7 +693,9 @@ let e8 ctx =
     (fint (Commx_util.Combi.power 3 12));
   let p53 = Params.make ~n:5 ~k:3 in
   let c3 = (H.random_free g p53).H.c in
-  let s_ones, s_total = Tr.lemma35b_count_ones_sampled g p53 ~c:c3 ~trials:40000 in
+  let s_ones, s_total =
+    enum (fun () -> Tr.lemma35b_count_ones_sampled g p53 ~c:c3 ~trials:40000)
+  in
   rows :=
     row
       [ ("lemma", jstr "3.5b-sampled"); ("n", jint 5); ("k", jint 3);
@@ -696,11 +719,12 @@ let e8 ctx =
       [ Tab.Right; Tab.Right ]
   in
   let l37 =
-    Pool.parallel_map_seeded ctx.pool g
-      (fun g r ->
-        let cs = List.filteri (fun i _ -> i < r) all_cs in
-        (r, Tr.lemma37_projected_count g p ~cs ~samples:2000))
-      [| 1; 2; 3 |]
+    enum (fun () ->
+        Pool.parallel_map_seeded ctx.pool g
+          (fun g r ->
+            let cs = List.filteri (fun i _ -> i < r) all_cs in
+            (r, Tr.lemma37_projected_count g p ~cs ~samples:2000))
+          [| 1; 2; 3 |])
   in
   Array.iter
     (fun (r, count) ->
@@ -745,17 +769,18 @@ let e9 ctx =
       (* Each partition draw + greedy transform is independent: one
          generator per trial, split deterministically from the master. *)
       let outcomes =
-        Pool.parallel_map_seeded ctx.pool g
-          (fun g () ->
-            let partition = Partition.random_even g (dim * dim * k) in
-            if L39.is_proper p partition then `Already
-            else
-              match L39.find_transform g p partition with
-              | Some t when L39.is_proper p (L39.apply_transform p partition t)
-                ->
-                  `Transformed
-              | _ -> `Failed)
-          (Array.make total ())
+        gen (fun () ->
+            Pool.parallel_map_seeded ctx.pool g
+              (fun g () ->
+                let partition = Partition.random_even g (dim * dim * k) in
+                if L39.is_proper p partition then `Already
+                else
+                  match L39.find_transform g p partition with
+                  | Some t
+                    when L39.is_proper p (L39.apply_transform p partition t) ->
+                      `Transformed
+                  | _ -> `Failed)
+              (Array.make total ()))
       in
       let count v = Array.fold_left (fun a o -> if o = v then a + 1 else a) 0 outcomes in
       let already = count `Already
@@ -798,7 +823,7 @@ let e10 ctx =
   List.iter
     (fun (n, k) ->
       ctx.tick ();
-      let r = Tradeoff.bound_row ~n ~k in
+      let r = verify (fun () -> Tradeoff.bound_row ~n ~k) in
       rows :=
         row
           [ ("kind", jstr "bound"); ("n", jint n); ("k", jint k);
@@ -878,10 +903,10 @@ let e11 ctx =
   in
   List.iter
     (fun m ->
-      let tm = Identity.truth_matrix ~m in
+      let tm = gen (fun () -> Identity.truth_matrix ~m) in
       let diag = Fooling.diagonal_candidate tm in
-      let valid = Fooling.is_fooling_set tm diag in
-      let report = Rank_bound.analyze tm ~exact_rect:false in
+      let valid = verify (fun () -> Fooling.is_fooling_set tm diag) in
+      let report = verify (fun () -> Rank_bound.analyze tm ~exact_rect:false) in
       rows :=
         row
           [ ("kind", jstr "identity"); ("m", jint m);
@@ -914,6 +939,7 @@ let e11 ctx =
       (* error on wrong products *)
       let rp = Mat_verify.freivalds ~n ~k ~epsilon:0.05 in
       let wrong = ref 0 and total = 40 in
+      verify (fun () ->
       for seed = 0 to total - 1 do
         let a = Zm.random_kbit g ~rows:n ~cols:n ~k in
         let b = Zm.random_kbit g ~rows:n ~cols:n ~k in
@@ -923,7 +949,7 @@ let e11 ctx =
           Protocol.execute (rp.Randomized.run_seeded ~seed) a (b, c)
         in
         if got then incr wrong
-      done;
+      done);
       rows :=
         row
           [ ("kind", jstr "product_verification"); ("n", jint n);
@@ -963,6 +989,7 @@ let e11 ctx =
       let p = Params.make ~n ~k in
       let agree = ref true in
       let bits_trivial = ref 0 and bits_smart = ref 0 in
+      verify (fun () ->
       List.iter
         (fun m ->
           let v1, v2 = Span.instance_of_matrix m in
@@ -971,7 +998,7 @@ let e11 ctx =
           bits_trivial := max !bits_trivial c1;
           bits_smart := max !bits_smart c2;
           if got <> (not (Zm.is_singular m)) || got2 <> got then agree := false)
-        (mixed_pool g p ~count:6);
+        (mixed_pool g p ~count:6));
       rows :=
         row
           [ ("kind", jstr "span"); ("n", jint n); ("k", jint k);
@@ -1013,7 +1040,7 @@ let e12 ctx =
     (fun (n, k) ->
       ctx.tick ();
       let p = Params.make ~n ~k in
-      let l = T11.ledger p in
+      let l = verify (fun () -> T11.ledger p) in
       let lb x = float_of_int (B.bit_length x) in
       let upper = float_of_int (Bounds.trivial_upper_bits ~n ~k) in
       rows :=
@@ -1073,15 +1100,15 @@ let e13 ctx =
       ctx.tick ();
       let p = Params.make ~n ~k in
       let prime_bits = 8 in
-      let run_class name gen trials =
+      let run_class name make_instance trials =
         let costs =
           Array.init trials (fun seed ->
-              let m = gen () in
+              let m = gen make_instance in
               let a, b = Halves.split_pi0 m in
               let proto =
                 Commx_protocols.Adaptive.singularity ~n ~k ~prime_bits ~seed
               in
-              let got, cost = Protocol.execute proto a b in
+              let got, cost = verify (fun () -> Protocol.execute proto a b) in
               assert (got = Zm.is_singular m);
               float_of_int cost)
         in
@@ -1184,7 +1211,9 @@ let e14 ctx =
   (* Each instance is an independent exhaustive min-max search over all
      protocol trees (Hirahara-Ilango-Loff: inherently brute force) —
      the canonical fan-out. *)
-  let measured = Pool.parallel_map ctx.pool (fun f -> f ()) instances in
+  let measured =
+    enum (fun () -> Pool.parallel_map ctx.pool (fun f -> f ()) instances)
+  in
   let rows = ref [] in
   Array.iter
     (fun (name, trows, tcols, cc, one_way, d, covers, report, trivial) ->
@@ -1252,6 +1281,7 @@ let e15 ctx =
   let pairs = [| (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) |] in
   (* Six independent exact-CC searches: one per even partition. *)
   let measured =
+    enum (fun () ->
     Pool.parallel_map ctx.pool
       (fun (p1, p2) ->
         let alice_cells = [ p1; p2 ] in
@@ -1274,7 +1304,7 @@ let e15 ctx =
         in
         (p1, p2, Commx_comm.Truth_matrix.rows tm,
          Commx_comm.Truth_matrix.cols tm, Exact_cc.complexity_tm tm))
-      pairs
+      pairs)
   in
   let best = ref max_int in
   let rows = ref [] in

@@ -23,21 +23,33 @@
 
    Supervision (Commx_util.Supervisor): every experiment runs under an
    ok / failed / timed_out classification.  --timeout S bounds each
-   attempt with a cooperative wall-clock deadline; --retries N retries
-   transient (injected) failures with exponential backoff; --keep-going
-   records failures and continues the sweep instead of aborting, the
-   exit code (0 all ok / 1 otherwise) summarizing the run.  Artifacts
-   are written atomically (temp file + rename) and stamped with a
-   status, so --resume DIR skips experiments whose valid `status: ok`
-   artifact already exists.  --inject-faults SEED (or the env var
-   COMMX_INJECT_FAULTS) enables the deterministic fault injector that
-   exercises all of the above reproducibly. *)
+   attempt with a cooperative monotonic-clock deadline; --retries N
+   retries transient (injected) failures with exponential backoff;
+   --keep-going records failures and continues the sweep instead of
+   aborting, the exit code (0 all ok / 1 otherwise) summarizing the
+   run.  Artifacts are written atomically (temp file + rename) and
+   stamped with a status, so --resume DIR skips experiments whose valid
+   `status: ok` artifact already exists.  --inject-faults SEED (or the
+   env var COMMX_INJECT_FAULTS) enables the deterministic fault
+   injector that exercises all of the above reproducibly.
+
+   Telemetry (Commx_util.Telemetry): --trace FILE streams a Chrome
+   trace-event JSON (chrome://tracing / Perfetto) of pool batches,
+   supervisor attempts, protocol executions and experiment phases;
+   --metrics prints the counter/histogram summary at end of run.
+   Artifacts (schema version 3) embed a per-experiment metrics object:
+   total protocol bits, wall-clock by phase, and every counter delta —
+   bit-identical at any --jobs value.  With none of --trace / --metrics
+   / --json, telemetry is off and costs nothing. *)
 
 module Json = Commx_util.Json
 module Pool = Commx_util.Pool
 module Cli = Commx_util.Cli
+module Clock = Commx_util.Clock
 module Faults = Commx_util.Faults
 module Supervisor = Commx_util.Supervisor
+module Telemetry = Commx_util.Telemetry
+module Artifact = Commx_util.Artifact
 
 let usage_exit () =
   Printf.eprintf
@@ -47,15 +59,8 @@ let usage_exit () =
     (String.concat " " (List.map fst Experiments.all));
   exit 1
 
-let artifact_path dir id = Filename.concat dir (Printf.sprintf "BENCH_%s.json" id)
-
-(* Artifact schema version 2: v1 plus status / error / attempts.  The
-   write is atomic (Json.to_file: temp file + rename), so a crash
-   mid-write never leaves a truncated BENCH_E*.json behind. *)
-let write_artifact dir ~jobs ~wall_s ~attempts ~id outcome =
-  Cli.mkdir_p dir;
-  let path = artifact_path dir id in
-  let status = Json.String (Supervisor.outcome_label outcome) in
+let write_artifact dir ~jobs ~wall_s ~attempts ~metrics ~id outcome =
+  let status = Supervisor.outcome_label outcome in
   let error =
     match outcome with
     | Supervisor.Ok _ -> Json.Null
@@ -74,35 +79,14 @@ let write_artifact dir ~jobs ~wall_s ~attempts ~id outcome =
         [ ("title", Json.Null); ("params", Json.Obj []); ("rows", Json.List []);
           ("fits", Json.Obj []) ]
   in
-  let doc =
-    Json.Obj
-      ([ ("schema_version", Json.Int 2);
-         ("experiment", Json.String id);
-         ("status", status);
-         ("error", error);
-         ("attempts", Json.Int attempts);
-         ("jobs", Json.Int jobs);
-         ("wall_s", Json.Float wall_s) ]
-      @ report_fields)
-  in
-  Json.to_file ~path doc;
+  Artifact.write ~dir ~id ~jobs ~wall_s ~attempts ~status ~error ?metrics
+    ~report_fields ();
+  let path = Artifact.path ~dir ~id in
   match outcome with
   | Supervisor.Ok r ->
       Printf.printf "[json] wrote %s (%d rows)\n" path
         (List.length r.Experiments.rows)
-  | _ -> Printf.printf "[json] wrote %s (status: %s)\n" path
-           (Supervisor.outcome_label outcome)
-
-(* --resume DIR: an experiment is done iff its artifact exists, parses,
-   and carries status "ok".  Truncated files cannot occur (atomic
-   writes) but artifacts from killed runs may be absent or non-ok;
-   both re-execute. *)
-let resume_done dir id =
-  let path = artifact_path dir id in
-  Sys.file_exists path
-  && (match Json.of_file path with
-     | doc -> Json.member "status" doc = Some (Json.String "ok")
-     | exception _ -> false)
+  | _ -> Printf.printf "[json] wrote %s (status: %s)\n" path status
 
 let () =
   (* Without this, Supervisor's captured backtraces are empty strings
@@ -116,6 +100,15 @@ let () =
         Printf.eprintf "%s\n" msg;
         usage_exit ()
   in
+  if opts.Cli.help then begin
+    Printf.printf
+      "usage: main.exe [EXPERIMENT...] %s\n\
+       available experiments: %s micro all\n%s\n"
+      Cli.usage
+      (String.concat " " (List.map fst Experiments.all))
+      Cli.help_text;
+    exit 0
+  end;
   let ids = if ids = [] then [ "all" ] else ids in
   (* Validate EVERY requested id up front: a typo like `E99` must fail
      the whole invocation, not silently run the valid subset. *)
@@ -139,6 +132,17 @@ let () =
   let faults =
     Option.map (fun seed -> Faults.create ~seed ()) opts.Cli.fault_seed
   in
+  (* Telemetry level before any domain spawns (spawn publishes it). *)
+  Telemetry.set_level (Cli.telemetry_level opts);
+  let trace_writer =
+    Option.map (fun path -> Telemetry.Trace.open_file ~path)
+      opts.Cli.trace_file
+  in
+  let flush_trace () =
+    match trace_writer with
+    | Some w -> Telemetry.Trace.flush w (Telemetry.drain_events ())
+    | None -> ignore (Telemetry.drain_events ())
+  in
   Printf.printf
     "Chu-Schnitger (SPAA 1989 / J. Complexity 1991) reproduction — \
      experiment harness (jobs: %d%s%s%s)\n"
@@ -156,53 +160,88 @@ let () =
   let config =
     Supervisor.config ?timeout_s:opts.Cli.timeout_s ~retries:opts.Cli.retries ()
   in
-  Pool.with_pool ~jobs:opts.Cli.jobs (fun pool ->
-      Pool.set_faults pool faults;
-      let ctx =
-        { Experiments.pool;
-          jobs = opts.Cli.jobs;
-          tick = (fun () -> Pool.check_cancel pool) }
-      in
-      List.iter
-        (fun (id, f) ->
-          if (run_all || List.mem id ids) && not !aborted then
-            match opts.Cli.resume_dir with
-            | Some dir when resume_done dir id ->
-                incr skipped;
-                Printf.printf "[resume] %s: ok artifact present, skipping\n" id
-            | _ ->
-                let t0 = Unix.gettimeofday () in
-                let outcome, attempts =
-                  Supervisor.run ~config ~pool ~name:id (fun ~attempt ->
-                      Faults.point faults
-                        ~site:(Printf.sprintf "%s:attempt%d" id attempt);
-                      f ctx)
-                in
-                let wall_s = Unix.gettimeofday () -. t0 in
-                (match outcome with
-                | Supervisor.Ok _ ->
-                    incr ok;
-                    Printf.printf "[%s] wall-clock: %.3f s\n" id wall_s
-                | Supervisor.Failed { exn; backtrace } ->
-                    incr failed;
+  Fun.protect
+    ~finally:(fun () ->
+      (* Commit the trace whatever happened: a partial trace of a
+         failed run is exactly what one wants to look at.  Close after
+         a final drain so the last experiment's spans are included. *)
+      match trace_writer with
+      | Some w ->
+          (try Telemetry.Trace.flush w (Telemetry.drain_events ())
+           with e ->
+             Telemetry.Trace.abort w;
+             raise e);
+          Telemetry.Trace.close w
+      | None -> ())
+    (fun () ->
+      Pool.with_pool ~jobs:opts.Cli.jobs (fun pool ->
+          Pool.set_faults pool faults;
+          let ctx =
+            { Experiments.pool;
+              jobs = opts.Cli.jobs;
+              tick = (fun () -> Pool.check_cancel pool) }
+          in
+          List.iter
+            (fun (id, f) ->
+              if (run_all || List.mem id ids) && not !aborted then
+                match opts.Cli.resume_dir with
+                | Some dir when Artifact.resume_done ~dir ~id ->
+                    incr skipped;
                     Printf.printf
-                      "[%s] FAILED after %d attempt(s): %s\n%s" id attempts exn
-                      (if backtrace = "" then "" else backtrace ^ "\n");
-                    if not opts.Cli.keep_going then aborted := true
-                | Supervisor.Timed_out budget ->
-                    incr timed_out;
-                    Printf.printf
-                      "[%s] TIMED OUT after %d attempt(s) (%.3f s budget, \
-                       %.3f s elapsed)\n"
-                      id attempts budget wall_s;
-                    if not opts.Cli.keep_going then aborted := true);
-                (match json_dir with
-                | Some dir ->
-                    write_artifact dir ~jobs:opts.Cli.jobs ~wall_s ~attempts ~id
-                      outcome
-                | None -> ()))
-        Experiments.all);
-  if List.mem "micro" ids && not !aborted then Micro.run ();
+                      "[resume] %s: ok artifact present, skipping\n" id
+                | _ ->
+                    let counters_before = Telemetry.counters () in
+                    ignore (Telemetry.drain_phases ());
+                    let t0 = Clock.now_s () in
+                    let outcome, attempts =
+                      Telemetry.with_span "experiment"
+                        ~args:[ ("id", id) ]
+                        (fun () ->
+                          Supervisor.run ~config ~pool ~name:id
+                            (fun ~attempt ->
+                              Faults.point faults
+                                ~site:
+                                  (Printf.sprintf "%s:attempt%d" id attempt);
+                              f ctx))
+                    in
+                    let wall_s = Clock.now_s () -. t0 in
+                    let metrics =
+                      if Telemetry.metrics_on () then
+                        Some
+                          (Artifact.metrics
+                             ~counters:
+                               (Telemetry.diff_counters ~before:counters_before
+                                  (Telemetry.counters ()))
+                             ~phases:(Telemetry.drain_phases ()))
+                      else None
+                    in
+                    flush_trace ();
+                    (match outcome with
+                    | Supervisor.Ok _ ->
+                        incr ok;
+                        Printf.printf "[%s] wall-clock: %.3f s\n" id wall_s
+                    | Supervisor.Failed { exn; backtrace } ->
+                        incr failed;
+                        Printf.printf
+                          "[%s] FAILED after %d attempt(s): %s\n%s" id attempts
+                          exn
+                          (if backtrace = "" then "" else backtrace ^ "\n");
+                        if not opts.Cli.keep_going then aborted := true
+                    | Supervisor.Timed_out budget ->
+                        incr timed_out;
+                        Printf.printf
+                          "[%s] TIMED OUT after %d attempt(s) (%.3f s budget, \
+                           %.3f s elapsed)\n"
+                          id attempts budget wall_s;
+                        if not opts.Cli.keep_going then aborted := true);
+                    (match json_dir with
+                    | Some dir ->
+                        write_artifact dir ~jobs:opts.Cli.jobs ~wall_s ~attempts
+                          ~metrics ~id outcome
+                    | None -> ()))
+            Experiments.all);
+      if List.mem "micro" ids && not !aborted then Micro.run ());
+  if opts.Cli.metrics then Telemetry.print_summary stdout;
   if !failed + !timed_out + !skipped > 0 || opts.Cli.timeout_s <> None then
     Printf.printf
       "summary: %d ok, %d failed, %d timed out, %d skipped (resume)\n"

@@ -22,8 +22,12 @@ module Halves = Commx_protocols.Halves
 module Trivial = Commx_protocols.Trivial
 module Fingerprint = Commx_protocols.Fingerprint
 module Cli = Commx_util.Cli
+module Clock = Commx_util.Clock
 module Faults = Commx_util.Faults
 module Supervisor = Commx_util.Supervisor
+module Telemetry = Commx_util.Telemetry
+module Artifact = Commx_util.Artifact
+module Json = Commx_util.Json
 
 open Cmdliner
 
@@ -225,27 +229,42 @@ let bounds_cmd =
 (* lemmas                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let lemmas n k seed trials jobs timeout retries fault_seed =
+let lemmas_id = "lemmas"
+
+let lemmas n k seed trials opts =
   match params_of n k with
   | `Error _ as e -> e
   | `Ok p ->
-      if jobs < 1 then `Error (false, "--jobs must be >= 1")
+      (* Full flag parity with bench/main.exe: the cmdliner terms below
+         assemble the same Commx_util.Cli.opts record the bench parser
+         produces (env fallback included), and every downstream policy
+         — supervision, resume, artifact schema, telemetry level — goes
+         through the same shared modules. *)
+      let opts = Cli.with_env_fault_seed opts in
+      let json_dir =
+        match (opts.Cli.json_dir, opts.Cli.resume_dir) with
+        | (Some _ as d), _ | None, d -> d
+      in
+      if
+        match opts.Cli.resume_dir with
+        | Some dir -> Artifact.resume_done ~dir ~id:lemmas_id
+        | None -> false
+      then begin
+        Printf.printf "[resume] %s: ok artifact present, skipping\n" lemmas_id;
+        `Ok ()
+      end
       else begin
-        (* Same supervision options as bench/main.exe, defined once in
-           Commx_util.Cli (env fallback included) and enforced by
-           Commx_util.Supervisor: per-attempt deadline via the pool's
-           cancel token, bounded retry for injected faults. *)
-        let opts =
-          Cli.with_env_fault_seed
-            { Cli.defaults with
-              Cli.jobs; timeout_s = timeout; retries; fault_seed }
-        in
         let faults =
           Option.map (fun s -> Faults.create ~seed:s ()) opts.Cli.fault_seed
         in
         let config =
           Supervisor.config ?timeout_s:opts.Cli.timeout_s
             ~retries:opts.Cli.retries ()
+        in
+        Telemetry.set_level (Cli.telemetry_level opts);
+        let trace_writer =
+          Option.map (fun path -> Telemetry.Trace.open_file ~path)
+            opts.Cli.trace_file
         in
         let run_trials pool ~attempt =
           Faults.point faults
@@ -271,19 +290,90 @@ let lemmas n k seed trials jobs timeout retries fault_seed =
               (a32, a35, a39))
             (Array.make trials ())
         in
+        let counters_before = Telemetry.counters () in
+        let t0 = Clock.now_s () in
         let outcome, attempts =
-          Commx_util.Pool.with_pool ~jobs (fun pool ->
-              Commx_util.Pool.set_faults pool faults;
-              Supervisor.run ~config ~pool ~name:"lemmas" (run_trials pool))
+          Fun.protect
+            ~finally:(fun () ->
+              match trace_writer with
+              | Some w ->
+                  (try Telemetry.Trace.flush w (Telemetry.drain_events ())
+                   with e ->
+                     Telemetry.Trace.abort w;
+                     raise e);
+                  Telemetry.Trace.close w
+              | None -> ())
+            (fun () ->
+              Commx_util.Pool.with_pool ~jobs:opts.Cli.jobs (fun pool ->
+                  Commx_util.Pool.set_faults pool faults;
+                  Telemetry.with_span "experiment" ~args:[ ("id", lemmas_id) ]
+                    (fun () ->
+                      Supervisor.run ~config ~pool ~name:lemmas_id
+                        (run_trials pool))))
         in
+        let wall_s = Clock.now_s () -. t0 in
+        let metrics =
+          if Telemetry.metrics_on () then
+            Some
+              (Artifact.metrics
+                 ~counters:
+                   (Telemetry.diff_counters ~before:counters_before
+                      (Telemetry.counters ()))
+                 ~phases:(Telemetry.drain_phases ()))
+          else None
+        in
+        let summarize (results : (bool * bool * bool) array) =
+          let count f =
+            Array.fold_left (fun a r -> if f r then a + 1 else a) 0 results
+          in
+          let ok32 = count (fun (a, _, _) -> a)
+          and ok35 = count (fun (_, a, _) -> a)
+          and ok39 = count (fun (_, _, a) -> a) in
+          (ok32, ok35, ok39)
+        in
+        (match json_dir with
+        | Some dir ->
+            let status = Supervisor.outcome_label outcome in
+            let error =
+              match outcome with
+              | Supervisor.Ok _ -> Json.Null
+              | Supervisor.Failed { exn; _ } -> Json.String exn
+              | Supervisor.Timed_out budget ->
+                  Json.String
+                    (Printf.sprintf "deadline exceeded (%.3f s budget)" budget)
+            in
+            let report_fields =
+              match outcome with
+              | Supervisor.Ok results ->
+                  let ok32, ok35, ok39 = summarize results in
+                  [ ("title",
+                     Json.String "Lemmas 3.2 / 3.5(a) / 3.9 spot-check");
+                    ("params",
+                     Json.Obj
+                       [ ("n", Json.Int n); ("k", Json.Int k);
+                         ("seed", Json.Int seed); ("trials", Json.Int trials) ]);
+                    ("rows",
+                     Json.List
+                       [ Json.Obj
+                           [ ("lemma_32_ok", Json.Int ok32);
+                             ("lemma_35_ok", Json.Int ok35);
+                             ("lemma_39_ok", Json.Int ok39);
+                             ("trials", Json.Int trials) ] ]);
+                    ("fits", Json.Obj []) ]
+              | _ ->
+                  [ ("title", Json.Null); ("params", Json.Obj []);
+                    ("rows", Json.List []); ("fits", Json.Obj []) ]
+            in
+            Artifact.write ~dir ~id:lemmas_id ~jobs:opts.Cli.jobs ~wall_s
+              ~attempts ~status ~error ?metrics ~report_fields ();
+            Printf.printf "[json] wrote %s (status: %s)\n"
+              (Artifact.path ~dir ~id:lemmas_id)
+              status
+        | None -> ());
+        if opts.Cli.metrics then Telemetry.print_summary stdout;
         match outcome with
         | Supervisor.Ok results ->
-            let count f =
-              Array.fold_left (fun a r -> if f r then a + 1 else a) 0 results
-            in
-            let ok32 = count (fun (a, _, _) -> a)
-            and ok35 = count (fun (_, a, _) -> a)
-            and ok39 = count (fun (_, _, a) -> a) in
+            let ok32, ok35, ok39 = summarize results in
             Printf.printf
               "lemma 3.2 (criterion = ground truth): %d/%d\n\
                lemma 3.5 (completion singular)     : %d/%d\n\
@@ -291,61 +381,143 @@ let lemmas n k seed trials jobs timeout retries fault_seed =
               ok32 trials ok35 trials ok39 trials;
             `Ok ()
         | Supervisor.Failed { exn; _ } ->
-            `Error
-              (false,
-               Printf.sprintf "lemmas failed after %d attempt(s): %s" attempts
-                 exn)
+            let msg =
+              Printf.sprintf "lemmas failed after %d attempt(s): %s" attempts
+                exn
+            in
+            if opts.Cli.keep_going then begin
+              (* Parity with bench --keep-going: report, don't abort the
+                 evaluation — the artifact carries the failure. *)
+              Printf.eprintf "%s\n" msg;
+              `Ok ()
+            end
+            else `Error (false, msg)
         | Supervisor.Timed_out budget ->
-            `Error
-              (false,
-               Printf.sprintf "lemmas timed out (%.3f s budget, %d attempt(s))"
-                 budget attempts)
+            let msg =
+              Printf.sprintf "lemmas timed out (%.3f s budget, %d attempt(s))"
+                budget attempts
+            in
+            if opts.Cli.keep_going then begin
+              Printf.eprintf "%s\n" msg;
+              `Ok ()
+            end
+            else `Error (false, msg)
       end
 
-let lemmas_cmd =
-  let trials =
-    Arg.(value & opt int 20 & info [ "trials" ] ~docv:"T" ~doc:"Trials.")
-  in
+(* The shared-options cmdliner term: one Arg per Commx_util.Cli flag,
+   assembled into the same opts record Cli.parse produces, with the
+   same defaults (Cli.defaults) — so `ccmx lemmas --help` documents
+   every bench/main flag and validation cannot drift. *)
+let cli_opts_term =
   let jobs =
     Arg.(
-      value & opt int 1
+      value & opt int Cli.defaults.Cli.jobs
       & info [ "jobs" ] ~docv:"J"
           ~doc:
-            "Worker domains for the trial loop.  Results are \
-             deterministic in the seed regardless of $(docv).")
+            "Worker domains for the trial loop (default: 1).  Results \
+             are deterministic in the seed regardless of $(docv).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) Cli.defaults.Cli.json_dir
+      & info [ "json" ] ~docv:"DIR"
+          ~doc:
+            "Write a schema-v3 BENCH_lemmas.json artifact (status, \
+             metrics, measurements) into $(docv) (default: off).")
   in
   let timeout =
     Arg.(
       value
-      & opt (some float) None
+      & opt (some float) Cli.defaults.Cli.timeout_s
       & info [ "timeout" ] ~docv:"SECONDS"
           ~doc:
-            "Per-attempt wall-clock budget; the trial loop is cancelled \
-             cooperatively when it expires.")
+            "Per-attempt time budget on the monotonic clock (default: \
+             none); the trial loop is cancelled cooperatively when it \
+             expires.")
   in
   let retries =
     Arg.(
-      value & opt int 0
+      value & opt int Cli.defaults.Cli.retries
       & info [ "retries" ] ~docv:"N"
-          ~doc:"Extra attempts for retryable (injected) failures.")
+          ~doc:
+            "Extra attempts for retryable (injected) failures \
+             (default: 0).")
+  in
+  let keep_going =
+    Arg.(
+      value & flag
+      & info [ "keep-going" ]
+          ~doc:
+            "Record a failed or timed-out run in the artifact and exit \
+             0 instead of failing (default: off).")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) Cli.defaults.Cli.resume_dir
+      & info [ "resume" ] ~docv:"DIR"
+          ~doc:
+            "Skip the run if $(docv) already holds a valid status-ok \
+             BENCH_lemmas.json; implies writing artifacts there \
+             (default: off).")
   in
   let inject_faults =
     Arg.(
       value
-      & opt (some int) None
+      & opt (some int) Cli.defaults.Cli.fault_seed
       & info [ "inject-faults" ] ~docv:"SEED"
           ~doc:
             (Printf.sprintf
-               "Deterministically inject faults into pool tasks (also \
-                read from $(b,%s))."
+               "Deterministically inject faults into pool tasks \
+                (default: off; also read from $(b,%s))."
                Cli.fault_seed_env_var))
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) Cli.defaults.Cli.trace_file
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event JSON of the run to $(docv) \
+             (open in chrome://tracing or Perfetto; default: off).")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Print the telemetry counter/histogram summary at end of \
+             run (default: off).")
+  in
+  let build jobs json_dir timeout_s retries keep_going resume_dir fault_seed
+      trace_file metrics =
+    if jobs < 1 then `Error (false, "--jobs must be >= 1")
+    else
+      `Ok
+        { Cli.defaults with
+          Cli.jobs; json_dir; timeout_s; retries; keep_going; resume_dir;
+          fault_seed; trace_file; metrics }
+  in
+  Term.(
+    term_result' ~usage:false
+      (const (fun a b c d e f g h i ->
+           match build a b c d e f g h i with
+           | `Ok v -> Ok v
+           | `Error (_, msg) -> Error msg)
+      $ jobs $ json $ timeout $ retries $ keep_going $ resume $ inject_faults
+      $ trace $ metrics))
+
+let lemmas_cmd =
+  let trials =
+    Arg.(
+      value & opt int 20
+      & info [ "trials" ] ~docv:"T" ~doc:"Trials (default: 20).")
   in
   let doc = "Spot-check Lemmas 3.2, 3.5(a) and 3.9 on random instances." in
   Cmd.v (Cmd.info "lemmas" ~doc)
     Term.(
-      ret
-        (const lemmas $ n_arg $ k_arg $ seed_arg $ trials $ jobs $ timeout
-       $ retries $ inject_faults))
+      ret (const lemmas $ n_arg $ k_arg $ seed_arg $ trials $ cli_opts_term))
 
 (* ------------------------------------------------------------------ *)
 (* ledger                                                              *)

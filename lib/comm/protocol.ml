@@ -1,15 +1,31 @@
 module Bv = Commx_util.Bitvec
+module Tel = Commx_util.Telemetry
 
 type channel = { mutable bits : int }
 
 type ('a, 'b) t = { name : string; run : channel -> 'a -> 'b -> bool }
 
+(* Process-wide communication accounting, on top of the per-channel
+   exact count.  Bits and messages are functions of the protocol and
+   its inputs — never of scheduling — so these merge jobs-invariantly. *)
+let bits_total_counter = Tel.counter "channel.bits_total"
+let messages_counter = Tel.counter "channel.messages"
+let bits_per_message_hist = Tel.histogram "channel.bits_per_message"
+
+let count ch n =
+  ch.bits <- ch.bits + n;
+  if Tel.metrics_on () then begin
+    Tel.add bits_total_counter n;
+    Tel.incr messages_counter;
+    Tel.observe bits_per_message_hist n
+  end
+
 let send ch msg =
-  ch.bits <- ch.bits + Bv.length msg;
+  count ch (Bv.length msg);
   Bv.copy msg
 
 let send_bit ch b =
-  ch.bits <- ch.bits + 1;
+  count ch 1;
   b
 
 let send_int ch ~width v =
@@ -27,7 +43,28 @@ let execute_fn run a b =
   let out = run ch a b in
   (out, ch.bits)
 
-let execute p a b = execute_fn p.run a b
+(* Per-protocol cost distribution ("protocol.bits.<name>") plus a span
+   per execution under tracing.  [execute_fn] stays bare: anonymous
+   closures have no name to key a histogram on, and the channel-level
+   counters above still see their bits. *)
+let execute p a b =
+  if not (Tel.metrics_on ()) then execute_fn p.run a b
+  else begin
+    let observe (_, bits) =
+      Tel.observe (Tel.histogram ("protocol.bits." ^ p.name)) bits
+    in
+    if Tel.tracing_on () then
+      Tel.with_span ("protocol:" ^ p.name) (fun () ->
+          let r = execute_fn p.run a b in
+          Tel.annotate [ ("bits", string_of_int (snd r)) ];
+          observe r;
+          r)
+    else begin
+      let r = execute_fn p.run a b in
+      observe r;
+      r
+    end
+  end
 
 let worst_case_cost p xs ys =
   (match (xs, ys) with

@@ -1,6 +1,12 @@
 module Bm = Commx_util.Bitmat
 module Bv = Commx_util.Bitvec
 module Prng = Commx_util.Prng
+module Tel = Commx_util.Telemetry
+
+(* Candidate rectangles examined: [2^rows] subsets for the exact
+   enumerator, one per restart for the greedy search.  A function of
+   the matrix shape / restart budget only, so jobs-invariant. *)
+let candidates_counter = Tel.counter "rectangle.candidates"
 
 type rect = { row_set : int array; col_set : int array }
 
@@ -38,6 +44,7 @@ let max_one_rectangle_exact ?(min_rows = 1) m =
   let nr = Bm.rows work in
   if nr > 22 then
     invalid_arg "Rectangle.max_one_rectangle_exact: dimension too large";
+  Tel.add candidates_counter (1 lsl nr);
   let best = ref { row_set = [||]; col_set = [||] } in
   let best_area = ref 0 in
   (* Row bitsets as Bitvecs for fast intersection. *)
@@ -70,6 +77,7 @@ let max_one_rectangle_greedy g ?(restarts = 32) m =
   let nr = Bm.rows m and nc = Bm.cols m in
   if nr = 0 || nc = 0 then { row_set = [||]; col_set = [||] }
   else begin
+    Tel.add candidates_counter restarts;
     let best = ref { row_set = [||]; col_set = [||] } in
     let best_area = ref 0 in
     for _ = 1 to restarts do

@@ -1,4 +1,5 @@
 module Bm = Commx_util.Bitmat
+module Tel = Commx_util.Telemetry
 
 type ('a, 'b) t = {
   row_args : 'a array;
@@ -6,8 +7,15 @@ type ('a, 'b) t = {
   values : Bm.t;
 }
 
+let built_counter = Tel.counter "truth_matrix.built"
+let cells_counter = Tel.counter "truth_matrix.cells"
+
 let build xs ys f =
   let row_args = Array.of_list xs and col_args = Array.of_list ys in
+  if Tel.metrics_on () then begin
+    Tel.incr built_counter;
+    Tel.add cells_counter (Array.length row_args * Array.length col_args)
+  end;
   let values =
     Bm.init (Array.length row_args) (Array.length col_args) (fun i j ->
         f row_args.(i) col_args.(j))

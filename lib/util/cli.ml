@@ -8,6 +8,9 @@ type opts = {
   keep_going : bool;
   resume_dir : string option;
   fault_seed : int option;
+  trace_file : string option;
+  metrics : bool;
+  help : bool;
 }
 
 let defaults =
@@ -19,6 +22,9 @@ let defaults =
     keep_going = false;
     resume_dir = None;
     fault_seed = None;
+    trace_file = None;
+    metrics = false;
+    help = false;
   }
 
 let fault_seed_env_var = "COMMX_INJECT_FAULTS"
@@ -33,7 +39,38 @@ let with_env_fault_seed opts =
 
 let usage =
   "[--jobs N] [--json DIR] [--timeout SECONDS] [--retries N] \
-   [--keep-going] [--resume DIR] [--inject-faults SEED]"
+   [--keep-going] [--resume DIR] [--inject-faults SEED] \
+   [--trace FILE] [--metrics] [--help]"
+
+(* Every flag, with its default, one per line — keep in sync with
+   [opts]/[parse]; test_telemetry checks each flag name appears. *)
+let help_text =
+  String.concat "\n"
+    [
+      "Options:";
+      "  --jobs N             worker domains (default: 1)";
+      "  --json DIR           write BENCH_*.json artifacts to DIR (default: off)";
+      "  --timeout SECONDS    per-attempt time budget (default: none)";
+      "  --retries N          extra attempts for retryable failures (default: 0)";
+      "  --keep-going         record failures and continue the sweep (default: off)";
+      "  --resume DIR         skip experiments with a valid ok artifact in DIR \
+       (default: off)";
+      "  --inject-faults SEED deterministic fault injection (default: off; env \
+       " ^ fault_seed_env_var ^ ")";
+      "  --trace FILE         write a Chrome trace-event JSON to FILE (default: \
+       off)";
+      "  --metrics            print a metrics summary at end of run (default: \
+       off)";
+      "  --help               show this help";
+    ]
+
+(* Telemetry level implied by the options: tracing subsumes metrics;
+   artifacts ([--json]) embed a metrics object, so they need counting
+   on even without an explicit [--metrics]. *)
+let telemetry_level opts =
+  if opts.trace_file <> None then Telemetry.Trace
+  else if opts.metrics || opts.json_dir <> None then Telemetry.Metrics
+  else Telemetry.Off
 
 (* One entry per value-taking flag: name, validating setter. *)
 let parse argv =
@@ -56,13 +93,14 @@ let parse argv =
         | Some n when n >= 0 -> Stdlib.Ok { !opts with retries = n }
         | _ -> err "--retries expects a non-negative integer, got %s" v)
     | "--resume" -> Stdlib.Ok { !opts with resume_dir = Some v }
+    | "--trace" -> Stdlib.Ok { !opts with trace_file = Some v }
     | "--inject-faults" -> (
         match int_of_string_opt v with
         | Some s -> Stdlib.Ok { !opts with fault_seed = Some s }
         | None -> err "--inject-faults expects an integer seed, got %s" v)
     | _ -> err "unknown flag: %s" key
   in
-  let valued key = List.mem key [ "--jobs"; "--json"; "--timeout"; "--retries"; "--resume"; "--inject-faults" ] in
+  let valued key = List.mem key [ "--jobs"; "--json"; "--timeout"; "--retries"; "--resume"; "--inject-faults"; "--trace" ] in
   (* A "--"-prefixed token is never a flag's value: `--json --keep-going`
      is a missing value (fail loudly), not json_dir = "--keep-going". *)
   let looks_like_flag v = String.length v >= 2 && String.sub v 0 2 = "--" in
@@ -71,6 +109,12 @@ let parse argv =
         Stdlib.Ok (with_env_fault_seed !opts, List.rev !positional)
     | "--keep-going" :: rest ->
         opts := { !opts with keep_going = true };
+        go rest
+    | "--metrics" :: rest ->
+        opts := { !opts with metrics = true };
+        go rest
+    | "--help" :: rest ->
+        opts := { !opts with help = true };
         go rest
     | key :: v :: rest when valued key && not (looks_like_flag v) -> (
         match set_valued key v with
@@ -84,7 +128,8 @@ let parse argv =
         | Some i when String.length arg > 2 && String.sub arg 0 2 = "--" -> (
             let key = String.sub arg 0 i in
             let v = String.sub arg (i + 1) (String.length arg - i - 1) in
-            if key = "--keep-going" then err "--keep-going takes no value"
+            if List.mem key [ "--keep-going"; "--metrics"; "--help" ] then
+              err "%s takes no value" key
             else
               match set_valued key v with
               | Stdlib.Ok o ->
@@ -101,17 +146,4 @@ let parse argv =
   in
   go argv
 
-(* Race-free recursive mkdir: attempt every level unconditionally and
-   treat EEXIST as success, so concurrent creators of the same fresh
-   directory all win.  ENOENT means a parent is missing: create it,
-   then retry this level once. *)
-let rec mkdir_p dir =
-  if dir <> "" && dir <> "." && dir <> "/" then
-    match Unix.mkdir dir 0o755 with
-    | () -> ()
-    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> (
-        mkdir_p (Filename.dirname dir);
-        match Unix.mkdir dir 0o755 with
-        | () -> ()
-        | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+let mkdir_p = Fsutil.mkdir_p

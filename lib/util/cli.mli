@@ -12,12 +12,15 @@
 type opts = {
   jobs : int;  (** worker domains, >= 1 *)
   json_dir : string option;  (** write BENCH_E*.json artifacts here *)
-  timeout_s : float option;  (** per-attempt wall-clock budget *)
+  timeout_s : float option;  (** per-attempt time budget (monotonic clock) *)
   retries : int;  (** extra attempts for retryable failures *)
   keep_going : bool;  (** record failures and continue the sweep *)
   resume_dir : string option;
       (** skip experiments with a valid [status: ok] artifact here *)
   fault_seed : int option;  (** enable deterministic fault injection *)
+  trace_file : string option;  (** write a Chrome trace-event JSON here *)
+  metrics : bool;  (** print the telemetry summary at end of run *)
+  help : bool;  (** caller should print {!help_text} and exit 0 *)
 }
 
 val defaults : opts
@@ -41,6 +44,17 @@ val parse : string list -> (opts * string list, string) result
 
 val usage : string
 (** One-line synopsis of the shared flags, for usage messages. *)
+
+val help_text : string
+(** Multi-line flag reference: every shared flag with its default.
+    Printed by both entry points on [--help]. *)
+
+val telemetry_level : opts -> Telemetry.level
+(** The {!Telemetry.level} the options imply: [Trace] when
+    [trace_file] is set, otherwise [Metrics] when [metrics] or
+    [json_dir] is set (schema-v3 artifacts embed a metrics object),
+    otherwise [Off].  Both entry points use this so flags cannot mean
+    different levels in different binaries. *)
 
 val mkdir_p : string -> unit
 (** Create a directory and its missing parents.  Free of the

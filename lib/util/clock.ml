@@ -1,0 +1,5 @@
+external now_ns : unit -> int = "commx_clock_monotonic_ns" [@@noalloc]
+
+let now_s () = float_of_int (now_ns ()) *. 1e-9
+let ns_to_us ns = float_of_int ns *. 1e-3
+let ns_to_s ns = float_of_int ns *. 1e-9

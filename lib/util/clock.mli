@@ -1,0 +1,26 @@
+(** Monotonic time for durations and deadlines.
+
+    Everything in the runtime that measures an elapsed time or
+    enforces a deadline — {!Pool.Token} deadlines, {!Supervisor}
+    budgets, bench wall-clock, {!Telemetry} span timestamps — reads
+    this clock rather than [Unix.gettimeofday], so an NTP step or a
+    manual wall-clock jump mid-run can neither fire a timeout early
+    nor stretch a recorded duration.
+
+    The epoch is arbitrary (typically system boot): values are only
+    meaningful relative to each other within one process.  Never mix
+    them with wall-clock times. *)
+
+val now_ns : unit -> int
+(** Nanoseconds on the monotonic clock.  Non-decreasing within a
+    process; the epoch is arbitrary. *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds.  Same epoch caveat. *)
+
+val ns_to_us : int -> float
+(** Nanoseconds to (fractional) microseconds — the unit of the Chrome
+    trace-event format. *)
+
+val ns_to_s : int -> float
+(** Nanoseconds to seconds. *)

@@ -1,0 +1,20 @@
+/* Monotonic clock binding.  CLOCK_MONOTONIC never jumps when the
+   wall clock is stepped (NTP, manual set), which is what deadline and
+   duration measurements need.  The value is nanoseconds since an
+   arbitrary epoch (boot, typically) and fits OCaml's 63-bit native
+   int for ~146 years of uptime. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+#ifndef CLOCK_MONOTONIC
+#define CLOCK_MONOTONIC CLOCK_REALTIME
+#endif
+
+CAMLprim value commx_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -1,0 +1,17 @@
+(* Filesystem helpers shared below Cli (Telemetry's trace writer needs
+   mkdir_p too, and Cli depends on Telemetry for telemetry_level). *)
+
+(* Race-free recursive mkdir: attempt every level unconditionally and
+   treat EEXIST as success, so concurrent creators of the same fresh
+   directory all win.  ENOENT means a parent is missing: create it,
+   then retry this level once. *)
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" then
+    match Unix.mkdir dir 0o755 with
+    | () -> ()
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> (
+        mkdir_p (Filename.dirname dir);
+        match Unix.mkdir dir 0o755 with
+        | () -> ()
+        | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ())

@@ -1,0 +1,11 @@
+(** Filesystem helpers shared by {!Cli} and {!Telemetry} (which sit on
+    opposite sides of a dependency edge and cannot share code
+    directly). *)
+
+val mkdir_p : string -> unit
+(** Create a directory and its missing parents.  Free of the
+    check-then-create race: every level attempts [Unix.mkdir]
+    unconditionally and treats [EEXIST] as success, so two concurrent
+    runs creating the same fresh artifact directory both succeed.
+    @raise Unix.Unix_error on real failures (permissions, missing
+    filesystem, a non-directory in the path). *)

@@ -298,31 +298,73 @@ let of_string s =
 (* Atomic file IO                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* Atomic sinks: write to a uniquely-named sibling temp file, publish
+   with rename(2).  A crash mid-write leaves the final path either
+   absent or intact, never truncated; a sibling in the same directory
+   is guaranteed to be on the same filesystem, so the rename is
+   atomic.  The temp name must be unique per writer
+   ([Filename.temp_file] creates it with O_EXCL) — a fixed ".tmp"
+   sibling would let two concurrent writers of the same path
+   interleave into one temp file and publish corrupt JSON.
+
+   Both the one-shot [to_file] and incremental writers (the telemetry
+   trace exporter flushes events between experiments) go through this
+   module, so the cleanup guarantees cannot drift: every exit path —
+   commit, abort, or an exception between writes — either publishes
+   the full file or removes the temp, never leaving a half-written
+   [*.tmp] behind. *)
+module Atomic = struct
+  type t = {
+    oc : out_channel;
+    tmp : string;
+    path : string;
+    mutable live : bool;
+  }
+
+  let create ~path =
+    let tmp =
+      Filename.temp_file ~temp_dir:(Filename.dirname path)
+        (Filename.basename path ^ ".") ".tmp"
+    in
+    match open_out tmp with
+    | oc -> { oc; tmp; path; live = true }
+    | exception e ->
+        (try Sys.remove tmp with Sys_error _ -> ());
+        raise e
+
+  let channel t =
+    if not t.live then invalid_arg "Json.Atomic.channel: sink already closed";
+    t.oc
+
+  let abort t =
+    if t.live then begin
+      t.live <- false;
+      close_out_noerr t.oc;
+      try Sys.remove t.tmp with Sys_error _ -> ()
+    end
+
+  let commit t =
+    if t.live then begin
+      t.live <- false;
+      (match close_out t.oc with
+      | () -> ()
+      | exception e ->
+          (try Sys.remove t.tmp with Sys_error _ -> ());
+          raise e);
+      try Sys.rename t.tmp t.path
+      with e ->
+        (try Sys.remove t.tmp with Sys_error _ -> ());
+        raise e
+    end
+end
+
 let to_file ~path doc =
-  (* Write the full document to a sibling temp file, then rename: a
-     crash mid-write leaves the final path either absent or intact,
-     never truncated.  rename(2) is atomic within a filesystem, and a
-     sibling in the same directory is guaranteed to be on the same
-     one.  The temp name must be unique per writer ([Filename.temp_file]
-     creates it with O_EXCL) — a fixed ".tmp" sibling would let two
-     concurrent writers of the same path interleave into one temp file
-     and publish corrupt JSON. *)
-  let tmp =
-    Filename.temp_file ~temp_dir:(Filename.dirname path)
-      (Filename.basename path ^ ".") ".tmp"
-  in
-  (try
-     let oc = open_out tmp in
-     Fun.protect
-       ~finally:(fun () -> close_out_noerr oc)
-       (fun () -> output_string oc (to_string_pretty doc))
+  let sink = Atomic.create ~path in
+  (try output_string (Atomic.channel sink) (to_string_pretty doc)
    with e ->
-     (try Sys.remove tmp with Sys_error _ -> ());
+     Atomic.abort sink;
      raise e);
-  try Sys.rename tmp path
-  with e ->
-    (try Sys.remove tmp with Sys_error _ -> ());
-    raise e
+  Atomic.commit sink
 
 let of_file path =
   let ic = open_in_bin path in

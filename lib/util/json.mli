@@ -39,12 +39,40 @@ val member : string -> t -> t option
 (** [member key (Obj _)] is the first binding of [key], if any; [None]
     on non-objects. *)
 
+(** Atomic file publication, shared by {!to_file} and incremental
+    writers (the telemetry trace exporter).  A sink writes to a
+    uniquely-named sibling temp file; {!Atomic.commit} renames it into
+    place (atomic within a filesystem), {!Atomic.abort} removes it.
+    Whatever the exit path — commit, abort, or an exception between
+    incremental writes followed by abort — no half-written [*.tmp]
+    survives at the destination directory. *)
+module Atomic : sig
+  type t
+
+  val create : path:string -> t
+  (** Open a unique temp sibling of [path] for writing.  The parent
+      directory must exist. *)
+
+  val channel : t -> out_channel
+  (** The channel to write through.  Flush it to make incremental
+      progress durable.
+      @raise Invalid_argument after {!commit} or {!abort}. *)
+
+  val commit : t -> unit
+  (** Flush, close and rename into place.  Idempotent; removes the
+      temp file if the final close or rename fails. *)
+
+  val abort : t -> unit
+  (** Close and delete the temp file without publishing.
+      Idempotent. *)
+end
+
 val to_file : path:string -> t -> unit
 (** [to_file ~path doc] writes [to_string_pretty doc] to [path]
-    {e atomically}: the document goes to [path ^ ".tmp"] first and is
-    renamed into place, so a crash mid-write never leaves a truncated
-    artifact at [path]; the channel is closed (via [Fun.protect]) and
-    the temp file removed on any exception. *)
+    {e atomically} through {!Atomic}: the document goes to a unique
+    temp sibling first and is renamed into place, so a crash mid-write
+    never leaves a truncated artifact at [path]; the temp file is
+    removed on any exception. *)
 
 val of_file : string -> t
 (** [of_file path] parses the whole file as one document.

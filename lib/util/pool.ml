@@ -14,14 +14,16 @@ exception Cancelled
 module Token = struct
   type t = { flag : bool Atomic.t; deadline : float }
 
-  (* deadline = infinity means "no deadline"; comparing against
-     gettimeofday is then always false, no branch needed. *)
+  (* deadline = infinity means "no deadline"; comparing against the
+     monotonic clock is then always false, no branch needed.  The
+     deadline is a Clock.now_s-based absolute time: immune to
+     wall-clock steps, meaningless across processes. *)
   let create ?(deadline = infinity) () = { flag = Atomic.make false; deadline }
   let cancel t = Atomic.set t.flag true
 
   let cancelled t =
     Atomic.get t.flag
-    || (t.deadline < infinity && Unix.gettimeofday () >= t.deadline)
+    || (t.deadline < infinity && Clock.now_s () >= t.deadline)
 end
 
 type t = {
@@ -92,6 +94,15 @@ let with_pool ~jobs f =
   let pool = create ~jobs in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
+(* Telemetry instruments.  Batch count, item count and batch sizes are
+   pure functions of the submitted work, so the counters are
+   bit-identical at any job count; spans (one per batch on the calling
+   domain, one per item wherever it ran, parented to the batch) are
+   recorded only under tracing. *)
+let batches_counter = Telemetry.counter "pool.batches"
+let items_counter = Telemetry.counter "pool.items"
+let batch_items_hist = Telemetry.histogram "pool.batch_items"
+
 let parallel_for pool ?chunk ?cancel n body =
   if n < 0 then invalid_arg "Pool.parallel_for: negative count";
   if n > 0 then begin
@@ -105,69 +116,89 @@ let parallel_for pool ?chunk ?cancel n body =
     let faults = pool.faults in
     let batch = pool.batches in
     pool.batches <- batch + 1;
-    let next = Atomic.make 0 in
-    let failure = Atomic.make None in
-    let record_failure e bt =
-      ignore (Atomic.compare_and_set failure None (Some (e, bt)))
-    in
-    let cancelled () =
-      match cancel with Some t -> Token.cancelled t | None -> false
-    in
-    let run_chunks () =
-      let rec go () =
-        if cancelled () then
-          (* Materialize a backtrace so the caller re-raises uniformly. *)
-          try raise Cancelled
-          with Cancelled -> record_failure Cancelled (Printexc.get_raw_backtrace ())
-        else begin
-          let lo = Atomic.fetch_and_add next chunk in
-          if lo < n && Option.is_none (Atomic.get failure) then begin
-            (try
-               for i = lo to min n (lo + chunk) - 1 do
-                 (match faults with
-                 | Some f -> Faults.pool_point f ~batch ~item:i
-                 | None -> ());
-                 body i
-               done
-             with e ->
-               let bt = Printexc.get_raw_backtrace () in
-               record_failure e bt);
-            go ()
-          end
-        end
+    if Telemetry.metrics_on () then begin
+      Telemetry.add batches_counter 1;
+      Telemetry.add items_counter n;
+      Telemetry.observe batch_items_hist n
+    end;
+    let tracing = Telemetry.tracing_on () in
+    let run_batch batch_span =
+      let next = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let record_failure e bt =
+        ignore (Atomic.compare_and_set failure None (Some (e, bt)))
       in
-      go ()
+      let cancelled () =
+        match cancel with Some t -> Token.cancelled t | None -> false
+      in
+      let run_chunks () =
+        let rec go () =
+          if cancelled () then
+            (* Materialize a backtrace so the caller re-raises uniformly. *)
+            try raise Cancelled
+            with Cancelled ->
+              record_failure Cancelled (Printexc.get_raw_backtrace ())
+          else begin
+            let lo = Atomic.fetch_and_add next chunk in
+            if lo < n && Option.is_none (Atomic.get failure) then begin
+              (try
+                 for i = lo to min n (lo + chunk) - 1 do
+                   (match faults with
+                   | Some f -> Faults.pool_point f ~batch ~item:i
+                   | None -> ());
+                   if tracing then
+                     Telemetry.with_span ~parent:batch_span
+                       ~args:[ ("i", string_of_int i) ] "pool:item" (fun () ->
+                         body i)
+                   else body i
+                 done
+               with e ->
+                 let bt = Printexc.get_raw_backtrace () in
+                 record_failure e bt);
+              go ()
+            end
+          end
+        in
+        go ()
+      in
+      let helpers = List.length pool.domains in
+      let pending = ref helpers in
+      let done_mutex = Mutex.create () in
+      let all_done = Condition.create () in
+      if helpers > 0 then begin
+        Mutex.lock pool.mutex;
+        for _ = 1 to helpers do
+          Queue.add
+            (fun () ->
+              run_chunks ();
+              Mutex.lock done_mutex;
+              decr pending;
+              if !pending = 0 then Condition.signal all_done;
+              Mutex.unlock done_mutex)
+            pool.queue
+        done;
+        Condition.broadcast pool.nonempty;
+        Mutex.unlock pool.mutex
+      end;
+      run_chunks ();
+      if helpers > 0 then begin
+        Mutex.lock done_mutex;
+        while !pending > 0 do
+          Condition.wait all_done done_mutex
+        done;
+        Mutex.unlock done_mutex
+      end;
+      match Atomic.get failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
     in
-    let helpers = List.length pool.domains in
-    let pending = ref helpers in
-    let done_mutex = Mutex.create () in
-    let all_done = Condition.create () in
-    if helpers > 0 then begin
-      Mutex.lock pool.mutex;
-      for _ = 1 to helpers do
-        Queue.add
-          (fun () ->
-            run_chunks ();
-            Mutex.lock done_mutex;
-            decr pending;
-            if !pending = 0 then Condition.signal all_done;
-            Mutex.unlock done_mutex)
-          pool.queue
-      done;
-      Condition.broadcast pool.nonempty;
-      Mutex.unlock pool.mutex
-    end;
-    run_chunks ();
-    if helpers > 0 then begin
-      Mutex.lock done_mutex;
-      while !pending > 0 do
-        Condition.wait all_done done_mutex
-      done;
-      Mutex.unlock done_mutex
-    end;
-    match Atomic.get failure with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ()
+    if tracing then
+      Telemetry.with_span "pool:batch"
+        ~args:
+          [ ("batch", string_of_int batch); ("items", string_of_int n);
+            ("chunk", string_of_int chunk) ]
+        (fun () -> run_batch (Telemetry.current_span ()))
+    else run_batch Telemetry.null_span
   end
 
 let parallel_map pool ?chunk ?cancel f arr =

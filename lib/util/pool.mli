@@ -24,7 +24,7 @@
     {2 Cooperative cancellation}
 
     A batch can be bounded by a {!Token.t}: a shared atomic flag plus
-    an optional wall-clock deadline, polled between chunks by every
+    an optional monotonic-clock deadline, polled between chunks by every
     participant.  When the token fires, workers stop taking chunks (no
     orphaned work), the batch raises {!Cancelled} in the caller, and
     the pool remains usable.  Tokens come either per call
@@ -46,14 +46,15 @@ exception Cancelled
 (** Shared cancel tokens. *)
 module Token : sig
   type t
-  (** An atomic cancel flag, optionally with a wall-clock deadline.
-      Safe to poll and cancel from any domain. *)
+  (** An atomic cancel flag, optionally with a monotonic-clock
+      deadline.  Safe to poll and cancel from any domain. *)
 
   val create : ?deadline:float -> unit -> t
-  (** [create ~deadline ()] fires once [Unix.gettimeofday () >=
-      deadline] (an absolute time) or once {!cancel} is called,
-      whichever comes first.  Without [deadline], only {!cancel}
-      fires it. *)
+  (** [create ~deadline ()] fires once [Clock.now_s () >= deadline]
+      (an absolute monotonic time — compute it as
+      [Clock.now_s () +. budget], never from [Unix.gettimeofday])
+      or once {!cancel} is called, whichever comes first.  Without
+      [deadline], only {!cancel} fires it. *)
 
   val cancel : t -> unit
   (** Fire the token.  Idempotent. *)

@@ -15,7 +15,13 @@ let create seed = { state = mix64 (Int64.of_int seed) }
 
 let copy g = { state = g.state }
 
+(* One counter bump per raw 64-bit draw.  Streams are pre-split per
+   item before any parallelism (Pool.parallel_map_seeded), so the total
+   draw count is a function of the workload alone — jobs-invariant. *)
+let draws_counter = Telemetry.counter "prng.draws"
+
 let bits64 g =
+  Telemetry.incr draws_counter;
   g.state <- Int64.add g.state golden_gamma;
   mix64 g.state
 

@@ -30,11 +30,18 @@ let config ?timeout_s ?(retries = default_config.retries)
   if retries < 0 then invalid_arg "Supervisor.config: retries must be >= 0";
   { timeout_s; retries; backoff_s; retryable }
 
+(* Attempt outcomes are a function of (workload, config, faults), not
+   of scheduling, so these counters stay jobs-invariant. *)
+let attempts_ok = Telemetry.counter "supervisor.attempts.ok"
+let attempts_failed = Telemetry.counter "supervisor.attempts.failed"
+let attempts_timed_out = Telemetry.counter "supervisor.attempts.timed_out"
+let retries_counter = Telemetry.counter "supervisor.retries"
+
 let run ?(config = default_config) ~pool ~name f =
   let rec go n =
     let token =
       match config.timeout_s with
-      | Some s -> Pool.Token.create ~deadline:(Unix.gettimeofday () +. s) ()
+      | Some s -> Pool.Token.create ~deadline:(Clock.now_s () +. s) ()
       | None -> Pool.Token.create ()
     in
     Pool.set_cancel pool (Some token);
@@ -45,24 +52,48 @@ let run ?(config = default_config) ~pool ~name f =
        deadline.  The raw backtrace must be grabbed at the catch point,
        before anything else can raise over it. *)
     let classified =
-      match f ~attempt:n with
-      | v -> `Ok v
-      | exception Pool.Cancelled when Pool.Token.cancelled token -> `Timeout
-      | exception e ->
-          let bt = Printexc.get_raw_backtrace () in
-          `Raised (e, Printexc.raw_backtrace_to_string bt)
+      Telemetry.with_span "supervisor:attempt"
+        ~args:[ ("name", name); ("attempt", string_of_int n) ]
+        (fun () ->
+          let c =
+            match f ~attempt:n with
+            | v -> `Ok v
+            | exception Pool.Cancelled when Pool.Token.cancelled token ->
+                `Timeout
+            | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                `Raised (e, Printexc.raw_backtrace_to_string bt)
+          in
+          Telemetry.annotate
+            [
+              ( "outcome",
+                match c with
+                | `Ok _ -> "ok"
+                | `Timeout -> "timed_out"
+                | `Raised _ -> "failed" );
+            ];
+          c)
     in
     Pool.set_cancel pool None;
     match classified with
-    | `Ok v -> (Ok v, n)
-    | `Timeout -> (Timed_out (Option.value config.timeout_s ~default:infinity), n)
+    | `Ok v ->
+        Telemetry.incr attempts_ok;
+        (Ok v, n)
+    | `Timeout ->
+        Telemetry.incr attempts_timed_out;
+        (Timed_out (Option.value config.timeout_s ~default:infinity), n)
     | `Raised (e, bt) ->
+        Telemetry.incr attempts_failed;
         if n <= config.retries && config.retryable e then begin
           let pause = config.backoff_s *. (2.0 ** float_of_int (n - 1)) in
+          Telemetry.incr retries_counter;
           Printf.eprintf
             "[supervisor] %s: attempt %d failed (%s), retrying in %.2fs\n%!"
             name n (Printexc.to_string e) pause;
-          if pause > 0.0 then Unix.sleepf pause;
+          if pause > 0.0 then
+            Telemetry.with_span "supervisor:backoff"
+              ~args:[ ("name", name); ("pause_s", Printf.sprintf "%.3f" pause) ]
+              (fun () -> Unix.sleepf pause);
           go (n + 1)
         end
         else (Failed { exn = Printexc.to_string e; backtrace = bt }, n)

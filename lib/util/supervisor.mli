@@ -3,7 +3,7 @@
     One raising or hanging experiment must not abort a whole sweep:
     the supervisor runs each unit of work under a classification —
     [Ok] / [Failed] (exception + backtrace) / [Timed_out] — with a
-    per-attempt wall-clock deadline enforced through the pool's
+    per-attempt monotonic-clock deadline enforced through the pool's
     cooperative cancel token ({!Pool.Token}), and bounded retry with
     exponential backoff for failures the policy deems transient
     (by default, injected faults — see {!Faults}).
@@ -26,7 +26,7 @@ type 'a outcome =
       (** the per-attempt budget, in seconds, that was exceeded *)
 
 type config = {
-  timeout_s : float option;  (** per-attempt wall-clock budget *)
+  timeout_s : float option;  (** per-attempt time budget (monotonic clock) *)
   retries : int;  (** additional attempts after the first *)
   backoff_s : float;  (** sleep before retry [i] is [backoff_s * 2^(i-1)] *)
   retryable : exn -> bool;  (** which failures are worth retrying *)

@@ -4,6 +4,7 @@
    flag parser, and atomic JSON artifact IO. *)
 
 module Pool = Commx_util.Pool
+module Clock = Commx_util.Clock
 module Prng = Commx_util.Prng
 module Faults = Commx_util.Faults
 module Supervisor = Commx_util.Supervisor
@@ -29,11 +30,14 @@ let test_pool_precancelled_token () =
 
 let test_pool_deadline_fires () =
   Pool.with_pool ~jobs:2 (fun pool ->
+      (* deadlines are instants on the monotonic clock (Clock.now_s),
+         NOT wall-clock epoch seconds: an epoch-based deadline would sit
+         ~56 years in the monotonic future and never fire. *)
       let token =
-        Pool.Token.create ~deadline:(Unix.gettimeofday () +. 0.05) ()
+        Pool.Token.create ~deadline:(Clock.now_s () +. 0.05) ()
       in
       let executed = Atomic.make 0 in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Clock.now_s () in
       Alcotest.check_raises "deadline raises Cancelled" Pool.Cancelled
         (fun () ->
           (* 400 deliberately slow items: ~2 s sequential, the deadline
@@ -41,7 +45,7 @@ let test_pool_deadline_fires () =
           Pool.parallel_for pool ~chunk:1 ~cancel:token 400 (fun _ ->
               Atomic.incr executed;
               Unix.sleepf 0.005));
-      let elapsed = Unix.gettimeofday () -. t0 in
+      let elapsed = Clock.now_s () -. t0 in
       Alcotest.(check bool)
         (Printf.sprintf "stopped early (%.3f s, %d items)" elapsed
            (Atomic.get executed))
