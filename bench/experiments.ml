@@ -1163,15 +1163,21 @@ let e14 ctx =
          Section 2)"
       ~header:
         [ "function"; "truth matrix"; "exact CC"; "one-way"; "d(f)"; "N1/N0";
-          "cover>="; "log-rank>="; "fooling>="; "trivial<=" ]
+          "cover>="; "log-rank>="; "fooling>="; "trivial<="; "nodes" ]
       [ Tab.Left; Tab.Left; Tab.Right; Tab.Right; Tab.Right; Tab.Right;
-        Tab.Right; Tab.Right; Tab.Right; Tab.Right ]
+        Tab.Right; Tab.Right; Tab.Right; Tab.Right; Tab.Right ]
   in
   let eq_inputs n = List.init n (fun i -> i) in
   let sing_inputs = List.init 4 (fun v -> (v lsr 1, v land 1)) in
   let tern = List.concat_map (fun a -> List.init 3 (fun c -> (a, c))) [ 0; 1; 2 ] in
   (* [measure] is let-polymorphic over the truth-matrix input types, so
-     instances with differently-typed inputs coexist as thunks. *)
+     instances with differently-typed inputs coexist as thunks.  The
+     searches themselves are the parallel stage: [Exact_cc.search
+     ~pool] fans the root move enumeration of large searches out over
+     the domain pool (fixed strided groups with per-group transposition
+     tables, so values and counters are bit-identical at any --jobs);
+     instances small enough to be answered by canonicalization plus the
+     certified root bounds never enter the pool at all. *)
   let measure name tm trivial () =
     let report = Rank_bound.analyze tm ~exact_rect:true in
     let m = Tm.to_bitmat tm in
@@ -1181,9 +1187,30 @@ let e14 ctx =
       if cells <= 60 then Some (Cover.min_one_cover m, Cover.min_zero_cover m)
       else None
     in
-    let cc = Exact_cc.complexity_tm tm in
+    let cc, st = Exact_cc.search ~pool:ctx.pool m in
     let one_way = Commx_comm.Discrepancy.one_way_complexity m in
-    (name, Tm.rows tm, Tm.cols tm, cc, one_way, d, covers, report, trivial)
+    (name, Tm.rows tm, Tm.cols tm, cc, st, one_way, d, covers, report, trivial)
+  in
+  let lowrank14 =
+    (* rank-4 GF(2) product: 14x14 raw, but duplicate-row/column
+       collapse shrinks it far below the cap — the instance that shows
+       why the cap counts canonical dimensions. *)
+    let g = Prng.create 55 in
+    let m = Commx_util.Bitmat.mul
+        (Commx_util.Bitmat.random g 14 4) (Commx_util.Bitmat.random g 4 14)
+    in
+    Tm.build (eq_inputs 14) (eq_inputs 14) (fun i j -> Commx_util.Bitmat.get m i j)
+  in
+  let sparse10 =
+    (* sparse random 10x10 whose certified lower bound (4) sits below
+       the trivial upper bound (5): the one instance here that needs a
+       genuine game-tree search, and therefore the one that exercises
+       the pooled root splits. *)
+    let g = Prng.create 10067 in
+    let m =
+      Commx_util.Bitmat.init 10 10 (fun _ _ -> Prng.float g < 0.22)
+    in
+    Tm.build (eq_inputs 10) (eq_inputs 10) (fun i j -> Commx_util.Bitmat.get m i j)
   in
   let instances =
     [| measure "singularity (2x2, k=1)"
@@ -1197,10 +1224,18 @@ let e14 ctx =
          (Tm.build (eq_inputs 7) (eq_inputs 7) ( = )) 4;
        measure "equality (8 values)"
          (Tm.build (eq_inputs 8) (eq_inputs 8) ( = )) 4;
+       measure "equality (14 values)"
+         (Tm.build (eq_inputs 14) (eq_inputs 14) ( = )) 5;
        measure "greater-than (7 values)"
          (Tm.build (eq_inputs 7) (eq_inputs 7) ( > )) 4;
+       measure "greater-than (14 values)"
+         (Tm.build (eq_inputs 14) (eq_inputs 14) ( > )) 5;
        measure "disjointness (3-bit sets)"
          (Tm.build (eq_inputs 8) (eq_inputs 8) (fun x y -> x land y = 0)) 4;
+       measure "disjointness (4-bit sets)"
+         (Tm.build (eq_inputs 16) (eq_inputs 16) (fun x y -> x land y = 0)) 5;
+       measure "rank-4 product (14x14)" lowrank14 5;
+       measure "random sparse (10x10, d=0.22)" sparse10 5;
        (* solvability of a 1-equation system a x = b over 1-bit values:
           Alice holds a, Bob holds b *)
        measure "1x1 solvability (2-bit)"
@@ -1208,15 +1243,12 @@ let e14 ctx =
               b mod max 1 a = 0 || (a = 0 && b = 0)))
          3 |]
   in
-  (* Each instance is an independent exhaustive min-max search over all
-     protocol trees (Hirahara-Ilango-Loff: inherently brute force) —
-     the canonical fan-out. *)
-  let measured =
-    enum (fun () -> Pool.parallel_map ctx.pool (fun f -> f ()) instances)
-  in
+  (* Instances run sequentially; the expensive ones parallelize inside
+     the search (root splits), so nested pool batches never occur. *)
+  let measured = enum (fun () -> Array.map (fun f -> f ()) instances) in
   let rows = ref [] in
   Array.iter
-    (fun (name, trows, tcols, cc, one_way, d, covers, report, trivial) ->
+    (fun (name, trows, tcols, cc, st, one_way, d, covers, report, trivial) ->
       rows :=
         row
           [ ("function", jstr name); ("rows", jint trows); ("cols", jint tcols);
@@ -1227,7 +1259,13 @@ let e14 ctx =
             ("cover_bits", jfloat report.Rank_bound.cover_bits);
             ("log_rank", jfloat report.Rank_bound.log_rank);
             ("fooling_bits", jfloat report.Rank_bound.fooling_bits);
-            ("trivial_bits", jint trivial) ]
+            ("trivial_bits", jint trivial);
+            ("canon_rows", jint st.Exact_cc.canon_rows);
+            ("canon_cols", jint st.Exact_cc.canon_cols);
+            ("root_lower", jint st.Exact_cc.root_lower);
+            ("root_upper", jint st.Exact_cc.root_upper);
+            ("search_nodes", jint st.Exact_cc.nodes);
+            ("table_hits", jint st.Exact_cc.table_hits) ]
         :: !rows;
       Tab.add_row tab
         [ name;
@@ -1241,7 +1279,8 @@ let e14 ctx =
           fmt report.Rank_bound.cover_bits;
           fmt report.Rank_bound.log_rank;
           fmt report.Rank_bound.fooling_bits;
-          string_of_int trivial ])
+          string_of_int trivial;
+          fint st.Exact_cc.nodes ])
     measured;
   Tab.print tab;
   Printf.printf

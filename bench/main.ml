@@ -240,7 +240,41 @@ let () =
                           ~metrics ~id outcome
                     | None -> ()))
             Experiments.all);
-      if List.mem "micro" ids && not !aborted then Micro.run ());
+      if List.mem "micro" ids && not !aborted then begin
+        let counters_before = Telemetry.counters () in
+        ignore (Telemetry.drain_phases ());
+        let t0 = Clock.now_s () in
+        let rows = Micro.run () in
+        let wall_s = Clock.now_s () -. t0 in
+        let metrics =
+          if Telemetry.metrics_on () then
+            Some
+              (Artifact.metrics
+                 ~counters:
+                   (Telemetry.diff_counters ~before:counters_before
+                      (Telemetry.counters ()))
+                 ~phases:(Telemetry.drain_phases ()))
+          else None
+        in
+        flush_trace ();
+        Printf.printf "[micro] wall-clock: %.3f s\n" wall_s;
+        match json_dir with
+        | Some dir ->
+            Artifact.write ~dir ~id:"micro" ~jobs:opts.Cli.jobs ~wall_s
+              ~attempts:1 ~status:"ok" ~error:Json.Null ?metrics
+              ~report_fields:
+                [ ("title",
+                   Json.String
+                     "Micro-benchmarks (Bechamel OLS + exact-CC ablations)");
+                  ("params", Json.Obj []);
+                  ("rows", Json.List rows);
+                  ("fits", Json.Obj []) ]
+              ();
+            Printf.printf "[json] wrote %s (%d rows)\n"
+              (Artifact.path ~dir ~id:"micro")
+              (List.length rows)
+        | None -> ()
+      end);
   if opts.Cli.metrics then Telemetry.print_summary stdout;
   if !failed + !timed_out + !skipped > 0 || opts.Cli.timeout_s <> None then
     Printf.printf

@@ -6,7 +6,14 @@
    B3  rank: GF(2) bit-matrix vs rational elimination
    B4  protocol channel overhead (send throughput)
    B5  base-(-q) digit extraction
-   B6  subspace membership (the Lemma 3.2 inner loop)           *)
+   B6  subspace membership (the Lemma 3.2 inner loop)
+   B7  exact-CC engine ablations: transposition table /
+       canonicalization / pruning toggled off one at a time
+       (wall-clock + search counters, not Bechamel — a single
+       search is the unit of work)
+
+   [run] returns every measurement as JSON rows so the harness can
+   write a BENCH_micro.json artifact (bench/main.ml). *)
 
 open Bechamel
 open Toolkit
@@ -148,24 +155,116 @@ let run_group test =
   in
   List.sort (fun (a, _) (b, _) -> compare a b) rows
 
-let print_group title test =
+module Json = Commx_util.Json
+
+let report_group ~group title test =
   Printf.printf "\n== %s ==\n" title;
   let tab =
     Commx_util.Tab.make ~header:[ "benchmark"; "ns/run" ]
       [ Commx_util.Tab.Left; Commx_util.Tab.Right ]
   in
-  List.iter
-    (fun (name, ns) ->
-      Commx_util.Tab.add_row tab
-        [ name; Commx_util.Tab.fmt_float ~digits:1 ns ])
-    (run_group test);
-  Commx_util.Tab.print tab
+  let rows =
+    List.map
+      (fun (name, ns) ->
+        Commx_util.Tab.add_row tab
+          [ name; Commx_util.Tab.fmt_float ~digits:1 ns ];
+        Json.Obj
+          [ ("group", Json.String group); ("bench", Json.String name);
+            ("ns_per_run", Json.Float ns) ])
+      (run_group test)
+  in
+  Commx_util.Tab.print tab;
+  rows
+
+(* B7: the exact-CC engine's three optimizations toggled off one at a
+   time, plus a deliberately starved table to exercise the eviction
+   path.  A single searching instance is the unit of work (a 9x9
+   density-0.18 matrix whose certified root bounds do NOT meet, so the
+   game tree is actually explored — most random instances are decided
+   by bounds alone and would measure nothing).  Bechamel is the wrong
+   harness here: one search takes 0.1-3 s depending on the config, so
+   we time a few whole runs and keep the best. *)
+let b7_exact_cc () =
+  let module E = Commx_comm.Exact_cc in
+  let g = Prng.create 9003 in
+  let m = Bm.init 9 9 (fun _ _ -> Prng.float g < 0.18) in
+  let cfg ~table ~canonicalize ~prune ?table_budget () =
+    { E.table; canonicalize; prune; table_budget }
+  in
+  let variants =
+    [ ("full", E.default_config, 5);
+      ("no-table", cfg ~table:false ~canonicalize:true ~prune:true (), 1);
+      ("no-canon", cfg ~table:true ~canonicalize:false ~prune:true (), 3);
+      ("no-prune", cfg ~table:true ~canonicalize:true ~prune:false (), 3);
+      ( "table-budget-4k",
+        cfg ~table:true ~canonicalize:true ~prune:true ~table_budget:4096 (),
+        3 ) ]
+  in
+  Printf.printf "\n== B7 exact-CC engine ablations (9x9 search, best of k) ==\n";
+  let tab =
+    Commx_util.Tab.make
+      ~header:[ "config"; "wall s"; "cc"; "nodes"; "tbl hits"; "evictions" ]
+      Commx_util.Tab.[ Left; Right; Right; Right; Right; Right ]
+  in
+  let rows =
+    List.map
+      (fun (name, config, reps) ->
+        let best = ref infinity in
+        let value = ref (-1) in
+        let last = ref None in
+        for _ = 1 to reps do
+          let t0 = Commx_util.Clock.now_s () in
+          let v, st = E.search ~config m in
+          let dt = Commx_util.Clock.now_s () -. t0 in
+          if dt < !best then best := dt;
+          value := v;
+          last := Some st
+        done;
+        let st = Option.get !last in
+        Commx_util.Tab.add_row tab
+          [ name;
+            Commx_util.Tab.fmt_float ~digits:4 !best;
+            string_of_int !value;
+            string_of_int st.E.nodes;
+            string_of_int st.E.table_hits;
+            string_of_int st.E.table_evictions ];
+        Json.Obj
+          [ ("group", Json.String "B7"); ("bench", Json.String ("exact-cc/" ^ name));
+            ("wall_s", Json.Float !best); ("value", Json.Int !value);
+            ("nodes", Json.Int st.E.nodes);
+            ("table_hits", Json.Int st.E.table_hits);
+            ("table_misses", Json.Int st.E.table_misses);
+            ("table_evictions", Json.Int st.E.table_evictions) ])
+      variants
+  in
+  Commx_util.Tab.print tab;
+  (* All ablations must agree on the exact value — they only change how
+     fast the search converges, never what it computes. *)
+  let values =
+    List.filter_map
+      (function Json.Obj kvs -> List.assoc_opt "value" kvs | _ -> None)
+      rows
+  in
+  (match values with
+  | v :: rest when List.for_all (( = ) v) rest -> ()
+  | _ -> failwith "B7: ablation configs disagree on the exact CC value");
+  rows
 
 let run () =
   print_endline "Micro-benchmarks (Bechamel; OLS ns/run estimates)";
-  print_group "B1 bigint multiplication (Karatsuba ablation)" (b1_mul ());
-  print_group "B2 determinant algorithms" (b2_det ());
-  print_group "B3 rank over GF(2) vs Q" (b3_rank ());
-  print_group "B4 protocol channel overhead" (b4_channel ());
-  print_group "B5 base-(-q) digits" (b5_negbase ());
-  print_group "B6 Lemma 3.2 membership strategies" (b6_membership ())
+  (* OCaml evaluates list elements right-to-left; sequence explicitly
+     so the groups print (and run) in B1..B7 order. *)
+  let b1 =
+    report_group ~group:"B1" "B1 bigint multiplication (Karatsuba ablation)"
+      (b1_mul ())
+  in
+  let b2 = report_group ~group:"B2" "B2 determinant algorithms" (b2_det ()) in
+  let b3 = report_group ~group:"B3" "B3 rank over GF(2) vs Q" (b3_rank ()) in
+  let b4 = report_group ~group:"B4" "B4 protocol channel overhead" (b4_channel ()) in
+  let b5 = report_group ~group:"B5" "B5 base-(-q) digits" (b5_negbase ()) in
+  let b6 =
+    report_group ~group:"B6" "B6 Lemma 3.2 membership strategies"
+      (b6_membership ())
+  in
+  let b7 = b7_exact_cc () in
+  List.concat [ b1; b2; b3; b4; b5; b6; b7 ]

@@ -1,7 +1,11 @@
 module Bm = Commx_util.Bitmat
+module Bv = Commx_util.Bitvec
+module Tx = Commx_util.Txtable
+module Tel = Commx_util.Telemetry
+module Pool = Commx_util.Pool
 
 (* Submatrices are (row bitmask, column bitmask) pairs over the
-   original index sets.  The recursion:
+   canonical matrix.  The recursion:
 
      C(R, S) = 0                         if R x S is monochromatic
      C(R, S) = 1 + min( min over proper nonempty R0 < R of
@@ -12,84 +16,440 @@ module Bm = Commx_util.Bitmat
    A split by an agent is an arbitrary function of that agent's input,
    i.e. an arbitrary subset.  Splits (R0, R1) and (R1, R0) are the same
    protocol bit inverted, so we halve the enumeration by fixing the
-   lowest set bit into R0. *)
+   lowest set bit into R0.
 
-let complexity m =
-  let nr = Bm.rows m and nc = Bm.cols m in
-  if nr > 12 || nc > 12 then
-    invalid_arg "Exact_cc.complexity: matrix too large (max 12x12)";
-  if nr = 0 || nc = 0 then 0
-  else begin
-    let full_r = (1 lsl nr) - 1 and full_c = (1 lsl nc) - 1 in
-    let value = Array.make (nr * nc) false in
-    for i = 0 to nr - 1 do
-      for j = 0 to nc - 1 do
-        value.((i * nc) + j) <- Bm.get m i j
-      done
+   On top of the recursion sit four independent accelerations (all
+   toggleable through [config], see the interface):
+
+   - packed keys: a subproblem is [rmask lor (cmask lsl max_side)],
+     one native int;
+   - a transposition table ([Commx_util.Txtable]) with fail-soft
+     entries: value [v lsl 1 lor 1] means "exactly v", value
+     [v lsl 1] means "certified >= v" (learned from a bounded search
+     that failed high);
+   - canonicalization: duplicate rows/columns collapse to their
+     lowest-index representative before lookup (an agent may treat
+     equal inputs identically, so CC is invariant), and the input is
+     complement-normalized (leaf colors swap, depth is unchanged);
+   - cost pruning: every node seeds its incumbent with the trivial
+     upper bound [ceil log2 (min side) + 1] (binary-subdivide the
+     smaller side; one answer split), children are searched under
+     [incumbent - 1] as a bound, the second child is skipped when the
+     first already meets the incumbent, and the loop stops when the
+     incumbent hits the node lower bound.  The root lower bound is
+     certified from GF(2) ranks and a greedy fooling set: a depth-C
+     protocol has at most 2^C leaves, at least [max(rank M, |fooling|)]
+     of which are 1-leaves and at least [rank (complement M)] 0-leaves.
+
+   Fail-soft invariant of [cc ... bound]: the result is
+   [min (exact, bound)] — in particular any result [< bound] is exact.
+   Entries of either kind stay valid across callers with different
+   bounds, so the table is shared by the whole search. *)
+
+let max_side = 16
+
+exception Too_large of { rows : int; cols : int; limit : int }
+
+let () =
+  Printexc.register_printer (function
+    | Too_large { rows; cols; limit } ->
+        Some
+          (Printf.sprintf
+             "Exact_cc.Too_large: truth matrix is %dx%d after \
+              canonicalization (cap %dx%d)"
+             rows cols limit limit)
+    | _ -> None)
+
+type config = {
+  table : bool;
+  canonicalize : bool;
+  prune : bool;
+  table_budget : int option;
+}
+
+let default_config =
+  { table = true; canonicalize = true; prune = true; table_budget = None }
+
+let reference_config =
+  { table = false; canonicalize = false; prune = false; table_budget = None }
+
+type stats = {
+  nodes : int;
+  table_hits : int;
+  table_misses : int;
+  table_evictions : int;
+  canon_rows : int;
+  canon_cols : int;
+  root_lower : int;
+  root_upper : int;
+}
+
+let c_searches = Tel.counter "exact_cc.searches"
+let c_nodes = Tel.counter "exact_cc.nodes"
+let c_hits = Tel.counter "exact_cc.table_hits"
+let c_misses = Tel.counter "exact_cc.table_misses"
+let c_evictions = Tel.counter "exact_cc.table_evictions"
+let c_root_pruned = Tel.counter "exact_cc.root_pruned"
+
+(* Smallest k with 2^k >= n (n >= 1). *)
+let ceil_log2 n =
+  let k = ref 0 in
+  while 1 lsl !k < n do incr k done;
+  !k
+
+(* A bound larger than any reachable cost, used when pruning is off so
+   the bounded search degenerates to the plain exhaustive recursion. *)
+let no_bound = 1 lsl 20
+
+(* {2 Input canonicalization} *)
+
+(* First occurrences of distinct rows (by full content), in order. *)
+let distinct_rows m =
+  let seen = Hashtbl.create 64 in
+  let kept = ref [] in
+  for i = 0 to Bm.rows m - 1 do
+    let key = Bv.to_string (Bm.row m i) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      kept := i :: !kept
+    end
+  done;
+  Array.of_list (List.rev !kept)
+
+(* Collapse duplicate rows, then duplicate columns.  One pass each
+   suffices: a removed line is a copy of a kept one, so removing it
+   cannot make two distinct lines of the other kind equal. *)
+let collapse_duplicates m =
+  let rs = distinct_rows m in
+  let m =
+    if Array.length rs = Bm.rows m then m
+    else Bm.submatrix m rs (Array.init (Bm.cols m) Fun.id)
+  in
+  let cs = distinct_rows (Bm.transpose m) in
+  if Array.length cs = Bm.cols m then m
+  else Bm.submatrix m (Array.init (Bm.rows m) Fun.id) cs
+
+let complement_normalize m =
+  let cells = Bm.rows m * Bm.cols m in
+  if 2 * Bm.count_ones m > cells then Bm.complement m else m
+
+(* {2 The search core} *)
+
+type ctx = {
+  rw : int array;  (* packed rows of the canonical matrix *)
+  cw : int array;  (* packed columns *)
+  cfg : config;
+  tbl : Tx.t option;
+  buf : int array;  (* scratch for duplicate collapse, length max_side *)
+  mutable nodes : int;
+}
+
+let mk_ctx cfg rw cw =
+  let tbl =
+    if not cfg.table then None
+    else
+      Some
+        (match cfg.table_budget with
+        | None -> Tx.create ()
+        | Some b -> Tx.create ~budget_entries:b ())
+  in
+  { rw; cw; cfg; tbl; buf = Array.make max_side 0; nodes = 0 }
+
+(* Collapse duplicate rows of the (rmask, cmask) sub-board, then
+   duplicate columns against the surviving rows.  As at input level,
+   one pass each reaches the fixpoint. *)
+let canon_masks ctx rmask cmask =
+  let buf = ctx.buf in
+  let rmask' = ref 0 and n = ref 0 in
+  let rem = ref rmask in
+  while !rem <> 0 do
+    let low = !rem land - !rem in
+    let key = ctx.rw.(Bv.popcount_int (low - 1)) land cmask in
+    let dup = ref false in
+    for k = 0 to !n - 1 do
+      if buf.(k) = key then dup := true
     done;
-    let memo : (int * int, int) Hashtbl.t = Hashtbl.create 4096 in
-    let monochromatic rmask cmask =
-      let v = ref None in
-      let mono = ref true in
-      for i = 0 to nr - 1 do
-        if rmask lsr i land 1 = 1 then
-          for j = 0 to nc - 1 do
-            if cmask lsr j land 1 = 1 then begin
-              let x = value.((i * nc) + j) in
-              match !v with
-              | None -> v := Some x
-              | Some y -> if x <> y then mono := false
-            end
-          done
+    if not !dup then begin
+      buf.(!n) <- key;
+      incr n;
+      rmask' := !rmask' lor low
+    end;
+    rem := !rem lxor low
+  done;
+  let rmask' = !rmask' in
+  let cmask' = ref 0 and n = ref 0 in
+  let rem = ref cmask in
+  while !rem <> 0 do
+    let low = !rem land - !rem in
+    let key = ctx.cw.(Bv.popcount_int (low - 1)) land rmask' in
+    let dup = ref false in
+    for k = 0 to !n - 1 do
+      if buf.(k) = key then dup := true
+    done;
+    if not !dup then begin
+      buf.(!n) <- key;
+      incr n;
+      cmask' := !cmask' lor low
+    end;
+    rem := !rem lxor low
+  done;
+  (rmask', !cmask')
+
+(* [cc ctx ~lb rmask cmask bound] = [min (exact CC of the sub-board,
+   bound)].  [lb] is a certified lower bound for this node (1 for
+   anything non-monochromatic; the root gets the rank/fooling bound). *)
+let rec cc ctx ~lb rmask cmask bound =
+  let rmask, cmask =
+    if ctx.cfg.canonicalize then canon_masks ctx rmask cmask
+    else (rmask, cmask)
+  in
+  if Bm.mono_masked ctx.rw ~rmask ~cmask >= 0 then 0
+  else if bound <= 1 then bound
+  else begin
+    let key = rmask lor (cmask lsl max_side) in
+    let cached_exact = ref (-1) in
+    let cached_lb = ref 1 in
+    (match ctx.tbl with
+    | None -> ()
+    | Some tbl ->
+        let c = Tx.find tbl key in
+        if c >= 0 then
+          if c land 1 = 1 then cached_exact := c lsr 1
+          else cached_lb := max !cached_lb (c lsr 1));
+    if !cached_exact >= 0 then min !cached_exact bound
+    else if !cached_lb >= bound then bound
+    else begin
+      ctx.nodes <- ctx.nodes + 1;
+      let prune = ctx.cfg.prune in
+      let node_lb = max lb !cached_lb in
+      let bound_eff = if prune then bound else no_bound in
+      let best =
+        ref
+          (if prune then
+             let pr = Bv.popcount_int rmask and pc = Bv.popcount_int cmask in
+             min bound (ceil_log2 (min pr pc) + 1)
+           else no_bound)
+      in
+      let low_r = rmask land -rmask in
+      let sub = ref rmask in
+      while !sub > 0 && ((not prune) || !best > node_lb) do
+        if !sub <> rmask && !sub land low_r <> 0 then
+          eval_split ctx best !sub cmask (rmask lxor !sub) cmask;
+        sub := (!sub - 1) land rmask
       done;
-      !mono
-    in
-    let rec cc rmask cmask =
-      match Hashtbl.find_opt memo (rmask, cmask) with
-      | Some v -> v
-      | None ->
-          let result =
-            if monochromatic rmask cmask then 0
-            else begin
-              let best = ref max_int in
-              (* Alice splits the rows: enumerate proper nonempty
-                 submasks containing the lowest set bit. *)
-              let low_r = rmask land -rmask in
-              let sub = ref rmask in
-              while !sub > 0 do
-                if !sub <> rmask && !sub land low_r <> 0 then begin
-                  let c0 = cc !sub cmask in
-                  if c0 < !best then begin
-                    let c1 = cc (rmask lxor !sub) cmask in
-                    let cost = 1 + max c0 c1 in
-                    if cost < !best then best := cost
-                  end
-                end;
-                sub := (!sub - 1) land rmask
-              done;
-              (* Bob splits the columns. *)
-              let low_c = cmask land -cmask in
-              let sub = ref cmask in
-              while !sub > 0 do
-                if !sub <> cmask && !sub land low_c <> 0 then begin
-                  let c0 = cc rmask !sub in
-                  if c0 < !best then begin
-                    let c1 = cc rmask (cmask lxor !sub) in
-                    let cost = 1 + max c0 c1 in
-                    if cost < !best then best := cost
-                  end
-                end;
-                sub := (!sub - 1) land cmask
-              done;
-              !best
-            end
-          in
-          Hashtbl.replace memo (rmask, cmask) result;
-          result
-    in
-    cc full_r full_c
+      let low_c = cmask land -cmask in
+      let sub = ref cmask in
+      while !sub > 0 && ((not prune) || !best > node_lb) do
+        if !sub <> cmask && !sub land low_c <> 0 then
+          eval_split ctx best rmask !sub rmask (cmask lxor !sub);
+        sub := (!sub - 1) land cmask
+      done;
+      (match ctx.tbl with
+      | None -> ()
+      | Some tbl ->
+          if !best < bound_eff then Tx.set tbl key ((!best lsl 1) lor 1)
+          else Tx.set tbl key (bound_eff lsl 1));
+      !best
+    end
   end
 
+(* Evaluate one split (two child boards) against the incumbent. *)
+and eval_split ctx best r0 c0 r1 c1 =
+  if ctx.cfg.prune then begin
+    let a = cc ctx ~lb:1 r0 c0 (!best - 1) in
+    if a + 1 < !best then begin
+      let b = cc ctx ~lb:1 r1 c1 (!best - 1) in
+      let cost = 1 + max a b in
+      if cost < !best then best := cost
+    end
+  end
+  else begin
+    let a = cc ctx ~lb:1 r0 c0 no_bound in
+    let b = cc ctx ~lb:1 r1 c1 no_bound in
+    let cost = 1 + max a b in
+    if cost < !best then best := cost
+  end
+
+(* {2 Root bounds} *)
+
+(* Leaves of a depth-C protocol: at most 2^C, all monochromatic
+   rectangles; 1-leaves >= max (GF(2) rank, greedy fooling set),
+   0-leaves >= GF(2) rank of the complement. *)
+let certified_lower m =
+  let r1 = Rank_bound.gf2_rank m in
+  let r0 = Rank_bound.gf2_rank (Bm.complement m) in
+  let fool =
+    let tm =
+      Truth_matrix.build
+        (List.init (Bm.rows m) Fun.id)
+        (List.init (Bm.cols m) Fun.id)
+        (fun i j -> Bm.get m i j)
+    in
+    List.length (Fooling.greedy tm)
+  in
+  max 1 (ceil_log2 (max r1 fool + r0))
+
+(* {2 Drivers} *)
+
+type prepared = {
+  rwp : int array;
+  cwp : int array;
+  full_r : int;
+  full_c : int;
+  cnr : int;
+  cnc : int;
+  canon : Bm.t;
+}
+
+let prepare cfg m =
+  let m' =
+    if cfg.canonicalize then complement_normalize (collapse_duplicates m)
+    else m
+  in
+  let cnr = Bm.rows m' and cnc = Bm.cols m' in
+  if cnr > max_side || cnc > max_side then
+    raise (Too_large { rows = cnr; cols = cnc; limit = max_side });
+  {
+    rwp = Bm.packed_rows m';
+    cwp = Bm.packed_cols m';
+    full_r = (1 lsl cnr) - 1;
+    full_c = (1 lsl cnc) - 1;
+    cnr;
+    cnc;
+    canon = m';
+  }
+
+let stats_of ctx ~cnr ~cnc ~root_lower ~root_upper =
+  let hits, misses, evictions =
+    match ctx.tbl with
+    | None -> (0, 0, 0)
+    | Some t ->
+        let s = Tx.stats t in
+        (s.Tx.hits, s.Tx.misses, s.Tx.evictions)
+  in
+  {
+    nodes = ctx.nodes;
+    table_hits = hits;
+    table_misses = misses;
+    table_evictions = evictions;
+    canon_rows = cnr;
+    canon_cols = cnc;
+    root_lower;
+    root_upper;
+  }
+
+let leaf_stats ~cnr ~cnc ~root_lower ~root_upper =
+  {
+    nodes = 0;
+    table_hits = 0;
+    table_misses = 0;
+    table_evictions = 0;
+    canon_rows = cnr;
+    canon_cols = cnc;
+    root_lower;
+    root_upper;
+  }
+
+(* Number of strided groups the root move list is cut into when a pool
+   is available.  Fixed — never derived from the pool's job count — so
+   group contents, per-group incumbents, values and counters are
+   identical at any [--jobs]. *)
+let root_groups = 16
+
+(* Fan out only when the root move list dwarfs the grouping overhead
+   (each group pays for its own transposition table): 512 moves means
+   a canonical board of at least ten rows or columns. *)
+let parallel_move_threshold = 512
+
+let run_parallel cfg pool p ~lb ~ub =
+  let results =
+    Pool.parallel_map pool
+      (fun g ->
+        let ctx = mk_ctx cfg p.rwp p.cwp in
+        let best = ref (if cfg.prune then ub else no_bound) in
+        let idx = ref 0 in
+        let consider r0 c0 r1 c1 =
+          if
+            !idx mod root_groups = g
+            && ((not cfg.prune) || !best > lb)
+          then eval_split ctx best r0 c0 r1 c1;
+          incr idx
+        in
+        let low_r = p.full_r land -p.full_r in
+        let sub = ref p.full_r in
+        while !sub > 0 do
+          if !sub <> p.full_r && !sub land low_r <> 0 then
+            consider !sub p.full_c (p.full_r lxor !sub) p.full_c;
+          sub := (!sub - 1) land p.full_r
+        done;
+        let low_c = p.full_c land -p.full_c in
+        let sub = ref p.full_c in
+        while !sub > 0 do
+          if !sub <> p.full_c && !sub land low_c <> 0 then
+            consider p.full_r !sub p.full_r (p.full_c lxor !sub);
+          sub := (!sub - 1) land p.full_c
+        done;
+        (!best, stats_of ctx ~cnr:p.cnr ~cnc:p.cnc ~root_lower:lb
+           ~root_upper:ub))
+      (Array.init root_groups Fun.id)
+  in
+  Array.fold_left
+    (fun (v, (acc : stats)) (b, (s : stats)) ->
+      ( min v b,
+        {
+          acc with
+          nodes = acc.nodes + s.nodes;
+          table_hits = acc.table_hits + s.table_hits;
+          table_misses = acc.table_misses + s.table_misses;
+          table_evictions = acc.table_evictions + s.table_evictions;
+        } ))
+    ( (if cfg.prune then ub else no_bound),
+      leaf_stats ~cnr:p.cnr ~cnc:p.cnc ~root_lower:lb ~root_upper:ub )
+    results
+
+let run cfg pool m =
+  if Bm.rows m = 0 || Bm.cols m = 0 then
+    (0, leaf_stats ~cnr:(Bm.rows m) ~cnc:(Bm.cols m) ~root_lower:0
+       ~root_upper:0)
+  else begin
+    let p = prepare cfg m in
+    let ub = ceil_log2 (min p.cnr p.cnc) + 1 in
+    if Bm.mono_masked p.rwp ~rmask:p.full_r ~cmask:p.full_c >= 0 then
+      (0, leaf_stats ~cnr:p.cnr ~cnc:p.cnc ~root_lower:0 ~root_upper:ub)
+    else begin
+      let lb = if cfg.prune then certified_lower p.canon else 1 in
+      if cfg.prune && lb >= ub then begin
+        Tel.incr c_root_pruned;
+        (ub, leaf_stats ~cnr:p.cnr ~cnc:p.cnc ~root_lower:lb ~root_upper:ub)
+      end
+      else begin
+        let n_moves = (1 lsl (p.cnr - 1)) + (1 lsl (p.cnc - 1)) - 2 in
+        match pool with
+        | Some pool when n_moves >= parallel_move_threshold ->
+            run_parallel cfg pool p ~lb ~ub
+        | _ ->
+            let ctx = mk_ctx cfg p.rwp p.cwp in
+            let bound = if cfg.prune then ub else no_bound in
+            let v = cc ctx ~lb p.full_r p.full_c bound in
+            (v, stats_of ctx ~cnr:p.cnr ~cnc:p.cnc ~root_lower:lb
+               ~root_upper:ub)
+      end
+    end
+  end
+
+let publish (st : stats) =
+  Tel.incr c_searches;
+  Tel.add c_nodes st.nodes;
+  Tel.add c_hits st.table_hits;
+  Tel.add c_misses st.table_misses;
+  Tel.add c_evictions st.table_evictions
+
+let search ?(config = default_config) ?pool m =
+  let v, st = run config pool m in
+  publish st;
+  (v, st)
+
+let complexity m = fst (search m)
 let complexity_tm tm = complexity (Truth_matrix.to_bitmat tm)
 
 let optimal_is_sandwiched m =

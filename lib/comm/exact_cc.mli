@@ -2,23 +2,123 @@
 
     For truth matrices small enough to enumerate, the deterministic
     communication complexity itself — the min over ALL protocol trees
-    of the worst-case depth, the quantity Theorem 1.1 is about — can be
-    computed exactly by game-tree search: a submatrix costs 0 if
+    of the worst-case depth, the quantity Theorem 1.1 is about — can
+    be computed exactly by game-tree search: a submatrix costs 0 if
     monochromatic, otherwise [1 + min] over all ways one agent can
-    split its side, of the [max] cost of the two parts.  Memoization is
-    over (row-set, column-set) bitmasks.
+    split its side, of the [max] cost of the two parts.
 
-    This turns the paper's object of study into something we can
-    measure directly at small scale and compare against every
-    lower-bound certificate (cover, log-rank, fooling) and the trivial
-    upper bound — experiment E14. *)
+    {2 The engine}
+
+    The search core is engineered for the exponential workload
+    (exhaustive protocol search is inherently brute force):
+
+    - {b Packed subproblem keys.}  A subproblem is a (row set, column
+      set) pair over the canonical matrix, packed into one native int
+      — rows in the low {!max_side} bits, columns above them — so the
+      memo key is a single word.
+    - {b Transposition table.}  Memoization uses
+      {!Commx_util.Txtable}: open addressing, linear probing,
+      power-of-two capacity, optional memory budget with
+      replace-on-collision.  Entries are fail-soft: either the exact
+      cost of the subproblem or a certified lower bound discovered by
+      a bounded search.
+    - {b Canonicalization.}  Both the input matrix and every
+      subproblem are canonicalized before lookup: duplicate rows and
+      columns collapse to their lowest-index representative
+      (CC-invariant: an agent can treat equal inputs identically), and
+      the input is 0/1-complement-normalized to a zero-majority matrix
+      (CC-invariant: leaf colors swap).  Structured instances (EQ, GT,
+      threshold-like truth matrices) collapse massively.
+    - {b Cost pruning.}  Alpha-beta–style: every node seeds its
+      incumbent with the trivial upper bound (binary-subdivide the
+      smaller side, one answer bit), a split's second child is skipped
+      as soon as [1 + first child] meets the incumbent, and children
+      are searched under the incumbent as a cost bound.  The root
+      incumbent is additionally checked against a certified lower
+      bound from {!Rank_bound} and {!Fooling} (leaves ≥ GF(2) ranks of
+      the matrix and its complement, and ≥ fooling-set size), so
+      searches whose trivial protocol is provably optimal return
+      without expanding a node.
+    - {b Word-level inner loop.}  Rows and columns of the canonical
+      matrix live as packed native ints
+      ({!Commx_util.Bitmat.packed_rows}), so monochromaticity,
+      duplicate collapse and popcounts are word ops — the loop touches
+      no per-bit accessor.
+
+    Every optimization is independently toggleable ({!config}) for
+    ablation benchmarks (bench B7) and for property tests that the
+    toggles are CC-invariant. *)
+
+val max_side : int
+(** Hard cap (16) on rows and on columns of the {e canonical} truth
+    matrix — duplicate rows/columns of the input do not count against
+    it.  [12x12] dense instances are comfortable; beyond that cost
+    grows exponentially with the post-collapse dimensions. *)
+
+exception
+  Too_large of { rows : int; cols : int; limit : int }
+    (** Raised when the canonical dimensions exceed [limit]
+        (= {!max_side}); [rows] and [cols] are the {e offending}
+        post-canonicalization dimensions, not the raw input shape.  A
+        printer is registered, so the exception formats itself
+        legibly. *)
+
+type config = {
+  table : bool;  (** memoize subproblems in the transposition table *)
+  canonicalize : bool;
+      (** collapse duplicate rows/columns per subproblem and
+          complement-normalize the input *)
+  prune : bool;
+      (** seed incumbents with the trivial upper bound, bound child
+          searches, cut second children, certify the root lower
+          bound *)
+  table_budget : int option;
+      (** max transposition-table entries (power-of-two rounded);
+          [None] = grow unbounded *)
+}
+
+val default_config : config
+(** Everything on, unbounded table. *)
+
+val reference_config : config
+(** Everything off: the naive memo-free exhaustive recursion, kept as
+    the oracle for CC-invariance property tests.  Only viable for
+    matrices up to ~8x8. *)
+
+type stats = {
+  nodes : int;  (** interior search nodes expanded (not table hits) *)
+  table_hits : int;
+  table_misses : int;
+  table_evictions : int;
+  canon_rows : int;  (** canonical row count actually searched *)
+  canon_cols : int;
+  root_lower : int;  (** certified root lower bound (0 if unused) *)
+  root_upper : int;  (** trivial upper bound on the canonical matrix *)
+}
+
+val search :
+  ?config:config ->
+  ?pool:Commx_util.Pool.t ->
+  Commx_util.Bitmat.t ->
+  int * stats
+(** [search m] is the exact deterministic CC of [m] (in bits, standard
+    model: leaf rectangles monochromatic, both agents know the answer)
+    together with search statistics.  With [?pool], large searches
+    split their root move enumeration into a {e fixed} number of
+    strided groups fanned out over the pool, each group with its own
+    transposition table and its own incumbent seeded from the shared
+    certified bounds — the value {e and} the statistics are
+    bit-identical at any pool job count (grouping never depends on
+    scheduling).  Statistics do differ between pooled and unpooled
+    searches (groups cannot share tables).
+
+    Search statistics are also accumulated into the [exact_cc.*]
+    {!Commx_util.Telemetry} counters.
+    @raise Too_large when the canonical matrix exceeds {!max_side}. *)
 
 val complexity : Commx_util.Bitmat.t -> int
-(** Exact deterministic CC (in bits) of the boolean function given by
-    the truth matrix, in the standard model (leaf rectangles must be
-    monochromatic, so both agents know the answer).
-    @raise Invalid_argument when rows or columns exceed 12 (the search
-    is exponential). *)
+(** [search] with {!default_config}, value only.
+    @raise Too_large when the canonical matrix exceeds {!max_side}. *)
 
 val complexity_tm : ('a, 'b) Truth_matrix.t -> int
 

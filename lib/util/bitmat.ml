@@ -93,6 +93,57 @@ let submatrix m rs cs =
 
 let random g nrows ncols = init nrows ncols (fun _ _ -> Prng.bool g)
 
+let complement m = init m.nrows m.ncols (fun i j -> not (get m i j))
+
+(* Packed-word extraction: the exact-CC search works on (row set,
+   column set) masks and needs each line of the matrix as one native
+   int so monochromaticity and duplicate tests are word ops, never
+   per-bit accessors.  Sub-matrix extraction is then [word land mask]
+   at the call site. *)
+
+let packed_rows m =
+  if m.ncols > Bitvec.bits_per_word then
+    invalid_arg "Bitmat.packed_rows: too many columns to pack";
+  Array.init m.nrows (fun i ->
+      let r = ref 0 in
+      for j = m.ncols - 1 downto 0 do
+        r := (!r lsl 1) lor if get m i j then 1 else 0
+      done;
+      !r)
+
+let packed_cols m =
+  if m.nrows > Bitvec.bits_per_word then
+    invalid_arg "Bitmat.packed_cols: too many rows to pack";
+  Array.init m.ncols (fun j ->
+      let c = ref 0 in
+      for i = m.nrows - 1 downto 0 do
+        c := (!c lsl 1) lor if get m i j then 1 else 0
+      done;
+      !c)
+
+(* [mono_masked rows ~rmask ~cmask] classifies the sub-matrix selected
+   by the index masks over packed rows: [0] all-zero, [1] all-one,
+   [-1] mixed.  Empty sub-matrices are all-zero by convention.  Cost:
+   one [land] and compare per selected row. *)
+let mono_masked rows ~rmask ~cmask =
+  if rmask = 0 || cmask = 0 then 0
+  else begin
+    let first = rows.(Bitvec.popcount_int ((rmask land -rmask) - 1)) in
+    let expect = first land cmask in
+    if expect <> 0 && expect <> cmask then -1
+    else begin
+      let ok = ref true in
+      let rem = ref rmask in
+      while !ok && !rem <> 0 do
+        let low = !rem land - !rem in
+        let i = Bitvec.popcount_int (low - 1) in
+        if rows.(i) land cmask <> expect then ok := false;
+        rem := !rem lxor low
+      done;
+      if not !ok then -1 else if expect = 0 then 0 else 1
+    end
+  end
+
 let pp ppf m =
   for i = 0 to m.nrows - 1 do
     if i > 0 then Format.pp_print_cut ppf ();

@@ -47,5 +47,30 @@ val submatrix : t -> int array -> int array -> t
 
 val random : Prng.t -> int -> int -> t
 
+val complement : t -> t
+(** Entrywise boolean negation (the truth matrix of [not f]). *)
+
+(** {2 Packed-word kernels}
+
+    The exact-CC game-tree search addresses sub-matrices as (row set,
+    column set) bit masks and must test them without per-bit
+    accessors.  These kernels expose whole matrix lines as single
+    native ints (matrices at most {!Bitvec.bits_per_word} wide/tall)
+    so the search inner loop is pure word arithmetic. *)
+
+val packed_rows : t -> int array
+(** [packed_rows m] is one int per row, bit [j] = [get m i j].
+    @raise Invalid_argument when [cols m > Bitvec.bits_per_word]. *)
+
+val packed_cols : t -> int array
+(** [packed_cols m] is one int per column, bit [i] = [get m i j].
+    @raise Invalid_argument when [rows m > Bitvec.bits_per_word]. *)
+
+val mono_masked : int array -> rmask:int -> cmask:int -> int
+(** [mono_masked (packed_rows m) ~rmask ~cmask] classifies the
+    sub-matrix of [m] selected by the two index masks: [0] all zeros,
+    [1] all ones, [-1] mixed.  Empty selections are all-zero by
+    convention.  One word-op pass over the selected rows. *)
+
 val pp : Format.formatter -> t -> unit
 (** Prints ['0']/['1'] rows, one per line. *)

@@ -37,9 +37,20 @@ let compare a b =
 
 let hash v = Hashtbl.hash (v.len, v.words)
 
+(* Branch-free SWAR popcount, valid for any non-negative OCaml int
+   (bits 0..61; our words use at most 62 bits).  The usual 64-bit
+   subtract trick needs a mask with bit 63 set, so the first step uses
+   the equivalent add form with the even-bit mask instead.  The
+   exact-CC inner loop calls this on every split mask, where the
+   clear-lowest-bit loop's data-dependent branching is measurably
+   slower. *)
 let popcount_word w =
-  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
-  go w 0
+  let w = (w land 0x1555555555555555) + ((w lsr 1) land 0x1555555555555555) in
+  let w = (w land 0x3333333333333333) + ((w lsr 2) land 0x3333333333333333) in
+  let w = (w + (w lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (w * 0x0101010101010101) lsr 56 land 0x7F
+
+let popcount_int = popcount_word
 
 let popcount v = Array.fold_left (fun acc w -> acc + popcount_word w) 0 v.words
 

@@ -7,6 +7,10 @@
 
 type t
 
+val bits_per_word : int
+(** Bits stored per native word (62: all word-level operations stay in
+    OCaml's tagged-integer range). *)
+
 val create : int -> t
 (** [create n] is an all-zero vector of length [n]. *)
 
@@ -27,6 +31,11 @@ val hash : t -> int
 
 val popcount : t -> int
 (** Number of set bits. *)
+
+val popcount_int : int -> int
+(** Branch-free popcount of a single non-negative native int — the
+    word-level kernel behind {!popcount}, exposed for packed-mask
+    search loops (the exact-CC engine). *)
 
 val xor_into : t -> t -> unit
 (** [xor_into dst src] sets [dst <- dst lxor src].  Lengths must

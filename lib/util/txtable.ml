@@ -1,0 +1,162 @@
+(* Open-addressing int->int transposition table: linear probing from a
+   multiplicative hash, power-of-two capacity, bounded probe window.
+
+   Both [set] and [find] probe the same window of [probe_window]
+   consecutive slots starting at the key's home slot, so an entry is
+   findable iff [set] placed it — and [set] always places it, evicting
+   the home slot when the window is saturated.  Because entries are
+   never deleted (only replaced), probe chains never break and a
+   bounded scan is exact, not heuristic: a key outside its window was
+   necessarily evicted. *)
+
+type stats = { hits : int; misses : int; evictions : int; stores : int }
+
+type t = {
+  mutable keys : int array; (* -1 = empty *)
+  mutable vals : int array;
+  mutable mask : int; (* capacity - 1 *)
+  mutable shift : int; (* 62 - log2 capacity: home slot = top bits *)
+  mutable size : int;
+  budget_slots : int; (* max capacity in slots; max_int = unbounded *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable stores : int;
+}
+
+let probe_window = 16
+
+(* SplitMix64's odd multiplier truncated to OCaml's 63-bit int range.
+   Fibonacci hashing: the home slot is the TOP log2(capacity) bits of
+   [key * mult mod 2^62] — every key bit influences the high product
+   bits, whereas the low bits would ignore the key's high bits
+   entirely (packed search keys put the column mask up there). *)
+let mult = 0x2545F4914F6CDD1D
+
+let home t key = ((key * mult) land max_int) lsr t.shift
+
+let ceil_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?budget_entries ?(initial_bits = 12) () =
+  if initial_bits < 1 || initial_bits > 40 then
+    invalid_arg "Txtable.create: initial_bits out of range";
+  (match budget_entries with
+  | Some b when b < 1 -> invalid_arg "Txtable.create: budget_entries < 1"
+  | _ -> ());
+  let budget_slots =
+    match budget_entries with
+    | None -> max_int
+    | Some b -> max (1 lsl initial_bits) (ceil_pow2 b)
+  in
+  let cap = 1 lsl initial_bits in
+  {
+    keys = Array.make cap (-1);
+    vals = Array.make cap 0;
+    mask = cap - 1;
+    shift = 62 - initial_bits;
+    size = 0;
+    budget_slots;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    stores = 0;
+  }
+
+let length t = t.size
+let capacity t = t.mask + 1
+
+let stats t : stats =
+  { hits = t.hits; misses = t.misses; evictions = t.evictions;
+    stores = t.stores }
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0;
+  t.stores <- 0
+
+let find t key =
+  if key < 0 then invalid_arg "Txtable.find: negative key";
+  let mask = t.mask in
+  let keys = t.keys in
+  let i0 = home t key in
+  let rec probe d =
+    if d >= probe_window then begin
+      t.misses <- t.misses + 1;
+      -1
+    end
+    else
+      let i = (i0 + d) land mask in
+      let k = Array.unsafe_get keys i in
+      if k = key then begin
+        t.hits <- t.hits + 1;
+        Array.unsafe_get t.vals i
+      end
+      else if k = -1 then begin
+        t.misses <- t.misses + 1;
+        -1
+      end
+      else probe (d + 1)
+  in
+  probe 0
+
+(* Raw placement used by both [set] and rehashing: returns [true] when
+   a fresh slot was consumed (size grows), [false] on overwrite or
+   eviction.  [count_evict] is off during rehash — moving entries to a
+   larger table evicts nothing. *)
+let place t ~count_evict key v =
+  let mask = t.mask in
+  let keys = t.keys in
+  let i0 = home t key in
+  let rec probe d =
+    if d >= probe_window then begin
+      (* Window saturated with other live keys: replace the home slot. *)
+      if count_evict then t.evictions <- t.evictions + 1;
+      Array.unsafe_set keys i0 key;
+      Array.unsafe_set t.vals i0 v;
+      false
+    end
+    else
+      let i = (i0 + d) land mask in
+      let k = Array.unsafe_get keys i in
+      if k = key then begin
+        Array.unsafe_set t.vals i v;
+        false
+      end
+      else if k = -1 then begin
+        Array.unsafe_set keys i key;
+        Array.unsafe_set t.vals i v;
+        true
+      end
+      else probe (d + 1)
+  in
+  probe 0
+
+let grow t =
+  let old_keys = t.keys and old_vals = t.vals in
+  let cap = (t.mask + 1) * 2 in
+  t.keys <- Array.make cap (-1);
+  t.vals <- Array.make cap 0;
+  t.mask <- cap - 1;
+  t.shift <- t.shift - 1;
+  t.size <- 0;
+  Array.iteri
+    (fun i k ->
+      if k >= 0 then
+        if place t ~count_evict:false k old_vals.(i) then t.size <- t.size + 1)
+    old_keys
+
+let set t key v =
+  if key < 0 then invalid_arg "Txtable.set: negative key";
+  if v < 0 then invalid_arg "Txtable.set: negative value";
+  if 2 * (t.size + 1) > t.mask + 1 && 2 * (t.mask + 1) <= t.budget_slots then
+    grow t;
+  t.stores <- t.stores + 1;
+  if place t ~count_evict:true key v then t.size <- t.size + 1
+
+let clear t =
+  Array.fill t.keys 0 (Array.length t.keys) (-1);
+  t.size <- 0;
+  reset_stats t

@@ -1,0 +1,62 @@
+(** Open-addressing transposition table for exhaustive game-tree
+    searches.
+
+    A flat [int -> int] hash table tuned for the exact-CC search hot
+    loop: keys are packed subproblem descriptors (non-negative, at
+    most 62 bits), values are small non-negative ints (packed cost
+    entries).  Storage is two parallel [int array]s probed linearly
+    from a multiplicative hash, so a lookup touches one or two cache
+    lines and never allocates.
+
+    The table grows by doubling while below its optional memory
+    budget; once the budget is reached it switches to
+    replace-on-collision within a bounded probe window — old entries
+    are overwritten (counted as evictions) instead of growing, which
+    caps memory for deep searches at a small accuracy cost (a replaced
+    entry is recomputed if needed).  All operations are deterministic
+    functions of the call sequence: same inserts, same final state,
+    same hit/miss/evict statistics, at any table budget.
+
+    Not thread-safe; use one table per domain (the exact-CC root-split
+    parallelism gives each pool item its own table). *)
+
+type t
+
+val create : ?budget_entries:int -> ?initial_bits:int -> unit -> t
+(** [create ()] is an empty table with a small initial capacity.
+    [?initial_bits] (default 12) sets the initial capacity to
+    [2^initial_bits] slots.  [?budget_entries] bounds the slot count:
+    the table never allocates more than the smallest power of two
+    [>= budget_entries] slots (and at least the initial capacity);
+    beyond that it evicts.  Without a budget the table doubles
+    indefinitely.
+    @raise Invalid_argument if [initial_bits] is not in [\[1, 40\]] or
+    [budget_entries < 1]. *)
+
+val find : t -> int -> int
+(** [find t key] is the value bound to [key], or [-1] when absent.
+    Records a hit or a miss in {!stats}.
+    @raise Invalid_argument on negative keys. *)
+
+val set : t -> int -> int -> unit
+(** [set t key v] binds [key] to [v] ([v >= 0]), overwriting any
+    previous binding.  When the table is at budget and the probe
+    window holds no empty slot and no [key] slot, the entry at the
+    first probed slot is replaced and an eviction is recorded.
+    @raise Invalid_argument on negative keys or values. *)
+
+val length : t -> int
+(** Number of live entries. *)
+
+val capacity : t -> int
+(** Current slot count (a power of two). *)
+
+type stats = { hits : int; misses : int; evictions : int; stores : int }
+
+val stats : t -> stats
+
+val reset_stats : t -> unit
+(** Zero the counters without touching the entries. *)
+
+val clear : t -> unit
+(** Drop all entries (capacity is retained) and zero the counters. *)

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over bench JSON artifacts.
+
+Compares a PR's BENCH_*.json artifacts against the merge-base's and
+fails on:
+
+  * wall-clock regression beyond --wall-tolerance (default 30%), only
+    when both runs measured the same workload (identical row-name sets
+    and job counts) and the baseline wall is above --wall-floor — a
+    changed instance list or a 3 ms wall is noise, not a regression;
+  * ANY increase in a deterministic search-work counter
+    (``exact_cc.nodes`` in metrics.counters, and per-row
+    ``nodes``/``search_nodes`` fields).  Node counts are exact and
+    jobs-invariant, so even a +1 increase is a real search regression,
+    not timer jitter.
+
+Artifacts present on only one side are reported and skipped: the first
+instrumented run has no baseline, and removed experiments have no PR
+side.  Baselines without counters (older schema) skip the counter
+check only.
+
+Usage:
+  perf_gate.py BASE_DIR PR_DIR [--wall-tolerance 0.30] [--wall-floor 0.05]
+
+Exit status: 0 no regression, 1 regression, 2 usage/IO error.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_artifacts(dirname):
+    arts = {}
+    for path in sorted(glob.glob(os.path.join(dirname, "BENCH_*.json"))):
+        with open(path) as fh:
+            art = json.load(fh)
+        arts[art.get("experiment") or os.path.basename(path)] = art
+    return arts
+
+
+def row_names(art):
+    names = []
+    for row in art.get("rows") or []:
+        if isinstance(row, dict):
+            names.append(row.get("function") or row.get("bench") or "?")
+    return sorted(names)
+
+
+def row_nodes(art):
+    """Deterministic per-row node counts, keyed by row name."""
+    out = {}
+    for row in art.get("rows") or []:
+        if not isinstance(row, dict):
+            continue
+        name = row.get("function") or row.get("bench")
+        nodes = row.get("search_nodes", row.get("nodes"))
+        if name is not None and isinstance(nodes, int):
+            out[name] = nodes
+    return out
+
+
+def counter(art, key):
+    metrics = art.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    value = counters.get(key)
+    return value if isinstance(value, int) else None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("base_dir")
+    parser.add_argument("pr_dir")
+    parser.add_argument("--wall-tolerance", type=float, default=0.30,
+                        help="allowed fractional wall-clock increase")
+    parser.add_argument("--wall-floor", type=float, default=0.05,
+                        help="skip wall comparison below this baseline (s)")
+    args = parser.parse_args()
+
+    base = load_artifacts(args.base_dir)
+    pr = load_artifacts(args.pr_dir)
+    if not pr:
+        print(f"error: no BENCH_*.json artifacts in {args.pr_dir}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for exp in sorted(set(base) | set(pr)):
+        if exp not in base:
+            print(f"[{exp}] new on PR side, no baseline — skipping")
+            continue
+        if exp not in pr:
+            print(f"[{exp}] present only in baseline — skipping")
+            continue
+        b, p = base[exp], pr[exp]
+        if b.get("status") != "ok" or p.get("status") != "ok":
+            print(f"[{exp}] non-ok status (base={b.get('status')}, "
+                  f"pr={p.get('status')}) — skipping comparisons")
+            continue
+
+        # Wall clock: only comparable when the workload is identical.
+        bw, pw = b.get("wall_s"), p.get("wall_s")
+        same_workload = (row_names(b) == row_names(p)
+                         and b.get("jobs") == p.get("jobs"))
+        if not same_workload:
+            print(f"[{exp}] workload changed (rows or jobs differ) — "
+                  "wall comparison skipped")
+        elif not (isinstance(bw, (int, float)) and isinstance(pw, (int, float))):
+            print(f"[{exp}] missing wall_s — wall comparison skipped")
+        elif bw < args.wall_floor:
+            print(f"[{exp}] baseline wall {bw:.3f}s below floor — skipped")
+        else:
+            ratio = pw / bw
+            verdict = "FAIL" if ratio > 1.0 + args.wall_tolerance else "ok"
+            print(f"[{exp}] wall {bw:.3f}s -> {pw:.3f}s "
+                  f"({(ratio - 1.0) * 100.0:+.1f}%) {verdict}")
+            if verdict == "FAIL":
+                failures.append(
+                    f"{exp}: wall-clock {bw:.3f}s -> {pw:.3f}s exceeds "
+                    f"+{args.wall_tolerance * 100.0:.0f}% tolerance")
+
+        # Search-node counters: deterministic, any increase fails.
+        bn, pn = counter(b, "exact_cc.nodes"), counter(p, "exact_cc.nodes")
+        if bn is None or pn is None:
+            print(f"[{exp}] exact_cc.nodes counter absent on "
+                  f"{'base' if bn is None else 'pr'} side — counter check "
+                  "skipped")
+        else:
+            verdict = "FAIL" if pn > bn else "ok"
+            print(f"[{exp}] exact_cc.nodes {bn} -> {pn} {verdict}")
+            if verdict == "FAIL":
+                failures.append(f"{exp}: exact_cc.nodes grew {bn} -> {pn}")
+
+        br, prw = row_nodes(b), row_nodes(p)
+        for name in sorted(set(br) & set(prw)):
+            if prw[name] > br[name]:
+                print(f"[{exp}] row '{name}' nodes {br[name]} -> "
+                      f"{prw[name]} FAIL")
+                failures.append(
+                    f"{exp}/{name}: nodes grew {br[name]} -> {prw[name]}")
+
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -599,6 +599,85 @@ let prop_exact_cc_transpose params =
   let m = mat_of params in
   Exact_cc.complexity m = Exact_cc.complexity (Bm.transpose m)
 
+let test_exact_cc_raised_cap () =
+  (* The packed engine accepts boards up to 16x16 (the seed engine
+     capped at 12).  EQ on m values costs ceil(log2 m) + 1 bits. *)
+  Alcotest.(check int) "EQ 14x14" 5 (Exact_cc.complexity (Bm.identity 14));
+  Alcotest.(check int) "EQ 16x16" 5 (Exact_cc.complexity (Bm.identity 16));
+  let gt14 = Bm.init 14 14 (fun i j -> i > j) in
+  Alcotest.(check int) "GT 14x14" 5 (Exact_cc.complexity gt14)
+
+let test_exact_cc_too_large () =
+  (* GT on 17 values survives canonicalization intact (all rows and
+     columns distinct), so it must be rejected — with the offending
+     POST-canonicalization dimensions in the error. *)
+  let m = Bm.init 17 17 (fun i j -> i > j) in
+  Alcotest.check_raises "17x17 rejected"
+    (Exact_cc.Too_large { rows = 17; cols = 17; limit = 16 }) (fun () ->
+      ignore (Exact_cc.complexity m))
+
+let test_exact_cc_cap_post_canonicalization () =
+  (* 20x20 raw, but rows/cols repeat with period 4: canonicalizes to
+     the 4x4 identity, so it must be ACCEPTED despite 20 > 16 — the
+     cap applies to the canonical board, not the input.  CC is
+     unchanged by duplicate-line collapse. *)
+  let m = Bm.init 20 20 (fun i j -> i mod 4 = j mod 4) in
+  Alcotest.(check int) "20x20 with period-4 lines" 3 (Exact_cc.complexity m);
+  let _, st = Exact_cc.search m in
+  Alcotest.(check int) "canonical rows" 4 st.Exact_cc.canon_rows;
+  Alcotest.(check int) "canonical cols" 4 st.Exact_cc.canon_cols
+
+let gen_ref_bitmat =
+  (* The reference engine is the raw exponential recursion — no table,
+     no pruning — so its inputs stay at <= 5x5 where the full game
+     tree is still cheap. *)
+  QCheck.Gen.(
+    int_range 1 5 >>= fun r ->
+    int_range 1 5 >>= fun c ->
+    int_range 0 10000 >>= fun seed ->
+    int_range 1 9 >>= fun tenths ->
+    return (r, c, seed, tenths))
+
+let arb_ref_bitmat =
+  QCheck.make
+    ~print:(fun (r, c, s, t) -> Printf.sprintf "%dx%d seed=%d dens=%d" r c s t)
+    gen_ref_bitmat
+
+let prop_exact_cc_reference_agrees params =
+  (* The fully de-optimized engine (no table, no canonicalization, no
+     pruning) is the executable spec: the optimized default must
+     compute the same value on every input. *)
+  let m = mat_of params in
+  let v_fast, _ = Exact_cc.search m in
+  let v_ref, st = Exact_cc.search ~config:Exact_cc.reference_config m in
+  v_fast = v_ref && st.Exact_cc.table_hits = 0
+
+let gen_medium_bitmat =
+  QCheck.Gen.(
+    int_range 1 8 >>= fun r ->
+    int_range 1 8 >>= fun c ->
+    int_range 0 10000 >>= fun seed ->
+    int_range 1 9 >>= fun tenths ->
+    return (r, c, seed, tenths))
+
+let arb_medium_bitmat =
+  QCheck.make
+    ~print:(fun (r, c, s, t) -> Printf.sprintf "%dx%d seed=%d dens=%d" r c s t)
+    gen_medium_bitmat
+
+let prop_exact_cc_toggle_invariance params =
+  (* Each optimization toggled off individually (keeping the table so
+     8x8 stays fast): the computed value never changes, only the work
+     counters do. *)
+  let m = mat_of params in
+  let v0, _ = Exact_cc.search m in
+  List.for_all
+    (fun config -> fst (Exact_cc.search ~config m) = v0)
+    Exact_cc.
+      [ { default_config with canonicalize = false };
+        { default_config with prune = false };
+        { default_config with table_budget = Some 64 } ]
+
 let prop_exact_cc_monotone_submatrix params =
   (* restricting to a submatrix can only decrease the complexity *)
   let m = mat_of params in
@@ -726,6 +805,16 @@ let () =
           Alcotest.test_case "tiny singularity = 3 bits" `Quick
             test_exact_cc_singularity;
           Alcotest.test_case "greater-than" `Quick test_exact_cc_gt;
+          Alcotest.test_case "raised cap: 14x14 and 16x16" `Quick
+            test_exact_cc_raised_cap;
+          Alcotest.test_case "too-large structured error" `Quick
+            test_exact_cc_too_large;
+          Alcotest.test_case "cap checked post-canonicalization" `Quick
+            test_exact_cc_cap_post_canonicalization;
+          qtest "optimized = reference engine" ~count:120 arb_ref_bitmat
+            prop_exact_cc_reference_agrees;
+          qtest "toggles preserve value (8x8)" ~count:60 arb_medium_bitmat
+            prop_exact_cc_toggle_invariance;
           qtest "sandwiched by bounds" ~count:100 arb_small_bitmat
             prop_exact_cc_sandwiched;
           qtest "agent-symmetric" ~count:100 arb_small_bitmat

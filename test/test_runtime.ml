@@ -415,6 +415,45 @@ let test_json_file_roundtrip () =
   Sys.remove path
 
 (* ------------------------------------------------------------------ *)
+(* Exact-CC engine under the pool: values AND stats jobs-invariant     *)
+(* ------------------------------------------------------------------ *)
+
+module Exact_cc = Commx_comm.Exact_cc
+
+let test_exact_cc_pool_jobs_invariant () =
+  (* The engine partitions root moves into a FIXED number of strided
+     groups (never derived from the worker count), so the pooled
+     search must return identical values and identical work counters
+     at any --jobs.  This 10x10 instance canonicalizes to 9x10 — 766
+     root moves, above the engine's parallel threshold — and its
+     certified bounds do not meet, so the tree is genuinely searched
+     in parallel. *)
+  let g = Prng.create 105015 in
+  let m = Commx_util.Bitmat.init 10 10 (fun _ _ -> Prng.float g < 0.15) in
+  let v_seq, _ = Exact_cc.search m in
+  let run jobs = Pool.with_pool ~jobs (fun pool -> Exact_cc.search ~pool m) in
+  let v1, s1 = run 1 in
+  let v3, s3 = run 3 in
+  Alcotest.(check int) "pooled value = sequential value" v_seq v1;
+  Alcotest.(check int) "value jobs-invariant" v1 v3;
+  Alcotest.(check bool) "a real search happened" true (s1.Exact_cc.nodes > 0);
+  Alcotest.(check int) "nodes" s1.Exact_cc.nodes s3.Exact_cc.nodes;
+  Alcotest.(check int) "table hits" s1.Exact_cc.table_hits
+    s3.Exact_cc.table_hits;
+  Alcotest.(check int) "table misses" s1.Exact_cc.table_misses
+    s3.Exact_cc.table_misses;
+  Alcotest.(check int) "table evictions" s1.Exact_cc.table_evictions
+    s3.Exact_cc.table_evictions;
+  Alcotest.(check int) "canon rows" s1.Exact_cc.canon_rows
+    s3.Exact_cc.canon_rows;
+  Alcotest.(check int) "canon cols" s1.Exact_cc.canon_cols
+    s3.Exact_cc.canon_cols;
+  Alcotest.(check int) "root lower" s1.Exact_cc.root_lower
+    s3.Exact_cc.root_lower;
+  Alcotest.(check int) "root upper" s1.Exact_cc.root_upper
+    s3.Exact_cc.root_upper
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "runtime"
@@ -457,5 +496,8 @@ let () =
           Alcotest.test_case "mkdir_p" `Quick test_cli_mkdir_p ] );
       ( "json-file",
         [ Alcotest.test_case "atomic write + roundtrip" `Quick
-            test_json_file_roundtrip ] )
+            test_json_file_roundtrip ] );
+      ( "exact-cc-pool",
+        [ Alcotest.test_case "pooled search jobs-invariant" `Quick
+            test_exact_cc_pool_jobs_invariant ] )
     ]

@@ -500,6 +500,96 @@ let test_pool_invalid_jobs () =
       ignore (Pool.create ~jobs:0))
 
 (* ------------------------------------------------------------------ *)
+(* Txtable: packed transposition table                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Tx = Commx_util.Txtable
+
+let test_txtable_roundtrip () =
+  (* Starting tiny forces several grows; every key must remain findable
+     with its LAST stored value (no budget, so nothing is ever
+     evicted). *)
+  let t = Tx.create ~initial_bits:2 () in
+  let g = Prng.create 77 in
+  let keys = Array.init 1000 (fun i -> (i * 7919) + Prng.int g 3) in
+  Array.iteri (fun i k -> Tx.set t k i) keys;
+  Array.iteri (fun i k -> Tx.set t k (i * 2)) keys;
+  let missing = ref 0 in
+  Array.iteri
+    (fun i k ->
+      match Tx.find t k with
+      | -1 -> incr missing
+      | v -> Alcotest.(check int) "last write wins" (i * 2) v)
+    keys;
+  Alcotest.(check int) "no evictions without budget" 0 (Tx.stats t).Tx.evictions;
+  Alcotest.(check int) "everything findable" 0 !missing;
+  (* distinct keys only: duplicates from the +Prng.int jitter are
+     possible in principle but 7919 steps dwarf jitter 0..2 *)
+  Alcotest.(check int) "size = distinct keys" 1000 (Tx.length t)
+
+let test_txtable_collisions_never_lie () =
+  (* A saturated bounded table evicts, so [find] may miss — but it must
+     NEVER return a value that was stored under a different key.  Keys
+     are spread over a range vastly larger than the budget to force
+     both collisions and evictions. *)
+  let t = Tx.create ~budget_entries:64 ~initial_bits:4 () in
+  let reference = Hashtbl.create 512 in
+  let g = Prng.create 41 in
+  for i = 0 to 4999 do
+    let k = Prng.int g 1_000_000_000 in
+    Hashtbl.replace reference k (i land 0xff);
+    Tx.set t k (i land 0xff)
+  done;
+  Alcotest.(check bool) "capacity bounded by budget" true (Tx.capacity t <= 64);
+  let st = Tx.stats t in
+  Alcotest.(check bool) "evictions occurred" true (st.Tx.evictions > 0);
+  Alcotest.(check int) "stores counted" 5000 st.Tx.stores;
+  Hashtbl.iter
+    (fun k v ->
+      match Tx.find t k with
+      | -1 -> () (* evicted: a miss is allowed *)
+      | found -> Alcotest.(check int) "hit returns the key's own value" v found)
+    reference
+
+let test_txtable_deterministic () =
+  (* Same insertion sequence => identical table state and identical
+     hit/miss/eviction statistics, eviction policy included.  The
+     engine's jobs-invariance rests on this. *)
+  let run () =
+    let t = Tx.create ~budget_entries:128 ~initial_bits:4 () in
+    let g = Prng.create 1234 in
+    for i = 0 to 9999 do
+      let k = Prng.int g 100_000 in
+      if i land 1 = 0 then Tx.set t k i else ignore (Tx.find t k)
+    done;
+    let probes = Array.init 500 (fun i -> Tx.find t (i * 191)) in
+    (Tx.stats t, Tx.length t, probes)
+  in
+  let s1, n1, p1 = run () in
+  let s2, n2, p2 = run () in
+  Alcotest.(check int) "hits" s1.Tx.hits s2.Tx.hits;
+  Alcotest.(check int) "misses" s1.Tx.misses s2.Tx.misses;
+  Alcotest.(check int) "evictions" s1.Tx.evictions s2.Tx.evictions;
+  Alcotest.(check int) "stores" s1.Tx.stores s2.Tx.stores;
+  Alcotest.(check int) "length" n1 n2;
+  Alcotest.(check (array int)) "probe results" p1 p2
+
+let test_txtable_clear_and_validation () =
+  let t = Tx.create ~initial_bits:3 () in
+  Tx.set t 42 7;
+  Alcotest.(check int) "stored" 7 (Tx.find t 42);
+  Tx.clear t;
+  Alcotest.(check int) "cleared" (-1) (Tx.find t 42);
+  Alcotest.(check int) "empty" 0 (Tx.length t);
+  Alcotest.check_raises "negative key rejected"
+    (Invalid_argument "Txtable.set: negative key") (fun () -> Tx.set t (-1) 0);
+  Alcotest.check_raises "negative value rejected"
+    (Invalid_argument "Txtable.set: negative value") (fun () -> Tx.set t 1 (-2));
+  Alcotest.check_raises "bad initial_bits"
+    (Invalid_argument "Txtable.create: initial_bits out of range") (fun () ->
+      ignore (Tx.create ~initial_bits:0 ()))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "util"
@@ -565,6 +655,15 @@ let () =
             test_json_parse_errors;
           qtest "float roundtrip bit-exact" QCheck.float
             prop_json_float_roundtrip ] );
+      ( "txtable",
+        [ Alcotest.test_case "grow + last-write-wins roundtrip" `Quick
+            test_txtable_roundtrip;
+          Alcotest.test_case "bounded table never lies" `Quick
+            test_txtable_collisions_never_lie;
+          Alcotest.test_case "deterministic stats + state" `Quick
+            test_txtable_deterministic;
+          Alcotest.test_case "clear + argument validation" `Quick
+            test_txtable_clear_and_validation ] );
       ( "pool",
         [ Alcotest.test_case "map matches sequential" `Quick
             test_pool_map_matches_sequential;
