@@ -2,7 +2,8 @@
 
    Subcommands:
      gen       generate a hard instance (optionally forced singular)
-     check     decide singularity of a matrix read from a file
+     singular  decide singularity of a matrix read from a file
+     check     differential fuzzing: optimized kernels vs. oracles
      protocol  run a protocol on a generated instance and report bits
      bounds    print the bound calculators for given (n, k)
      lemmas    spot-check Lemmas 3.2 / 3.5 / 3.9 on random instances *)
@@ -28,6 +29,8 @@ module Supervisor = Commx_util.Supervisor
 module Telemetry = Commx_util.Telemetry
 module Artifact = Commx_util.Artifact
 module Json = Commx_util.Json
+module Runner = Commx_check.Runner
+module Suite = Commx_check.Suite
 
 open Cmdliner
 
@@ -113,10 +116,10 @@ let gen_cmd =
     Term.(ret (const gen $ n_arg $ k_arg $ seed_arg $ singular))
 
 (* ------------------------------------------------------------------ *)
-(* check                                                               *)
+(* singular (named `check` before the fuzzer took that name)           *)
 (* ------------------------------------------------------------------ *)
 
-let check path =
+let singular path =
   let m = read_matrix path in
   if not (Zm.is_square m) then `Error (false, "matrix is not square")
   else begin
@@ -126,7 +129,7 @@ let check path =
     `Ok ()
   end
 
-let check_cmd =
+let singular_cmd =
   let path =
     Arg.(
       required
@@ -134,7 +137,7 @@ let check_cmd =
       & info [] ~docv:"FILE" ~doc:"Whitespace-separated integer matrix.")
   in
   let doc = "Decide singularity (plus rank and determinant) exactly." in
-  Cmd.v (Cmd.info "check" ~doc) Term.(ret (const check $ path))
+  Cmd.v (Cmd.info "singular" ~doc) Term.(ret (const singular $ path))
 
 (* ------------------------------------------------------------------ *)
 (* protocol                                                            *)
@@ -583,6 +586,211 @@ let exactcc_cmd =
   Cmd.v (Cmd.info "exactcc" ~doc) Term.(ret (const exactcc $ k_arg))
 
 (* ------------------------------------------------------------------ *)
+(* check — differential fuzzing                                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_id = "check"
+
+let print_report ~seed ~count (r : Runner.report) =
+  match r.Runner.outcome with
+  | Runner.Pass ->
+      Printf.printf "ok   %-32s %4d cases  %6.2fs\n" r.Runner.name
+        r.Runner.cases r.Runner.wall_s
+  | Runner.Failed f ->
+      Printf.printf
+        "FAIL %s (case %d, case-seed %d): %s\n\
+        \  counterexample (%d shrink steps): %s\n\
+        \  original: %s\n\
+        \  replay: ccmx check --seed %d --count %d --filter '%s'\n"
+        r.Runner.name f.Runner.case_index f.Runner.case_seed f.Runner.message
+        f.Runner.shrink_steps f.Runner.counterexample f.Runner.original seed
+        count r.Runner.name
+
+let check_fuzz seed count budget filter list_only opts =
+  if list_only then begin
+    List.iter
+      (fun p -> print_endline (Commx_check.Property.name p))
+      (Suite.all ());
+    `Ok ()
+  end
+  else begin
+    let opts = Cli.with_env_fault_seed opts in
+    Telemetry.set_level (Cli.telemetry_level opts);
+    let json_dir =
+      match (opts.Cli.json_dir, opts.Cli.resume_dir) with
+      | (Some _ as d), _ | None, d -> d
+    in
+    if
+      match opts.Cli.resume_dir with
+      | Some dir -> Artifact.resume_done ~dir ~id:check_id
+      | None -> false
+    then begin
+      Printf.printf "[resume] %s: ok artifact present, skipping\n" check_id;
+      `Ok ()
+    end
+    else begin
+      (* --timeout doubles as the per-property budget when --budget is
+         absent, keeping flag semantics close to the supervised
+         subcommands; the runner itself is sequential. *)
+      let budget_s =
+        match budget with Some _ as b -> b | None -> opts.Cli.timeout_s
+      in
+      let counters_before = Telemetry.counters () in
+      let trace_writer =
+        Option.map
+          (fun path -> Telemetry.Trace.open_file ~path)
+          opts.Cli.trace_file
+      in
+      let t0 = Clock.now_s () in
+      let reports =
+        Fun.protect
+          ~finally:(fun () ->
+            match trace_writer with
+            | Some w ->
+                (try Telemetry.Trace.flush w (Telemetry.drain_events ())
+                 with e ->
+                   Telemetry.Trace.abort w;
+                   raise e);
+                Telemetry.Trace.close w
+            | None -> ())
+          (fun () ->
+            Telemetry.with_span "experiment" ~args:[ ("id", check_id) ]
+              (fun () ->
+                Runner.run ?budget_s ?filter ~seed ~count (Suite.all ())))
+      in
+      let wall_s = Clock.now_s () -. t0 in
+      List.iter (print_report ~seed ~count) reports;
+      let failed =
+        List.filter
+          (fun r ->
+            match r.Runner.outcome with
+            | Runner.Failed _ -> true
+            | Runner.Pass -> false)
+          reports
+      in
+      (match json_dir with
+      | Some dir ->
+          let status = if failed = [] then "ok" else "failed" in
+          let error =
+            if failed = [] then Json.Null
+            else
+              Json.String
+                (Printf.sprintf "%d of %d properties diverged"
+                   (List.length failed) (List.length reports))
+          in
+          let metrics =
+            if Telemetry.metrics_on () then
+              Some
+                (Artifact.metrics
+                   ~counters:
+                     (Telemetry.diff_counters ~before:counters_before
+                        (Telemetry.counters ()))
+                   ~phases:(Telemetry.drain_phases ()))
+            else None
+          in
+          let row (r : Runner.report) =
+            let base =
+              [
+                ("property", Json.String r.Runner.name);
+                ("cases", Json.Int r.Runner.cases);
+                ("wall_s", Json.Float r.Runner.wall_s);
+              ]
+            in
+            match r.Runner.outcome with
+            | Runner.Pass -> Json.Obj (("status", Json.String "ok") :: base)
+            | Runner.Failed f ->
+                Json.Obj
+                  (("status", Json.String "failed")
+                  :: ("case_index", Json.Int f.Runner.case_index)
+                  :: ("case_seed", Json.Int f.Runner.case_seed)
+                  :: ("message", Json.String f.Runner.message)
+                  :: ("counterexample", Json.String f.Runner.counterexample)
+                  :: ("shrink_steps", Json.Int f.Runner.shrink_steps)
+                  :: base)
+          in
+          let report_fields =
+            [
+              ( "title",
+                Json.String "Differential fuzzing: kernels vs. oracles" );
+              ( "params",
+                Json.Obj
+                  [
+                    ("seed", Json.Int seed);
+                    ("count", Json.Int count);
+                    ("properties", Json.Int (List.length reports));
+                  ] );
+              ("rows", Json.List (List.map row reports));
+              ("fits", Json.Obj []);
+            ]
+          in
+          Artifact.write ~dir ~id:check_id ~jobs:opts.Cli.jobs ~wall_s
+            ~attempts:1 ~status ~error ?metrics ~report_fields ();
+          Printf.printf "[json] wrote %s (status: %s)\n"
+            (Artifact.path ~dir ~id:check_id)
+            status
+      | None -> ());
+      if opts.Cli.metrics then Telemetry.print_summary stdout;
+      let total_cases =
+        List.fold_left (fun a r -> a + r.Runner.cases) 0 reports
+      in
+      Printf.printf "%d properties, %d cases, %d failure(s) (%.2fs, seed %d)\n"
+        (List.length reports) total_cases (List.length failed) wall_s seed;
+      if failed = [] then `Ok ()
+      else begin
+        let msg =
+          Printf.sprintf "%d of %d properties diverged" (List.length failed)
+            (List.length reports)
+        in
+        if opts.Cli.keep_going then begin
+          Printf.eprintf "%s\n" msg;
+          `Ok ()
+        end
+        else `Error (false, msg)
+      end
+    end
+  end
+
+let check_cmd =
+  let count =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"Cases per property (default: 100).")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-property wall-clock budget: stop starting new cases \
+             once exceeded (the nightly tier raises --count and bounds \
+             time with this; default: none).")
+  in
+  let filter =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "filter" ] ~docv:"SUBSTR"
+          ~doc:"Run only properties whose name contains $(docv).")
+  in
+  let list_only =
+    Arg.(value & flag & info [ "list" ] ~doc:"List property names and exit.")
+  in
+  let doc =
+    "Differential fuzzing: seeded generators drive every optimized \
+     kernel (bignums, SWAR bit kernels, transposition table, exact-CC \
+     search, determinants, Lemma 3.2) against independent oracles, \
+     shrinking any divergence to a minimal counterexample.  \
+     Deterministic in --seed; the runner is sequential (--jobs is \
+     accepted for flag parity)."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      ret
+        (const check_fuzz $ seed_arg $ count $ budget $ filter $ list_only
+       $ cli_opts_term))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   (* Supervised `lemmas` runs record backtraces in Failed outcomes;
@@ -596,5 +804,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; check_cmd; protocol_cmd; bounds_cmd; lemmas_cmd;
-            ledger_cmd; exactcc_cmd ]))
+          [ gen_cmd; singular_cmd; check_cmd; protocol_cmd; bounds_cmd;
+            lemmas_cmd; ledger_cmd; exactcc_cmd ]))

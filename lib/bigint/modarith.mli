@@ -22,15 +22,26 @@ module Word : sig
   val reduce_big : modulus -> Bigint.t -> int
   (** Canonical residue of a bignum. *)
 
+  (** {!add}, {!sub}, {!mul}, {!pow} and {!neg} expect {e canonical}
+      residues in [\[0, m)] (as produced by {!reduce} / {!reduce_big})
+      and return canonical residues; feeding them out-of-range
+      representatives is unchecked and gives wrong answers rather than
+      an error. *)
+
   val add : modulus -> int -> int -> int
   val sub : modulus -> int -> int -> int
   val mul : modulus -> int -> int -> int
+
   val pow : modulus -> int -> int -> int
-  (** [pow m b e] for [e >= 0]. *)
+  (** [pow m b e] for [e >= 0]; [pow m b 0 = 1] for every canonical [b]
+      (including [b = 0]), for any modulus — prime or composite. *)
 
   val inv : modulus -> int -> int
-  (** Multiplicative inverse.
-      @raise Division_by_zero when not invertible. *)
+  (** Multiplicative inverse of a canonical residue.
+      @raise Division_by_zero when [gcd (x, m) <> 1] — in particular on
+      [x = 0], and on any [x] sharing a factor with a composite
+      modulus.  Never returns a bogus value for non-invertible
+      arguments. *)
 
   val neg : modulus -> int -> int
 end

@@ -1,0 +1,113 @@
+module Prng = Commx_util.Prng
+module Bitvec = Commx_util.Bitvec
+module Bitmat = Commx_util.Bitmat
+module B = Commx_bigint.Bigint
+module Zm = Commx_linalg.Zmatrix
+module Params = Commx_core.Params
+module H = Commx_core.Hard_instance
+
+type 'a t = Prng.t -> 'a
+
+let run gen g = gen g
+let return x _ = x
+let map f gen g = f (gen g)
+
+let bind gen f g =
+  let x = gen g in
+  f x g
+
+let pair ga gb g =
+  let a = ga g in
+  let b = gb g in
+  (a, b)
+
+let triple ga gb gc g =
+  let a = ga g in
+  let b = gb g in
+  let c = gc g in
+  (a, b, c)
+
+let oneof gens g = (Prng.choose g gens) g
+
+let array len elt g =
+  let n = len g in
+  if n = 0 then [||]
+  else begin
+    let first = elt g in
+    let a = Array.make n first in
+    for i = 1 to n - 1 do
+      a.(i) <- elt g
+    done;
+    a
+  end
+
+let list len elt g = Array.to_list (array len elt g)
+let bool g = Prng.bool g
+let int_range lo hi g = Prng.int_incl g lo hi
+
+let boundary_ints =
+  [|
+    0; 1; -1; 2; -2; max_int; min_int; max_int - 1; min_int + 1;
+    (1 lsl 31) - 1; 1 lsl 31; -(1 lsl 31); (1 lsl 31) + 1; 1 lsl 62;
+  |]
+
+let any_int g =
+  if Prng.int g 8 = 0 then Prng.choose g boundary_ints
+  else begin
+    (* A uniform draw would almost always be 62 bits wide; picking the
+       width first puts real probability mass on the small values and
+       the word-size boundaries. *)
+    let bits = Prng.int_incl g 0 62 in
+    let mag =
+      if bits = 0 then 0
+      else Int64.to_int (Int64.shift_right_logical (Prng.bits64 g) (64 - bits))
+    in
+    if Prng.bool g then -mag else mag
+  end
+
+let nonneg_int g = any_int g land max_int
+
+let byte_string len g =
+  let n = len g in
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set b i (Char.chr (Prng.int g 128))
+  done;
+  Bytes.to_string b
+
+let bigint ~bits g =
+  let b = bits g in
+  let mag = B.random_bits g b in
+  if Prng.bool g then B.neg mag else mag
+
+let bitvec ~len g =
+  let n = len g in
+  Bitvec.random g n
+
+let bitmat ~rows ~cols g =
+  let r = rows g in
+  let c = cols g in
+  Bitmat.random g r c
+
+let zmatrix ~rows ~cols ~bits g =
+  let r = rows g in
+  let c = cols g in
+  let b = bits g in
+  (* Fill through explicit loops (not the init callback) so the draw
+     order is specified. *)
+  let entries =
+    Array.init r (fun _ -> Array.make (Stdlib.max c 1) B.zero)
+  in
+  for i = 0 to r - 1 do
+    for j = 0 to c - 1 do
+      let mag = B.random_bits g b in
+      entries.(i).(j) <- (if Prng.bool g then B.neg mag else mag)
+    done
+  done;
+  Zm.init r c (fun i j -> entries.(i).(j))
+
+let small_params g =
+  let k = Prng.int_incl g 2 4 in
+  Params.make ~n:5 ~k
+
+let hard_free p g = H.random_free g p

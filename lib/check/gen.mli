@@ -1,0 +1,68 @@
+(** Seeded value generators for the differential fuzzer.
+
+    A generator is a function of a {!Commx_util.Prng.t}; every draw is
+    deterministic in the generator state, so a whole fuzzing run replays
+    exactly from one integer seed.  The combinators force their
+    sub-generators in a specified order (left to right), never through
+    [Array.init]-style unspecified evaluation, so the value stream is a
+    pure function of the seed on any runtime. *)
+
+type 'a t = Commx_util.Prng.t -> 'a
+
+val run : 'a t -> Commx_util.Prng.t -> 'a
+
+(** {2 Combinators} *)
+
+val return : 'a -> 'a t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+
+val oneof : 'a t array -> 'a t
+(** Uniform choice among alternatives (non-empty). *)
+
+val array : int t -> 'a t -> 'a array t
+(** [array len elt]: length drawn first, then elements left to right. *)
+
+val list : int t -> 'a t -> 'a list t
+
+(** {2 Scalars} *)
+
+val bool : bool t
+
+val int_range : int -> int -> int t
+(** Uniform in the inclusive range. *)
+
+val any_int : int t
+(** Full-range signed int with a size-varying magnitude distribution,
+    spiked with boundary values ([0], [±1], [min_int], [max_int],
+    [±2^31], ...) — the inputs overflow bugs live at. *)
+
+val nonneg_int : int t
+(** {!any_int} masked onto [\[0, max_int\]]. *)
+
+val byte_string : int t -> string t
+(** Bytes uniform in [\[0, 127\]] — control characters included, which
+    is the point (JSON escaping). *)
+
+(** {2 Domain values} *)
+
+val bigint : bits:int t -> Commx_bigint.Bigint.t t
+(** Uniform magnitude below [2^bits], uniform sign. *)
+
+val bitvec : len:int t -> Commx_util.Bitvec.t t
+val bitmat : rows:int t -> cols:int t -> Commx_util.Bitmat.t t
+
+val zmatrix :
+  rows:int t -> cols:int t -> bits:int t -> Commx_linalg.Zmatrix.t t
+(** Integer matrix with independent signed entries of at most [bits]
+    magnitude bits (one [bits] draw per matrix). *)
+
+val small_params : Commx_core.Params.t t
+(** Restricted-format parameters small enough to fuzz against direct
+    determinant evaluation: [n = 5], [k] in [\[2, 4\]]. *)
+
+val hard_free : Commx_core.Params.t -> Commx_core.Hard_instance.free t
+(** Uniform free blocks [C], [D], [E], [y] of the Fig. 1/3 hard
+    instance. *)

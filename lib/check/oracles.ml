@@ -1,0 +1,65 @@
+module Bitvec = Commx_util.Bitvec
+module Bitmat = Commx_util.Bitmat
+module B = Commx_bigint.Bigint
+module Zm = Commx_linalg.Zmatrix
+
+let popcount_int_naive x =
+  if x < 0 then invalid_arg "Oracles.popcount_int_naive: negative";
+  let c = ref 0 in
+  for i = 0 to 62 do
+    if (x lsr i) land 1 = 1 then incr c
+  done;
+  !c
+
+let bitvec_bools v = Array.init (Bitvec.length v) (Bitvec.get v)
+
+let mono_masked_naive m ~rmask ~cmask =
+  let seen0 = ref false and seen1 = ref false in
+  for i = 0 to Bitmat.rows m - 1 do
+    if (rmask lsr i) land 1 = 1 then
+      for j = 0 to Bitmat.cols m - 1 do
+        if (cmask lsr j) land 1 = 1 then
+          if Bitmat.get m i j then seen1 := true else seen0 := true
+      done
+  done;
+  if !seen0 && !seen1 then -1 else if !seen1 then 1 else 0
+
+let count_ones_naive m =
+  let c = ref 0 in
+  for i = 0 to Bitmat.rows m - 1 do
+    for j = 0 to Bitmat.cols m - 1 do
+      if Bitmat.get m i j then incr c
+    done
+  done;
+  !c
+
+let rec det_cofactor m =
+  let n = Zm.rows m in
+  if n <> Zm.cols m then invalid_arg "Oracles.det_cofactor: not square";
+  if n = 0 then B.one
+  else if n = 1 then Zm.get m 0 0
+  else begin
+    let acc = ref B.zero in
+    for j = 0 to n - 1 do
+      let c = Zm.get m 0 j in
+      if not (B.is_zero c) then begin
+        let minor =
+          Zm.init (n - 1) (n - 1) (fun i' j' ->
+              Zm.get m (i' + 1) (if j' < j then j' else j' + 1))
+        in
+        let term = B.mul c (det_cofactor minor) in
+        acc := (if j land 1 = 0 then B.add !acc term else B.sub !acc term)
+      end
+    done;
+    !acc
+  end
+
+module Table_model = struct
+  type t = (int, int) Hashtbl.t
+
+  let create () = Hashtbl.create 16
+  let set t k v = Hashtbl.replace t k v
+  let find t k = Option.value (Hashtbl.find_opt t k) ~default:(-1)
+  let length t = Hashtbl.length t
+  let fold f t init = Hashtbl.fold f t init
+end

@@ -1,0 +1,15 @@
+type t =
+  | Prop : {
+      name : string;
+      gen : 'a Gen.t;
+      shrink : 'a Shrink.t;
+      show : 'a -> string;
+      check : 'a -> string option;
+    }
+      -> t
+
+let make ~name ~gen ?(shrink = Shrink.nothing) ?(show = fun _ -> "<opaque>")
+    check =
+  Prop { name; gen; shrink; show; check }
+
+let name (Prop p) = p.name

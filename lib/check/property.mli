@@ -1,0 +1,28 @@
+(** A named differential property: generator, checker, shrinker.
+
+    The checker returns [None] on agreement and [Some message] on a
+    divergence; raising is also treated as a failure (with the
+    exception text as the message), so a checker can call the optimized
+    path directly and let unexpected exceptions surface as
+    counterexamples. *)
+
+type t =
+  | Prop : {
+      name : string;
+      gen : 'a Gen.t;
+      shrink : 'a Shrink.t;
+      show : 'a -> string;
+      check : 'a -> string option;
+    }
+      -> t
+
+val make :
+  name:string ->
+  gen:'a Gen.t ->
+  ?shrink:'a Shrink.t ->
+  ?show:('a -> string) ->
+  ('a -> string option) ->
+  t
+(** [?shrink] defaults to {!Shrink.nothing}, [?show] to a placeholder. *)
+
+val name : t -> string

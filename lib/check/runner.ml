@@ -1,0 +1,151 @@
+module Prng = Commx_util.Prng
+module Clock = Commx_util.Clock
+module Telemetry = Commx_util.Telemetry
+
+(* Two rounds of a murmur-style avalanche over wrapping native-int
+   arithmetic.  Only determinism and stream separation matter (each
+   result seeds a full SplitMix64 generator), not bit-level quality. *)
+let mix a b =
+  let h = a lxor (b * 0x100000001b3) in
+  let h = h lxor (h lsr 33) in
+  let h = h * 0xff51afd7ed558cc in
+  h lxor (h lsr 29)
+
+let case_seed ~seed ~name ~index = mix (mix seed (Hashtbl.hash name)) index
+let max_shrink_steps = 500
+
+type failure = {
+  case_index : int;
+  case_seed : int;
+  message : string;
+  counterexample : string;
+  original : string;
+  shrink_steps : int;
+}
+
+type outcome = Pass | Failed of failure
+
+type report = {
+  name : string;
+  cases : int;
+  outcome : outcome;
+  wall_s : float;
+}
+
+let failures_counter = Telemetry.counter "check.failures"
+
+let run_one ?budget_s ~seed ~count (Property.Prop p) =
+  let t0 = Clock.now_s () in
+  let cases_counter = Telemetry.counter ("check." ^ p.name ^ ".cases") in
+  let check_catch x =
+    try p.check x
+    with e ->
+      Some (Printf.sprintf "uncaught exception: %s" (Printexc.to_string e))
+  in
+  (* Greedy descent: first still-failing candidate wins, repeat. *)
+  let shrink x0 msg0 =
+    let rec go x msg steps =
+      if steps >= max_shrink_steps then (x, msg, steps)
+      else begin
+        let next =
+          try
+            Seq.find_map
+              (fun c ->
+                match check_catch c with
+                | Some m -> Some (c, m)
+                | None -> None)
+              (p.shrink x)
+          with _ -> None
+        in
+        match next with
+        | Some (c, m) -> go c m (steps + 1)
+        | None -> (x, msg, steps)
+      end
+    in
+    go x0 msg0 0
+  in
+  let over_budget () =
+    match budget_s with
+    | None -> false
+    | Some b -> Clock.now_s () -. t0 >= b
+  in
+  let rec loop i =
+    if i >= count || over_budget () then
+      { name = p.name; cases = i; outcome = Pass; wall_s = Clock.now_s () -. t0 }
+    else begin
+      let cs = case_seed ~seed ~name:p.name ~index:i in
+      let g = Prng.create cs in
+      Telemetry.incr cases_counter;
+      let case =
+        match p.gen g with
+        | x -> Ok x
+        | exception e ->
+            Error
+              (Printf.sprintf "generator raised: %s" (Printexc.to_string e))
+      in
+      match case with
+      | Error message ->
+          Telemetry.incr failures_counter;
+          {
+            name = p.name;
+            cases = i + 1;
+            outcome =
+              Failed
+                {
+                  case_index = i;
+                  case_seed = cs;
+                  message;
+                  counterexample = "<generator failure>";
+                  original = "<generator failure>";
+                  shrink_steps = 0;
+                };
+            wall_s = Clock.now_s () -. t0;
+          }
+      | Ok x -> (
+          match check_catch x with
+          | None -> loop (i + 1)
+          | Some msg ->
+              Telemetry.incr failures_counter;
+              let x', msg', steps = shrink x msg in
+              {
+                name = p.name;
+                cases = i + 1;
+                outcome =
+                  Failed
+                    {
+                      case_index = i;
+                      case_seed = cs;
+                      message = msg';
+                      counterexample = p.show x';
+                      original = p.show x;
+                      shrink_steps = steps;
+                    };
+                wall_s = Clock.now_s () -. t0;
+              })
+    end
+  in
+  loop 0
+
+let contains ~sub s =
+  let ls = String.length s and lb = String.length sub in
+  if lb = 0 then true
+  else begin
+    let rec at i =
+      if i + lb > ls then false
+      else String.sub s i lb = sub || at (i + 1)
+    in
+    at 0
+  end
+
+let run ?budget_s ?filter ~seed ~count props =
+  let props =
+    match filter with
+    | None -> props
+    | Some sub ->
+        List.filter (fun p -> contains ~sub (Property.name p)) props
+  in
+  List.map (run_one ?budget_s ~seed ~count) props
+
+let all_passed reports =
+  List.for_all (fun r -> match r.outcome with Pass -> true | Failed _ -> false)
+    reports

@@ -1,0 +1,56 @@
+(** Deterministic property runner with greedy shrinking.
+
+    Each case [i] of property [p] under master seed [S] draws from a
+    fresh generator seeded by a mix of [S], [p]'s name, and [i] — so a
+    run is a pure function of [(S, count)], properties are independent
+    of each other and of list order, and a failure replays from the
+    printed master seed alone.
+
+    On a failing case the runner shrinks greedily: it scans the
+    property's candidate sequence for the first candidate that still
+    fails, restarts from it, and repeats until no candidate fails (or
+    {!max_shrink_steps} is hit), reporting both the original and the
+    shrunk counterexample.
+
+    Per-property telemetry: [check.<name>.cases] counts executed cases,
+    [check.failures] counts failing properties. *)
+
+val case_seed : seed:int -> name:string -> index:int -> int
+(** The derived per-case seed (exposed for replay tooling/tests). *)
+
+val max_shrink_steps : int
+
+type failure = {
+  case_index : int;  (** index of the first failing case *)
+  case_seed : int;  (** its derived generator seed *)
+  message : string;  (** divergence message for the shrunk case *)
+  counterexample : string;  (** shrunk witness, printed *)
+  original : string;  (** pre-shrink witness, printed *)
+  shrink_steps : int;
+}
+
+type outcome = Pass | Failed of failure
+
+type report = {
+  name : string;
+  cases : int;  (** cases actually executed (budget may stop early) *)
+  outcome : outcome;
+  wall_s : float;
+}
+
+val run_one : ?budget_s:float -> seed:int -> count:int -> Property.t -> report
+(** Runs up to [count] cases; [?budget_s] stops starting new cases once
+    the property has consumed that much wall time (the deep/nightly
+    tier raises [count] and bounds time instead). *)
+
+val run :
+  ?budget_s:float ->
+  ?filter:string ->
+  seed:int ->
+  count:int ->
+  Property.t list ->
+  report list
+(** [?filter] keeps properties whose name contains the substring.
+    [?budget_s] applies per property. *)
+
+val all_passed : report list -> bool

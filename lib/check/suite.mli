@@ -1,0 +1,27 @@
+(** The differential property suite: every optimized layer against an
+    independent oracle.
+
+    Coverage (optimized implementation vs. oracle):
+    - [bigint.*] — {!Commx_bigint.Bigint} vs. native-int arithmetic on
+      word-sized inputs, div/mod reconstruction laws, decimal
+      round-trip, Karatsuba vs. forced schoolbook;
+    - [modarith.*] — {!Commx_bigint.Modarith.Word} vs. bignum
+      [(a op b) mod m], and the [inv] / [Division_by_zero] contract;
+    - [bitvec.*] / [bitmat.*] — SWAR kernels ([popcount_int],
+      [mono_masked], packed rows/columns) vs. bit-at-a-time loops;
+    - [txtable.*] — {!Commx_util.Txtable} vs. an association model:
+      exact agreement unbudgeted, fail-softness under eviction;
+    - [exact_cc.*] — the optimized search vs. the reference enumerator,
+      and the certified lower/upper bound sandwich;
+    - [zmatrix.*] — Bareiss and CRT determinants vs. cofactor
+      expansion, rank/determinant consistency, the Hadamard bound;
+    - [lemma32.*] — the singularity criterion vs. direct determinant
+      evaluation on random and on completed (Lemma 3.5(a)) restricted
+      Fig. 1/3 instances;
+    - [json.*], [stats.*], [combi.*] — serialization round-trip
+      (non-finite floats, control characters), percentile/median
+      consistency, overflow-exact [power] vs. bignum exponentiation. *)
+
+val all : unit -> Property.t list
+(** Every property, in a fixed order (the order does not affect any
+    property's value stream — see {!Runner.case_seed}). *)

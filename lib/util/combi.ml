@@ -19,19 +19,38 @@ let iter_tuples radix len f =
     continue := len > 0 && advance 0
   done
 
+(* Exact overflow-checked product.  The magnitude test [ax > max_int /
+   ay] is a floor comparison, so it is exact, never approximate; the
+   one representable product it would wrongly reject is [min_int]
+   itself (magnitude [max_int + 1]), recognized by the second test:
+   [ay] divides [2^62] iff [max_int mod ay = ay - 1], and then
+   [2^62 / ay = max_int / ay + 1]. *)
+let mul_checked x y =
+  if x = 0 || y = 0 then 0
+  else if x = 1 then y
+  else if y = 1 then x
+  else if x = min_int || y = min_int then failwith "Combi.power: overflow"
+  else begin
+    let ax = abs x and ay = abs y in
+    let neg = x < 0 <> (y < 0) in
+    if ax <= max_int / ay then if neg then -(ax * ay) else ax * ay
+    else if neg && max_int mod ay = ay - 1 && ax = (max_int / ay) + 1 then
+      min_int
+    else failwith "Combi.power: overflow"
+  end
+
 let power b e =
   if e < 0 then invalid_arg "Combi.power: negative exponent";
   let rec go acc b e =
     if e = 0 then acc
-    else
-      let acc = if e land 1 = 1 then acc * b else acc in
-      if acc <> 0 && abs acc > max_int / max 1 (abs b) && e > 1 then
-        failwith "Combi.power: overflow"
-      else go acc (b * b) (e lsr 1)
+    else begin
+      let acc = if e land 1 = 1 then mul_checked acc b else acc in
+      let e = e lsr 1 in
+      (* Only square when another round needs it: [b * b] may overflow
+         even though the already-accumulated result is exact. *)
+      if e = 0 then acc else go acc (mul_checked b b) e
+    end
   in
-  (* Overflow check via a second pass in floating point for safety. *)
-  let approx = Float.pow (float_of_int b) (float_of_int e) in
-  if Float.abs approx > 4.0e18 then failwith "Combi.power: overflow";
   go 1 b e
 
 let count_tuples radix len = power radix len

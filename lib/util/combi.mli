@@ -38,5 +38,9 @@ val binomial : int -> int -> int
     @raise Failure on native-int overflow of the result. *)
 
 val power : int -> int -> int
-(** [power b e] for [e >= 0] with overflow detection.
+(** [power b e] for [e >= 0] with {e exact} overflow detection: the
+    result is returned iff [b^e] is representable as a native int
+    (boundary values like [3^39] or [(2^31 - 1)^2], and [min_int]
+    itself, included) — the check is integer division against
+    [max_int], never a float approximation.
     @raise Failure on native-int overflow. *)

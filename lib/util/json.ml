@@ -37,8 +37,16 @@ let float_repr f =
     let s = Printf.sprintf "%.12g" f in
     if float_of_string s = f then s else Printf.sprintf "%.17g" f
 
+(* Non-finite floats have no strict-JSON literal; emitting [null] (as
+   this module once did) silently turned [Float nan] into [Null] on the
+   way back in.  We use the de-facto extension literals (Python's
+   [json], JavaScript's [JSON.parse] with reviver, etc.): [NaN],
+   [Infinity], [-Infinity] — and the parser below accepts them, so
+   every [Float] round-trips. *)
 let add_number buf f =
-  if not (Float.is_finite f) then Buffer.add_string buf "null"
+  if Float.is_nan f then Buffer.add_string buf "NaN"
+  else if f = Float.infinity then Buffer.add_string buf "Infinity"
+  else if f = Float.neg_infinity then Buffer.add_string buf "-Infinity"
   else Buffer.add_string buf (float_repr f)
 
 let rec emit ~indent ~level buf v =
@@ -239,6 +247,12 @@ let rec parse_value cur =
   | Some 'n' -> parse_literal cur "null" Null
   | Some 't' -> parse_literal cur "true" (Bool true)
   | Some 'f' -> parse_literal cur "false" (Bool false)
+  | Some 'N' -> parse_literal cur "NaN" (Float Float.nan)
+  | Some 'I' -> parse_literal cur "Infinity" (Float Float.infinity)
+  | Some '-'
+    when cur.pos + 1 < String.length cur.src && cur.src.[cur.pos + 1] = 'I' ->
+      advance cur;
+      parse_literal cur "Infinity" (Float Float.neg_infinity)
   | Some '"' -> String (parse_string cur)
   | Some '[' ->
       advance cur;

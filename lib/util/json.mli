@@ -21,7 +21,11 @@ type t =
 
 val to_string : t -> string
 (** Compact serialization (no insignificant whitespace).  Non-finite
-    floats have no JSON representation and are emitted as [null]. *)
+    floats have no strict-JSON literal and are emitted as the de-facto
+    extension tokens [NaN], [Infinity] and [-Infinity] (accepted by
+    {!of_string}, Python's [json], and most lenient parsers), so every
+    [Float] — finite or not — round-trips instead of collapsing to
+    [null]. *)
 
 val to_string_pretty : t -> string
 (** Two-space-indented serialization, trailing newline, for artifacts

@@ -20,12 +20,28 @@ let min_max xs =
     (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
     (xs.(0), xs.(0)) xs
 
+(* Linear interpolation between closest ranks (the numpy default): rank
+   h = (n-1) * p / 100 over the sorted sample, interpolating between
+   floor(h) and ceil(h).  With p = 50 and even n this lands exactly
+   halfway between the two middle elements, so [median] below agrees
+   with [percentile 50] by construction rather than by coincidence. *)
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if not (p >= 0.0 && p <= 100.0) then
+    invalid_arg "Stats.percentile: p outside [0, 100]";
+  let s = Array.copy xs in
+  Array.sort Float.compare s;
+  let h = float_of_int (n - 1) *. p /. 100.0 in
+  let lo = int_of_float (Float.floor h) in
+  let hi = min (lo + 1) (n - 1) in
+  let frac = h -. float_of_int lo in
+  s.(lo) +. (frac *. (s.(hi) -. s.(lo)))
+
 let median xs =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.median: empty sample";
-  let s = Array.copy xs in
-  Array.sort Float.compare s;
-  if n mod 2 = 1 then s.(n / 2) else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.0
+  percentile xs 50.0
 
 let ci95_halfwidth xs =
   let n = Array.length xs in

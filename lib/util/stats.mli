@@ -9,14 +9,30 @@ val mean : float array -> float
 (** Arithmetic mean.  @raise Invalid_argument on an empty array. *)
 
 val variance : float array -> float
-(** Unbiased sample variance (n-1 denominator); 0 for singletons. *)
+(** {e Sample} (unbiased, Bessel-corrected) variance: sum of squared
+    deviations over [n - 1], not the population [n] denominator — the
+    benches treat their repetitions as a sample of a noisy measurement
+    process.  [n = 1] returns [0.0] (a singleton shows no dispersion;
+    the [n - 1] formula would be 0/0).
+    @raise Invalid_argument on an empty array. *)
 
 val stddev : float array -> float
 
 val min_max : float array -> float * float
 
 val median : float array -> float
-(** Median (average of middle two for even lengths).  Does not mutate. *)
+(** Median, defined as [percentile xs 50.0]: odd lengths give the middle
+    element, even lengths the midpoint of the two middle elements.  Does
+    not mutate. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0, 100\]]: linear interpolation
+    between closest ranks of the sorted sample (rank
+    [(n - 1) * p / 100], the numpy default), so [percentile xs 0] and
+    [percentile xs 100] are the extremes and [percentile xs 50] equals
+    {!median} on both parities.  Does not mutate.
+    @raise Invalid_argument on an empty array or [p] outside the
+    range. *)
 
 val ci95_halfwidth : float array -> float
 (** Half-width of the normal-approximation 95% confidence interval of

@@ -37,7 +37,13 @@ def load_artifacts(dirname):
     for path in sorted(glob.glob(os.path.join(dirname, "BENCH_*.json"))):
         with open(path) as fh:
             art = json.load(fh)
-        arts[art.get("experiment") or os.path.basename(path)] = art
+        exp = art.get("experiment") or os.path.basename(path)
+        # The differential fuzzer ("check") is a correctness tier, not a
+        # benchmark: its wall clock scales with --count/--budget and its
+        # counters track fuzzed cases, so it is never perf-gated.
+        if exp.startswith("check"):
+            continue
+        arts[exp] = art
     return arts
 
 

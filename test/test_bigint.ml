@@ -261,6 +261,99 @@ let test_divmod_addback_cases () =
       Alcotest.(check bi) "reconstruct" u (B.add (B.mul q v) r))
     cases
 
+(* Deterministic witnesses that drive Algorithm D into its add-back
+   branch (probability ~2/2^31 on random inputs, and only reachable
+   with a divisor of >= 3 limbs, so random stress rarely lands there).
+   With base b = 2^31, v = [b-1; 0; 2^30] = 2^92 + (2^31 - 1) and
+   u = [u0; 0; 0; 1] = 2^93 + u0, the first quotient-digit estimate is
+   qhat = 2, the two-digit correction test passes (v's middle limb is
+   0), the multiply-subtract goes negative, and add-back corrects the
+   digit to the true q. *)
+let test_divmod_addback_exact () =
+  let p2 e = B.shift_left B.one e in
+  let v = B.add (p2 92) (B.of_int ((1 lsl 31) - 1)) in
+  (* Case 1: single-digit quotient.  q = 1, r = u - v. *)
+  let u1 = B.add (p2 93) (B.of_int 5) in
+  let q1, r1 = B.divmod u1 v in
+  Alcotest.(check bi) "q1" B.one q1;
+  Alcotest.(check bi) "r1" (B.sub u1 v) r1;
+  (* Case 2: the add-back digit lands mid-quotient.  u = (2^93 + 5) *
+     2^31 + 123456789; the true quotient is 2^32 - 1 (every corrected
+     digit is b-1, the signature of add-back). *)
+  let u2 = B.add (B.shift_left u1 31) (B.of_int 123_456_789) in
+  let q2, r2 = B.divmod u2 v in
+  Alcotest.(check bi) "q2" (B.of_int ((1 lsl 32) - 1)) q2;
+  Alcotest.(check bi) "r2" (B.sub u2 (B.mul q2 v)) r2;
+  Alcotest.(check bool) "r2 range" true (B.compare r2 v < 0 && B.sign r2 >= 0);
+  List.iter
+    (fun (u, v) ->
+      let q, r = B.divmod u v in
+      let q', r' = slow_divmod u v in
+      Alcotest.(check bi) "q vs oracle" q' q;
+      Alcotest.(check bi) "r vs oracle" r' r)
+    [ (u1, v); (u2, v) ]
+
+(* Divisor normalization boundaries of Algorithm D: top limb already
+   normalized (shift 0, top limb 2^30), top limb 1 (maximal shift 30),
+   and bit lengths at exact multiples of the 31-bit limb size, where
+   the shift wraps to 0 on a fresh limb. *)
+let test_divmod_normalization_boundaries () =
+  let p2 e = B.shift_left B.one e in
+  let u = B.add (p2 200) (B.of_int 987_654_321) in
+  List.iter
+    (fun e ->
+      (* v = 2^e: quotient and remainder are pure shifts/masks. *)
+      let v = p2 e in
+      let q, r = B.divmod u v in
+      Alcotest.(check bi)
+        (Printf.sprintf "q shift %d" e)
+        (B.shift_right u e) q;
+      Alcotest.(check bi)
+        (Printf.sprintf "r mask %d" e)
+        (B.sub u (B.shift_left (B.shift_right u e) e))
+        r)
+    [ 30; 31; 61; 62; 92 ];
+  List.iter
+    (fun v ->
+      let q, r = B.divmod u v in
+      let q', r' = slow_divmod u v in
+      Alcotest.(check bi) "norm q" q' q;
+      Alcotest.(check bi) "norm r" r' r)
+    [ p2 92;
+      (* top limb 2^30: normalization shift 0 *)
+      B.add (p2 92) (B.of_int ((1 lsl 31) - 1));
+      p2 93;
+      (* bit_length 94 = fresh limb: top limb 1, shift 30 *)
+      B.sub (p2 93) B.one;
+      (* bit_length 93 = 3 * 31 exactly *)
+      B.add (p2 62) B.one ]
+
+let test_to_int_boundaries () =
+  let p62 = B.shift_left B.one 62 in
+  Alcotest.(check int) "max_int" max_int (B.to_int (B.of_int max_int));
+  Alcotest.(check int) "min_int" min_int (B.to_int (B.of_int min_int));
+  Alcotest.(check (option int))
+    "2^62 - 1 fits" (Some max_int)
+    (B.to_int_opt (B.sub p62 B.one));
+  Alcotest.(check (option int)) "2^62 does not fit" None (B.to_int_opt p62);
+  Alcotest.(check (option int))
+    "-2^62 is min_int" (Some min_int)
+    (B.to_int_opt (B.neg p62));
+  Alcotest.(check (option int))
+    "-2^62 - 1 does not fit" None
+    (B.to_int_opt (B.neg (B.add p62 B.one)));
+  Alcotest.(check bool) "fits max" true (B.fits_int (B.of_int max_int));
+  Alcotest.(check bool) "fits min" true (B.fits_int (B.of_int min_int));
+  Alcotest.(check bool) "2^62 not fits" false (B.fits_int p62);
+  Alcotest.check_raises "to_int 2^62"
+    (Failure "Bigint.to_int: value out of native int range") (fun () ->
+      ignore (B.to_int p62));
+  (* String paths agree at both boundaries. *)
+  Alcotest.(check int) "min_int via string" min_int
+    (B.to_int (B.of_string (string_of_int min_int)));
+  Alcotest.(check int) "max_int via string" max_int
+    (B.to_int (B.of_string (string_of_int max_int)))
+
 let prop_divmod (a, b) =
   B.is_zero b
   ||
@@ -417,6 +510,48 @@ let test_fingerprint_prime_bits () =
   let b_strict = P.fingerprint_prime_bits ~n:8 ~k:8 ~epsilon:0.0001 in
   Alcotest.(check bool) "stricter eps needs more bits" true (b_strict >= b)
 
+(* The .mli contract: inv raises Division_by_zero exactly when
+   gcd(x, m) <> 1 (zero and shared-factor residues included), and
+   pow _ _ 0 = 1 for every base against any modulus, composite ones
+   included. *)
+let test_word_inv_pow_contract () =
+  let m9 = M.Word.modulus 9 and m12 = M.Word.modulus 12 in
+  let m7 = M.Word.modulus 7 in
+  List.iter
+    (fun (m, x) ->
+      Alcotest.check_raises
+        (Printf.sprintf "inv %d mod non-coprime" x)
+        Division_by_zero
+        (fun () -> ignore (M.Word.inv m x)))
+    [ (m9, 0); (m9, 6); (m9, 3); (m12, 4); (m12, 10); (m7, 0) ];
+  (* Invertible residues really invert, composite modulus included. *)
+  List.iter
+    (fun (m, x) ->
+      Alcotest.(check int)
+        (Printf.sprintf "x * inv x mod m = 1 (x=%d)" x)
+        1
+        (M.Word.mul m x (M.Word.inv m x)))
+    [ (m7, 3); (m9, 2); (m12, 5); (m12, 11) ];
+  Alcotest.(check int) "inv 3 mod 7" 5 (M.Word.inv m7 3);
+  (* pow with exponent 0 is the empty product for every base. *)
+  List.iter
+    (fun b ->
+      Alcotest.(check int)
+        (Printf.sprintf "pow 12 %d 0" b)
+        1
+        (M.Word.pow m12 b 0))
+    [ 0; 1; 5; 11 ];
+  Alcotest.(check int) "pow composite" (5 * 5 * 5 mod 12)
+    (M.Word.pow m12 5 3);
+  (* Bignum flavour honors the same contract. *)
+  let bm = B.of_int 12 in
+  Alcotest.check_raises "big inv non-coprime" Division_by_zero (fun () ->
+      ignore (M.inv ~m:bm (B.of_int 4)));
+  Alcotest.(check bi) "big inv valid" B.one
+    (M.mul ~m:bm (B.of_int 5) (M.inv ~m:bm (B.of_int 5)));
+  Alcotest.(check bi) "big pow e=0" B.one
+    (M.pow ~m:bm (B.of_int 7) B.zero)
+
 let prop_word_mulmod_oracle (a, b) =
   let m = M.Word.modulus 1_000_003 in
   let r = M.Word.mul m (M.Word.reduce m a) (M.Word.reduce m b) in
@@ -446,6 +581,11 @@ let () =
           Alcotest.test_case "divmod known values" `Quick test_divmod_known;
           Alcotest.test_case "divmod add-back stress" `Quick
             test_divmod_addback_cases;
+          Alcotest.test_case "divmod add-back exact witnesses" `Quick
+            test_divmod_addback_exact;
+          Alcotest.test_case "divmod normalization boundaries" `Quick
+            test_divmod_normalization_boundaries;
+          Alcotest.test_case "to_int boundaries" `Quick test_to_int_boundaries;
           Alcotest.test_case "division by zero" `Quick test_division_by_zero;
           Alcotest.test_case "pow" `Quick test_pow;
           Alcotest.test_case "shift" `Quick test_shift;
@@ -490,6 +630,8 @@ let () =
           qtest "fully reduced" arb_rational prop_rational_reduced ] );
       ( "modular",
         [ Alcotest.test_case "word mod basics" `Quick test_word_mod_basics;
+          Alcotest.test_case "word inv/pow contract" `Quick
+            test_word_inv_pow_contract;
           Alcotest.test_case "bignum mod" `Quick test_big_mod;
           Alcotest.test_case "crt sunzi" `Quick test_crt;
           Alcotest.test_case "primes small" `Quick test_primes_small;

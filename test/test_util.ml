@@ -262,6 +262,30 @@ let test_stats_errors () =
     (Invalid_argument "Stats.linear_fit: need at least two points") (fun () ->
       ignore (Stats.linear_fit [| (1.0, 1.0) |]))
 
+let test_stats_percentile () =
+  let xs = [| 3.0; 1.0; 4.0; 2.0 |] in
+  (* linear interpolation between closest ranks (numpy default) *)
+  Alcotest.(check (float 1e-9)) "p0 = min" 1.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p25" 1.75 (Stats.percentile xs 25.0);
+  Alcotest.(check (float 1e-9)) "p50" 2.5 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p100 = max" 4.0 (Stats.percentile xs 100.0);
+  Alcotest.(check (float 1e-9)) "median = p50" (Stats.median xs)
+    (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "odd median = p50" (Stats.median [| 7.0; 1.0; 3.0 |])
+    (Stats.percentile [| 7.0; 1.0; 3.0 |] 50.0);
+  Alcotest.(check (float 1e-9)) "singleton" 5.0 (Stats.percentile [| 5.0 |] 37.0);
+  Alcotest.(check (float 1e-9)) "variance of singleton" 0.0
+    (Stats.variance [| 5.0 |]);
+  (* sample (Bessel-corrected) semantics, documented in the .mli *)
+  Alcotest.(check (float 1e-9)) "sample variance" (5.0 /. 3.0)
+    (Stats.variance [| 1.0; 2.0; 3.0; 4.0 |]);
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Stats.percentile: empty sample") (fun () ->
+      ignore (Stats.percentile [||] 50.0));
+  Alcotest.check_raises "out-of-range p"
+    (Invalid_argument "Stats.percentile: p outside [0, 100]") (fun () ->
+      ignore (Stats.percentile xs 101.0))
+
 let prop_variance_nonneg seed =
   let g = Prng.create seed in
   let xs = Array.init (2 + abs seed mod 20) (fun _ -> Prng.float g *. 100.0) in
@@ -348,6 +372,29 @@ let test_binomial_factorial_power () =
   Alcotest.check_raises "overflow" (Failure "Combi.power: overflow") (fun () ->
       ignore (Combi.power 10 30))
 
+(* Regression: [power] used a floating-point magnitude guard that
+   mis-rejected exactly-representable results near max_int (e.g. 3^39)
+   because the float product rounded above 2^62.  The guard is now an
+   exact integer overflow check. *)
+let test_power_boundary () =
+  Alcotest.(check int) "3^39 representable" 4052555153018976267
+    (Combi.power 3 39);
+  Alcotest.check_raises "3^40 overflows" (Failure "Combi.power: overflow")
+    (fun () -> ignore (Combi.power 3 40));
+  Alcotest.(check int) "(2^31-1)^2 representable" 4611686014132420609
+    (Combi.power ((1 lsl 31) - 1) 2);
+  Alcotest.(check int) "2^61" (1 lsl 61) (Combi.power 2 61);
+  Alcotest.check_raises "2^62 overflows" (Failure "Combi.power: overflow")
+    (fun () -> ignore (Combi.power 2 62));
+  Alcotest.(check int) "(-4)^31 = min_int" min_int (Combi.power (-4) 31);
+  Alcotest.(check int) "min_int^1" min_int (Combi.power min_int 1);
+  Alcotest.(check int) "min_int^0" 1 (Combi.power min_int 0);
+  Alcotest.(check int) "(-1)^63" (-1) (Combi.power (-1) 63);
+  Alcotest.(check int) "0^0" 1 (Combi.power 0 0);
+  Alcotest.check_raises "negative exponent"
+    (Invalid_argument "Combi.power: negative exponent") (fun () ->
+      ignore (Combi.power 2 (-1)))
+
 let prop_binomial_pascal (n, r) =
   let n = 1 + (abs n mod 25) and r = abs r mod 25 in
   if r > n || r = 0 then true
@@ -383,7 +430,7 @@ let test_json_emit () =
             ("c", Json.Float (-2.5)) ]));
   Alcotest.(check string) "integral float keeps point" "1.0"
     (Json.to_string (Json.Float 1.0));
-  Alcotest.(check string) "non-finite is null" "null"
+  Alcotest.(check string) "nan literal" "NaN"
     (Json.to_string (Json.Float Float.nan));
   Alcotest.(check string) "escapes" "\"\\n\\t\\\\\\u0001\""
     (Json.to_string (Json.String "\n\t\\\x01"))
@@ -406,6 +453,52 @@ let test_json_roundtrip () =
       Alcotest.(check bool) ("pretty roundtrip " ^ s) true
         (Json.of_string p = d))
     docs
+
+(* Regression: non-finite floats used to be emitted as [null], which
+   silently destroyed the value on a decode/re-encode cycle.  They now
+   round-trip through the Python-compatible extension literals. *)
+let test_json_nonfinite_roundtrip () =
+  Alcotest.(check string) "+inf" "Infinity"
+    (Json.to_string (Json.Float Float.infinity));
+  Alcotest.(check string) "-inf" "-Infinity"
+    (Json.to_string (Json.Float Float.neg_infinity));
+  Alcotest.(check bool) "parse NaN" true
+    (match Json.of_string "NaN" with
+    | Json.Float f -> Float.is_nan f
+    | _ -> false);
+  Alcotest.(check bool) "parse Infinity" true
+    (Json.of_string "Infinity" = Json.Float Float.infinity);
+  Alcotest.(check bool) "parse -Infinity" true
+    (Json.of_string "-Infinity" = Json.Float Float.neg_infinity);
+  (* nested, compact and pretty *)
+  let doc =
+    Json.Obj
+      [ ("lo", Json.Float Float.neg_infinity);
+        ("hi", Json.List [ Json.Float Float.infinity; Json.Int (-3) ]) ]
+  in
+  Alcotest.(check bool) "nested compact" true
+    (Json.of_string (Json.to_string doc) = doc);
+  Alcotest.(check bool) "nested pretty" true
+    (Json.of_string (Json.to_string_pretty doc) = doc);
+  (* a NaN inside a document survives (compare via is_nan, not =) *)
+  (match Json.of_string (Json.to_string (Json.List [ Json.Float Float.nan ])) with
+  | Json.List [ Json.Float f ] ->
+      Alcotest.(check bool) "nested nan" true (Float.is_nan f)
+  | v -> Alcotest.failf "unexpected parse: %s" (Json.to_string v));
+  (* -0.0 keeps its sign and does not collide with the -Infinity path *)
+  Alcotest.(check string) "-0.0 emit" "-0.0" (Json.to_string (Json.Float (-0.0)));
+  Alcotest.(check bool) "-0.0 bit-exact" true
+    (match Json.of_string "-0.0" with
+    | Json.Float f -> Int64.bits_of_float f = Int64.bits_of_float (-0.0)
+    | _ -> false)
+
+(* Strings containing arbitrary control characters must survive an
+   emit/parse cycle via \u escapes. *)
+let prop_json_control_string_roundtrip seed =
+  let g = Prng.create seed in
+  let len = Prng.int g 40 in
+  let s = String.init len (fun _ -> Char.chr (Prng.int g 128)) in
+  Json.of_string (Json.to_string (Json.String s)) = Json.String s
 
 let prop_json_float_roundtrip x =
   (* Any finite float must survive emit/parse bit-exactly. *)
@@ -633,6 +726,8 @@ let () =
         [ Alcotest.test_case "known values" `Quick test_stats_known;
           Alcotest.test_case "fits" `Quick test_stats_fit;
           Alcotest.test_case "errors" `Quick test_stats_errors;
+          Alcotest.test_case "percentile/median consistency" `Quick
+            test_stats_percentile;
           qtest "variance nonneg" QCheck.small_int prop_variance_nonneg ] );
       ( "tab",
         [ Alcotest.test_case "render aligned" `Quick test_tab_render;
@@ -647,14 +742,20 @@ let () =
             test_binomial_factorial_power;
           Alcotest.test_case "binomial native-int boundary" `Quick
             test_binomial_boundary;
+          Alcotest.test_case "power native-int boundary" `Quick
+            test_power_boundary;
           qtest "pascal identity" QCheck.(pair int int) prop_binomial_pascal ] );
       ( "json",
         [ Alcotest.test_case "emitter" `Quick test_json_emit;
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "non-finite roundtrip" `Quick
+            test_json_nonfinite_roundtrip;
           Alcotest.test_case "parse errors + member" `Quick
             test_json_parse_errors;
           qtest "float roundtrip bit-exact" QCheck.float
-            prop_json_float_roundtrip ] );
+            prop_json_float_roundtrip;
+          qtest "control-char string roundtrip" QCheck.small_int
+            prop_json_control_string_roundtrip ] );
       ( "txtable",
         [ Alcotest.test_case "grow + last-write-wins roundtrip" `Quick
             test_txtable_roundtrip;
