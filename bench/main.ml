@@ -89,6 +89,9 @@ let write_artifact dir ~jobs ~wall_s ~attempts ~metrics ~id outcome =
   | _ -> Printf.printf "[json] wrote %s (status: %s)\n" path status
 
 let () =
+  (* run_main: SIGPIPE hygiene — `main.exe ... | head` exits 0 when the
+     consumer goes away instead of dying of a fatal signal. *)
+  Commx_util.Sigguard.run_main @@ fun () ->
   (* Without this, Supervisor's captured backtraces are empty strings
      and Failed artifacts lose their most useful debugging field. *)
   Printexc.record_backtrace true;

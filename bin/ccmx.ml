@@ -31,6 +31,8 @@ module Artifact = Commx_util.Artifact
 module Json = Commx_util.Json
 module Runner = Commx_check.Runner
 module Suite = Commx_check.Suite
+module Sigguard = Commx_util.Sigguard
+module Server = Commx_serve.Server
 
 open Cmdliner
 
@@ -586,6 +588,116 @@ let exactcc_cmd =
   Cmd.v (Cmd.info "exactcc" ~doc) Term.(ret (const exactcc $ k_arg))
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve socket workers snapshot cache_capacity table_budget max_queue
+    drain_timeout =
+  match
+    Server.config ~socket_path:socket ~workers ?snapshot_path:snapshot
+      ~cache_capacity ?table_budget ~max_queue ~drain_timeout_s:drain_timeout
+      ()
+  with
+  | exception Invalid_argument msg -> `Error (false, msg)
+  | config ->
+      (* The acceptor polls this flag between select rounds, so the
+         handlers only flip it: the daemon then drains in-flight work
+         and snapshots instead of dying mid-request. *)
+      let stop = Atomic.make false in
+      let request_stop _ = Atomic.set stop true in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+      (* Metrics feed the stats op: latency histograms, exact_cc.* and
+         channel bit counters. *)
+      Telemetry.set_level Telemetry.Metrics;
+      Supervisor.set_log_sink (fun r ->
+          Server.default_log ~level:"warn"
+            (Printf.sprintf "%s: attempt %d failed (%s), retrying in %.2fs"
+               r.Supervisor.name r.Supervisor.attempt r.Supervisor.exn
+               r.Supervisor.pause_s));
+      (match Server.run ~stop config with
+      | () -> `Ok ()
+      | exception Unix.Unix_error (err, fn, arg) ->
+          `Error
+            ( false,
+              Printf.sprintf "serve: %s(%s): %s" fn arg
+                (Unix.error_message err) ))
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Unix-domain socket to listen on (any stale file there is \
+             replaced).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"W"
+          ~doc:
+            "Worker domains; each owns one transposition-table segment \
+             and exact-CC queries route to segments by content, so the \
+             same matrix always finds its warm entries (default: 2).")
+  in
+  let snapshot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Persist the warm state (result cache, table segments, key \
+             tags) to $(docv) on graceful shutdown and load it on start \
+             (written atomically; corrupt or version-mismatched files \
+             are rejected and the daemon starts cold; default: off).")
+  in
+  let cache_capacity =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Result-cache entries, FIFO-evicted (default: 1024).")
+  in
+  let table_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "table-budget" ] ~docv:"N"
+          ~doc:
+            "Per-segment transposition-table entry budget; beyond it \
+             the table evicts instead of growing (default: unbounded).")
+  in
+  let max_queue =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission bound per worker queue; requests beyond it get \
+             an immediate overload error (default: 64).")
+  in
+  let drain_timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "drain-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Max wait for in-flight requests on shutdown (default: 30).")
+  in
+  let doc =
+    "Long-running CC-oracle daemon on a Unix socket: JSON-lines \
+     queries (exact CC, singularity, Lemma 3.2, lower bounds, protocol \
+     runs) answered concurrently across domains, with a shared warm \
+     transposition-table arrangement and a content-addressed result \
+     cache that survive across requests — and, with --snapshot, across \
+     restarts.  SIGTERM/SIGINT drain gracefully."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const serve $ socket $ workers $ snapshot $ cache_capacity
+       $ table_budget $ max_queue $ drain_timeout))
+
+(* ------------------------------------------------------------------ *)
 (* check — differential fuzzing                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -801,8 +913,12 @@ let () =
      1989) — reproduction toolkit"
   in
   let info = Cmd.info "ccmx" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ gen_cmd; singular_cmd; check_cmd; protocol_cmd; bounds_cmd;
-            lemmas_cmd; ledger_cmd; exactcc_cmd ]))
+  (* run_main: ignore SIGPIPE and turn a broken stdout pipe
+     (`ccmx ... | head`) into a quiet exit 0 instead of a fatal
+     signal. *)
+  Sigguard.run_main (fun () ->
+      exit
+        (Cmd.eval
+           (Cmd.group info
+              [ gen_cmd; singular_cmd; check_cmd; protocol_cmd; bounds_cmd;
+                lemmas_cmd; ledger_cmd; exactcc_cmd; serve_cmd ])))

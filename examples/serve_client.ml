@@ -1,0 +1,57 @@
+(* Minimal client for the `ccmx serve` daemon.
+
+   Start a daemon in another terminal:
+
+     dune exec bin/ccmx.exe -- serve \
+       --socket /tmp/ccmx.sock --snapshot /tmp/ccmx.snap
+
+   then run this client against it:
+
+     dune exec examples/serve_client.exe -- /tmp/ccmx.sock
+
+   The client sends the same exact-CC query twice and prints both
+   replies: the first is a cold search (nodes > 0, "cache": "miss"),
+   the second is answered from the daemon's warm cache (nodes = 0,
+   "cache": "hit").  It finishes with a `stats` query showing the
+   latency percentiles and cache counters.  The protocol is one JSON
+   object per line in each direction — see EXPERIMENTS.md section
+   "The serve daemon" for the full schema. *)
+
+module Json = Commx_util.Json
+
+let rpc oc ic obj =
+  output_string oc (Json.to_string obj);
+  output_char oc '\n';
+  flush oc;
+  Json.of_string (input_line ic)
+
+let () =
+  let socket_path =
+    match Sys.argv with
+    | [| _; path |] -> path
+    | _ ->
+        prerr_endline "usage: serve_client.exe SOCKET_PATH";
+        exit 1
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket_path);
+  let ic = Unix.in_channel_of_descr fd
+  and oc = Unix.out_channel_of_descr fd in
+  (* An 8x8 boolean board with low GF(2) rank, so the certified root
+     bounds do not close the search and the daemon really works. *)
+  let board =
+    Json.List
+      (List.map (fun s -> Json.String s)
+         [ "01110100"; "10100010"; "00000000"; "00000000";
+           "01101000"; "10111110"; "11010110"; "11001010" ])
+  in
+  let query id =
+    Json.Obj
+      [ ("op", Json.String "exact_cc"); ("id", Json.Int id);
+        ("matrix", board) ]
+  in
+  let show label reply = Printf.printf "%s %s\n" label (Json.to_string reply) in
+  show "cold:" (rpc oc ic (query 1));
+  show "warm:" (rpc oc ic (query 2));
+  show "stats:" (rpc oc ic (Json.Obj [ ("op", Json.String "stats") ]));
+  Unix.close fd

@@ -48,6 +48,12 @@ module Pool = Commx_util.Pool
 
 let max_side = 16
 
+(* Packed (rmask, cmask) keys occupy [2 * max_side] = 32 bits; a
+   caller-supplied tag is shifted above them, and Txtable keys must
+   stay within 62 bits — leaving 30 bits of tag space. *)
+let key_tag_bits = 62 - (2 * max_side)
+let max_key_tag = (1 lsl key_tag_bits) - 1
+
 exception Too_large of { rows : int; cols : int; limit : int }
 
 let () =
@@ -140,20 +146,40 @@ type ctx = {
   cw : int array;  (* packed columns *)
   cfg : config;
   tbl : Tx.t option;
+  key_base : int;  (* key tag pre-shifted above the mask bits *)
+  stats0 : Tx.stats option;  (* table counters at ctx creation *)
   buf : int array;  (* scratch for duplicate collapse, length max_side *)
   mutable nodes : int;
 }
 
-let mk_ctx cfg rw cw =
-  let tbl =
-    if not cfg.table then None
-    else
-      Some
-        (match cfg.table_budget with
-        | None -> Tx.create ()
-        | Some b -> Tx.create ~budget_entries:b ())
+(* [?ext] plugs in a caller-owned table (the serve daemon's warm
+   per-domain segment) tagged so this matrix's subproblem keys cannot
+   collide with another matrix's: entries learned now are found again
+   by any later search of the same canonical matrix under the same
+   tag.  Without it the table is private to this search, as before. *)
+let mk_ctx ?ext cfg rw cw =
+  let tbl, key_base =
+    match ext with
+    | Some (t, tag) -> (Some t, tag lsl (2 * max_side))
+    | None ->
+        ( (if not cfg.table then None
+           else
+             Some
+               (match cfg.table_budget with
+               | None -> Tx.create ()
+               | Some b -> Tx.create ~budget_entries:b ())),
+          0 )
   in
-  { rw; cw; cfg; tbl; buf = Array.make max_side 0; nodes = 0 }
+  {
+    rw;
+    cw;
+    cfg;
+    tbl;
+    key_base;
+    stats0 = Option.map Tx.stats tbl;
+    buf = Array.make max_side 0;
+    nodes = 0;
+  }
 
 (* Collapse duplicate rows of the (rmask, cmask) sub-board, then
    duplicate columns against the surviving rows.  As at input level,
@@ -206,7 +232,7 @@ let rec cc ctx ~lb rmask cmask bound =
   if Bm.mono_masked ctx.rw ~rmask ~cmask >= 0 then 0
   else if bound <= 1 then bound
   else begin
-    let key = rmask lor (cmask lsl max_side) in
+    let key = ctx.key_base lor rmask lor (cmask lsl max_side) in
     let cached_exact = ref (-1) in
     let cached_lb = ref 1 in
     (match ctx.tbl with
@@ -320,12 +346,17 @@ let prepare cfg m =
   }
 
 let stats_of ctx ~cnr ~cnc ~root_lower ~root_upper =
+  (* Against a shared warm table, counters are deltas over this
+     search; for a fresh private table the baseline is zero and the
+     subtraction is the identity. *)
   let hits, misses, evictions =
-    match ctx.tbl with
-    | None -> (0, 0, 0)
-    | Some t ->
+    match (ctx.tbl, ctx.stats0) with
+    | Some t, Some s0 ->
         let s = Tx.stats t in
-        (s.Tx.hits, s.Tx.misses, s.Tx.evictions)
+        ( s.Tx.hits - s0.Tx.hits,
+          s.Tx.misses - s0.Tx.misses,
+          s.Tx.evictions - s0.Tx.evictions )
+    | _ -> (0, 0, 0)
   in
   {
     nodes = ctx.nodes;
@@ -407,7 +438,7 @@ let run_parallel cfg pool p ~lb ~ub =
       leaf_stats ~cnr:p.cnr ~cnc:p.cnc ~root_lower:lb ~root_upper:ub )
     results
 
-let run cfg pool m =
+let run cfg pool ext m =
   if Bm.rows m = 0 || Bm.cols m = 0 then
     (0, leaf_stats ~cnr:(Bm.rows m) ~cnc:(Bm.cols m) ~root_lower:0
        ~root_upper:0)
@@ -425,10 +456,13 @@ let run cfg pool m =
       else begin
         let n_moves = (1 lsl (p.cnr - 1)) + (1 lsl (p.cnc - 1)) - 2 in
         match pool with
-        | Some pool when n_moves >= parallel_move_threshold ->
+        (* A shared external table cannot be split across domains
+           (Txtable is not thread-safe), so its presence forces the
+           sequential path regardless of the pool. *)
+        | Some pool when n_moves >= parallel_move_threshold && ext = None ->
             run_parallel cfg pool p ~lb ~ub
         | _ ->
-            let ctx = mk_ctx cfg p.rwp p.cwp in
+            let ctx = mk_ctx ?ext cfg p.rwp p.cwp in
             let bound = if cfg.prune then ub else no_bound in
             let v = cc ctx ~lb p.full_r p.full_c bound in
             (v, stats_of ctx ~cnr:p.cnr ~cnc:p.cnc ~root_lower:lb
@@ -444,13 +478,32 @@ let publish (st : stats) =
   Tel.add c_misses st.table_misses;
   Tel.add c_evictions st.table_evictions
 
-let search ?(config = default_config) ?pool m =
-  let v, st = run config pool m in
+let search ?(config = default_config) ?pool ?table ?(key_tag = 0) m =
+  if key_tag < 0 || key_tag > max_key_tag then
+    invalid_arg
+      (Printf.sprintf "Exact_cc.search: key_tag %d out of [0, %d]" key_tag
+         max_key_tag);
+  let ext = Option.map (fun t -> (t, key_tag)) table in
+  let v, st = run config pool ext m in
   publish st;
   (v, st)
 
 let complexity m = fst (search m)
 let complexity_tm tm = complexity (Truth_matrix.to_bitmat tm)
+
+(* Content address of the canonical board: what the serve daemon keys
+   its result cache and its table-tag registry on.  Two inputs get the
+   same key exactly when the engine would search the same canonical
+   matrix — duplicate rows/columns and complementation included. *)
+let canonical_key m =
+  let m' = complement_normalize (collapse_duplicates m) in
+  let b = Buffer.create 64 in
+  Buffer.add_string b (Printf.sprintf "%dx%d:" (Bm.rows m') (Bm.cols m'));
+  for i = 0 to Bm.rows m' - 1 do
+    if i > 0 then Buffer.add_char b '.';
+    Buffer.add_string b (Bv.to_string (Bm.row m' i))
+  done;
+  Buffer.contents b
 
 let optimal_is_sandwiched m =
   let exact = complexity m in

@@ -96,9 +96,18 @@ type stats = {
   root_upper : int;  (** trivial upper bound on the canonical matrix *)
 }
 
+val key_tag_bits : int
+(** Bits of tag space above the packed [(rmask, cmask)] in a
+    transposition-table key (30). *)
+
+val max_key_tag : int
+(** Largest admissible [?key_tag]: [2^key_tag_bits - 1]. *)
+
 val search :
   ?config:config ->
   ?pool:Commx_util.Pool.t ->
+  ?table:Commx_util.Txtable.t ->
+  ?key_tag:int ->
   Commx_util.Bitmat.t ->
   int * stats
 (** [search m] is the exact deterministic CC of [m] (in bits, standard
@@ -112,15 +121,39 @@ val search :
     scheduling).  Statistics do differ between pooled and unpooled
     searches (groups cannot share tables).
 
+    With [?table], memoization goes through the {e caller-owned}
+    table instead of a fresh private one (overriding [config.table]),
+    and subproblem keys are salted with [?key_tag] (default 0) shifted
+    above the mask bits: give each distinct canonical matrix its own
+    tag (see {!canonical_key}) and one long-lived table serves many
+    matrices without key collisions — this is how the serve daemon
+    keeps its transposition table warm across requests.  A search
+    against a warm table finds its root entry immediately and expands
+    zero nodes.  The reported [table_*] statistics are deltas over
+    this search.  Since {!Commx_util.Txtable} is not thread-safe, a
+    shared table must be used from one domain at a time, and [?table]
+    forces the sequential search path even when [?pool] is given.
+
     Search statistics are also accumulated into the [exact_cc.*]
     {!Commx_util.Telemetry} counters.
-    @raise Too_large when the canonical matrix exceeds {!max_side}. *)
+    @raise Too_large when the canonical matrix exceeds {!max_side}.
+    @raise Invalid_argument when [key_tag] is outside
+    [\[0, max_key_tag\]]. *)
 
 val complexity : Commx_util.Bitmat.t -> int
 (** [search] with {!default_config}, value only.
     @raise Too_large when the canonical matrix exceeds {!max_side}. *)
 
 val complexity_tm : ('a, 'b) Truth_matrix.t -> int
+
+val canonical_key : Commx_util.Bitmat.t -> string
+(** Content address of the canonical board: dimensions plus row bits
+    of the matrix {e after} duplicate collapse and complement
+    normalization.  Two inputs share a key exactly when the engine
+    would search the same canonical matrix, so structurally-equal
+    queries alias — the serve daemon keys its result cache and its
+    per-matrix table tags on this.  Never raises, even above
+    {!max_side}. *)
 
 val optimal_is_sandwiched : Commx_util.Bitmat.t -> bool
 (** Checks [certified lower bounds <= exact CC <= trivial upper bound]

@@ -1,0 +1,162 @@
+(* Result cache (bounded FIFO over content keys) and the tag registry
+   that salts transposition-table keys per distinct canonical matrix.
+
+   Both are shared across the acceptor and all worker domains, so every
+   operation runs under the structure's mutex.  The FIFO queue only
+   ever holds keys that are live in the table: replacement of an
+   existing key reuses its queue position, so eviction can pop
+   blindly. *)
+
+module Json = Commx_util.Json
+
+type t = {
+  m : Mutex.t;
+  tbl : (string, Json.t) Hashtbl.t;
+  order : string Queue.t;
+  capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity < 1";
+  {
+    m = Mutex.create ();
+    tbl = Hashtbl.create 64;
+    order = Queue.create ();
+    capacity;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked c f =
+  Mutex.lock c.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.m) f
+
+let find c key =
+  locked c (fun () ->
+      match Hashtbl.find_opt c.tbl key with
+      | Some v ->
+          c.hits <- c.hits + 1;
+          Some v
+      | None ->
+          c.misses <- c.misses + 1;
+          None)
+
+let add c key v =
+  locked c (fun () ->
+      if Hashtbl.mem c.tbl key then Hashtbl.replace c.tbl key v
+      else begin
+        if Hashtbl.length c.tbl >= c.capacity then begin
+          let oldest = Queue.pop c.order in
+          Hashtbl.remove c.tbl oldest;
+          c.evictions <- c.evictions + 1
+        end;
+        Hashtbl.replace c.tbl key v;
+        Queue.push key c.order
+      end)
+
+let stats c =
+  locked c (fun () ->
+      { hits = c.hits; misses = c.misses; evictions = c.evictions;
+        entries = Hashtbl.length c.tbl })
+
+let to_json c =
+  locked c (fun () ->
+      let entries =
+        Queue.fold
+          (fun acc key ->
+            Json.List [ Json.String key; Hashtbl.find c.tbl key ] :: acc)
+          [] c.order
+      in
+      Json.List (List.rev entries))
+
+let load ~capacity doc =
+  let c = create ~capacity in
+  (match doc with
+  | Json.List entries ->
+      List.iteri
+        (fun i e ->
+          match e with
+          | Json.List [ Json.String key; v ] -> add c key v
+          | _ ->
+              failwith
+                (Printf.sprintf
+                   "Cache.load: entry %d is not a [key, value] pair" i))
+        entries
+  | _ -> failwith "Cache.load: expected a list of entries");
+  c.hits <- 0;
+  c.misses <- 0;
+  c.evictions <- 0;
+  c
+
+module Tags = struct
+  type t = {
+    m : Mutex.t;
+    tbl : (string, int) Hashtbl.t;
+    mutable next : int;
+  }
+
+  let create () = { m = Mutex.create (); tbl = Hashtbl.create 64; next = 0 }
+
+  let locked t f =
+    Mutex.lock t.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+  let tag t key =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | Some tg -> tg
+        | None ->
+            if t.next > Commx_comm.Exact_cc.max_key_tag then
+              failwith "Cache.Tags: tag space exhausted";
+            let tg = t.next in
+            t.next <- tg + 1;
+            Hashtbl.replace t.tbl key tg;
+            tg)
+
+  let count t = locked t (fun () -> Hashtbl.length t.tbl)
+
+  let to_json t =
+    locked t (fun () ->
+        (* Tag order, so the dump is deterministic for a given state. *)
+        let entries =
+          Hashtbl.fold (fun key tg acc -> (tg, key) :: acc) t.tbl []
+          |> List.sort compare
+          |> List.map (fun (tg, key) ->
+                 Json.List [ Json.String key; Json.Int tg ])
+        in
+        Json.List entries)
+
+  let load doc =
+    let t = create () in
+    (match doc with
+    | Json.List entries ->
+        List.iteri
+          (fun i e ->
+            match e with
+            | Json.List [ Json.String key; Json.Int tg ]
+              when tg >= 0 && tg <= Commx_comm.Exact_cc.max_key_tag ->
+                if Hashtbl.mem t.tbl key then
+                  failwith
+                    (Printf.sprintf "Cache.Tags.load: duplicate key %S" key);
+                Hashtbl.replace t.tbl key tg;
+                if tg >= t.next then t.next <- tg + 1
+            | _ ->
+                failwith
+                  (Printf.sprintf
+                     "Cache.Tags.load: entry %d is not a [key, tag] pair \
+                      with an in-range tag"
+                     i))
+          entries
+    | _ -> failwith "Cache.Tags.load: expected a list of entries");
+    let tags = Hashtbl.fold (fun _ tg acc -> tg :: acc) t.tbl [] in
+    let distinct = List.sort_uniq compare tags in
+    if List.length distinct <> List.length tags then
+      failwith "Cache.Tags.load: duplicate tags";
+    t
+end

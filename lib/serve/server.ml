@@ -1,0 +1,815 @@
+(* The serve daemon.  Concurrency layout:
+
+     acceptor (caller's domain)
+       select loop: accept / read lines / parse
+       ping, stats, shutdown answered inline
+       compute ops -> worker queues (affinity: table tag mod workers)
+     worker domains (one Txtable segment each)
+       pop job, result-cache lookup, else compute, deliver reply
+
+   Locks, leaf-only and never nested with each other:
+     conn.cm     sequence numbers, pending replies, inflight count
+     worker.qm   job queue + published table stats
+     latm        latency ring
+     (Cache and Tags carry their own internal mutexes.)
+
+   Replies are written by whichever worker finishes the job, but
+   strictly in per-connection request order: a finished reply parks in
+   [conn.pending] until every lower sequence number has been written.
+   A failed write (client gone: EPIPE/ECONNRESET) marks the connection
+   dead and drops its parked replies — one lost client never unsettles
+   the daemon or other connections. *)
+
+module Json = Commx_util.Json
+module Bm = Commx_util.Bitmat
+module Tx = Commx_util.Txtable
+module Clock = Commx_util.Clock
+module Telemetry = Commx_util.Telemetry
+module Stats = Commx_util.Stats
+module Sigguard = Commx_util.Sigguard
+module Prng = Commx_util.Prng
+module Zm = Commx_linalg.Zmatrix
+module B = Commx_bigint.Bigint
+module Params = Commx_core.Params
+module H = Commx_core.Hard_instance
+module L32 = Commx_core.Lemma32
+module Bounds = Commx_core.Bounds
+module E = Commx_comm.Exact_cc
+module Protocol = Commx_comm.Protocol
+module Truth_matrix = Commx_comm.Truth_matrix
+module Rank_bound = Commx_comm.Rank_bound
+module Halves = Commx_protocols.Halves
+module Trivial = Commx_protocols.Trivial
+module Fingerprint = Commx_protocols.Fingerprint
+
+type config = {
+  socket_path : string;
+  workers : int;
+  snapshot_path : string option;
+  cache_capacity : int;
+  table_budget : int option;
+  max_queue : int;
+  drain_timeout_s : float;
+  log : level:string -> string -> unit;
+}
+
+let protocol_version = 1
+let snapshot_format = "ccmx-serve-snapshot"
+let snapshot_version = 1
+
+let default_log ~level msg =
+  let line =
+    Json.to_string
+      (Json.Obj
+         [ ("ts", Json.Float (Clock.now_s ()));
+           ("level", Json.String level);
+           ("msg", Json.String msg) ])
+  in
+  Printf.eprintf "%s\n%!" line
+
+let config ~socket_path ?(workers = 2) ?snapshot_path ?(cache_capacity = 1024)
+    ?table_budget ?(max_queue = 64) ?(drain_timeout_s = 30.0)
+    ?(log = default_log) () =
+  if workers < 1 then invalid_arg "Server.config: workers < 1";
+  if cache_capacity < 1 then invalid_arg "Server.config: cache_capacity < 1";
+  if max_queue < 1 then invalid_arg "Server.config: max_queue < 1";
+  (match table_budget with
+  | Some b when b < 1 -> invalid_arg "Server.config: table_budget < 1"
+  | _ -> ());
+  { socket_path; workers; snapshot_path; cache_capacity; table_budget;
+    max_queue; drain_timeout_s; log }
+
+(* ------------------------------------------------------------------ *)
+(* Connections and jobs                                                *)
+(* ------------------------------------------------------------------ *)
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  rbuf : Buffer.t;
+  cm : Mutex.t;
+  mutable next_seq : int;  (* next sequence number to hand out *)
+  mutable next_write : int;  (* next sequence number to put on the wire *)
+  pending : (int, string) Hashtbl.t;  (* finished out-of-order replies *)
+  mutable write_ok : bool;
+  mutable eof : bool;
+  mutable inflight : int;
+}
+
+type job = {
+  env : Wire.envelope;
+  jconn : conn;
+  seq : int;
+  t0 : float;
+  tag : int option;  (* exact-CC table tag *)
+  cache_key : string option;
+  use_cache : bool;
+}
+
+type worker = {
+  wid : int;
+  table : Tx.t;
+  q : job Queue.t;
+  qm : Mutex.t;
+  qc : Condition.t;
+  mutable queued : int;
+  mutable pub_stats : Tx.stats;  (* published for the stats op *)
+  mutable pub_entries : int;
+}
+
+let latency_ring = 4096
+
+type t = {
+  cfg : config;
+  stop : bool Atomic.t;
+  cache : Cache.t;
+  tags : Cache.Tags.t;
+  workers : worker array;
+  latm : Mutex.t;
+  lat : float array;  (* seconds, ring buffer *)
+  mutable lat_n : int;  (* total observations ever *)
+  requests : int Atomic.t;
+  errors : int Atomic.t;
+  started : float;
+  hist : Telemetry.histogram;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Socket writes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec write_all fd b pos len =
+  if len > 0 then
+    match Unix.write fd b pos len with
+    | n -> write_all fd b (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd b pos len
+
+let is_write_failure = function
+  | Unix.Unix_error _ -> true
+  | e -> Sigguard.is_broken_pipe e
+
+(* Park the reply under its sequence number, then put every
+   consecutive ready reply on the wire.  [finish] marks the job as no
+   longer in flight (same critical section, so the reaper never sees a
+   reply-less idle connection). *)
+let deliver t ?(finish = false) conn seq line =
+  Mutex.lock conn.cm;
+  if finish then conn.inflight <- conn.inflight - 1;
+  if conn.write_ok then begin
+    Hashtbl.replace conn.pending seq line;
+    try
+      let rec flush () =
+        match Hashtbl.find_opt conn.pending conn.next_write with
+        | Some s ->
+            Hashtbl.remove conn.pending conn.next_write;
+            let b = Bytes.of_string s in
+            write_all conn.fd b 0 (Bytes.length b);
+            conn.next_write <- conn.next_write + 1;
+            flush ()
+        | None -> ()
+      in
+      flush ()
+    with e when is_write_failure e ->
+      conn.write_ok <- false;
+      Hashtbl.reset conn.pending;
+      t.cfg.log ~level:"info"
+        (Printf.sprintf "conn %d: client gone (%s), dropping its replies"
+           conn.cid (Printexc.to_string e))
+  end;
+  Mutex.unlock conn.cm
+
+let alloc_seq ?(inflight = false) conn =
+  Mutex.lock conn.cm;
+  let s = conn.next_seq in
+  conn.next_seq <- s + 1;
+  if inflight then conn.inflight <- conn.inflight + 1;
+  Mutex.unlock conn.cm;
+  s
+
+let record_latency t dt =
+  Mutex.lock t.latm;
+  t.lat.(t.lat_n mod latency_ring) <- dt;
+  t.lat_n <- t.lat_n + 1;
+  Mutex.unlock t.latm;
+  Telemetry.observe t.hist (int_of_float (dt *. 1e6))
+
+(* ------------------------------------------------------------------ *)
+(* Content keys                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let bitmat_key m =
+  let buf = Buffer.create 80 in
+  Buffer.add_string buf (Printf.sprintf "%dx%d:" (Bm.rows m) (Bm.cols m));
+  for i = 0 to Bm.rows m - 1 do
+    if i > 0 then Buffer.add_char buf '.';
+    for j = 0 to Bm.cols m - 1 do
+      Buffer.add_char buf (if Bm.get m i j then '1' else '0')
+    done
+  done;
+  Buffer.contents buf
+
+let zmatrix_key m =
+  let buf = Buffer.create 80 in
+  Buffer.add_string buf (Printf.sprintf "%dx%d:" (Zm.rows m) (Zm.cols m));
+  for i = 0 to Zm.rows m - 1 do
+    for j = 0 to Zm.cols m - 1 do
+      Buffer.add_string buf (B.to_string (Zm.get m i j));
+      Buffer.add_char buf ','
+    done
+  done;
+  Buffer.contents buf
+
+let content_key (req : Wire.request) =
+  match req with
+  | Wire.Ping | Wire.Stats | Wire.Shutdown -> None
+  | Wire.Exact_cc { matrix; _ } ->
+      (* Canonical, not literal: structurally equal boards alias. *)
+      Some ("exact_cc:" ^ E.canonical_key matrix)
+  | Wire.Singular { matrix } -> Some ("singular:" ^ zmatrix_key matrix)
+  | Wire.Lemma32 { n; k; seed } ->
+      Some (Printf.sprintf "lemma32:%d:%d:%d" n k seed)
+  | Wire.Lower_bounds { matrix } -> Some ("lower_bounds:" ^ bitmat_key matrix)
+  | Wire.Protocol_run { proto; n; k; seed; epsilon } ->
+      Some (Printf.sprintf "protocol:%s:%d:%d:%d:%h" proto n k seed epsilon)
+
+(* ------------------------------------------------------------------ *)
+(* Compute handlers (worker side)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let require_params ~n ~k =
+  if not (Params.is_valid ~n ~k) then
+    failwith (Printf.sprintf "invalid parameters n=%d k=%d" n k);
+  Params.make ~n ~k
+
+(* Each handler returns (cacheable result fields, per-request fields).
+   Only the former go into the result cache; a cache hit re-serves them
+   with fresh per-request fields. *)
+let exec w (env : Wire.envelope) ~tag =
+  match env.req with
+  | Wire.Ping | Wire.Stats | Wire.Shutdown ->
+      (* Answered inline by the acceptor; never queued. *)
+      assert false
+  | Wire.Exact_cc { matrix; _ } ->
+      let key_tag = Option.value tag ~default:0 in
+      let v, st = E.search ~table:w.table ~key_tag matrix in
+      ( [ ("value", Json.Int v);
+          ("canon_rows", Json.Int st.E.canon_rows);
+          ("canon_cols", Json.Int st.E.canon_cols);
+          ("root_lower", Json.Int st.E.root_lower);
+          ("root_upper", Json.Int st.E.root_upper) ],
+        [ ("nodes", Json.Int st.E.nodes);
+          ("table_hits", Json.Int st.E.table_hits);
+          ("table_misses", Json.Int st.E.table_misses) ] )
+  | Wire.Singular { matrix } ->
+      if not (Zm.is_square matrix) then failwith "matrix is not square";
+      let d = Zm.det matrix in
+      ( [ ("dimension", Json.Int (Zm.rows matrix));
+          ("rank", Json.Int (Zm.rank matrix));
+          ("det", Json.String (B.to_string d));
+          ("singular", Json.Bool (B.is_zero d)) ],
+        [] )
+  | Wire.Lemma32 { n; k; seed } ->
+      let p = require_params ~n ~k in
+      let g = Prng.create seed in
+      let f = H.random_free g p in
+      let crit = L32.criterion p f in
+      let direct = L32.is_singular_direct (H.build_m p f) in
+      ( [ ("criterion", Json.Bool crit);
+          ("direct", Json.Bool direct);
+          ("agrees", Json.Bool (crit = direct)) ],
+        [] )
+  | Wire.Lower_bounds { matrix } ->
+      let nr = Bm.rows matrix and nc = Bm.cols matrix in
+      let tm =
+        Truth_matrix.build (List.init nr Fun.id) (List.init nc Fun.id)
+          (fun i j -> Bm.get matrix i j)
+      in
+      (* The exact rectangle-cover bound enumerates covers; keep it to
+         boards small enough that it cannot stall a worker. *)
+      let r = Rank_bound.analyze tm ~exact_rect:(nr * nc <= 64) in
+      ( [ ("gf2_rank", Json.Int r.Rank_bound.gf2);
+          ("rational_rank", Json.Int r.Rank_bound.rational);
+          ("log_rank_bits", Json.Float r.Rank_bound.log_rank);
+          ("fooling_set", Json.Int r.Rank_bound.fooling);
+          ("fooling_bits", Json.Float r.Rank_bound.fooling_bits);
+          ("cover_bits", Json.Float r.Rank_bound.cover_bits);
+          ("trivial_upper_bits", Json.Float r.Rank_bound.trivial_upper) ],
+        [] )
+  | Wire.Protocol_run { proto; n; k; seed; epsilon } ->
+      let p = require_params ~n ~k in
+      let g = Prng.create seed in
+      let m = H.build_m p (H.random_free g p) in
+      let alice, bob = Halves.split_pi0 m in
+      let truth = Zm.is_singular m in
+      let got, bits =
+        match proto with
+        | "trivial" -> Protocol.execute (Trivial.singularity ~k) alice bob
+        | "fingerprint" ->
+            let rp = Fingerprint.singularity ~n ~k ~epsilon in
+            Protocol.execute
+              (rp.Commx_comm.Randomized.run_seeded ~seed:(seed + 1))
+              alice bob
+        | other -> failwith (Printf.sprintf "unknown protocol %S" other)
+      in
+      ( [ ("protocol", Json.String proto);
+          ("answer", Json.Bool got);
+          ("truth", Json.Bool truth);
+          ("agrees", Json.Bool (got = truth));
+          ("bits", Json.Int bits);
+          ("trivial_upper_bits", Json.Int (Bounds.trivial_upper_bits ~n ~k)) ],
+        [] )
+
+let wall_us_field t0 =
+  ("wall_us", Json.Int (int_of_float ((Clock.now_s () -. t0) *. 1e6)))
+
+let process t w job =
+  let env = job.env in
+  let cached =
+    if job.use_cache then Option.bind job.cache_key (Cache.find t.cache)
+    else None
+  in
+  let reply =
+    match cached with
+    | Some (Json.Obj core) ->
+        (* The result-cache hit IS the warm-cache hit: no search runs,
+           so no nodes expand and the per-request table counters report
+           the one (result-cache) hit. *)
+        let extra =
+          match env.req with
+          | Wire.Exact_cc _ ->
+              [ ("nodes", Json.Int 0); ("table_hits", Json.Int 1);
+                ("table_misses", Json.Int 0) ]
+          | _ -> []
+        in
+        Wire.ok ~id:env.id ~op:env.op
+          (core @ extra
+          @ [ ("cache", Json.String "hit"); wall_us_field job.t0 ])
+    | Some _ | None -> (
+        match exec w env ~tag:job.tag with
+        | core, extra ->
+            Option.iter
+              (fun key -> Cache.add t.cache key (Json.Obj core))
+              job.cache_key;
+            let label = if job.use_cache then "miss" else "bypass" in
+            Wire.ok ~id:env.id ~op:env.op
+              (core @ extra
+              @ [ ("cache", Json.String label); wall_us_field job.t0 ])
+        | exception e ->
+            Atomic.incr t.errors;
+            Wire.error ~id:env.id (Printexc.to_string e))
+  in
+  (* Latency and table stats are published BEFORE the reply leaves:
+     a client that sees its reply and immediately asks for `stats`
+     must find this request already counted. *)
+  record_latency t (Clock.now_s () -. job.t0);
+  let st = Tx.stats w.table and entries = Tx.length w.table in
+  Mutex.lock w.qm;
+  w.pub_stats <- st;
+  w.pub_entries <- entries;
+  Mutex.unlock w.qm;
+  deliver t ~finish:true job.jconn job.seq (Wire.to_line reply)
+
+let worker_loop t w =
+  let rec next () =
+    Mutex.lock w.qm;
+    let rec await () =
+      if not (Queue.is_empty w.q) then begin
+        let job = Queue.pop w.q in
+        w.queued <- w.queued - 1;
+        Some job
+      end
+      else if Atomic.get t.stop then None
+      else begin
+        Condition.wait w.qc w.qm;
+        await ()
+      end
+    in
+    let job = await () in
+    Mutex.unlock w.qm;
+    match job with
+    | Some job ->
+        process t w job;
+        next ()
+    | None -> ()
+  in
+  next ()
+
+(* ------------------------------------------------------------------ *)
+(* Inline ops (acceptor side)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let latency_snapshot t =
+  Mutex.lock t.latm;
+  let n = min t.lat_n latency_ring in
+  let xs = Array.sub t.lat 0 n in
+  let total = t.lat_n in
+  Mutex.unlock t.latm;
+  (xs, total)
+
+let stats_fields t =
+  let xs, total = latency_snapshot t in
+  let pct p =
+    if Array.length xs = 0 then 0.0 else Stats.percentile xs p *. 1e6
+  in
+  let cs = Cache.stats t.cache in
+  let th = ref 0 and tm = ref 0 and te = ref 0 and ts = ref 0 in
+  let entries = ref 0 in
+  Array.iter
+    (fun w ->
+      Mutex.lock w.qm;
+      let st = w.pub_stats and e = w.pub_entries in
+      Mutex.unlock w.qm;
+      th := !th + st.Tx.hits;
+      tm := !tm + st.Tx.misses;
+      te := !te + st.Tx.evictions;
+      ts := !ts + st.Tx.stores;
+      entries := !entries + e)
+    t.workers;
+  [ ("protocol_version", Json.Int protocol_version);
+    ("uptime_s", Json.Float (Clock.now_s () -. t.started));
+    ("requests", Json.Int (Atomic.get t.requests));
+    ("errors", Json.Int (Atomic.get t.errors));
+    ("workers", Json.Int (Array.length t.workers));
+    ( "latency_us",
+      Json.Obj
+        [ ("count", Json.Int total);
+          ("p50", Json.Float (pct 50.0));
+          ("p95", Json.Float (pct 95.0));
+          ("p99", Json.Float (pct 99.0)) ] );
+    ( "result_cache",
+      Json.Obj
+        [ ("hits", Json.Int cs.Cache.hits);
+          ("misses", Json.Int cs.Cache.misses);
+          ("evictions", Json.Int cs.Cache.evictions);
+          ("entries", Json.Int cs.Cache.entries);
+          ("capacity", Json.Int t.cfg.cache_capacity);
+          ("tags", Json.Int (Cache.Tags.count t.tags)) ] );
+    ( "table",
+      Json.Obj
+        [ ("segments", Json.Int (Array.length t.workers));
+          ("entries", Json.Int !entries);
+          ("hits", Json.Int !th);
+          ("misses", Json.Int !tm);
+          ("evictions", Json.Int !te);
+          ("stores", Json.Int !ts) ] );
+    ( "counters",
+      Json.Obj
+        (List.map (fun (k, v) -> (k, Json.Int v)) (Telemetry.counters ())) )
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Request admission                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let dispatch t conn (env : Wire.envelope) t0 =
+  let cache_key = content_key env.req in
+  let use_cache =
+    match env.req with Wire.Exact_cc { use_cache; _ } -> use_cache | _ -> true
+  in
+  match
+    match env.req with
+    | Wire.Exact_cc _ ->
+        Some (Cache.Tags.tag t.tags (Option.get cache_key))
+    | _ -> None
+  with
+  | exception Failure msg ->
+      Atomic.incr t.errors;
+      let seq = alloc_seq conn in
+      deliver t conn seq (Wire.to_line (Wire.error ~id:env.id msg))
+  | tag ->
+      let nw = Array.length t.workers in
+      let w =
+        match tag with
+        | Some tg -> t.workers.(tg mod nw)
+        | None -> t.workers.(Hashtbl.hash cache_key mod nw)
+      in
+      let seq = alloc_seq ~inflight:true conn in
+      let job = { env; jconn = conn; seq; t0; tag; cache_key; use_cache } in
+      Mutex.lock w.qm;
+      if w.queued >= t.cfg.max_queue then begin
+        Mutex.unlock w.qm;
+        Atomic.incr t.errors;
+        deliver t ~finish:true conn seq
+          (Wire.to_line
+             (Wire.error ~id:env.id
+                (Printf.sprintf
+                   "server overloaded: worker %d queue is full (%d)" w.wid
+                   t.cfg.max_queue)))
+      end
+      else begin
+        w.queued <- w.queued + 1;
+        Queue.push job w.q;
+        Condition.signal w.qc;
+        Mutex.unlock w.qm
+      end
+
+let handle_line t conn line =
+  if String.trim line <> "" then begin
+    Atomic.incr t.requests;
+    let t0 = Clock.now_s () in
+    let inline reply =
+      let seq = alloc_seq conn in
+      record_latency t (Clock.now_s () -. t0);
+      deliver t conn seq (Wire.to_line reply)
+    in
+    match Wire.parse line with
+    | Error (id, msg) ->
+        Atomic.incr t.errors;
+        inline (Wire.error ~id msg)
+    | Ok env -> (
+        match env.req with
+        | Wire.Ping -> inline (Wire.ok ~id:env.id ~op:env.op [])
+        | Wire.Stats -> inline (Wire.ok ~id:env.id ~op:env.op (stats_fields t))
+        | Wire.Shutdown ->
+            inline (Wire.ok ~id:env.id ~op:env.op []);
+            t.cfg.log ~level:"info"
+              (Printf.sprintf "conn %d: shutdown requested" conn.cid);
+            Atomic.set t.stop true
+        | _ -> dispatch t conn env t0)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let tag_of_table_key key = key lsr (2 * E.max_side)
+
+let snapshot_doc t =
+  Json.Obj
+    [ ("format", Json.String snapshot_format);
+      ("version", Json.Int snapshot_version);
+      ("workers", Json.Int (Array.length t.workers));
+      ("tags", Cache.Tags.to_json t.tags);
+      ("cache", Cache.to_json t.cache);
+      ( "segments",
+        Json.List
+          (Array.to_list (Array.map (fun w -> Tx.save w.table) t.workers)) )
+    ]
+
+let write_snapshot t =
+  match t.cfg.snapshot_path with
+  | None -> ()
+  | Some path ->
+      Json.to_file ~path (snapshot_doc t);
+      t.cfg.log ~level:"info"
+        (Printf.sprintf "snapshot written to %s (%d tags, %d cached results)"
+           path
+           (Cache.Tags.count t.tags)
+           (Cache.stats t.cache).Cache.entries)
+
+let mk_table cfg = Tx.create ?budget_entries:cfg.table_budget ()
+
+(* Load warm state, or start cold.  Everything is parsed and validated
+   into fresh structures before any of it is adopted, so a snapshot
+   rejected halfway cannot leave the daemon half-warm. *)
+let load_warm_state cfg ~workers:nw =
+  let fresh () =
+    ( Cache.Tags.create (),
+      Cache.create ~capacity:cfg.cache_capacity,
+      Array.init nw (fun _ -> mk_table cfg) )
+  in
+  match cfg.snapshot_path with
+  | None -> fresh ()
+  | Some path when not (Sys.file_exists path) ->
+      cfg.log ~level:"info"
+        (Printf.sprintf "no snapshot at %s, starting cold" path);
+      fresh ()
+  | Some path -> (
+      match
+        let doc = Json.of_file path in
+        (match Json.member "format" doc with
+        | Some (Json.String f) when f = snapshot_format -> ()
+        | Some (Json.String other) ->
+            failwith
+              (Printf.sprintf "format %S is not a serve snapshot" other)
+        | _ -> failwith "missing \"format\" marker");
+        (match Json.member "version" doc with
+        | Some (Json.Int v) when v = snapshot_version -> ()
+        | Some (Json.Int v) ->
+            failwith
+              (Printf.sprintf
+                 "unsupported snapshot version %d (this build reads %d)" v
+                 snapshot_version)
+        | _ -> failwith "missing or non-integer \"version\"");
+        let tags =
+          match Json.member "tags" doc with
+          | Some j -> Cache.Tags.load j
+          | None -> failwith "missing \"tags\""
+        in
+        let cache =
+          match Json.member "cache" doc with
+          | Some j -> Cache.load ~capacity:cfg.cache_capacity j
+          | None -> failwith "missing \"cache\""
+        in
+        let tables = Array.init nw (fun _ -> mk_table cfg) in
+        let moved = ref 0 in
+        (match Json.member "segments" doc with
+        | Some (Json.List segs) ->
+            List.iter
+              (fun seg ->
+                let src = Tx.load seg in
+                (* Redistribute by tag so warmth survives a change in
+                   worker count: dispatch routes by the same formula. *)
+                Tx.iter src (fun key v ->
+                    Tx.set tables.(tag_of_table_key key mod nw) key v;
+                    incr moved))
+              segs
+        | _ -> failwith "missing or non-list \"segments\"");
+        Array.iter Tx.reset_stats tables;
+        (tags, cache, tables, !moved)
+      with
+      | tags, cache, tables, moved ->
+          cfg.log ~level:"info"
+            (Printf.sprintf
+               "snapshot %s loaded: %d tags, %d cached results, %d table \
+                entries"
+               path (Cache.Tags.count tags)
+               (Cache.stats cache).Cache.entries moved);
+          (tags, cache, tables)
+      | exception Failure msg ->
+          cfg.log ~level:"warn"
+            (Printf.sprintf "snapshot %s rejected (%s), starting cold" path
+               msg);
+          fresh ()
+      | exception e ->
+          cfg.log ~level:"warn"
+            (Printf.sprintf "snapshot %s unreadable (%s), starting cold" path
+               (Printexc.to_string e));
+          fresh ())
+
+(* ------------------------------------------------------------------ *)
+(* Acceptor                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let max_request_buffer = 1 lsl 22
+
+let run ?(stop = Atomic.make false) (cfg : config) =
+  Sigguard.ignore_sigpipe ();
+  let nw = cfg.workers in
+  let tags, cache, tables = load_warm_state cfg ~workers:nw in
+  let workers =
+    Array.init nw (fun wid ->
+        { wid;
+          table = tables.(wid);
+          q = Queue.create ();
+          qm = Mutex.create ();
+          qc = Condition.create ();
+          queued = 0;
+          pub_stats = Tx.stats tables.(wid);
+          pub_entries = Tx.length tables.(wid) })
+  in
+  let t =
+    { cfg; stop; cache; tags; workers;
+      latm = Mutex.create ();
+      lat = Array.make latency_ring 0.0;
+      lat_n = 0;
+      requests = Atomic.make 0;
+      errors = Atomic.make 0;
+      started = Clock.now_s ();
+      hist = Telemetry.histogram "serve.request_us" }
+  in
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind lfd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen lfd 16
+   with e ->
+     (try Unix.close lfd with Unix.Unix_error _ -> ());
+     raise e);
+  cfg.log ~level:"info"
+    (Printf.sprintf "listening on %s (%d worker domain(s), protocol v%d)"
+       cfg.socket_path nw protocol_version);
+  let domains =
+    Array.map (fun w -> Domain.spawn (fun () -> worker_loop t w)) workers
+  in
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+  let next_cid = ref 0 in
+  let rdbuf = Bytes.create 65536 in
+  let accept_conn () =
+    match Unix.accept lfd with
+    | exception
+        Unix.Unix_error
+          ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
+      ->
+        ()
+    | fd, _ ->
+        let cid = !next_cid in
+        incr next_cid;
+        Hashtbl.replace conns fd
+          { fd; cid;
+            rbuf = Buffer.create 256;
+            cm = Mutex.create ();
+            next_seq = 0;
+            next_write = 0;
+            pending = Hashtbl.create 8;
+            write_ok = true;
+            eof = false;
+            inflight = 0 }
+  in
+  let drain_lines conn =
+    let s = Buffer.contents conn.rbuf in
+    let n = String.length s in
+    let start = ref 0 in
+    (try
+       while true do
+         let i = String.index_from s !start '\n' in
+         let line = String.sub s !start (i - !start) in
+         start := i + 1;
+         handle_line t conn line
+       done
+     with Not_found -> ());
+    Buffer.clear conn.rbuf;
+    Buffer.add_substring conn.rbuf s !start (n - !start)
+  in
+  let read_conn conn =
+    match Unix.read conn.fd rdbuf 0 (Bytes.length rdbuf) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        conn.eof <- true
+    | 0 -> conn.eof <- true
+    | n ->
+        Buffer.add_subbytes conn.rbuf rdbuf 0 n;
+        if Buffer.length conn.rbuf > max_request_buffer then begin
+          Atomic.incr t.errors;
+          let seq = alloc_seq conn in
+          deliver t conn seq
+            (Wire.to_line
+               (Wire.error ~id:Json.Null "request line too long"));
+          conn.eof <- true
+        end
+        else drain_lines conn
+  in
+  let reap () =
+    let dead =
+      Hashtbl.fold
+        (fun fd c acc ->
+          Mutex.lock c.cm;
+          let idle = c.inflight = 0 in
+          let gone = (c.eof || not c.write_ok) && idle in
+          Mutex.unlock c.cm;
+          if gone then (fd, c) :: acc else acc)
+        conns []
+    in
+    List.iter
+      (fun (fd, _) ->
+        Hashtbl.remove conns fd;
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      dead
+  in
+  let rec loop () =
+    if not (Atomic.get t.stop) then begin
+      let fds = lfd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+      (match Unix.select fds [] [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready, _, _ ->
+          List.iter
+            (fun fd ->
+              if fd = lfd then accept_conn ()
+              else
+                match Hashtbl.find_opt conns fd with
+                | Some conn -> read_conn conn
+                | None -> ())
+            ready);
+      reap ();
+      loop ()
+    end
+  in
+  loop ();
+  (* Graceful drain: no new connections or reads; let workers finish
+     what is queued, then persist the warm state. *)
+  cfg.log ~level:"info" "stop requested, draining";
+  (try Unix.close lfd with Unix.Unix_error _ -> ());
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  let all_idle () =
+    Array.for_all
+      (fun w ->
+        Mutex.lock w.qm;
+        let e = w.queued = 0 in
+        Mutex.unlock w.qm;
+        e)
+      workers
+    && Hashtbl.fold
+         (fun _ c acc ->
+           Mutex.lock c.cm;
+           let i = c.inflight in
+           Mutex.unlock c.cm;
+           acc && i = 0)
+         conns true
+  in
+  let deadline = Clock.now_s () +. cfg.drain_timeout_s in
+  while not (all_idle ()) && Clock.now_s () < deadline do
+    Clock.sleepf 0.02
+  done;
+  Array.iter
+    (fun w ->
+      Mutex.lock w.qm;
+      Condition.broadcast w.qc;
+      Mutex.unlock w.qm)
+    workers;
+  Array.iter Domain.join domains;
+  write_snapshot t;
+  Hashtbl.iter
+    (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
+    conns;
+  cfg.log ~level:"info"
+    (Printf.sprintf "stopped after %d request(s)" (Atomic.get t.requests))

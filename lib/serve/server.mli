@@ -1,0 +1,87 @@
+(** The [ccmx serve] daemon: a persistent CC-oracle behind a Unix
+    socket.
+
+    One process keeps the expensive state — the transposition-table
+    arrangement of the exact-CC engine and a content-addressed result
+    cache — warm across any number of {!Wire} queries, so a fleet of
+    short-lived clients (experiment scripts, CI, notebooks) shares one
+    set of searches instead of each recomputing from cold.
+
+    {2 Architecture}
+
+    - The {b acceptor} (caller's domain) owns the listening socket and
+      every connection: a [select] loop reads request lines, parses
+      them, answers the trivial ops ([ping]/[stats]/[shutdown]) inline
+      and dispatches compute ops to workers.  It polls the stop flag
+      between select rounds, so SIGTERM/SIGINT handlers only need to
+      flip an [Atomic].
+    - {b Worker domains} each own one {!Commx_util.Txtable} segment
+      (Txtable is not thread-safe, so segments are never shared).
+      Exact-CC requests route by their table tag ([tag mod workers]):
+      the same canonical matrix always lands on the same segment and
+      therefore always finds its own warm entries.  Other ops route by
+      a hash of their content key.
+    - {b Replies} go out strictly in request order per connection
+      (sequence numbers; finished replies buffer until their turn), so
+      clients may pipeline blindly.  A broken client pipe marks only
+      that connection dead — EPIPE never kills the daemon.
+    - {b Admission}: each worker queue is bounded; requests beyond the
+      bound are answered immediately with an error instead of piling
+      up.
+    - {b Snapshot}: on graceful drain the daemon persists tags, result
+      cache and all table segments to one versioned JSON file
+      (atomically, via {!Commx_util.Json.Atomic}); on restart the file
+      is validated and the segments redistributed, so cache warmth
+      survives restarts — even across a change in worker count.
+      Corrupt or version-mismatched snapshots are rejected with a
+      logged reason and the daemon starts cold. *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** worker domains, >= 1 *)
+  snapshot_path : string option;
+      (** warm-state file: loaded at start, written on graceful stop *)
+  cache_capacity : int;  (** result-cache entries, >= 1 *)
+  table_budget : int option;
+      (** per-segment transposition-table entry budget ([None] =
+          unbounded), as {!Commx_util.Txtable.create} *)
+  max_queue : int;  (** per-worker admission bound, >= 1 *)
+  drain_timeout_s : float;
+      (** max wait for in-flight work on shutdown *)
+  log : level:string -> string -> unit;
+}
+
+val default_log : level:string -> string -> unit
+(** One JSON object per line on stderr: [{"ts", "level", "msg"}]. *)
+
+val config :
+  socket_path:string ->
+  ?workers:int ->
+  ?snapshot_path:string ->
+  ?cache_capacity:int ->
+  ?table_budget:int ->
+  ?max_queue:int ->
+  ?drain_timeout_s:float ->
+  ?log:(level:string -> string -> unit) ->
+  unit ->
+  config
+(** Defaults: 2 workers, no snapshot, 1024 cache entries, unbounded
+    tables, 64-deep queues, 30 s drain, {!default_log}.
+    @raise Invalid_argument on out-of-range values. *)
+
+val protocol_version : int
+(** Wire protocol version, reported by the [stats] op. *)
+
+val snapshot_format : string
+(** Format marker of the server snapshot file
+    (["ccmx-serve-snapshot"]). *)
+
+val snapshot_version : int
+(** Version stamped into and required from server snapshot files. *)
+
+val run : ?stop:bool Atomic.t -> config -> unit
+(** Serve until [stop] becomes [true] (set it from a signal handler or
+    another domain) or a client sends the [shutdown] op; then drain
+    in-flight requests, write the snapshot and return.  Removes any
+    stale file at [socket_path] before binding.
+    @raise Unix.Unix_error when the socket cannot be created. *)

@@ -1,0 +1,174 @@
+(* JSON-lines request/response codec for ccmx serve.
+
+   Parsing is strict: unknown ops, missing fields, ragged matrices and
+   oversized inputs are rejected with a message the daemon sends back
+   verbatim, never an exception across the module boundary.  The codec
+   deliberately knows nothing about sockets or caches — it maps lines
+   to typed requests and replies to lines, and the same functions serve
+   the daemon, the tests and the example client. *)
+
+module Json = Commx_util.Json
+module Bm = Commx_util.Bitmat
+module Zm = Commx_linalg.Zmatrix
+module B = Commx_bigint.Bigint
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Exact_cc of { matrix : Bm.t; use_cache : bool }
+  | Singular of { matrix : Zm.t }
+  | Lemma32 of { n : int; k : int; seed : int }
+  | Lower_bounds of { matrix : Bm.t }
+  | Protocol_run of { proto : string; n : int; k : int; seed : int; epsilon : float }
+
+type envelope = { id : Json.t; op : string; req : request }
+
+let max_matrix_side = 64
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let field obj key = Json.member key obj
+
+let int_field ?default obj key =
+  match (field obj key, default) with
+  | Some (Json.Int v), _ -> v
+  | None, Some d -> d
+  | None, None -> bad "missing integer field %S" key
+  | Some _, _ -> bad "field %S must be an integer" key
+
+let float_field ?default obj key =
+  match (field obj key, default) with
+  | Some (Json.Float v), _ -> v
+  | Some (Json.Int v), _ -> float_of_int v
+  | None, Some d -> d
+  | None, None -> bad "missing number field %S" key
+  | Some _, _ -> bad "field %S must be a number" key
+
+let bool_field ~default obj key =
+  match field obj key with
+  | Some (Json.Bool v) -> v
+  | None -> default
+  | Some _ -> bad "field %S must be a boolean" key
+
+let string_field ?default obj key =
+  match (field obj key, default) with
+  | Some (Json.String s), _ -> s
+  | None, Some d -> d
+  | None, None -> bad "missing string field %S" key
+  | Some _, _ -> bad "field %S must be a string" key
+
+(* ["0110", "1001", ...] -> Bitmat, strictly rectangular, 0/1 only. *)
+let bit_matrix obj =
+  let rows =
+    match field obj "matrix" with
+    | Some (Json.List l) -> l
+    | Some _ -> bad "field \"matrix\" must be a list of row strings"
+    | None -> bad "missing field \"matrix\""
+  in
+  let rows =
+    List.map
+      (function Json.String s -> s | _ -> bad "matrix rows must be strings")
+      rows
+  in
+  match rows with
+  | [] -> bad "matrix has no rows"
+  | first :: _ ->
+      let nr = List.length rows and nc = String.length first in
+      if nc = 0 then bad "matrix has empty rows";
+      if nr > max_matrix_side || nc > max_matrix_side then
+        bad "matrix exceeds %dx%d wire limit" max_matrix_side max_matrix_side;
+      if List.exists (fun r -> String.length r <> nc) rows then
+        bad "matrix rows have unequal lengths";
+      List.iter
+        (String.iter (fun c ->
+             if c <> '0' && c <> '1' then
+               bad "matrix rows must contain only '0' and '1'"))
+        rows;
+      let a = Array.of_list rows in
+      Bm.init nr nc (fun i j -> a.(i).[j] = '1')
+
+(* [[1, 2], ["-3", 4], ...] -> Zmatrix; entries are ints or decimal
+   strings (bigints larger than a native int must come as strings). *)
+let int_matrix obj =
+  let entry = function
+    | Json.Int v -> B.of_int v
+    | Json.String s -> (
+        try B.of_string s
+        with _ -> bad "matrix entry %S is not a decimal integer" s)
+    | _ -> bad "matrix entries must be integers or decimal strings"
+  in
+  let rows =
+    match field obj "matrix" with
+    | Some (Json.List l) -> l
+    | Some _ -> bad "field \"matrix\" must be a list of rows"
+    | None -> bad "missing field \"matrix\""
+  in
+  let rows =
+    List.map
+      (function
+        | Json.List r -> Array.of_list (List.map entry r)
+        | _ -> bad "matrix rows must be lists")
+      rows
+  in
+  match rows with
+  | [] -> bad "matrix has no rows"
+  | first :: _ ->
+      let nr = List.length rows and nc = Array.length first in
+      if nc = 0 then bad "matrix has empty rows";
+      if nr > max_matrix_side || nc > max_matrix_side then
+        bad "matrix exceeds %dx%d wire limit" max_matrix_side max_matrix_side;
+      if List.exists (fun r -> Array.length r <> nc) rows then
+        bad "matrix rows have unequal lengths";
+      let a = Array.of_list rows in
+      Zm.init nr nc (fun i j -> a.(i).(j))
+
+let request_of obj op =
+  match op with
+  | "ping" -> Ping
+  | "stats" -> Stats
+  | "shutdown" -> Shutdown
+  | "exact_cc" ->
+      Exact_cc
+        { matrix = bit_matrix obj;
+          use_cache = bool_field ~default:true obj "use_cache" }
+  | "singular" -> Singular { matrix = int_matrix obj }
+  | "lemma32" ->
+      Lemma32
+        { n = int_field ~default:7 obj "n";
+          k = int_field ~default:2 obj "k";
+          seed = int_field ~default:0 obj "seed" }
+  | "lower_bounds" -> Lower_bounds { matrix = bit_matrix obj }
+  | "protocol" ->
+      Protocol_run
+        { proto = string_field ~default:"trivial" obj "protocol";
+          n = int_field ~default:7 obj "n";
+          k = int_field ~default:2 obj "k";
+          seed = int_field ~default:0 obj "seed";
+          epsilon = float_field ~default:0.01 obj "epsilon" }
+  | other -> bad "unknown op %S" other
+
+let parse line =
+  match Json.of_string line with
+  | exception Failure msg -> Error (Json.Null, "malformed JSON: " ^ msg)
+  | Json.Obj _ as obj -> (
+      let id = Option.value (field obj "id") ~default:Json.Null in
+      match field obj "op" with
+      | Some (Json.String op) -> (
+          try Ok { id; op; req = request_of obj op }
+          with Bad msg -> Error (id, msg))
+      | Some _ -> Error (id, "field \"op\" must be a string")
+      | None -> Error (id, "missing field \"op\""))
+  | _ -> Error (Json.Null, "request must be a JSON object")
+
+let ok ~id ~op fields =
+  Json.Obj
+    (("id", id) :: ("op", Json.String op) :: ("ok", Json.Bool true) :: fields)
+
+let error ~id msg =
+  Json.Obj
+    [ ("id", id); ("ok", Json.Bool false); ("error", Json.String msg) ]
+
+let to_line doc = Json.to_string doc ^ "\n"

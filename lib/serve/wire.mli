@@ -1,0 +1,60 @@
+(** JSON-lines wire protocol of the [ccmx serve] daemon.
+
+    One request per line, one reply per line, replies in request order
+    per connection.  Every request is a JSON object with an ["op"]
+    field selecting the query and an optional ["id"] the daemon echoes
+    back verbatim (so a pipelining client can match replies however it
+    likes even though order already suffices).  Replies carry
+    ["ok": true] plus op-specific fields, or ["ok": false] with an
+    ["error"] string.  The full request/response schemas are documented
+    in EXPERIMENTS.md; this module is the single point that parses and
+    prints them, so tests, the daemon and the example client cannot
+    drift apart. *)
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Exact_cc of { matrix : Commx_util.Bitmat.t; use_cache : bool }
+      (** Exact deterministic CC of a boolean truth matrix
+          (rows of ['0']/['1'] strings).  [use_cache = false] bypasses
+          the result cache while still using the warm transposition
+          table — the knob the warm-table tests and benchmarks use. *)
+  | Singular of { matrix : Commx_linalg.Zmatrix.t }
+      (** Exact singularity / rank / determinant of an integer matrix
+          (entries as ints or decimal strings). *)
+  | Lemma32 of { n : int; k : int; seed : int }
+      (** Lemma 3.2 spot check on the seeded random hard instance:
+          criterion vs. ground truth. *)
+  | Lower_bounds of { matrix : Commx_util.Bitmat.t }
+      (** Fooling-set and rank lower bounds ({!Commx_comm.Rank_bound}
+          report) of a boolean matrix. *)
+  | Protocol_run of {
+      proto : string;  (** ["trivial"] or ["fingerprint"] *)
+      n : int;
+      k : int;
+      seed : int;
+      epsilon : float;
+    }  (** Run a singularity protocol on the seeded instance and count
+          bits through the channel. *)
+
+type envelope = { id : Commx_util.Json.t; op : string; req : request }
+
+val max_matrix_side : int
+(** Hard cap (64) on rows and columns of matrices accepted over the
+    wire, bounding per-request work before any handler runs. *)
+
+val parse : string -> (envelope, Commx_util.Json.t * string) result
+(** Parse one request line.  [Error (id, msg)] carries the request id
+    when one could be recovered (so the error reply still correlates)
+    and a message fit to send back verbatim. *)
+
+val ok : id:Commx_util.Json.t -> op:string ->
+  (string * Commx_util.Json.t) list -> Commx_util.Json.t
+(** Success reply: [{"id": .., "op": .., "ok": true, ..fields}]. *)
+
+val error : id:Commx_util.Json.t -> string -> Commx_util.Json.t
+(** Failure reply: [{"id": .., "ok": false, "error": msg}]. *)
+
+val to_line : Commx_util.Json.t -> string
+(** Compact serialization plus the terminating newline. *)

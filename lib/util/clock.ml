@@ -3,3 +3,23 @@ external now_ns : unit -> int = "commx_clock_monotonic_ns" [@@noalloc]
 let now_s () = float_of_int (now_ns ()) *. 1e-9
 let ns_to_us ns = float_of_int ns *. 1e-3
 let ns_to_s ns = float_of_int ns *. 1e-9
+
+(* [Unix.sleepf] is a single nanosleep: a signal delivered mid-sleep
+   (EINTR) ends it early — either silently (the libc call is not
+   restarted) or as a [Unix_error (EINTR, _, _)], depending on the
+   runtime.  Both truncate the pause, so every sleep here re-sleeps
+   against an absolute monotonic deadline until it is actually
+   reached.  Signal handlers still run (the runtime processes them
+   when nanosleep returns); only the pause duration is protected. *)
+let sleep_until deadline =
+  let rec go () =
+    let remaining = deadline -. now_s () in
+    if remaining > 0.0 then begin
+      (try Unix.sleepf remaining
+       with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      go ()
+    end
+  in
+  go ()
+
+let sleepf s = if s > 0.0 then sleep_until (now_s () +. s)

@@ -24,3 +24,19 @@ val ns_to_us : int -> float
 
 val ns_to_s : int -> float
 (** Nanoseconds to seconds. *)
+
+val sleep_until : float -> unit
+(** [sleep_until deadline] blocks until [now_s () >= deadline] (a
+    monotonic instant, as for {!Pool.Token} deadlines).  Unlike a bare
+    [Unix.sleepf], a signal arriving mid-sleep cannot truncate the
+    pause: the sleep is re-issued for the remaining time until the
+    deadline is actually reached.  Signal handlers still run during
+    the pause.  Returns immediately when the deadline has passed. *)
+
+val sleepf : float -> unit
+(** [sleepf s] is [sleep_until (now_s () +. s)]: sleep at least [s]
+    seconds of monotonic time, immune to early wake-ups from signal
+    delivery (EINTR).  Non-positive durations return immediately.
+    Use this instead of [Unix.sleepf] anywhere a signal-handling
+    process (the [ccmx serve] daemon in particular) must honor a
+    backoff or injected delay in full. *)

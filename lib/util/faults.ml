@@ -68,5 +68,8 @@ let pool_point t ~batch ~item =
   let site = Printf.sprintf "pool:%d:%d" batch item in
   match decide t ~site ~rate:t.pool_rate ~delay_rate:t.delay_rate with
   | Raise -> raise (Injected site)
-  | Delay -> Unix.sleepf t.delay_s
+  (* Clock.sleepf, not Unix.sleepf: an injected delay exists to
+     exercise the deadline machinery, so a signal (the exact condition
+     a daemon creates) must not silently shorten it. *)
+  | Delay -> Clock.sleepf t.delay_s
   | Pass -> ()

@@ -1,0 +1,51 @@
+(* SIGPIPE / broken-pipe hygiene for every executable entry point.
+
+   With SIGPIPE at its default disposition, `ccmx bench ... | head`
+   (or a serve client disconnecting mid-reply) kills the whole process
+   with a fatal signal — no exit code the harness controls, no flushed
+   logs, no snapshot.  Ignoring the signal turns the condition into an
+   EPIPE error on the write path, which each stream can then handle
+   locally: a CLI exits quietly, the daemon closes just the one
+   client stream. *)
+
+let ignore_sigpipe () =
+  (* Sys.sigpipe exists on every platform; installing a handler for it
+     does not (Windows).  Failure to install just restores the status
+     quo, so swallow it. *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
+(* OCaml surfaces a write to a closed pipe in two shapes depending on
+   the layer: out_channel operations raise [Sys_error "Broken pipe"]
+   (the strerror text, possibly with a path prefix), Unix syscalls
+   raise [Unix_error (EPIPE, _, _)].  A peer that resets the
+   connection instead of half-closing gives ECONNRESET — same
+   condition from the writer's point of view. *)
+let is_broken_pipe = function
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> true
+  | Sys_error msg ->
+      let needle = "Broken pipe" in
+      let n = String.length needle and m = String.length msg in
+      let rec scan i =
+        i + n <= m && (String.sub msg i n = needle || scan (i + 1))
+      in
+      scan 0
+  | _ -> false
+
+(* Once stdout's reader is gone, every further write — including the
+   implicit flush of buffered output during [exit] — would raise
+   again.  Pointing the fd at /dev/null makes the remaining shutdown
+   path (at_exit flushes, final reports) harmlessly succeed. *)
+let silence_stdout () =
+  try
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    Unix.dup2 devnull Unix.stdout;
+    Unix.close devnull
+  with _ -> ()
+
+let run_main f =
+  ignore_sigpipe ();
+  try f ()
+  with e when is_broken_pipe e ->
+    silence_stdout ();
+    exit 0

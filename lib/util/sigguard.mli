@@ -1,0 +1,35 @@
+(** SIGPIPE and broken-pipe hygiene for executable entry points.
+
+    A process writing to a pipe whose reader has exited receives
+    SIGPIPE, which by default kills it — so [ccmx bench ... | head]
+    died with a fatal signal instead of a clean exit, and a serve
+    client disconnecting mid-reply would have taken the whole daemon
+    down.  The fix has two halves: ignore the signal process-wide (the
+    failing write then returns EPIPE instead), and decide per stream
+    what EPIPE means — for a CLI writing reports to stdout it means
+    "nobody is listening, stop quietly"; for the daemon it means "this
+    one client is gone". *)
+
+val ignore_sigpipe : unit -> unit
+(** Set SIGPIPE to ignored for the whole process, so writes to closed
+    pipes and sockets fail with EPIPE instead of killing the process.
+    Call first thing in every [main].  A no-op on platforms without
+    the signal. *)
+
+val is_broken_pipe : exn -> bool
+(** Recognize the broken-pipe condition in both the shapes OCaml
+    reports it: [Unix_error (EPIPE | ECONNRESET, _, _)] from syscalls,
+    and [Sys_error] carrying the ["Broken pipe"] strerror text from
+    buffered-channel operations. *)
+
+val silence_stdout : unit -> unit
+(** Redirect fd 1 to [/dev/null].  After stdout's reader is gone this
+    makes the remaining shutdown writes (at_exit channel flushes)
+    succeed harmlessly instead of raising again. *)
+
+val run_main : (unit -> 'a) -> 'a
+(** [run_main f] is the standard executable prologue:
+    {!ignore_sigpipe}, then [f ()]; if [f] dies of a broken pipe on
+    its output stream, the process {!silence_stdout}s and exits 0 — a
+    truncated consumer ([| head]) is normal pipeline behavior, not an
+    error. *)

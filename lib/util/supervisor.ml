@@ -30,6 +30,26 @@ let config ?timeout_s ?(retries = default_config.retries)
   if retries < 0 then invalid_arg "Supervisor.config: retries must be >= 0";
   { timeout_s; retries; backoff_s; retryable }
 
+(* Retry log lines go through an injectable sink so a host that owns
+   its output streams (the serve daemon, a structured logger) can
+   capture them instead of having workers interleave raw lines on
+   stderr across domains.  The default preserves the historical
+   behavior: one flushed line on stderr. *)
+type retry_log = {
+  name : string;
+  attempt : int;
+  exn : string;
+  pause_s : float;
+}
+
+let default_log_sink { name; attempt; exn; pause_s } =
+  Printf.eprintf "[supervisor] %s: attempt %d failed (%s), retrying in %.2fs\n%!"
+    name attempt exn pause_s
+
+let log_sink : (retry_log -> unit) Atomic.t = Atomic.make default_log_sink
+let set_log_sink f = Atomic.set log_sink f
+let reset_log_sink () = Atomic.set log_sink default_log_sink
+
 (* Attempt outcomes are a function of (workload, config, faults), not
    of scheduling, so these counters stay jobs-invariant. *)
 let attempts_ok = Telemetry.counter "supervisor.attempts.ok"
@@ -87,13 +107,14 @@ let run ?(config = default_config) ~pool ~name f =
         if n <= config.retries && config.retryable e then begin
           let pause = config.backoff_s *. (2.0 ** float_of_int (n - 1)) in
           Telemetry.incr retries_counter;
-          Printf.eprintf
-            "[supervisor] %s: attempt %d failed (%s), retrying in %.2fs\n%!"
-            name n (Printexc.to_string e) pause;
+          (Atomic.get log_sink)
+            { name; attempt = n; exn = Printexc.to_string e; pause_s = pause };
           if pause > 0.0 then
             Telemetry.with_span "supervisor:backoff"
               ~args:[ ("name", name); ("pause_s", Printf.sprintf "%.3f" pause) ]
-              (fun () -> Unix.sleepf pause);
+              (* Clock.sleepf re-sleeps across EINTR, so a signal
+                 cannot silently truncate the backoff. *)
+              (fun () -> Clock.sleepf pause);
           go (n + 1)
         end
         else (Failed { exn = Printexc.to_string e; backtrace = bt }, n)

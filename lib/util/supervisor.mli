@@ -32,6 +32,33 @@ type config = {
   retryable : exn -> bool;  (** which failures are worth retrying *)
 }
 
+(** {2 Retry logging}
+
+    Retry notices used to go straight to stderr with [Printf.eprintf];
+    a long-running host (the [ccmx serve] daemon) needs to capture
+    them into its own structured log instead of having attempts on
+    different domains interleave raw lines.  The sink receives the
+    structured record; formatting is the sink's business. *)
+
+type retry_log = {
+  name : string;  (** the supervised unit's name *)
+  attempt : int;  (** the attempt that just failed (1-based) *)
+  exn : string;  (** [Printexc.to_string] of the failure *)
+  pause_s : float;  (** backoff before the next attempt *)
+}
+
+val default_log_sink : retry_log -> unit
+(** The historical behavior: one flushed
+    ["[supervisor] <name>: attempt <n> failed (<exn>), retrying in
+    <pause>s"] line on stderr. *)
+
+val set_log_sink : (retry_log -> unit) -> unit
+(** Replace the process-wide retry sink.  Called once at host startup,
+    before supervised work runs. *)
+
+val reset_log_sink : unit -> unit
+(** Restore {!default_log_sink} (used by tests). *)
+
 val default_config : config
 (** No timeout, no retries, [backoff_s = 0.1], and [retryable] true
     exactly for {!Faults.Injected} (real bugs are deterministic; only

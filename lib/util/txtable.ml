@@ -160,3 +160,91 @@ let clear t =
   Array.fill t.keys 0 (Array.length t.keys) (-1);
   t.size <- 0;
   reset_stats t
+
+let iter t f =
+  let keys = t.keys and vals = t.vals in
+  for i = 0 to Array.length keys - 1 do
+    let k = Array.unsafe_get keys i in
+    if k >= 0 then f k (Array.unsafe_get vals i)
+  done
+
+let budget_entries t = if t.budget_slots = max_int then None else Some t.budget_slots
+
+(* {2 Versioned snapshot}
+
+   The serve daemon persists its warm transposition tables across
+   restarts.  The format is explicit about its version and its budget
+   semantics so a stale or corrupt file is rejected with a clear error
+   instead of silently poisoning a fresh table with garbage keys. *)
+
+let snapshot_version = 1
+
+let log2_exact n =
+  let rec go b = if 1 lsl b >= n then b else go (b + 1) in
+  go 1
+
+let save t =
+  let entries = ref [] in
+  (* Slot order (descending index, reversed by the fold below) keeps
+     the serialization deterministic for a given table state. *)
+  iter t (fun k v -> entries := Json.List [ Json.Int k; Json.Int v ] :: !entries);
+  Json.Obj
+    [
+      ("format", Json.String "txtable");
+      ("version", Json.Int snapshot_version);
+      ("capacity_bits", Json.Int (log2_exact (t.mask + 1)));
+      ( "budget_slots",
+        if t.budget_slots = max_int then Json.Null else Json.Int t.budget_slots );
+      ("entries", Json.List (List.rev !entries));
+    ]
+
+let load_error fmt = Printf.ksprintf (fun s -> failwith ("Txtable.load: " ^ s)) fmt
+
+let load doc =
+  let obj =
+    match doc with
+    | Json.Obj _ -> doc
+    | _ -> load_error "snapshot is not a JSON object"
+  in
+  (match Json.member "format" obj with
+  | Some (Json.String "txtable") -> ()
+  | Some (Json.String other) -> load_error "format %S is not a txtable snapshot" other
+  | _ -> load_error "missing \"format\" marker — not a txtable snapshot");
+  (match Json.member "version" obj with
+  | Some (Json.Int v) when v = snapshot_version -> ()
+  | Some (Json.Int v) ->
+      load_error "unsupported snapshot version %d (this build reads version %d)"
+        v snapshot_version
+  | _ -> load_error "missing or non-integer \"version\"");
+  let capacity_bits =
+    match Json.member "capacity_bits" obj with
+    | Some (Json.Int b) when b >= 1 && b <= 40 -> b
+    | Some (Json.Int b) -> load_error "capacity_bits %d out of range [1, 40]" b
+    | _ -> load_error "missing or non-integer \"capacity_bits\""
+  in
+  let budget =
+    match Json.member "budget_slots" obj with
+    | Some Json.Null | None -> None
+    | Some (Json.Int b) when b >= 1 -> Some b
+    | Some (Json.Int b) -> load_error "budget_slots %d is not positive" b
+    | Some _ -> load_error "non-integer \"budget_slots\""
+  in
+  let entries =
+    match Json.member "entries" obj with
+    | Some (Json.List l) -> l
+    | _ -> load_error "missing or non-list \"entries\""
+  in
+  let t = create ?budget_entries:budget ~initial_bits:capacity_bits () in
+  List.iteri
+    (fun i e ->
+      match e with
+      | Json.List [ Json.Int k; Json.Int v ] ->
+          if k < 0 then load_error "entry %d has negative key %d" i k;
+          if v < 0 then load_error "entry %d has negative value %d" i v;
+          set t k v
+      | _ -> load_error "entry %d is not a [key, value] integer pair" i)
+    entries;
+  (* Stats describe runtime traffic, not persisted state: a freshly
+     loaded table starts with clean counters. *)
+  reset_stats t;
+  t

@@ -60,3 +60,42 @@ val reset_stats : t -> unit
 
 val clear : t -> unit
 (** Drop all entries (capacity is retained) and zero the counters. *)
+
+val iter : t -> (int -> int -> unit) -> unit
+(** [iter t f] calls [f key value] for every live entry, in slot
+    order.  Do not mutate [t] during iteration. *)
+
+val budget_entries : t -> int option
+(** The slot budget the table enforces ([None] = unbounded).  Already
+    rounded to the power of two actually applied, so feeding it back
+    to {!create} reproduces the same budget semantics. *)
+
+(** {2 Versioned snapshot}
+
+    The serve daemon keeps its transposition tables warm across
+    restarts by persisting them to disk.  [save]/[load] define the
+    on-disk shape: a versioned JSON object carrying the capacity, the
+    budget and the live entries.  [load] validates everything —
+    format marker, version, key/value ranges — and {e raises} on any
+    mismatch: a corrupt or stale snapshot must be rejected loudly, not
+    silently folded into a fresh table. *)
+
+val snapshot_version : int
+(** Version stamped into snapshots by {!save} and required by
+    {!load}. *)
+
+val save : t -> Json.t
+(** Serialize the table: format marker, {!snapshot_version}, capacity,
+    budget, and all live entries in slot order (deterministic for a
+    given table state).  Runtime statistics are not persisted. *)
+
+val load : Json.t -> t
+(** Rebuild a table from a {!save} document: same capacity, same
+    budget semantics, entries re-inserted in the saved order (re-
+    placement can evict only in the same probe-window-saturation
+    situations live inserts can, i.e. essentially never below budget
+    pressure).  Statistics start at zero.
+    @raise Failure with a ["Txtable.load: ..."] message on a missing
+    format marker, a version other than {!snapshot_version}, or any
+    malformed field — the caller decides whether to die or to start
+    cold, but the table is never half-loaded. *)

@@ -40,8 +40,11 @@ def load_artifacts(dirname):
         exp = art.get("experiment") or os.path.basename(path)
         # The differential fuzzer ("check") is a correctness tier, not a
         # benchmark: its wall clock scales with --count/--budget and its
-        # counters track fuzzed cases, so it is never perf-gated.
-        if exp.startswith("check"):
+        # counters track fuzzed cases, so it is never perf-gated.  The
+        # serve daemon's smoke artifacts ("serve") are likewise
+        # cache-warmth checks whose timings depend on daemon scheduling,
+        # not kernel speed.
+        if exp.startswith("check") or exp.startswith("serve"):
             continue
         arts[exp] = art
     return arts

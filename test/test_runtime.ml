@@ -268,6 +268,106 @@ let test_supervisor_retries_exhausted () =
       | _ -> Alcotest.fail "expected Failed");
       Alcotest.(check int) "1 + 2 retries" 3 attempts)
 
+(* ------------------------------------------------------------------ *)
+(* Clock.sleepf: EINTR immunity                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_sleepf_survives_signals () =
+  (* Regression: supervisor backoff and injected fault delays used
+     Unix.sleepf directly, which returns early when a signal arrives —
+     a SIGALRM storm truncated a 150 ms pause to ~20 ms.  Clock.sleepf
+     re-sleeps against a monotonic deadline, so the full pause holds no
+     matter how often it is interrupted. *)
+  let ticks = ref 0 in
+  let old = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> incr ticks)) in
+  let old_timer =
+    Unix.setitimer Unix.ITIMER_REAL
+      { Unix.it_interval = 0.02; it_value = 0.02 }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.setitimer Unix.ITIMER_REAL old_timer);
+      Sys.set_signal Sys.sigalrm old)
+    (fun () ->
+      let t0 = Clock.now_s () in
+      Clock.sleepf 0.15;
+      let elapsed = Clock.now_s () -. t0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "signals interrupted the sleep (%d ticks)" !ticks)
+        true (!ticks >= 2);
+      Alcotest.(check bool)
+        (Printf.sprintf "full pause held (%.3fs elapsed)" elapsed)
+        true
+        (elapsed >= 0.145))
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor: injectable retry log sink                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_supervisor_log_sink_captures_retries () =
+  (* The daemon routes retry diagnostics through its structured logger
+     instead of raw eprintf; this is the seam it uses. *)
+  let captured = ref [] in
+  Supervisor.set_log_sink (fun r -> captured := r :: !captured);
+  Fun.protect
+    ~finally:(fun () -> Supervisor.reset_log_sink ())
+    (fun () ->
+      Pool.with_pool ~jobs:1 (fun pool ->
+          let config = Supervisor.config ~retries:2 ~backoff_s:0.0 () in
+          let outcome, attempts =
+            Supervisor.run ~config ~pool ~name:"sinked" (fun ~attempt ->
+                if attempt < 3 then raise (Faults.Injected "transient")
+                else attempt)
+          in
+          (match outcome with
+          | Supervisor.Ok v -> Alcotest.(check int) "succeeded" 3 v
+          | _ -> Alcotest.fail "expected Ok after retries");
+          Alcotest.(check int) "three attempts" 3 attempts));
+  let logs = List.rev !captured in
+  Alcotest.(check int) "one log per retry" 2 (List.length logs);
+  List.iteri
+    (fun i (r : Supervisor.retry_log) ->
+      Alcotest.(check string) "experiment name" "sinked" r.Supervisor.name;
+      Alcotest.(check int) "attempt number" (i + 1) r.Supervisor.attempt;
+      Alcotest.(check bool) "exception text present" true
+        (String.length r.Supervisor.exn > 0);
+      Alcotest.(check bool) "pause is non-negative" true
+        (r.Supervisor.pause_s >= 0.0))
+    logs
+
+(* ------------------------------------------------------------------ *)
+(* Sigguard: SIGPIPE / broken-pipe hygiene                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_sigguard_recognizes_broken_pipes () =
+  let bp = Commx_util.Sigguard.is_broken_pipe in
+  Alcotest.(check bool) "EPIPE" true
+    (bp (Unix.Unix_error (Unix.EPIPE, "write", "")));
+  Alcotest.(check bool) "ECONNRESET" true
+    (bp (Unix.Unix_error (Unix.ECONNRESET, "write", "")));
+  Alcotest.(check bool) "channel-flush Sys_error" true
+    (bp (Sys_error "/dev/stdout: Broken pipe"));
+  Alcotest.(check bool) "other Unix_error is not" false
+    (bp (Unix.Unix_error (Unix.ENOENT, "open", "")));
+  Alcotest.(check bool) "other Sys_error is not" false
+    (bp (Sys_error "No such file or directory"))
+
+let test_sigguard_write_to_closed_pipe_is_epipe () =
+  (* With SIGPIPE ignored, writing into a pipe whose reader is gone
+     must surface as a catchable EPIPE — the fact that this test is
+     still alive to observe the exception IS the regression check
+     (default SIGPIPE disposition would have killed the process). *)
+  Commx_util.Sigguard.ignore_sigpipe ();
+  let r, w = Unix.pipe () in
+  Unix.close r;
+  let payload = Bytes.of_string "doomed\n" in
+  (match Unix.write w payload 0 (Bytes.length payload) with
+  | _ -> Alcotest.fail "write to a readerless pipe succeeded"
+  | exception e ->
+      Alcotest.(check bool) "EPIPE recognized" true
+        (Commx_util.Sigguard.is_broken_pipe e));
+  Unix.close w
+
 let test_supervisor_timeout_pool_batch () =
   Pool.with_pool ~jobs:2 (fun pool ->
       let config = Supervisor.config ~timeout_s:0.05 ~retries:3 () in
@@ -488,7 +588,16 @@ let () =
           Alcotest.test_case "timeout via sequential tick" `Quick
             test_supervisor_timeout_sequential_tick;
           Alcotest.test_case "config validation" `Quick
-            test_supervisor_config_validation ] );
+            test_supervisor_config_validation;
+          Alcotest.test_case "retry log sink" `Quick
+            test_supervisor_log_sink_captures_retries ] );
+      ( "signals",
+        [ Alcotest.test_case "sleepf survives EINTR" `Quick
+            test_clock_sleepf_survives_signals;
+          Alcotest.test_case "broken-pipe recognizer" `Quick
+            test_sigguard_recognizes_broken_pipes;
+          Alcotest.test_case "EPIPE instead of death" `Quick
+            test_sigguard_write_to_closed_pipe_is_epipe ] );
       ( "cli",
         [ Alcotest.test_case "full parse" `Quick test_cli_parse_full;
           Alcotest.test_case "errors" `Quick test_cli_parse_errors;

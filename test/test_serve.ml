@@ -1,0 +1,428 @@
+(* Tests for the serve daemon: wire codec, result cache + tag registry,
+   and in-process end-to-end runs over a real Unix socket — warm-cache
+   semantics, reply ordering, broken-pipe survival, snapshot
+   persistence across a restart, and stats percentiles. *)
+
+module Json = Commx_util.Json
+module Bm = Commx_util.Bitmat
+module Clock = Commx_util.Clock
+module Wire = Commx_serve.Wire
+module Cache = Commx_serve.Cache
+module Server = Commx_serve.Server
+
+(* The reference board: 8x8, rows as bit patterns.  Low GF(2) rank, so
+   the certified root bound does NOT close the search — a cold query
+   really expands nodes, which is what makes warm-vs-cold observable. *)
+let board_rows = [| 46; 69; 0; 0; 22; 125; 107; 83 |]
+
+let board_json =
+  Json.List
+    (Array.to_list
+       (Array.map
+          (fun r ->
+            Json.String
+              (String.init 8 (fun j -> if r land (1 lsl j) <> 0 then '1' else '0')))
+          board_rows))
+
+let obj_field reply key =
+  match Json.member key reply with
+  | Some v -> v
+  | None -> Alcotest.failf "reply lacks field %S: %s" key (Json.to_string reply)
+
+let int_field reply key =
+  match obj_field reply key with
+  | Json.Int v -> v
+  | _ -> Alcotest.failf "field %S is not an int" key
+
+let float_field reply key =
+  match obj_field reply key with
+  | Json.Float v -> v
+  | Json.Int v -> float_of_int v
+  | _ -> Alcotest.failf "field %S is not a number" key
+
+let string_field reply key =
+  match obj_field reply key with
+  | Json.String s -> s
+  | _ -> Alcotest.failf "field %S is not a string" key
+
+let assert_ok reply =
+  match obj_field reply "ok" with
+  | Json.Bool true -> ()
+  | _ -> Alcotest.failf "expected ok reply, got %s" (Json.to_string reply)
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_parse_exact_cc () =
+  let line =
+    Json.to_string
+      (Json.Obj
+         [ ("op", Json.String "exact_cc"); ("id", Json.Int 7);
+           ("matrix", board_json) ])
+  in
+  match Wire.parse line with
+  | Ok { id = Json.Int 7; op = "exact_cc";
+         req = Wire.Exact_cc { matrix; use_cache = true } } ->
+      Alcotest.(check int) "rows" 8 (Bm.rows matrix);
+      Alcotest.(check int) "cols" 8 (Bm.cols matrix);
+      Alcotest.(check bool) "bit (0,1) set" true (Bm.get matrix 0 1);
+      Alcotest.(check bool) "bit (0,0) clear" false (Bm.get matrix 0 0)
+  | Ok _ -> Alcotest.fail "parsed into the wrong request"
+  | Error (_, msg) -> Alcotest.failf "parse failed: %s" msg
+
+let test_wire_parse_defaults_and_use_cache () =
+  let line use_cache =
+    Json.to_string
+      (Json.Obj
+         (("op", Json.String "exact_cc") :: ("matrix", Json.List [ Json.String "01" ])
+         :: (match use_cache with
+            | Some b -> [ ("use_cache", Json.Bool b) ]
+            | None -> [])))
+  in
+  (match Wire.parse (line (Some false)) with
+  | Ok { req = Wire.Exact_cc { use_cache = false; _ }; _ } -> ()
+  | _ -> Alcotest.fail "use_cache:false not honored");
+  match Wire.parse (line None) with
+  | Ok { id = Json.Null; req = Wire.Exact_cc { use_cache = true; _ }; _ } -> ()
+  | _ -> Alcotest.fail "use_cache should default to true, id to null"
+
+let test_wire_parse_singular_bigints () =
+  let line =
+    {|{"op":"singular","matrix":[[1,"123456789012345678901234567890"],["-2",3]]}|}
+  in
+  match Wire.parse line with
+  | Ok { req = Wire.Singular { matrix }; _ } ->
+      Alcotest.(check string) "bigint entry survives"
+        "123456789012345678901234567890"
+        (Commx_bigint.Bigint.to_string (Commx_linalg.Zmatrix.get matrix 0 1))
+  | Ok _ -> Alcotest.fail "wrong request"
+  | Error (_, msg) -> Alcotest.failf "parse failed: %s" msg
+
+let expect_parse_error line fragment =
+  match Wire.parse line with
+  | Ok _ -> Alcotest.failf "line %S was accepted" line
+  | Error (_, msg) ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      if not (contains msg fragment) then
+        Alcotest.failf "error %S does not mention %S" msg fragment
+
+let test_wire_parse_rejections () =
+  expect_parse_error "nonsense" "malformed JSON";
+  expect_parse_error {|[1,2]|} "JSON object";
+  expect_parse_error {|{"id":1}|} "missing field \"op\"";
+  expect_parse_error {|{"op":"teleport"}|} "unknown op";
+  expect_parse_error {|{"op":"exact_cc"}|} "missing field \"matrix\"";
+  expect_parse_error {|{"op":"exact_cc","matrix":[]}|} "no rows";
+  expect_parse_error {|{"op":"exact_cc","matrix":["01","0"]}|} "unequal";
+  expect_parse_error {|{"op":"exact_cc","matrix":["0x"]}|} "'0' and '1'";
+  expect_parse_error
+    (Json.to_string
+       (Json.Obj
+          [ ("op", Json.String "exact_cc");
+            ("matrix",
+             Json.List
+               (List.init 65 (fun _ -> Json.String (String.make 65 '0')))) ]))
+    "wire limit";
+  (* the id is recovered even from a bad request so the error reply
+     still correlates *)
+  match Wire.parse {|{"op":"teleport","id":42}|} with
+  | Error (Json.Int 42, _) -> ()
+  | _ -> Alcotest.fail "id not recovered from a bad request"
+
+(* ------------------------------------------------------------------ *)
+(* Cache + tags                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_fifo_eviction () =
+  let c = Cache.create ~capacity:2 in
+  Alcotest.(check bool) "miss on empty" true (Cache.find c "a" = None);
+  Cache.add c "a" (Json.Int 1);
+  Cache.add c "b" (Json.Int 2);
+  Cache.add c "a" (Json.Int 10) (* replace: no eviction, no new slot *);
+  Cache.add c "c" (Json.Int 3) (* evicts "a": oldest insertion *);
+  Alcotest.(check bool) "oldest evicted" true (Cache.find c "a" = None);
+  Alcotest.(check bool) "newer kept" true (Cache.find c "b" = Some (Json.Int 2));
+  Alcotest.(check bool) "newest kept" true (Cache.find c "c" = Some (Json.Int 3));
+  let st = Cache.stats c in
+  Alcotest.(check int) "hits" 2 st.Cache.hits;
+  Alcotest.(check int) "misses" 2 st.Cache.misses;
+  Alcotest.(check int) "evictions" 1 st.Cache.evictions;
+  Alcotest.(check int) "entries" 2 st.Cache.entries
+
+let test_cache_json_roundtrip () =
+  let c = Cache.create ~capacity:8 in
+  Cache.add c "x" (Json.Obj [ ("value", Json.Int 4) ]);
+  Cache.add c "y" (Json.Obj [ ("value", Json.Int 5) ]);
+  let c' = Cache.load ~capacity:8 (Json.of_string (Json.to_string (Cache.to_json c))) in
+  Alcotest.(check bool) "x survives" true
+    (Cache.find c' "x" = Some (Json.Obj [ ("value", Json.Int 4) ]));
+  Alcotest.(check bool) "y survives" true
+    (Cache.find c' "y" = Some (Json.Obj [ ("value", Json.Int 5) ]));
+  (match Cache.load ~capacity:4 (Json.String "zap") with
+  | _ -> Alcotest.fail "garbage cache accepted"
+  | exception Failure _ -> ());
+  match Cache.load ~capacity:4 (Json.List [ Json.Int 3 ]) with
+  | _ -> Alcotest.fail "malformed entry accepted"
+  | exception Failure _ -> ()
+
+let test_tags_sequential_and_stable () =
+  let t = Cache.Tags.create () in
+  let a = Cache.Tags.tag t "ka" in
+  let b = Cache.Tags.tag t "kb" in
+  Alcotest.(check int) "first tag" 0 a;
+  Alcotest.(check int) "second tag" 1 b;
+  Alcotest.(check int) "stable on re-query" a (Cache.Tags.tag t "ka");
+  Alcotest.(check int) "count" 2 (Cache.Tags.count t);
+  let t' = Cache.Tags.load (Json.of_string (Json.to_string (Cache.Tags.to_json t))) in
+  Alcotest.(check int) "tag preserved across load" a (Cache.Tags.tag t' "ka");
+  Alcotest.(check int) "allocation resumes after max" 2 (Cache.Tags.tag t' "kc");
+  match
+    Cache.Tags.load
+      (Json.List
+         [ Json.List [ Json.String "p"; Json.Int 0 ];
+           Json.List [ Json.String "q"; Json.Int 0 ] ])
+  with
+  | _ -> Alcotest.fail "duplicate tags accepted"
+  | exception Failure _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end over a real socket                                       *)
+(* ------------------------------------------------------------------ *)
+
+let socket_counter = ref 0
+
+let fresh_path suffix =
+  incr socket_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ccmx-test-%d-%d%s" (Unix.getpid ()) !socket_counter suffix)
+
+type client = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let deadline = Clock.now_s () +. 5.0 in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when Clock.now_s () < deadline ->
+        Unix.close fd;
+        Clock.sleepf 0.02;
+        go ()
+  in
+  go ()
+
+let send client obj =
+  output_string client.oc (Wire.to_line obj);
+  flush client.oc
+
+let recv client = Json.of_string (input_line client.ic)
+
+let rpc client obj =
+  send client obj;
+  recv client
+
+let close_client client = try Unix.close client.fd with Unix.Unix_error _ -> ()
+
+let with_server ?snapshot_path ?(workers = 2) ?(log = fun ~level:_ _ -> ()) f =
+  let socket_path = fresh_path ".sock" in
+  let cfg =
+    Server.config ~socket_path ~workers ?snapshot_path ~cache_capacity:64 ~log
+      ~drain_timeout_s:10.0 ()
+  in
+  let stop = Atomic.make false in
+  let d = Domain.spawn (fun () -> Server.run ~stop cfg) in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join d;
+      try Unix.unlink socket_path with Unix.Unix_error _ -> ())
+    (fun () -> f socket_path)
+
+let exact_cc_req ?(id = Json.Null) ?use_cache matrix =
+  Json.Obj
+    (("op", Json.String "exact_cc") :: ("id", id) :: ("matrix", matrix)
+    :: (match use_cache with Some b -> [ ("use_cache", Json.Bool b) ] | None -> []))
+
+let test_serve_warm_cache_end_to_end () =
+  with_server (fun path ->
+      let c = connect path in
+      Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+      assert_ok (rpc c (Json.Obj [ ("op", Json.String "ping") ]));
+      (* Cold: a real search with real node expansions. *)
+      let cold = rpc c (exact_cc_req ~id:(Json.Int 1) board_json) in
+      assert_ok cold;
+      Alcotest.(check int) "exact CC of the board" 4 (int_field cold "value");
+      Alcotest.(check string) "cold misses" "miss" (string_field cold "cache");
+      Alcotest.(check bool) "cold search expands nodes" true
+        (int_field cold "nodes" > 0);
+      (* Identical query: served from the warm cache — the hit counter
+         moves and NO new nodes expand. *)
+      let warm = rpc c (exact_cc_req ~id:(Json.Int 2) board_json) in
+      assert_ok warm;
+      Alcotest.(check int) "same value" 4 (int_field warm "value");
+      Alcotest.(check string) "warm hits" "hit" (string_field warm "cache");
+      Alcotest.(check int) "zero new node expansions" 0 (int_field warm "nodes");
+      Alcotest.(check bool) "table_hits > 0" true (int_field warm "table_hits" > 0);
+      (* Bypassing the result cache exercises the second warm tier: the
+         persistent transposition table answers from its root entry. *)
+      let bypass = rpc c (exact_cc_req ~id:(Json.Int 3) ~use_cache:false board_json) in
+      assert_ok bypass;
+      Alcotest.(check string) "bypass" "bypass" (string_field bypass "cache");
+      Alcotest.(check int) "warm table: zero expansions" 0 (int_field bypass "nodes");
+      Alcotest.(check bool) "warm table: hits recorded" true
+        (int_field bypass "table_hits" > 0);
+      Alcotest.(check int) "same value through the warm table" 4
+        (int_field bypass "value");
+      (* Result-cache hit counter incremented exactly once (the "hit"
+         reply); the bypass deliberately did not read it. *)
+      let stats = rpc c (Json.Obj [ ("op", Json.String "stats") ]) in
+      assert_ok stats;
+      let rc = obj_field stats "result_cache" in
+      Alcotest.(check int) "cache-hit counter" 1 (int_field rc "hits");
+      Alcotest.(check bool) "requests counted" true (int_field stats "requests" >= 5);
+      let lat = obj_field stats "latency_us" in
+      Alcotest.(check bool) "latency samples" true (int_field lat "count" >= 4);
+      let p50 = float_field lat "p50"
+      and p95 = float_field lat "p95"
+      and p99 = float_field lat "p99" in
+      Alcotest.(check bool) "p50 > 0" true (p50 > 0.0);
+      Alcotest.(check bool) "percentiles ordered" true (p50 <= p95 && p95 <= p99);
+      (* Errors come back as replies, never dropped connections. *)
+      let err = rpc c (Json.Obj [ ("op", Json.String "teleport"); ("id", Json.Int 9) ]) in
+      (match Json.member "ok" err with
+      | Some (Json.Bool false) -> ()
+      | _ -> Alcotest.fail "expected an error reply");
+      Alcotest.(check bool) "id echoed on error" true
+        (Json.member "id" err = Some (Json.Int 9)))
+
+let test_serve_reply_order_is_request_order () =
+  with_server (fun path ->
+      let c = connect path in
+      Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+      (* Pipeline: slow search first, trivial pings behind it.  Replies
+         must still come back in request order. *)
+      let n = 12 in
+      send c (exact_cc_req ~id:(Json.Int 0) board_json);
+      for i = 1 to n do
+        send c (Json.Obj [ ("op", Json.String "ping"); ("id", Json.Int i) ])
+      done;
+      for i = 0 to n do
+        let reply = recv c in
+        assert_ok reply;
+        Alcotest.(check int) "reply order" i (int_field reply "id")
+      done)
+
+let test_serve_survives_broken_pipe_client () =
+  with_server (fun path ->
+      (* Client A queues work and vanishes without reading anything:
+         the daemon must swallow the EPIPE and keep serving. *)
+      let a = connect path in
+      send a (exact_cc_req board_json);
+      send a (exact_cc_req board_json);
+      close_client a;
+      let b = connect path in
+      Fun.protect ~finally:(fun () -> close_client b) @@ fun () ->
+      assert_ok (rpc b (Json.Obj [ ("op", Json.String "ping") ]));
+      let r = rpc b (exact_cc_req board_json) in
+      assert_ok r;
+      Alcotest.(check int) "daemon still computes" 4 (int_field r "value"))
+
+let test_serve_snapshot_restart_stays_warm () =
+  let snapshot_path = fresh_path ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove snapshot_path with Sys_error _ -> ())
+    (fun () ->
+      (* First life: do a cold search, then drain via the shutdown op
+         (which must also answer ok). *)
+      with_server ~snapshot_path (fun path ->
+          let c = connect path in
+          Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+          let cold = rpc c (exact_cc_req board_json) in
+          assert_ok cold;
+          Alcotest.(check bool) "first life searches" true
+            (int_field cold "nodes" > 0);
+          assert_ok (rpc c (Json.Obj [ ("op", Json.String "shutdown") ])));
+      Alcotest.(check bool) "snapshot written" true (Sys.file_exists snapshot_path);
+      (* Second life, different worker count: both warm tiers must
+         survive the restart — result cache AND transposition table
+         (whose segments were redistributed across 3 workers). *)
+      with_server ~snapshot_path ~workers:3 (fun path ->
+          let c = connect path in
+          Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+          let hit = rpc c (exact_cc_req board_json) in
+          assert_ok hit;
+          Alcotest.(check string) "result cache survived" "hit"
+            (string_field hit "cache");
+          Alcotest.(check int) "no expansions" 0 (int_field hit "nodes");
+          let bypass = rpc c (exact_cc_req ~use_cache:false board_json) in
+          assert_ok bypass;
+          Alcotest.(check int) "table warmth survived" 0
+            (int_field bypass "nodes");
+          Alcotest.(check bool) "warm hits after restart" true
+            (int_field bypass "table_hits" > 0)))
+
+let test_serve_rejects_corrupt_snapshot () =
+  let snapshot_path = fresh_path ".snap" in
+  let oc = open_out snapshot_path in
+  output_string oc "{\"format\":\"ccmx-serve-snapshot\",\"version\":999}";
+  close_out oc;
+  let logs = ref [] in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove snapshot_path with Sys_error _ -> ())
+    (fun () ->
+      with_server ~snapshot_path
+        ~log:(fun ~level msg -> logs := (level, msg) :: !logs)
+        (fun path ->
+          let c = connect path in
+          Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+          (* Cold start: the bad snapshot was rejected, not half-loaded. *)
+          let r = rpc c (exact_cc_req board_json) in
+          assert_ok r;
+          Alcotest.(check bool) "started cold" true (int_field r "nodes" > 0)));
+  Alcotest.(check bool) "rejection logged" true
+    (List.exists
+       (fun (level, msg) ->
+         level = "warn"
+         && (let nn = String.length "version 999" in
+             let rec go i =
+               i + nn <= String.length msg
+               && (String.sub msg i nn = "version 999" || go (i + 1))
+             in
+             go 0))
+       !logs)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "wire",
+        [ Alcotest.test_case "parse exact_cc" `Quick test_wire_parse_exact_cc;
+          Alcotest.test_case "defaults + use_cache" `Quick
+            test_wire_parse_defaults_and_use_cache;
+          Alcotest.test_case "singular bigints" `Quick
+            test_wire_parse_singular_bigints;
+          Alcotest.test_case "rejections" `Quick test_wire_parse_rejections ] );
+      ( "cache",
+        [ Alcotest.test_case "FIFO eviction + stats" `Quick
+            test_cache_fifo_eviction;
+          Alcotest.test_case "JSON roundtrip" `Quick test_cache_json_roundtrip;
+          Alcotest.test_case "tags sequential + stable" `Quick
+            test_tags_sequential_and_stable ] );
+      ( "daemon",
+        [ Alcotest.test_case "warm cache end-to-end" `Quick
+            test_serve_warm_cache_end_to_end;
+          Alcotest.test_case "reply order = request order" `Quick
+            test_serve_reply_order_is_request_order;
+          Alcotest.test_case "survives broken-pipe client" `Quick
+            test_serve_survives_broken_pipe_client;
+          Alcotest.test_case "snapshot keeps restart warm" `Quick
+            test_serve_snapshot_restart_stays_warm;
+          Alcotest.test_case "corrupt snapshot rejected" `Quick
+            test_serve_rejects_corrupt_snapshot ] )
+    ]

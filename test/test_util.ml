@@ -667,6 +667,90 @@ let test_txtable_deterministic () =
   Alcotest.(check int) "length" n1 n2;
   Alcotest.(check (array int)) "probe results" p1 p2
 
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_txtable_snapshot_roundtrip () =
+  (* save -> JSON text -> load preserves every entry, the capacity and
+     the budget; a loaded table starts with clean statistics.  This is
+     the serve daemon's persistence path. *)
+  let t = Tx.create ~initial_bits:4 () in
+  let g = Prng.create 5 in
+  let keys = Array.init 700 (fun i -> (i * 524287) + Prng.int g 7) in
+  Array.iteri (fun i k -> Tx.set t k (i land 0xff)) keys;
+  let doc = Json.of_string (Json.to_string (Tx.save t)) in
+  let t' = Tx.load doc in
+  let st = Tx.stats t' in
+  Alcotest.(check int) "loaded stats: hits" 0 st.Tx.hits;
+  Alcotest.(check int) "loaded stats: misses" 0 st.Tx.misses;
+  Alcotest.(check int) "loaded stats: stores" 0 st.Tx.stores;
+  Alcotest.(check int) "entries preserved" (Tx.length t) (Tx.length t');
+  Alcotest.(check int) "capacity preserved" (Tx.capacity t) (Tx.capacity t');
+  Alcotest.(check (option int))
+    "budget preserved" (Tx.budget_entries t) (Tx.budget_entries t');
+  Tx.iter t (fun k v ->
+      Alcotest.(check int) "entry value preserved" v (Tx.find t' k))
+
+let test_txtable_snapshot_budget_semantics () =
+  (* The budget survives the round-trip as a live constraint, not just
+     a recorded number: the loaded table keeps refusing to grow past
+     it. *)
+  let t = Tx.create ~budget_entries:64 ~initial_bits:4 () in
+  let g = Prng.create 6 in
+  for i = 0 to 199 do
+    Tx.set t (Prng.int g 1_000_000_000) (i land 0xff)
+  done;
+  let t' = Tx.load (Tx.save t) in
+  Alcotest.(check (option int)) "budget recorded" (Some 64) (Tx.budget_entries t');
+  for i = 0 to 999 do
+    Tx.set t' (Prng.int g 1_000_000_000) (i land 0xff)
+  done;
+  Alcotest.(check bool) "budget enforced after load" true (Tx.capacity t' <= 64);
+  Alcotest.(check bool)
+    "loaded table evicts at budget" true ((Tx.stats t').Tx.evictions > 0)
+
+let expect_load_failure name doc fragment =
+  match Tx.load doc with
+  | _ -> Alcotest.failf "%s: corrupt snapshot was accepted" name
+  | exception Failure msg ->
+      if not (contains_substring msg fragment) then
+        Alcotest.failf "%s: error %S does not mention %S" name msg fragment
+
+let test_txtable_snapshot_rejects_garbage () =
+  let t = Tx.create ~initial_bits:3 () in
+  Tx.set t 1 2;
+  let doc = Tx.save t in
+  let patch key v =
+    match doc with
+    | Json.Obj fields ->
+        Json.Obj (List.map (fun (k, x) -> if k = key then (k, v) else (k, x)) fields)
+    | _ -> assert false
+  in
+  expect_load_failure "not an object" (Json.Int 3) "not a JSON object";
+  expect_load_failure "wrong format" (patch "format" (Json.String "zoo"))
+    "not a txtable snapshot";
+  expect_load_failure "missing format"
+    (Json.Obj [ ("version", Json.Int Tx.snapshot_version) ])
+    "format";
+  (* A future version must be rejected with both versions named, so the
+     operator can tell which side is stale. *)
+  expect_load_failure "future version"
+    (patch "version" (Json.Int (Tx.snapshot_version + 1)))
+    (Printf.sprintf "version %d" (Tx.snapshot_version + 1));
+  expect_load_failure "capacity out of range" (patch "capacity_bits" (Json.Int 99))
+    "out of range";
+  expect_load_failure "negative key"
+    (patch "entries" (Json.List [ Json.List [ Json.Int (-1); Json.Int 0 ] ]))
+    "negative key";
+  expect_load_failure "malformed entry"
+    (patch "entries" (Json.List [ Json.String "zap" ]))
+    "pair";
+  (* The happy path still works after all that prodding. *)
+  let t' = Tx.load doc in
+  Alcotest.(check int) "intact snapshot still loads" 2 (Tx.find t' 1)
+
 let test_txtable_clear_and_validation () =
   let t = Tx.create ~initial_bits:3 () in
   Tx.set t 42 7;
@@ -763,6 +847,12 @@ let () =
             test_txtable_collisions_never_lie;
           Alcotest.test_case "deterministic stats + state" `Quick
             test_txtable_deterministic;
+          Alcotest.test_case "snapshot roundtrip" `Quick
+            test_txtable_snapshot_roundtrip;
+          Alcotest.test_case "snapshot budget semantics" `Quick
+            test_txtable_snapshot_budget_semantics;
+          Alcotest.test_case "snapshot rejects garbage" `Quick
+            test_txtable_snapshot_rejects_garbage;
           Alcotest.test_case "clear + argument validation" `Quick
             test_txtable_clear_and_validation ] );
       ( "pool",
