@@ -33,6 +33,8 @@ module Runner = Commx_check.Runner
 module Suite = Commx_check.Suite
 module Sigguard = Commx_util.Sigguard
 module Server = Commx_serve.Server
+module Client = Commx_serve.Client
+module Wire = Commx_serve.Wire
 
 open Cmdliner
 
@@ -592,11 +594,19 @@ let exactcc_cmd =
 (* ------------------------------------------------------------------ *)
 
 let serve socket workers snapshot cache_capacity table_budget max_queue
-    drain_timeout =
+    drain_timeout request_timeout write_timeout max_line_bytes snapshot_every
+    chaos_seed chaos_rate respawn_budget respawn_window =
+  let chaos =
+    Option.map
+      (fun seed -> Faults.create ~seed ~rate:chaos_rate ~delay_rate:0.0 ())
+      chaos_seed
+  in
   match
     Server.config ~socket_path:socket ~workers ?snapshot_path:snapshot
       ~cache_capacity ?table_budget ~max_queue ~drain_timeout_s:drain_timeout
-      ()
+      ?request_timeout_s:request_timeout ~write_timeout_s:write_timeout
+      ~max_line_bytes ?snapshot_every_s:snapshot_every ~respawn_budget
+      ~respawn_window_s:respawn_window ?chaos ()
   with
   | exception Invalid_argument msg -> `Error (false, msg)
   | config ->
@@ -617,6 +627,10 @@ let serve socket workers snapshot cache_capacity table_budget max_queue
                r.Supervisor.pause_s));
       (match Server.run ~stop config with
       | () -> `Ok ()
+      | exception Server.Fatal msg ->
+          (* Drained and snapshotted already; the nonzero exit is the
+             signal a process supervisor restarts on. *)
+          `Error (false, "serve: " ^ msg)
       | exception Unix.Unix_error (err, fn, arg) ->
           `Error
             ( false,
@@ -683,6 +697,79 @@ let serve_cmd =
           ~doc:
             "Max wait for in-flight requests on shutdown (default: 30).")
   in
+  let request_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "request-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Default compute deadline per request; searches that exceed \
+             it answer a timed_out error carrying the bounds certified \
+             so far.  A request's own deadline_ms can only tighten it \
+             (default: none).")
+  in
+  let write_timeout =
+    Arg.(
+      value & opt float 5.0
+      & info [ "write-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Max wall time for one reply write; a client that stops \
+             reading is disconnected instead of parking a worker \
+             (default: 5).")
+  in
+  let max_line_bytes =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "max-line-bytes" ] ~docv:"N"
+          ~doc:
+            "Request-line size bound; larger lines get a line_too_long \
+             error and are skipped, the connection survives (default: \
+             1048576).")
+  in
+  let snapshot_every =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "snapshot-every" ] ~docv:"SECONDS"
+          ~doc:
+            "Also rewrite the --snapshot file every $(docv) seconds \
+             while serving, so a crash loses at most one interval of \
+             warmth (default: only on graceful shutdown).")
+  in
+  let chaos_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chaos" ] ~docv:"SEED"
+          ~doc:
+            "Arm deterministic fault injection at the serve chaos sites \
+             (worker crashes, cache-insert failures, snapshot-write \
+             failures), seeded by $(docv).  The same seed reproduces \
+             the same fault pattern in every run (default: off).")
+  in
+  let chaos_rate =
+    Arg.(
+      value & opt float 0.05
+      & info [ "chaos-rate" ] ~docv:"RATE"
+          ~doc:
+            "Raise probability per chaos site when --chaos is armed \
+             (default: 0.05).")
+  in
+  let respawn_budget =
+    Arg.(
+      value & opt int 3
+      & info [ "respawn-budget" ] ~docv:"N"
+          ~doc:
+            "Crashed-worker respawns allowed per sliding window before \
+             the daemon gives up and exits nonzero (default: 3).")
+  in
+  let respawn_window =
+    Arg.(
+      value & opt float 60.0
+      & info [ "respawn-window" ] ~docv:"SECONDS"
+          ~doc:"Sliding window for --respawn-budget (default: 60).")
+  in
   let doc =
     "Long-running CC-oracle daemon on a Unix socket: JSON-lines \
      queries (exact CC, singularity, Lemma 3.2, lower bounds, protocol \
@@ -695,7 +782,211 @@ let serve_cmd =
     Term.(
       ret
         (const serve $ socket $ workers $ snapshot $ cache_capacity
-       $ table_budget $ max_queue $ drain_timeout))
+       $ table_budget $ max_queue $ drain_timeout $ request_timeout
+       $ write_timeout $ max_line_bytes $ snapshot_every $ chaos_seed
+       $ chaos_rate $ respawn_budget $ respawn_window))
+
+(* ------------------------------------------------------------------ *)
+(* query — one request against a running serve daemon                   *)
+(* ------------------------------------------------------------------ *)
+
+let parse_bit_rows s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun r -> r <> "")
+
+let parse_int_rows s =
+  String.split_on_char ';' s
+  |> List.map (fun row ->
+         String.split_on_char ',' row |> List.map String.trim
+         |> List.filter (fun e -> e <> ""))
+  |> List.filter (fun r -> r <> [])
+
+let query socket op matrix int_matrix n k seed proto epsilon no_cache
+    deadline_ms timeout connect_timeout retries backoff jitter_seed verbose =
+  let fields = ref [] in
+  let add name v = fields := (name, v) :: !fields in
+  Option.iter
+    (fun s ->
+      add "matrix"
+        (Json.List
+           (parse_int_rows s
+           |> List.map (fun row ->
+                  Json.List (List.map (fun e -> Json.String e) row)))))
+    int_matrix;
+  Option.iter
+    (fun s ->
+      add "matrix"
+        (Json.List (List.map (fun r -> Json.String r) (parse_bit_rows s))))
+    matrix;
+  Option.iter (fun v -> add "n" (Json.Int v)) n;
+  Option.iter (fun v -> add "k" (Json.Int v)) k;
+  Option.iter (fun v -> add "seed" (Json.Int v)) seed;
+  Option.iter (fun v -> add "protocol" (Json.String v)) proto;
+  Option.iter (fun v -> add "epsilon" (Json.Float v)) epsilon;
+  if no_cache then add "use_cache" (Json.Bool false);
+  let log =
+    if verbose then fun msg -> prerr_endline ("query: " ^ msg) else ignore
+  in
+  match
+    Client.create ~socket_path:socket ~connect_timeout_s:connect_timeout
+      ?request_timeout_s:timeout ~retries ~backoff_s:backoff ~jitter_seed ~log
+      ()
+  with
+  | exception Invalid_argument msg -> `Error (false, msg)
+  | client -> (
+      let result = Client.request client ?deadline_ms ~op (List.rev !fields) in
+      Client.close client;
+      match result with
+      | Ok reply ->
+          print_string (Wire.to_line reply);
+          `Ok ()
+      | Error (Client.Server_error { reply; _ } as e) ->
+          (* The error reply is still the JSON the caller asked for;
+             the exit code carries the verdict. *)
+          print_string (Wire.to_line reply);
+          `Error (false, "query: " ^ Client.error_to_string e)
+      | Error e -> `Error (false, "query: " ^ Client.error_to_string e))
+
+let query_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket of the running daemon.")
+  in
+  let op =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OP"
+          ~doc:
+            "Operation: ping, stats, shutdown, exact_cc, lower_bounds, \
+             singular, lemma32 or protocol.")
+  in
+  let matrix =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "matrix" ] ~docv:"ROWS"
+          ~doc:
+            "Boolean matrix as comma-separated rows of 0/1 characters \
+             (e.g. 01,10) — for exact_cc and lower_bounds.")
+  in
+  let int_matrix =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "int-matrix" ] ~docv:"ROWS"
+          ~doc:
+            "Integer matrix: rows separated by ';', entries by ',' \
+             (e.g. 1,2;3,4) — for singular.")
+  in
+  let n =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n" ] ~docv:"N" ~doc:"Half-dimension for lemma32/protocol.")
+  in
+  let k =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "k" ] ~docv:"K" ~doc:"Bits per entry for lemma32/protocol.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Instance seed for lemma32/protocol.")
+  in
+  let proto =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "protocol" ] ~docv:"NAME"
+          ~doc:"Protocol for the protocol op: trivial or fingerprint.")
+  in
+  let epsilon =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "epsilon" ] ~docv:"EPS"
+          ~doc:"Error bound for the fingerprint protocol.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Bypass the daemon's result cache (the warm transposition \
+             table is still used).")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Server-side compute deadline for this request; past it the \
+             daemon answers timed_out with the bounds certified so far.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Client-side wall budget per attempt (default: wait \
+             forever).  Timeouts are never retried.")
+  in
+  let connect_timeout =
+    Arg.(
+      value & opt float 5.0
+      & info [ "connect-timeout" ] ~docv:"SECONDS"
+          ~doc:"Connect timeout per attempt (default: 5).")
+  in
+  let retries =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Extra attempts after the first, for transport failures and \
+             transient server errors (default: 2).")
+  in
+  let backoff =
+    Arg.(
+      value & opt float 0.05
+      & info [ "backoff" ] ~docv:"SECONDS"
+          ~doc:
+            "Base retry pause; attempt i waits backoff * 2^(i-1) plus \
+             deterministic jitter (default: 0.05).")
+  in
+  let jitter_seed =
+    Arg.(
+      value & opt int 0
+      & info [ "jitter-seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed of the deterministic backoff jitter (default: 0).")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose" ] ~doc:"Log retries and breaker events to stderr.")
+  in
+  let doc =
+    "Send one query to a running $(b,ccmx serve) daemon and print the \
+     JSON reply, with connect/request timeouts, bounded jittered retry \
+     and a circuit breaker (exit status is nonzero on any error reply \
+     or transport failure)."
+  in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(
+      ret
+        (const query $ socket $ op $ matrix $ int_matrix $ n $ k $ seed
+       $ proto $ epsilon $ no_cache $ deadline_ms $ timeout
+       $ connect_timeout $ retries $ backoff $ jitter_seed $ verbose))
 
 (* ------------------------------------------------------------------ *)
 (* check — differential fuzzing                                        *)
@@ -921,4 +1212,4 @@ let () =
         (Cmd.eval
            (Cmd.group info
               [ gen_cmd; singular_cmd; check_cmd; protocol_cmd; bounds_cmd;
-                lemmas_cmd; ledger_cmd; exactcc_cmd; serve_cmd ])))
+                lemmas_cmd; ledger_cmd; exactcc_cmd; serve_cmd; query_cmd ])))

@@ -1,4 +1,4 @@
-(* Minimal client for the `ccmx serve` daemon.
+(* Resilient client for the `ccmx serve` daemon.
 
    Start a daemon in another terminal:
 
@@ -9,21 +9,20 @@
 
      dune exec examples/serve_client.exe -- /tmp/ccmx.sock
 
-   The client sends the same exact-CC query twice and prints both
+   The client is built on Commx_serve.Client, which wraps the raw
+   JSON-lines protocol with connect/request timeouts, bounded retry
+   with deterministic jittered backoff (transient server errors like
+   `overloaded` are retried; timeouts are not) and a half-open circuit
+   breaker.  It sends the same exact-CC query twice and prints both
    replies: the first is a cold search (nodes > 0, "cache": "miss"),
    the second is answered from the daemon's warm cache (nodes = 0,
-   "cache": "hit").  It finishes with a `stats` query showing the
-   latency percentiles and cache counters.  The protocol is one JSON
-   object per line in each direction — see EXPERIMENTS.md section
-   "The serve daemon" for the full schema. *)
+   "cache": "hit").  It finishes with a `stats` query showing latency
+   percentiles, cache counters and the self-healing counters
+   (serve.worker_respawns, serve.snapshots_written, ...).  See
+   EXPERIMENTS.md section "The serve daemon" for the full schema. *)
 
 module Json = Commx_util.Json
-
-let rpc oc ic obj =
-  output_string oc (Json.to_string obj);
-  output_char oc '\n';
-  flush oc;
-  Json.of_string (input_line ic)
+module Client = Commx_serve.Client
 
 let () =
   let socket_path =
@@ -33,10 +32,11 @@ let () =
         prerr_endline "usage: serve_client.exe SOCKET_PATH";
         exit 1
   in
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.connect fd (Unix.ADDR_UNIX socket_path);
-  let ic = Unix.in_channel_of_descr fd
-  and oc = Unix.out_channel_of_descr fd in
+  let client =
+    Client.create ~socket_path ~connect_timeout_s:5.0 ~retries:2
+      ~log:(fun msg -> prerr_endline ("client: " ^ msg))
+      ()
+  in
   (* An 8x8 boolean board with low GF(2) rank, so the certified root
      bounds do not close the search and the daemon really works. *)
   let board =
@@ -45,13 +45,13 @@ let () =
          [ "01110100"; "10100010"; "00000000"; "00000000";
            "01101000"; "10111110"; "11010110"; "11001010" ])
   in
-  let query id =
-    Json.Obj
-      [ ("op", Json.String "exact_cc"); ("id", Json.Int id);
-        ("matrix", board) ]
+  let show label = function
+    | Ok reply -> Printf.printf "%s %s\n" label (Json.to_string reply)
+    | Error e ->
+        Printf.eprintf "%s %s\n" label (Client.error_to_string e);
+        exit 1
   in
-  let show label reply = Printf.printf "%s %s\n" label (Json.to_string reply) in
-  show "cold:" (rpc oc ic (query 1));
-  show "warm:" (rpc oc ic (query 2));
-  show "stats:" (rpc oc ic (Json.Obj [ ("op", Json.String "stats") ]));
-  Unix.close fd
+  show "cold:" (Client.request client ~op:"exact_cc" [ ("matrix", board) ]);
+  show "warm:" (Client.request client ~op:"exact_cc" [ ("matrix", board) ]);
+  show "stats:" (Client.request client ~op:"stats" []);
+  Client.close client

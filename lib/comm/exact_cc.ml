@@ -56,6 +56,8 @@ let max_key_tag = (1 lsl key_tag_bits) - 1
 
 exception Too_large of { rows : int; cols : int; limit : int }
 
+exception Timed_out of { lower : int; upper : int; nodes : int }
+
 let () =
   Printexc.register_printer (function
     | Too_large { rows; cols; limit } ->
@@ -64,6 +66,12 @@ let () =
              "Exact_cc.Too_large: truth matrix is %dx%d after \
               canonicalization (cap %dx%d)"
              rows cols limit limit)
+    | Timed_out { lower; upper; nodes } ->
+        Some
+          (Printf.sprintf
+             "Exact_cc.Timed_out: search cancelled after %d nodes (certified \
+              %d <= CC <= %d)"
+             nodes lower upper)
     | _ -> None)
 
 type config = {
@@ -149,6 +157,7 @@ type ctx = {
   key_base : int;  (* key tag pre-shifted above the mask bits *)
   stats0 : Tx.stats option;  (* table counters at ctx creation *)
   buf : int array;  (* scratch for duplicate collapse, length max_side *)
+  cancel : Pool.Token.t option;
   mutable nodes : int;
 }
 
@@ -157,7 +166,7 @@ type ctx = {
    collide with another matrix's: entries learned now are found again
    by any later search of the same canonical matrix under the same
    tag.  Without it the table is private to this search, as before. *)
-let mk_ctx ?ext cfg rw cw =
+let mk_ctx ?ext ?cancel cfg rw cw =
   let tbl, key_base =
     match ext with
     | Some (t, tag) -> (Some t, tag lsl (2 * max_side))
@@ -178,8 +187,23 @@ let mk_ctx ?ext cfg rw cw =
     key_base;
     stats0 = Option.map Tx.stats tbl;
     buf = Array.make max_side 0;
+    cancel;
     nodes = 0;
   }
+
+(* Cooperative cancellation: poll the token every 1024 node
+   expansions.  Expansions are the unit of real work (the only place
+   exponential time accrues), so the granularity stays well under a
+   millisecond on dense boards while the check costs one atomic load
+   plus an occasional clock read. *)
+let poll_interval_mask = 1023
+
+let poll_cancel ctx =
+  match ctx.cancel with
+  | Some tok
+    when ctx.nodes land poll_interval_mask = 0 && Pool.Token.cancelled tok ->
+      raise Pool.Cancelled
+  | _ -> ()
 
 (* Collapse duplicate rows of the (rmask, cmask) sub-board, then
    duplicate columns against the surviving rows.  As at input level,
@@ -246,6 +270,7 @@ let rec cc ctx ~lb rmask cmask bound =
     else if !cached_lb >= bound then bound
     else begin
       ctx.nodes <- ctx.nodes + 1;
+      poll_cancel ctx;
       let prune = ctx.cfg.prune in
       let node_lb = max lb !cached_lb in
       let bound_eff = if prune then bound else no_bound in
@@ -392,11 +417,11 @@ let root_groups = 16
    a canonical board of at least ten rows or columns. *)
 let parallel_move_threshold = 512
 
-let run_parallel cfg pool p ~lb ~ub =
+let run_parallel cfg pool ?cancel p ~lb ~ub =
   let results =
     Pool.parallel_map pool
       (fun g ->
-        let ctx = mk_ctx cfg p.rwp p.cwp in
+        let ctx = mk_ctx ?cancel cfg p.rwp p.cwp in
         let best = ref (if cfg.prune then ub else no_bound) in
         let idx = ref 0 in
         let consider r0 c0 r1 c1 =
@@ -438,7 +463,14 @@ let run_parallel cfg pool p ~lb ~ub =
       leaf_stats ~cnr:p.cnr ~cnc:p.cnc ~root_lower:lb ~root_upper:ub )
     results
 
-let run cfg pool ext m =
+let publish (st : stats) =
+  Tel.incr c_searches;
+  Tel.add c_nodes st.nodes;
+  Tel.add c_hits st.table_hits;
+  Tel.add c_misses st.table_misses;
+  Tel.add c_evictions st.table_evictions
+
+let run cfg pool ext cancel m =
   if Bm.rows m = 0 || Bm.cols m = 0 then
     (0, leaf_stats ~cnr:(Bm.rows m) ~cnc:(Bm.cols m) ~root_lower:0
        ~root_upper:0)
@@ -459,32 +491,69 @@ let run cfg pool ext m =
         (* A shared external table cannot be split across domains
            (Txtable is not thread-safe), so its presence forces the
            sequential path regardless of the pool. *)
-        | Some pool when n_moves >= parallel_move_threshold && ext = None ->
-            run_parallel cfg pool p ~lb ~ub
-        | _ ->
-            let ctx = mk_ctx ?ext cfg p.rwp p.cwp in
+        | Some pool when n_moves >= parallel_move_threshold && ext = None -> (
+            match run_parallel cfg pool ?cancel p ~lb ~ub with
+            | r -> r
+            | exception Pool.Cancelled ->
+                (* Group-local node counts die with their domains; the
+                   certified root bounds survive. *)
+                raise (Timed_out { lower = lb; upper = ub; nodes = 0 }))
+        | _ -> (
+            let ctx = mk_ctx ?ext ?cancel cfg p.rwp p.cwp in
             let bound = if cfg.prune then ub else no_bound in
-            let v = cc ctx ~lb p.full_r p.full_c bound in
-            (v, stats_of ctx ~cnr:p.cnr ~cnc:p.cnc ~root_lower:lb
-               ~root_upper:ub)
+            match cc ctx ~lb p.full_r p.full_c bound with
+            | v ->
+                (v, stats_of ctx ~cnr:p.cnr ~cnc:p.cnc ~root_lower:lb
+                   ~root_upper:ub)
+            | exception Pool.Cancelled ->
+                (* Report the best certified answer the partial search
+                   left behind.  The root entry of a warm table (same
+                   tag, earlier completed search) may even be exact —
+                   then the deadline lost the race with the answer and
+                   we return it; otherwise a lower-bound entry can
+                   tighten the rank/fooling root bound. *)
+                let root_r, root_c =
+                  if cfg.canonicalize then canon_masks ctx p.full_r p.full_c
+                  else (p.full_r, p.full_c)
+                in
+                let exact = ref (-1) in
+                let lower = ref lb in
+                (match ctx.tbl with
+                | None -> ()
+                | Some tbl ->
+                    let key =
+                      ctx.key_base lor root_r lor (root_c lsl max_side)
+                    in
+                    let c = Tx.find tbl key in
+                    if c >= 0 then
+                      if c land 1 = 1 then exact := c lsr 1
+                      else lower := max !lower (c lsr 1));
+                if !exact >= 0 then
+                  ( !exact,
+                    stats_of ctx ~cnr:p.cnr ~cnc:p.cnc ~root_lower:lb
+                      ~root_upper:ub )
+                else begin
+                  (* The partial work still counts toward telemetry:
+                     the nodes were expanded and the table entries are
+                     live for the next attempt. *)
+                  publish
+                    (stats_of ctx ~cnr:p.cnr ~cnc:p.cnc ~root_lower:!lower
+                       ~root_upper:ub);
+                  raise
+                    (Timed_out
+                       { lower = !lower; upper = ub; nodes = ctx.nodes })
+                end)
       end
     end
   end
 
-let publish (st : stats) =
-  Tel.incr c_searches;
-  Tel.add c_nodes st.nodes;
-  Tel.add c_hits st.table_hits;
-  Tel.add c_misses st.table_misses;
-  Tel.add c_evictions st.table_evictions
-
-let search ?(config = default_config) ?pool ?table ?(key_tag = 0) m =
+let search ?(config = default_config) ?pool ?table ?(key_tag = 0) ?cancel m =
   if key_tag < 0 || key_tag > max_key_tag then
     invalid_arg
       (Printf.sprintf "Exact_cc.search: key_tag %d out of [0, %d]" key_tag
          max_key_tag);
   let ext = Option.map (fun t -> (t, key_tag)) table in
-  let v, st = run config pool ext m in
+  let v, st = run config pool ext cancel m in
   publish st;
   (v, st)
 

@@ -63,6 +63,18 @@ exception
         printer is registered, so the exception formats itself
         legibly. *)
 
+exception
+  Timed_out of { lower : int; upper : int; nodes : int }
+    (** Raised by {!search} when its [?cancel] token fires mid-search:
+        the cooperative poll inside the node-expansion loop observed
+        the cancellation.  [lower] is the best {e certified} lower
+        bound at that moment — the rank/fooling root bound, improved by
+        a fail-soft lower-bound root entry if the (warm) transposition
+        table holds one — [upper] the trivial upper bound, [nodes] the
+        expansions spent.  The partial work is not wasted: entries
+        learned before the deadline stay in a caller-owned [?table], so
+        a repeat attempt resumes deeper.  A printer is registered. *)
+
 type config = {
   table : bool;  (** memoize subproblems in the transposition table *)
   canonicalize : bool;
@@ -108,6 +120,7 @@ val search :
   ?pool:Commx_util.Pool.t ->
   ?table:Commx_util.Txtable.t ->
   ?key_tag:int ->
+  ?cancel:Commx_util.Pool.Token.t ->
   Commx_util.Bitmat.t ->
   int * stats
 (** [search m] is the exact deterministic CC of [m] (in bits, standard
@@ -134,9 +147,20 @@ val search :
     shared table must be used from one domain at a time, and [?table]
     forces the sequential search path even when [?pool] is given.
 
+    With [?cancel], the search polls the {!Commx_util.Pool.Token}
+    every 1024 node expansions (so a token with a [~deadline] gives a
+    per-request time budget at sub-millisecond granularity on dense
+    boards) and raises {!Timed_out} when it fires — unless the warm
+    table already holds an {e exact} root entry, in which case the
+    answer won the race and is returned normally.  Cancellation of a
+    pooled search loses per-group node counts ([nodes = 0] in the
+    exception) but keeps the certified bounds.
+
     Search statistics are also accumulated into the [exact_cc.*]
-    {!Commx_util.Telemetry} counters.
+    {!Commx_util.Telemetry} counters; a timed-out search publishes its
+    partial statistics before raising.
     @raise Too_large when the canonical matrix exceeds {!max_side}.
+    @raise Timed_out when [?cancel] fires before the value is proved.
     @raise Invalid_argument when [key_tag] is outside
     [\[0, max_key_tag\]]. *)
 

@@ -1,0 +1,109 @@
+(** Resilient client for the [ccmx serve] daemon.
+
+    The raw wire protocol (see {!Wire}) is one JSON object per line in
+    each direction over a Unix socket.  This client wraps it with the
+    failure handling a long-lived caller needs:
+
+    - {b timeouts} on connect and on each request attempt;
+    - {b bounded retry with deterministic jittered backoff}
+      ({!Commx_util.Supervisor.jitter}: a pure function of
+      [(jitter_seed, op, attempt)], so a replay under a fixed seed
+      backs off bit-identically) for transport failures and for the
+      transient server errors ([overloaded], [worker_crashed]);
+    - a {b half-open circuit breaker}: after [breaker_threshold]
+      consecutive unanswered requests the breaker opens and requests
+      fail fast ({!Breaker_open}) without touching the socket; once
+      [breaker_cooldown_s] elapses a single probe request runs and
+      its outcome closes or re-opens the breaker.
+
+    Client-side timeouts are never retried (a repeat attempt would
+    deterministically exceed the same budget — the Supervisor
+    convention), and any timeout or transport failure closes the
+    socket: a late reply arriving on a reused socket would answer the
+    wrong request.  One request is in flight at a time; the client is
+    safe to share across domains (a mutex serializes callers). *)
+
+type config = {
+  socket_path : string;
+  connect_timeout_s : float;
+  request_timeout_s : float option;
+      (** client-side wall budget per attempt; [None] waits forever *)
+  retries : int;  (** extra attempts after the first *)
+  backoff_s : float;  (** base pause; attempt [i] waits [backoff_s * 2^(i-1)] *)
+  jitter : float;  (** max fractional jitter on the pause, in [[0, 1]] *)
+  jitter_seed : int;
+  breaker_threshold : int;
+      (** consecutive unanswered requests that open the breaker *)
+  breaker_cooldown_s : float;  (** open time before the half-open probe *)
+  log : string -> unit;  (** retry/breaker notices; default drops them *)
+}
+
+val config :
+  socket_path:string ->
+  ?connect_timeout_s:float ->
+  ?request_timeout_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?jitter:float ->
+  ?jitter_seed:int ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown_s:float ->
+  ?log:(string -> unit) ->
+  unit ->
+  config
+(** Defaults: 5 s connect timeout, no request timeout, 2 retries,
+    50 ms base backoff with jitter 0.5 and seed 0, breaker threshold
+    5 with 1 s cooldown, silent log.
+    @raise Invalid_argument on out-of-range values. *)
+
+type error =
+  | Server_error of {
+      code : string option;  (** machine-readable code, when present *)
+      message : string;
+      reply : Commx_util.Json.t;  (** the full error reply *)
+    }  (** The daemon answered [ok: false] (terminal after retries for
+          transient codes). *)
+  | Transport of string  (** connect/read/write failed after retries *)
+  | Timed_out of float  (** the per-attempt budget that was exceeded *)
+  | Breaker_open of float  (** seconds until the next half-open probe *)
+
+val error_to_string : error -> string
+
+type t
+
+val create :
+  ?connect_timeout_s:float ->
+  ?request_timeout_s:float ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?jitter:float ->
+  ?jitter_seed:int ->
+  ?breaker_threshold:int ->
+  ?breaker_cooldown_s:float ->
+  ?log:(string -> unit) ->
+  socket_path:string ->
+  unit ->
+  t
+(** A client handle.  No connection is made until the first
+    {!request}; a lost connection reconnects lazily. *)
+
+val request :
+  t ->
+  ?deadline_ms:int ->
+  op:string ->
+  (string * Commx_util.Json.t) list ->
+  (Commx_util.Json.t, error) result
+(** [request t ~op fields] sends [{"op": op, "id": <fresh>, ..fields}]
+    and returns the matching reply.  [?deadline_ms] is forwarded to
+    the server as the request's compute deadline (the wire
+    [deadline_ms] field); it is independent of the client-side
+    [request_timeout_s].  [Ok reply] is always an [ok: true] reply
+    whose [id] matched. *)
+
+val breaker_state : t -> string
+(** ["closed"], ["open"] or ["half_open"] — for tests and status
+    displays. *)
+
+val close : t -> unit
+(** Drop the connection (if any).  The handle stays usable; the next
+    {!request} reconnects. *)

@@ -28,6 +28,8 @@ module Telemetry = Commx_util.Telemetry
 module Stats = Commx_util.Stats
 module Sigguard = Commx_util.Sigguard
 module Prng = Commx_util.Prng
+module Pool = Commx_util.Pool
+module Faults = Commx_util.Faults
 module Zm = Commx_linalg.Zmatrix
 module B = Commx_bigint.Bigint
 module Params = Commx_core.Params
@@ -50,8 +52,22 @@ type config = {
   table_budget : int option;
   max_queue : int;
   drain_timeout_s : float;
+  request_timeout_s : float option;
+  write_timeout_s : float;
+  max_line_bytes : int;
+  snapshot_every_s : float option;
+  respawn_budget : int;
+  respawn_window_s : float;
+  chaos : Faults.t option;
   log : level:string -> string -> unit;
 }
+
+exception Fatal of string
+
+let () =
+  Printexc.register_printer (function
+    | Fatal msg -> Some (Printf.sprintf "Server.Fatal(%s)" msg)
+    | _ -> None)
 
 let protocol_version = 1
 let snapshot_format = "ccmx-serve-snapshot"
@@ -69,15 +85,48 @@ let default_log ~level msg =
 
 let config ~socket_path ?(workers = 2) ?snapshot_path ?(cache_capacity = 1024)
     ?table_budget ?(max_queue = 64) ?(drain_timeout_s = 30.0)
-    ?(log = default_log) () =
+    ?request_timeout_s ?(write_timeout_s = 5.0)
+    ?(max_line_bytes = 1 lsl 20) ?snapshot_every_s ?(respawn_budget = 3)
+    ?(respawn_window_s = 60.0) ?chaos ?(log = default_log) () =
   if workers < 1 then invalid_arg "Server.config: workers < 1";
   if cache_capacity < 1 then invalid_arg "Server.config: cache_capacity < 1";
   if max_queue < 1 then invalid_arg "Server.config: max_queue < 1";
   (match table_budget with
   | Some b when b < 1 -> invalid_arg "Server.config: table_budget < 1"
   | _ -> ());
+  (match request_timeout_s with
+  | Some s when s <= 0.0 ->
+      invalid_arg "Server.config: request_timeout_s must be > 0"
+  | _ -> ());
+  if write_timeout_s <= 0.0 then
+    invalid_arg "Server.config: write_timeout_s must be > 0";
+  if max_line_bytes < 1024 then
+    invalid_arg "Server.config: max_line_bytes must be >= 1024";
+  (match snapshot_every_s with
+  | Some s when s <= 0.0 ->
+      invalid_arg "Server.config: snapshot_every_s must be > 0"
+  | _ -> ());
+  if respawn_budget < 0 then
+    invalid_arg "Server.config: respawn_budget must be >= 0";
+  if respawn_window_s <= 0.0 then
+    invalid_arg "Server.config: respawn_window_s must be > 0";
   { socket_path; workers; snapshot_path; cache_capacity; table_budget;
-    max_queue; drain_timeout_s; log }
+    max_queue; drain_timeout_s; request_timeout_s; write_timeout_s;
+    max_line_bytes; snapshot_every_s; respawn_budget; respawn_window_s;
+    chaos; log }
+
+(* Robustness counters.  Interned process-wide, so they flow into the
+   stats reply's "counters" object like every other telemetry counter;
+   tests and the chaos soak read them there. *)
+let c_overloaded = Telemetry.counter "serve.overloaded"
+let c_crashes = Telemetry.counter "serve.worker_crashes"
+let c_respawns = Telemetry.counter "serve.worker_respawns"
+let c_timeouts = Telemetry.counter "serve.deadline_timeouts"
+let c_snapshots = Telemetry.counter "serve.snapshots_written"
+let c_oversized = Telemetry.counter "serve.oversized_lines"
+let c_write_timeouts = Telemetry.counter "serve.write_timeouts"
+let c_chaos_cache = Telemetry.counter "serve.chaos_cache_skips"
+let c_chaos_snapshot = Telemetry.counter "serve.chaos_snapshot_skips"
 
 (* ------------------------------------------------------------------ *)
 (* Connections and jobs                                                *)
@@ -93,6 +142,7 @@ type conn = {
   pending : (int, string) Hashtbl.t;  (* finished out-of-order replies *)
   mutable write_ok : bool;
   mutable eof : bool;
+  mutable discarding : bool;  (* skipping the rest of an oversized line *)
   mutable inflight : int;
 }
 
@@ -101,6 +151,7 @@ type job = {
   jconn : conn;
   seq : int;
   t0 : float;
+  deadline : float option;  (* absolute monotonic compute deadline *)
   tag : int option;  (* exact-CC table tag *)
   cache_key : string option;
   use_cache : bool;
@@ -109,10 +160,15 @@ type job = {
 type worker = {
   wid : int;
   table : Tx.t;
+  tm : Mutex.t;  (* table access: compute vs. periodic snapshot *)
   q : job Queue.t;
   qm : Mutex.t;
   qc : Condition.t;
   mutable queued : int;
+  mutable current : job option;  (* in flight, for crash reporting *)
+  mutable cur_cancel : Pool.Token.t option;  (* to unstick a drain *)
+  mutable alive : bool;  (* false once the domain body has exited *)
+  mutable jobs_done : int;  (* chaos site numbering, survives respawn *)
   mutable pub_stats : Tx.stats;  (* published for the stats op *)
   mutable pub_entries : int;
 }
@@ -138,14 +194,35 @@ type t = {
 (* Socket writes                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let rec write_all fd b pos len =
+(* A reply write that cannot finish before [deadline] — the client
+   stopped reading (slowloris) while our socket buffer filled — is a
+   dead connection, not a stalled worker. *)
+exception Write_timeout
+
+(* Connection fds are nonblocking: a full socket buffer surfaces as
+   EAGAIN, and the write waits for writability only up to the
+   deadline instead of parking the writing domain forever. *)
+let rec write_all fd b pos len ~deadline =
   if len > 0 then
     match Unix.write fd b pos len with
-    | n -> write_all fd b (pos + n) (len - n)
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd b pos len
+    | n -> write_all fd b (pos + n) (len - n) ~deadline
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        write_all fd b pos len ~deadline
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        let remain = deadline -. Clock.now_s () in
+        if remain <= 0.0 then begin
+          Telemetry.incr c_write_timeouts;
+          raise Write_timeout
+        end
+        else begin
+          (match Unix.select [] [ fd ] [] remain with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | _ -> ());
+          write_all fd b pos len ~deadline
+        end
 
 let is_write_failure = function
-  | Unix.Unix_error _ -> true
+  | Unix.Unix_error _ | Write_timeout -> true
   | e -> Sigguard.is_broken_pipe e
 
 (* Park the reply under its sequence number, then put every
@@ -157,13 +234,14 @@ let deliver t ?(finish = false) conn seq line =
   if finish then conn.inflight <- conn.inflight - 1;
   if conn.write_ok then begin
     Hashtbl.replace conn.pending seq line;
+    let deadline = Clock.now_s () +. t.cfg.write_timeout_s in
     try
       let rec flush () =
         match Hashtbl.find_opt conn.pending conn.next_write with
         | Some s ->
             Hashtbl.remove conn.pending conn.next_write;
             let b = Bytes.of_string s in
-            write_all conn.fd b 0 (Bytes.length b);
+            write_all conn.fd b 0 (Bytes.length b) ~deadline;
             conn.next_write <- conn.next_write + 1;
             flush ()
         | None -> ()
@@ -244,14 +322,14 @@ let require_params ~n ~k =
 (* Each handler returns (cacheable result fields, per-request fields).
    Only the former go into the result cache; a cache hit re-serves them
    with fresh per-request fields. *)
-let exec w (env : Wire.envelope) ~tag =
+let exec w (env : Wire.envelope) ~tag ~cancel =
   match env.req with
   | Wire.Ping | Wire.Stats | Wire.Shutdown ->
       (* Answered inline by the acceptor; never queued. *)
       assert false
   | Wire.Exact_cc { matrix; _ } ->
       let key_tag = Option.value tag ~default:0 in
-      let v, st = E.search ~table:w.table ~key_tag matrix in
+      let v, st = E.search ~table:w.table ~key_tag ?cancel matrix in
       ( [ ("value", Json.Int v);
           ("canon_rows", Json.Int st.E.canon_rows);
           ("canon_cols", Json.Int st.E.canon_cols);
@@ -322,6 +400,23 @@ let exec w (env : Wire.envelope) ~tag =
 let wall_us_field t0 =
   ("wall_us", Json.Int (int_of_float ((Clock.now_s () -. t0) *. 1e6)))
 
+(* Chaos site on result-cache insertion: the result is already
+   computed, so an injected fault here is contained — the entry is
+   skipped (cold next time), the reply unaffected. *)
+let cache_insert t job core =
+  match job.cache_key with
+  | None -> ()
+  | Some key -> (
+      match
+        Faults.point t.cfg.chaos ~site:("serve:cache:" ^ key);
+        Cache.add t.cache key (Json.Obj core)
+      with
+      | () -> ()
+      | exception Faults.Injected site ->
+          Telemetry.incr c_chaos_cache;
+          t.cfg.log ~level:"warn"
+            (Printf.sprintf "chaos: cache insertion dropped at %s" site))
+
 let process t w job =
   let env = job.env in
   let cached =
@@ -344,19 +439,67 @@ let process t w job =
         Wire.ok ~id:env.id ~op:env.op
           (core @ extra
           @ [ ("cache", Json.String "hit"); wall_us_field job.t0 ])
-    | Some _ | None -> (
-        match exec w env ~tag:job.tag with
-        | core, extra ->
-            Option.iter
-              (fun key -> Cache.add t.cache key (Json.Obj core))
-              job.cache_key;
-            let label = if job.use_cache then "miss" else "bypass" in
-            Wire.ok ~id:env.id ~op:env.op
-              (core @ extra
-              @ [ ("cache", Json.String label); wall_us_field job.t0 ])
-        | exception e ->
-            Atomic.incr t.errors;
-            Wire.error ~id:env.id (Printexc.to_string e))
+    | Some _ | None ->
+        if
+          match job.deadline with
+          | Some d -> Clock.now_s () >= d
+          | None -> false
+        then begin
+          (* Expired while queued: shed it without computing.  Cheap
+             ops never reach here unless the queue really did starve
+             them past their budget. *)
+          Atomic.incr t.errors;
+          Telemetry.incr c_timeouts;
+          Wire.error ~code:"timed_out" ~id:env.id
+            ~fields:[ wall_us_field job.t0 ]
+            "deadline expired before compute started"
+        end
+        else begin
+          (* Every exact-CC search gets a token even without a
+             deadline, so the drain epilogue can always unstick a
+             worker mid-search. *)
+          let cancel =
+            match env.req with
+            | Wire.Exact_cc _ ->
+                Some (Pool.Token.create ?deadline:job.deadline ())
+            | _ -> None
+          in
+          Mutex.lock w.qm;
+          w.cur_cancel <- cancel;
+          Mutex.unlock w.qm;
+          let reply =
+            Mutex.lock w.tm;
+            match exec w env ~tag:job.tag ~cancel with
+            | core, extra ->
+                Mutex.unlock w.tm;
+                cache_insert t job core;
+                let label = if job.use_cache then "miss" else "bypass" in
+                Wire.ok ~id:env.id ~op:env.op
+                  (core @ extra
+                  @ [ ("cache", Json.String label); wall_us_field job.t0 ])
+            | exception E.Timed_out { lower; upper; nodes } ->
+                Mutex.unlock w.tm;
+                Atomic.incr t.errors;
+                Telemetry.incr c_timeouts;
+                Wire.error ~code:"timed_out" ~id:env.id
+                  ~fields:
+                    [ ("lower_bound", Json.Int lower);
+                      ("upper_bound", Json.Int upper);
+                      ("nodes", Json.Int nodes); wall_us_field job.t0 ]
+                  (Printf.sprintf
+                     "deadline exceeded: certified %d <= CC <= %d after %d \
+                      nodes"
+                     lower upper nodes)
+            | exception e ->
+                Mutex.unlock w.tm;
+                Atomic.incr t.errors;
+                Wire.error ~id:env.id (Printexc.to_string e)
+          in
+          Mutex.lock w.qm;
+          w.cur_cancel <- None;
+          Mutex.unlock w.qm;
+          reply
+        end
   in
   (* Latency and table stats are published BEFORE the reply leaves:
      a client that sees its reply and immediately asks for `stats`
@@ -369,6 +512,75 @@ let process t w job =
   Mutex.unlock w.qm;
   deliver t ~finish:true job.jconn job.seq (Wire.to_line reply)
 
+(* The crash path: a worker domain whose body raised answers its
+   in-flight request with a structured error, hands its queue to the
+   surviving workers (the jobs were already admitted; their clients
+   are waiting), and exits the domain cleanly so the acceptor can
+   join and respawn it.  Never raises — an exception escaping here
+   would surface in [Domain.join] and take the daemon down, which is
+   exactly what crash isolation exists to prevent. *)
+let worker_crashed t w exn =
+  try
+    Telemetry.incr c_crashes;
+    let nw = Array.length t.workers in
+    Mutex.lock w.qm;
+    let cur = w.current in
+    w.current <- None;
+    w.cur_cancel <- None;
+    let orphans = ref [] in
+    if nw > 1 then begin
+      (* With a single worker the queue stays put for the respawn. *)
+      while not (Queue.is_empty w.q) do
+        orphans := Queue.pop w.q :: !orphans
+      done;
+      w.queued <- 0
+    end;
+    w.alive <- false;
+    Mutex.unlock w.qm;
+    t.cfg.log ~level:"error"
+      (Printf.sprintf "worker %d crashed: %s" w.wid (Printexc.to_string exn));
+    (match cur with
+    | None -> ()
+    | Some job ->
+        Atomic.incr t.errors;
+        deliver t ~finish:true job.jconn job.seq
+          (Wire.to_line
+             (Wire.error ~code:"worker_crashed" ~id:job.env.id
+                (Printf.sprintf "worker %d crashed handling this request: %s"
+                   w.wid (Printexc.to_string exn)))));
+    let targets =
+      Array.of_list
+        (List.filter
+           (fun o ->
+             o.wid <> w.wid
+             &&
+             (Mutex.lock o.qm;
+              let a = o.alive in
+              Mutex.unlock o.qm;
+              a))
+           (Array.to_list t.workers))
+    in
+    let requeue tgt job =
+      Mutex.lock tgt.qm;
+      tgt.queued <- tgt.queued + 1;
+      Queue.push job tgt.q;
+      Condition.signal tgt.qc;
+      Mutex.unlock tgt.qm
+    in
+    List.iteri
+      (fun i job ->
+        if Array.length targets > 0 then
+          requeue targets.(i mod Array.length targets) job
+        else
+          (* Everyone else is down too; park it back on our own queue
+             for whichever respawn comes first. *)
+          requeue w job)
+      (List.rev !orphans)
+  with e ->
+    t.cfg.log ~level:"error"
+      (Printf.sprintf "worker %d crash handler itself failed: %s" w.wid
+         (Printexc.to_string e))
+
 let worker_loop t w =
   let rec next () =
     Mutex.lock w.qm;
@@ -376,6 +588,7 @@ let worker_loop t w =
       if not (Queue.is_empty w.q) then begin
         let job = Queue.pop w.q in
         w.queued <- w.queued - 1;
+        w.current <- Some job;
         Some job
       end
       else if Atomic.get t.stop then None
@@ -388,11 +601,24 @@ let worker_loop t w =
     Mutex.unlock w.qm;
     match job with
     | Some job ->
+        (* The chaos crash site sits OUTSIDE [process]'s own exception
+           handling, so an injected fault here exercises the real
+           crash path, not the per-request error reply.  The site is
+           numbered by jobs started (not finished) so a respawned
+           worker re-rolls instead of crash-looping on the same
+           site. *)
+        let n = w.jobs_done in
+        w.jobs_done <- n + 1;
+        Faults.point t.cfg.chaos
+          ~site:(Printf.sprintf "serve:worker:%d:job%d" w.wid n);
         process t w job;
+        Mutex.lock w.qm;
+        w.current <- None;
+        Mutex.unlock w.qm;
         next ()
     | None -> ()
   in
-  next ()
+  try next () with e -> worker_crashed t w e
 
 (* ------------------------------------------------------------------ *)
 (* Inline ops (acceptor side)                                          *)
@@ -425,11 +651,21 @@ let stats_fields t =
       ts := !ts + st.Tx.stores;
       entries := !entries + e)
     t.workers;
+  let alive =
+    Array.fold_left
+      (fun acc w ->
+        Mutex.lock w.qm;
+        let a = w.alive in
+        Mutex.unlock w.qm;
+        if a then acc + 1 else acc)
+      0 t.workers
+  in
   [ ("protocol_version", Json.Int protocol_version);
     ("uptime_s", Json.Float (Clock.now_s () -. t.started));
     ("requests", Json.Int (Atomic.get t.requests));
     ("errors", Json.Int (Atomic.get t.errors));
     ("workers", Json.Int (Array.length t.workers));
+    ("workers_alive", Json.Int alive);
     ( "latency_us",
       Json.Obj
         [ ("count", Json.Int total);
@@ -466,6 +702,16 @@ let dispatch t conn (env : Wire.envelope) t0 =
   let use_cache =
     match env.req with Wire.Exact_cc { use_cache; _ } -> use_cache | _ -> true
   in
+  (* Effective compute deadline: the tighter of the request's own
+     budget and the server-side default, absolute from parse time. *)
+  let deadline =
+    let of_ms ms = t0 +. (float_of_int ms /. 1000.0) in
+    match (env.deadline_ms, t.cfg.request_timeout_s) with
+    | None, None -> None
+    | Some ms, None -> Some (of_ms ms)
+    | None, Some s -> Some (t0 +. s)
+    | Some ms, Some s -> Some (min (of_ms ms) (t0 +. s))
+  in
   match
     match env.req with
     | Wire.Exact_cc _ ->
@@ -484,14 +730,17 @@ let dispatch t conn (env : Wire.envelope) t0 =
         | None -> t.workers.(Hashtbl.hash cache_key mod nw)
       in
       let seq = alloc_seq ~inflight:true conn in
-      let job = { env; jconn = conn; seq; t0; tag; cache_key; use_cache } in
+      let job =
+        { env; jconn = conn; seq; t0; deadline; tag; cache_key; use_cache }
+      in
       Mutex.lock w.qm;
       if w.queued >= t.cfg.max_queue then begin
         Mutex.unlock w.qm;
         Atomic.incr t.errors;
+        Telemetry.incr c_overloaded;
         deliver t ~finish:true conn seq
           (Wire.to_line
-             (Wire.error ~id:env.id
+             (Wire.error ~code:"overloaded" ~id:env.id
                 (Printf.sprintf
                    "server overloaded: worker %d queue is full (%d)" w.wid
                    t.cfg.max_queue)))
@@ -543,19 +792,49 @@ let snapshot_doc t =
       ("cache", Cache.to_json t.cache);
       ( "segments",
         Json.List
-          (Array.to_list (Array.map (fun w -> Tx.save w.table) t.workers)) )
+          (Array.to_list
+             (Array.map
+                (* Txtable is not thread-safe: the segment is copied
+                   under its table mutex, held by the owning worker
+                   only while computing.  Segments snapshot one at a
+                   time — fine for a cache, which needs no cross-
+                   segment consistency point. *)
+                (fun w ->
+                  Mutex.lock w.tm;
+                  let s = Tx.save w.table in
+                  Mutex.unlock w.tm;
+                  s)
+                t.workers)) )
     ]
 
-let write_snapshot t =
+(* [?chaos_site] is set only on periodic snapshots, so a chaos run
+   still writes its final (shutdown) snapshot and a warm restart can
+   be asserted after a soak.  Any failure is logged and survived: the
+   previous snapshot file is intact (writes are temp+rename) and the
+   next interval retries. *)
+let write_snapshot ?chaos_site t =
   match t.cfg.snapshot_path with
   | None -> ()
-  | Some path ->
-      Json.to_file ~path (snapshot_doc t);
-      t.cfg.log ~level:"info"
-        (Printf.sprintf "snapshot written to %s (%d tags, %d cached results)"
-           path
-           (Cache.Tags.count t.tags)
-           (Cache.stats t.cache).Cache.entries)
+  | Some path -> (
+      match
+        Option.iter (fun site -> Faults.point t.cfg.chaos ~site) chaos_site;
+        Json.to_file ~path (snapshot_doc t)
+      with
+      | () ->
+          Telemetry.incr c_snapshots;
+          t.cfg.log ~level:"info"
+            (Printf.sprintf
+               "snapshot written to %s (%d tags, %d cached results)" path
+               (Cache.Tags.count t.tags)
+               (Cache.stats t.cache).Cache.entries)
+      | exception Faults.Injected site ->
+          Telemetry.incr c_chaos_snapshot;
+          t.cfg.log ~level:"warn"
+            (Printf.sprintf "chaos: snapshot skipped at %s" site)
+      | exception e ->
+          t.cfg.log ~level:"warn"
+            (Printf.sprintf "snapshot write to %s failed (%s)" path
+               (Printexc.to_string e)))
 
 let mk_table cfg = Tx.create ?budget_entries:cfg.table_budget ()
 
@@ -641,8 +920,6 @@ let load_warm_state cfg ~workers:nw =
 (* Acceptor                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let max_request_buffer = 1 lsl 22
-
 let run ?(stop = Atomic.make false) (cfg : config) =
   Sigguard.ignore_sigpipe ();
   let nw = cfg.workers in
@@ -651,10 +928,15 @@ let run ?(stop = Atomic.make false) (cfg : config) =
     Array.init nw (fun wid ->
         { wid;
           table = tables.(wid);
+          tm = Mutex.create ();
           q = Queue.create ();
           qm = Mutex.create ();
           qc = Condition.create ();
           queued = 0;
+          current = None;
+          cur_cancel = None;
+          alive = true;
+          jobs_done = 0;
           pub_stats = Tx.stats tables.(wid);
           pub_entries = Tx.length tables.(wid) })
   in
@@ -680,8 +962,11 @@ let run ?(stop = Atomic.make false) (cfg : config) =
     (Printf.sprintf "listening on %s (%d worker domain(s), protocol v%d)"
        cfg.socket_path nw protocol_version);
   let domains =
-    Array.map (fun w -> Domain.spawn (fun () -> worker_loop t w)) workers
+    Array.map (fun w -> Some (Domain.spawn (fun () -> worker_loop t w))) workers
   in
+  (* Sliding-window respawn accounting, acceptor-only state. *)
+  let respawn_times = Array.make nw [] in
+  let fatal = ref None in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
   let next_cid = ref 0 in
   let rdbuf = Bytes.create 65536 in
@@ -693,6 +978,9 @@ let run ?(stop = Atomic.make false) (cfg : config) =
       ->
         ()
     | fd, _ ->
+        (* Nonblocking, so a client that stops reading stalls only its
+           own bounded write deadline, never a domain. *)
+        Unix.set_nonblock fd;
         let cid = !next_cid in
         incr next_cid;
         Hashtbl.replace conns fd
@@ -704,7 +992,18 @@ let run ?(stop = Atomic.make false) (cfg : config) =
             pending = Hashtbl.create 8;
             write_ok = true;
             eof = false;
+            discarding = false;
             inflight = 0 }
+  in
+  let shed_oversized conn =
+    Atomic.incr t.errors;
+    Telemetry.incr c_oversized;
+    let seq = alloc_seq conn in
+    deliver t conn seq
+      (Wire.to_line
+         (Wire.error ~code:"line_too_long" ~id:Json.Null
+            (Printf.sprintf "request line exceeds %d bytes"
+               cfg.max_line_bytes)))
   in
   let drain_lines conn =
     let s = Buffer.contents conn.rbuf in
@@ -713,31 +1012,58 @@ let run ?(stop = Atomic.make false) (cfg : config) =
     (try
        while true do
          let i = String.index_from s !start '\n' in
-         let line = String.sub s !start (i - !start) in
-         start := i + 1;
-         handle_line t conn line
+         let len = i - !start in
+         (* a complete line can still breach the bound when it arrived
+            within one read chunk *)
+         if len > cfg.max_line_bytes then begin
+           start := i + 1;
+           shed_oversized conn
+         end
+         else begin
+           let line = String.sub s !start len in
+           start := i + 1;
+           handle_line t conn line
+         end
        done
      with Not_found -> ());
     Buffer.clear conn.rbuf;
     Buffer.add_substring conn.rbuf s !start (n - !start)
   in
+  (* A line that outgrows [max_line_bytes] gets one structured error,
+     then the connection switches to discard mode: bytes are dropped
+     until the newline that ends the oversized line, and parsing
+     resumes with the next request.  The client keeps its connection —
+     and its reply ordering — instead of being disconnected. *)
+  let rec consume_chunk conn off n =
+    if off < n then
+      if conn.discarding then
+        match Bytes.index_from_opt rdbuf off '\n' with
+        | Some i when i < n ->
+            conn.discarding <- false;
+            consume_chunk conn (i + 1) n
+        | _ -> ()  (* the whole rest of the chunk is oversized-line body *)
+      else begin
+        Buffer.add_subbytes conn.rbuf rdbuf off (n - off);
+        drain_lines conn;
+        if Buffer.length conn.rbuf > cfg.max_line_bytes then begin
+          (* The leftover is a partial (newline-free) line, so every
+             buffered byte belongs to the oversized request. *)
+          shed_oversized conn;
+          Buffer.clear conn.rbuf;
+          conn.discarding <- true
+        end
+      end
+  in
   let read_conn conn =
     match Unix.read conn.fd rdbuf 0 (Bytes.length rdbuf) with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception
+        Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      ->
+        ()
     | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
         conn.eof <- true
     | 0 -> conn.eof <- true
-    | n ->
-        Buffer.add_subbytes conn.rbuf rdbuf 0 n;
-        if Buffer.length conn.rbuf > max_request_buffer then begin
-          Atomic.incr t.errors;
-          let seq = alloc_seq conn in
-          deliver t conn seq
-            (Wire.to_line
-               (Wire.error ~id:Json.Null "request line too long"));
-          conn.eof <- true
-        end
-        else drain_lines conn
+    | n -> consume_chunk conn 0 n
   in
   let reap () =
     let dead =
@@ -756,6 +1082,91 @@ let run ?(stop = Atomic.make false) (cfg : config) =
         try Unix.close fd with Unix.Unix_error _ -> ())
       dead
   in
+  (* Detect worker domains whose body exited while the daemon is
+     still running: only the crash path does that (normal exits happen
+     after stop).  Join the dead domain, then respawn onto the same
+     worker record — same wid, same table segment, same queue — unless
+     this worker has exhausted its respawn budget for the sliding
+     window, in which case the whole daemon shuts down and [run]
+     raises [Fatal] after the drain. *)
+  let check_workers () =
+    Array.iteri
+      (fun i w ->
+        let dead =
+          Mutex.lock w.qm;
+          let d = not w.alive in
+          Mutex.unlock w.qm;
+          d
+        in
+        if dead && !fatal = None then begin
+          (match domains.(i) with
+          | Some d ->
+              Domain.join d;
+              domains.(i) <- None
+          | None -> ());
+          let now = Clock.now_s () in
+          let recent =
+            List.filter
+              (fun ts -> now -. ts < cfg.respawn_window_s)
+              respawn_times.(i)
+          in
+          if List.length recent >= cfg.respawn_budget then begin
+            fatal :=
+              Some
+                (Printf.sprintf
+                   "worker %d exhausted its respawn budget (%d respawns \
+                    within %.0fs)"
+                   w.wid cfg.respawn_budget cfg.respawn_window_s);
+            cfg.log ~level:"error" (Option.get !fatal);
+            (* Its queue will never be served; answer, don't strand. *)
+            let stranded = ref [] in
+            Mutex.lock w.qm;
+            while not (Queue.is_empty w.q) do
+              stranded := Queue.pop w.q :: !stranded
+            done;
+            w.queued <- 0;
+            Mutex.unlock w.qm;
+            List.iter
+              (fun job ->
+                Atomic.incr t.errors;
+                deliver t ~finish:true job.jconn job.seq
+                  (Wire.to_line
+                     (Wire.error ~code:"worker_crashed" ~id:job.env.Wire.id
+                        "worker exhausted its respawn budget")))
+              (List.rev !stranded);
+            Atomic.set t.stop true
+          end
+          else begin
+            respawn_times.(i) <- now :: recent;
+            Mutex.lock w.qm;
+            w.alive <- true;
+            Mutex.unlock w.qm;
+            domains.(i) <- Some (Domain.spawn (fun () -> worker_loop t w));
+            Telemetry.incr c_respawns;
+            cfg.log ~level:"warn"
+              (Printf.sprintf "worker %d respawned (%d/%d in window)" w.wid
+                 (List.length recent + 1)
+                 cfg.respawn_budget)
+          end
+        end)
+      workers
+  in
+  let snap_count = ref 0 in
+  let next_snapshot =
+    ref
+      (match cfg.snapshot_every_s with
+      | Some s -> Clock.now_s () +. s
+      | None -> infinity)
+  in
+  let periodic_snapshot () =
+    match cfg.snapshot_every_s with
+    | Some s when Clock.now_s () >= !next_snapshot ->
+        let n = !snap_count in
+        incr snap_count;
+        write_snapshot ~chaos_site:(Printf.sprintf "serve:snapshot:%d" n) t;
+        next_snapshot := Clock.now_s () +. s
+    | _ -> ()
+  in
   let rec loop () =
     if not (Atomic.get t.stop) then begin
       let fds = lfd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
@@ -770,7 +1181,9 @@ let run ?(stop = Atomic.make false) (cfg : config) =
                 | Some conn -> read_conn conn
                 | None -> ())
             ready);
+      check_workers ();
       reap ();
+      periodic_snapshot ();
       loop ()
     end
   in
@@ -800,16 +1213,29 @@ let run ?(stop = Atomic.make false) (cfg : config) =
   while not (all_idle ()) && Clock.now_s () < deadline do
     Clock.sleepf 0.02
   done;
+  (* Past the drain deadline a search may still be running; fire its
+     cancel token so the worker raises out of the search, answers
+     timed_out, and its domain becomes joinable.  (Every exact-CC job
+     carries a token precisely for this.) *)
+  Array.iter
+    (fun w ->
+      Mutex.lock w.qm;
+      (match w.cur_cancel with
+      | Some tok -> Pool.Token.cancel tok
+      | None -> ());
+      Mutex.unlock w.qm)
+    workers;
   Array.iter
     (fun w ->
       Mutex.lock w.qm;
       Condition.broadcast w.qc;
       Mutex.unlock w.qm)
     workers;
-  Array.iter Domain.join domains;
+  Array.iter (function Some d -> Domain.join d | None -> ()) domains;
   write_snapshot t;
   Hashtbl.iter
     (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
     conns;
   cfg.log ~level:"info"
-    (Printf.sprintf "stopped after %d request(s)" (Atomic.get t.requests))
+    (Printf.sprintf "stopped after %d request(s)" (Atomic.get t.requests));
+  match !fatal with Some msg -> raise (Fatal msg) | None -> ()

@@ -34,7 +34,38 @@
       is validated and the segments redistributed, so cache warmth
       survives restarts — even across a change in worker count.
       Corrupt or version-mismatched snapshots are rejected with a
-      logged reason and the daemon starts cold. *)
+      logged reason and the daemon starts cold.  With
+      [snapshot_every_s] the same file is additionally rewritten
+      periodically while serving, so a crash loses at most one
+      interval of warmth.
+
+    {2 Self-healing}
+
+    - {b Crash isolation}: an exception escaping a worker's loop —
+      including chaos-injected faults — is caught at the domain
+      boundary.  The in-flight request is answered with a structured
+      [worker_crashed] error, queued jobs move to surviving workers,
+      and the acceptor joins and respawns the domain onto the same
+      worker slot (same table segment, same routing).  Each worker
+      has a sliding-window respawn budget; exhausting it shuts the
+      daemon down and makes {!run} raise {!Fatal} after the drain.
+    - {b Deadlines}: a request-supplied [deadline_ms] and/or the
+      server-wide [request_timeout_s] bound each compute op.  Exact-CC
+      searches poll a cooperative cancel token and answer a
+      [timed_out] error carrying the certified bounds found so far;
+      jobs whose deadline expires while queued are shed without
+      computing.
+    - {b Stalled readers}: connection sockets are nonblocking and
+      reply writes carry a deadline ([write_timeout_s]) — a client
+      that stops reading is disconnected, never parking a domain.
+    - {b Oversized lines}: a request line larger than
+      [max_line_bytes] is answered with a [line_too_long] error and
+      skipped; the connection survives.
+    - {b Chaos}: with [chaos] armed, deterministic fault-injection
+      sites ({!Commx_util.Faults}) fire inside worker loops (crash
+      path), at result-cache insertion (contained) and in periodic
+      snapshot writes (logged skip), exercising all of the above
+      under a fixed seed. *)
 
 type config = {
   socket_path : string;
@@ -48,8 +79,32 @@ type config = {
   max_queue : int;  (** per-worker admission bound, >= 1 *)
   drain_timeout_s : float;
       (** max wait for in-flight work on shutdown *)
+  request_timeout_s : float option;
+      (** server-side default compute deadline per request; a
+          request's own [deadline_ms] can only tighten it *)
+  write_timeout_s : float;
+      (** max wall time for one reply write before the connection is
+          declared dead (slowloris defense) *)
+  max_line_bytes : int;
+      (** request-line size bound; larger lines are answered with
+          [line_too_long] and skipped *)
+  snapshot_every_s : float option;
+      (** also write the snapshot every this many seconds while
+          serving ([None] = only on graceful stop) *)
+  respawn_budget : int;
+      (** crashed-worker respawns allowed per sliding window before
+          the daemon gives up ({!Fatal}) *)
+  respawn_window_s : float;  (** the sliding window for the budget *)
+  chaos : Commx_util.Faults.t option;
+      (** deterministic fault injection at the serve chaos sites
+          ([None] = off) *)
   log : level:string -> string -> unit;
 }
+
+exception Fatal of string
+(** Raised by {!run} — after draining and snapshotting — when the
+    daemon can no longer heal itself: a worker exhausted its respawn
+    budget.  The CLI turns this into a nonzero exit. *)
 
 val default_log : level:string -> string -> unit
 (** One JSON object per line on stderr: [{"ts", "level", "msg"}]. *)
@@ -62,11 +117,20 @@ val config :
   ?table_budget:int ->
   ?max_queue:int ->
   ?drain_timeout_s:float ->
+  ?request_timeout_s:float ->
+  ?write_timeout_s:float ->
+  ?max_line_bytes:int ->
+  ?snapshot_every_s:float ->
+  ?respawn_budget:int ->
+  ?respawn_window_s:float ->
+  ?chaos:Commx_util.Faults.t ->
   ?log:(level:string -> string -> unit) ->
   unit ->
   config
 (** Defaults: 2 workers, no snapshot, 1024 cache entries, unbounded
-    tables, 64-deep queues, 30 s drain, {!default_log}.
+    tables, 64-deep queues, 30 s drain, no default request deadline,
+    5 s write timeout, 1 MiB line bound, no periodic snapshots, 3
+    respawns per 60 s window, no chaos, {!default_log}.
     @raise Invalid_argument on out-of-range values. *)
 
 val protocol_version : int
@@ -82,6 +146,9 @@ val snapshot_version : int
 val run : ?stop:bool Atomic.t -> config -> unit
 (** Serve until [stop] becomes [true] (set it from a signal handler or
     another domain) or a client sends the [shutdown] op; then drain
-    in-flight requests, write the snapshot and return.  Removes any
+    in-flight requests (cancelling any search still running at the
+    drain deadline), write the snapshot and return.  Removes any
     stale file at [socket_path] before binding.
+    @raise Fatal when shutdown was forced by an exhausted respawn
+    budget (after draining and snapshotting).
     @raise Unix.Unix_error when the socket cannot be created. *)

@@ -22,7 +22,12 @@ type request =
   | Lower_bounds of { matrix : Bm.t }
   | Protocol_run of { proto : string; n : int; k : int; seed : int; epsilon : float }
 
-type envelope = { id : Json.t; op : string; req : request }
+type envelope = {
+  id : Json.t;
+  op : string;
+  deadline_ms : int option;
+  req : request;
+}
 
 let max_matrix_side = 64
 
@@ -150,6 +155,16 @@ let request_of obj op =
           epsilon = float_field ~default:0.01 obj "epsilon" }
   | other -> bad "unknown op %S" other
 
+(* Optional per-request deadline, in milliseconds of wall budget from
+   the moment the daemon parses the request.  0 or negative is a
+   client bug worth rejecting loudly rather than an instant timeout. *)
+let deadline_of obj =
+  match field obj "deadline_ms" with
+  | None -> None
+  | Some (Json.Int v) ->
+      if v <= 0 then bad "field \"deadline_ms\" must be > 0" else Some v
+  | Some _ -> bad "field \"deadline_ms\" must be an integer"
+
 let parse line =
   match Json.of_string line with
   | exception Failure msg -> Error (Json.Null, "malformed JSON: " ^ msg)
@@ -157,7 +172,7 @@ let parse line =
       let id = Option.value (field obj "id") ~default:Json.Null in
       match field obj "op" with
       | Some (Json.String op) -> (
-          try Ok { id; op; req = request_of obj op }
+          try Ok { id; op; deadline_ms = deadline_of obj; req = request_of obj op }
           with Bad msg -> Error (id, msg))
       | Some _ -> Error (id, "field \"op\" must be a string")
       | None -> Error (id, "missing field \"op\""))
@@ -167,8 +182,22 @@ let ok ~id ~op fields =
   Json.Obj
     (("id", id) :: ("op", Json.String op) :: ("ok", Json.Bool true) :: fields)
 
-let error ~id msg =
+let error ?code ?(fields = []) ~id msg =
+  let tail =
+    match code with
+    | None -> fields
+    | Some c -> ("code", Json.String c) :: fields
+  in
   Json.Obj
-    [ ("id", id); ("ok", Json.Bool false); ("error", Json.String msg) ]
+    (("id", id) :: ("ok", Json.Bool false) :: ("error", Json.String msg)
+    :: tail)
+
+let error_code reply =
+  match reply with
+  | Json.Obj _ -> (
+      match (Json.member "ok" reply, Json.member "code" reply) with
+      | Some (Json.Bool false), Some (Json.String c) -> Some c
+      | _ -> None)
+  | _ -> None
 
 let to_line doc = Json.to_string doc ^ "\n"

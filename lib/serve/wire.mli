@@ -38,7 +38,15 @@ type request =
     }  (** Run a singularity protocol on the seeded instance and count
           bits through the channel. *)
 
-type envelope = { id : Commx_util.Json.t; op : string; req : request }
+type envelope = {
+  id : Commx_util.Json.t;
+  op : string;
+  deadline_ms : int option;
+      (** optional per-request wall budget in milliseconds, counted
+          from the moment the daemon parses the request; [None] leaves
+          the server-side default in force *)
+  req : request;
+}
 
 val max_matrix_side : int
 (** Hard cap (64) on rows and columns of matrices accepted over the
@@ -53,8 +61,23 @@ val ok : id:Commx_util.Json.t -> op:string ->
   (string * Commx_util.Json.t) list -> Commx_util.Json.t
 (** Success reply: [{"id": .., "op": .., "ok": true, ..fields}]. *)
 
-val error : id:Commx_util.Json.t -> string -> Commx_util.Json.t
-(** Failure reply: [{"id": .., "ok": false, "error": msg}]. *)
+val error :
+  ?code:string ->
+  ?fields:(string * Commx_util.Json.t) list ->
+  id:Commx_util.Json.t ->
+  string ->
+  Commx_util.Json.t
+(** Failure reply: [{"id": .., "ok": false, "error": msg}], plus
+    ["code"] when [?code] is given and any extra [?fields].  The
+    machine-readable codes the daemon uses — ["timed_out"] (with
+    ["lower_bound"]/["upper_bound"] fields when the search certified
+    bounds), ["overloaded"], ["worker_crashed"], ["line_too_long"] —
+    let clients branch without parsing English; errors without a code
+    are request rejections (parse/validation). *)
+
+val error_code : Commx_util.Json.t -> string option
+(** The ["code"] of a failure reply, if the reply is a failure and
+    carries one — the client-side dual of [error ?code]. *)
 
 val to_line : Commx_util.Json.t -> string
 (** Compact serialization plus the terminating newline. *)

@@ -50,6 +50,8 @@ let site_unit_float seed site =
   let bits53 = Int64.shift_right_logical (mix64 !h) 11 in
   Int64.to_float bits53 *. 0x1.0p-53
 
+let unit_float ~seed ~site = site_unit_float seed site
+
 type decision = Pass | Raise | Delay
 
 let decide t ~site ~rate ~delay_rate =

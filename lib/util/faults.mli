@@ -54,6 +54,14 @@ val create :
 val seed : t -> int
 (** The seed the injector was created with. *)
 
+val unit_float : seed:int -> site:string -> float
+(** The underlying pure hash: a uniform value in [[0, 1)] that is a
+    function of [(seed, site)] only — never of call order, scheduling
+    or wall-clock time.  Besides driving {!decide}, this is the
+    primitive behind deterministic backoff jitter
+    ({!Supervisor.jitter}): any component that needs a reproducible
+    per-site random value shares this one definition. *)
+
 type decision = Pass | Raise | Delay
 
 val decide : t -> site:string -> rate:float -> delay_rate:float -> decision

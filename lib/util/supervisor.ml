@@ -10,6 +10,8 @@ type config = {
   timeout_s : float option;
   retries : int;
   backoff_s : float;
+  jitter : float;
+  jitter_seed : int;
   retryable : exn -> bool;
 }
 
@@ -18,17 +20,36 @@ let default_config =
     timeout_s = None;
     retries = 0;
     backoff_s = 0.1;
+    jitter = 0.0;
+    jitter_seed = 0;
     retryable = (function Faults.Injected _ -> true | _ -> false);
   }
 
 let config ?timeout_s ?(retries = default_config.retries)
-    ?(backoff_s = default_config.backoff_s)
+    ?(backoff_s = default_config.backoff_s) ?(jitter = default_config.jitter)
+    ?(jitter_seed = default_config.jitter_seed)
     ?(retryable = default_config.retryable) () =
   (match timeout_s with
   | Some s when s <= 0.0 -> invalid_arg "Supervisor.config: timeout_s must be > 0"
   | Some _ | None -> ());
   if retries < 0 then invalid_arg "Supervisor.config: retries must be >= 0";
-  { timeout_s; retries; backoff_s; retryable }
+  if not (jitter >= 0.0 && jitter <= 1.0) then
+    invalid_arg "Supervisor.config: jitter must be in [0, 1]";
+  { timeout_s; retries; backoff_s; jitter; jitter_seed; retryable }
+
+(* Deterministic jitter: a pure function of (seed, name, attempt), so
+   a replay under the same seed backs off bit-identically, while
+   distinct retriers (different names or seeds) desynchronize instead
+   of thundering in lockstep at exact powers of backoff_s. *)
+let jitter ~seed ~name ~attempt =
+  Faults.unit_float ~seed ~site:(Printf.sprintf "backoff:%s:%d" name attempt)
+
+let backoff_pause config ~name ~attempt =
+  let base = config.backoff_s *. (2.0 ** float_of_int (attempt - 1)) in
+  if config.jitter = 0.0 then base
+  else
+    base
+    *. (1.0 +. (config.jitter *. jitter ~seed:config.jitter_seed ~name ~attempt))
 
 (* Retry log lines go through an injectable sink so a host that owns
    its output streams (the serve daemon, a structured logger) can
@@ -105,7 +126,7 @@ let run ?(config = default_config) ~pool ~name f =
     | `Raised (e, bt) ->
         Telemetry.incr attempts_failed;
         if n <= config.retries && config.retryable e then begin
-          let pause = config.backoff_s *. (2.0 ** float_of_int (n - 1)) in
+          let pause = backoff_pause config ~name ~attempt:n in
           Telemetry.incr retries_counter;
           (Atomic.get log_sink)
             { name; attempt = n; exn = Printexc.to_string e; pause_s = pause };

@@ -29,8 +29,23 @@ type config = {
   timeout_s : float option;  (** per-attempt time budget (monotonic clock) *)
   retries : int;  (** additional attempts after the first *)
   backoff_s : float;  (** sleep before retry [i] is [backoff_s * 2^(i-1)] *)
+  jitter : float;
+      (** max fractional backoff jitter in [[0, 1]]: retry [i] sleeps
+          [backoff_s * 2^(i-1) * (1 + jitter * u)] where [u] is the
+          deterministic {!val-jitter} value for
+          [(jitter_seed, name, i)].  [0] (the default) reproduces the
+          exact historical pauses. *)
+  jitter_seed : int;  (** seed of the deterministic jitter stream *)
   retryable : exn -> bool;  (** which failures are worth retrying *)
 }
+
+val jitter : seed:int -> name:string -> attempt:int -> float
+(** The deterministic jitter value in [[0, 1)]: a {e pure} function of
+    [(seed, name, attempt)] (via {!Faults.unit_float}), never of time
+    or scheduling.  Two retriers with different names (or seeds)
+    desynchronize — no thundering herd at exact powers of
+    [backoff_s] — while a replay under a fixed seed backs off
+    bit-identically. *)
 
 (** {2 Retry logging}
 
@@ -60,19 +75,23 @@ val reset_log_sink : unit -> unit
 (** Restore {!default_log_sink} (used by tests). *)
 
 val default_config : config
-(** No timeout, no retries, [backoff_s = 0.1], and [retryable] true
-    exactly for {!Faults.Injected} (real bugs are deterministic; only
-    injected/transient faults benefit from another attempt). *)
+(** No timeout, no retries, [backoff_s = 0.1], no jitter, and
+    [retryable] true exactly for {!Faults.Injected} (real bugs are
+    deterministic; only injected/transient faults benefit from another
+    attempt). *)
 
 val config :
   ?timeout_s:float ->
   ?retries:int ->
   ?backoff_s:float ->
+  ?jitter:float ->
+  ?jitter_seed:int ->
   ?retryable:(exn -> bool) ->
   unit ->
   config
 (** {!default_config} with the given fields replaced.
-    @raise Invalid_argument if [timeout_s <= 0] or [retries < 0]. *)
+    @raise Invalid_argument if [timeout_s <= 0], [retries < 0] or
+    [jitter] outside [[0, 1]]. *)
 
 val run :
   ?config:config -> pool:Pool.t -> name:string -> (attempt:int -> 'a) -> 'a outcome * int

@@ -1,0 +1,188 @@
+#!/usr/bin/env bash
+# Chaos soak for the ccmx serve daemon.
+#
+# Three phases:
+#   0. ground truth  — a clean daemon answers every workload board;
+#                      the exact-CC values are recorded.
+#   1. chaos         — a daemon with deterministic fault injection
+#                      (--chaos SEED) serves the same workload plus a
+#                      pipelined burst.  Assertions: every ok reply
+#                      matches ground truth (zero wrong answers),
+#                      replies arrive in request order, every error
+#                      carries a known structured code, the error rate
+#                      stays bounded, and at least one worker crash was
+#                      healed (serve.worker_respawns > 0).
+#   2. warm restart  — the daemon is drained (SIGTERM) and restarted
+#                      with chaos off against the snapshot it wrote;
+#                      the first query must be answered from the warm
+#                      state (cache hit, zero node expansions).
+#
+# The fault pattern is a pure function of (seed, site), so a run is
+# bit-reproducible: re-running with the same SEED and REQUESTS crashes
+# the same jobs.  Defaults are sized for a CI smoke (<1 min); raise
+# REQUESTS for a nightly soak.
+#
+# usage: scripts/chaos_soak.sh [SEED] [REQUESTS] [CHAOS_RATE]
+
+set -euo pipefail
+
+SEED="${1:-20260809}"
+REQUESTS="${2:-60}"
+CHAOS_RATE="${3:-0.15}"
+
+cd "$(dirname "$0")/.."
+CCMX=_build/default/bin/ccmx.exe
+command -v dune >/dev/null && dune build bin/ccmx.exe
+[ -x "$CCMX" ] || { echo "chaos_soak: $CCMX not built" >&2; exit 1; }
+
+workdir=$(mktemp -d /tmp/ccmx-chaos.XXXXXX)
+trap 'kill $daemon 2>/dev/null || true; rm -rf "$workdir"' EXIT
+sock="$workdir/ccmx.sock"
+snap="$workdir/ccmx.snap"
+truth="$workdir/truth.json"
+daemon=""
+
+start_daemon() {
+  ( exec "$CCMX" serve --socket "$sock" --snapshot "$snap" --workers 1 \
+      --request-timeout 10 --respawn-budget 1000 --respawn-window 3600 \
+      "$@" 2>"$workdir/daemon.log" ) &
+  daemon=$!
+}
+
+stop_daemon() {
+  kill -TERM "$daemon"
+  wait "$daemon" || { echo "daemon exited nonzero" >&2; exit 1; }
+  daemon=""
+}
+
+drive() { python3 - "$sock" "$@"; }
+
+# Shared python client prelude: connect with retry, line-based rpc.
+PRELUDE='
+import json, random, socket, sys, time
+
+def connect(path, budget=10.0):
+    deadline = time.monotonic() + budget
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    while True:
+        try:
+            s.connect(path)
+            return s, s.makefile("rw")
+        except (FileNotFoundError, ConnectionRefusedError):
+            if time.monotonic() > deadline:
+                sys.exit("daemon socket never appeared")
+            time.sleep(0.05)
+
+def boards(n_requests):
+    # Deterministic workload: the reference 8x8 low-rank board plus
+    # seeded random 6x6 boards (fast to solve exactly, slow enough to
+    # really search).  Same REQUESTS -> same boards -> same chaos
+    # site decisions on a 1-worker daemon.
+    rng = random.Random(12345)
+    ref = ["01110100", "10100010", "00000000", "00000000",
+           "01101000", "10111110", "11010110", "11001010"]
+    out = [ref]
+    for _ in range(max(0, n_requests - 1)):
+        out.append(["".join(rng.choice("01") for _ in range(6))
+                    for _ in range(6)])
+    return out
+'
+
+# ---------------------------------------------------------------- phase 0
+echo "== phase 0: ground truth (clean daemon) =="
+start_daemon
+drive "$truth" "$REQUESTS" <<EOF
+$PRELUDE
+path, truth_path, n = sys.argv[1], sys.argv[2], int(sys.argv[3])
+s, f = connect(path)
+def rpc(obj):
+    f.write(json.dumps(obj) + "\n"); f.flush()
+    return json.loads(f.readline())
+truth = []
+for i, b in enumerate(boards(n)):
+    r = rpc({"op": "exact_cc", "id": i, "matrix": b, "use_cache": False})
+    assert r["ok"], f"clean daemon errored: {r}"
+    truth.append(r["value"])
+json.dump(truth, open(truth_path, "w"))
+print(f"ground truth: {len(truth)} boards, values {sorted(set(truth))}")
+EOF
+stop_daemon
+rm -f "$snap"   # phase 1 starts cold: same site sequence every run
+
+# ---------------------------------------------------------------- phase 1
+echo "== phase 1: chaos daemon (seed $SEED, rate $CHAOS_RATE) =="
+start_daemon --chaos "$SEED" --chaos-rate "$CHAOS_RATE"
+drive "$truth" "$REQUESTS" "$CHAOS_RATE" <<EOF
+$PRELUDE
+path, truth_path = sys.argv[1], sys.argv[2]
+n, rate = int(sys.argv[3]), float(sys.argv[4])
+truth = json.load(open(truth_path))
+s, f = connect(path)
+def rpc(obj):
+    f.write(json.dumps(obj) + "\n"); f.flush()
+    return json.loads(f.readline())
+
+KNOWN = {"worker_crashed", "timed_out", "overloaded", "line_too_long"}
+wrong, errors = 0, 0
+for i, b in enumerate(boards(n)):
+    r = rpc({"op": "exact_cc", "id": i, "matrix": b, "use_cache": False})
+    assert r.get("id") == i, f"reply order broken: sent {i}, got {r}"
+    if r["ok"]:
+        if r["value"] != truth[i]:
+            wrong += 1
+            print(f"WRONG ANSWER board {i}: {r['value']} != {truth[i]}")
+    else:
+        errors += 1
+        code = r.get("code")
+        assert code in KNOWN, f"unstructured error under chaos: {r}"
+assert wrong == 0, f"{wrong} wrong answers under chaos"
+# Crashes shed work; they must never exceed the injection pressure by
+# much (3x covers crash + requeue-shed collateral on one worker).
+bound = max(3, int(3 * rate * n) + 2)
+assert errors <= bound, f"error rate too high: {errors}/{n} (bound {bound})"
+
+# Pipelined burst: replies must come back in request order even while
+# workers are being killed and respawned underneath.
+burst = 20
+ref = boards(1)[0]
+for j in range(burst):
+    f.write(json.dumps({"op": "ping", "id": 1000 + j}) + "\n")
+f.flush()
+for j in range(burst):
+    r = json.loads(f.readline())
+    assert r["id"] == 1000 + j, f"burst order broken at {j}: {r}"
+
+stats = rpc({"op": "stats"})
+assert stats["ok"]
+counters = stats["counters"]
+respawns = counters.get("serve.worker_respawns", 0)
+assert respawns > 0, f"chaos run never crashed a worker: {counters}"
+assert stats["workers_alive"] == 1, stats["workers_alive"]
+print(f"chaos ok: {n} requests, {errors} structured errors "
+      f"(bound {bound}), {respawns} worker respawns, 0 wrong answers")
+EOF
+stop_daemon
+[ -s "$snap" ] || { echo "chaos daemon wrote no shutdown snapshot" >&2; exit 1; }
+
+# ---------------------------------------------------------------- phase 2
+echo "== phase 2: warm restart after chaos =="
+start_daemon
+drive <<EOF
+$PRELUDE
+path = sys.argv[1]
+s, f = connect(path)
+def rpc(obj):
+    f.write(json.dumps(obj) + "\n"); f.flush()
+    return json.loads(f.readline())
+ref = boards(1)[0]
+# The soak ran with use_cache=False, so warmth lives in the
+# transposition table: the restarted daemon must answer the reference
+# board with zero new node expansions.
+r = rpc({"op": "exact_cc", "matrix": ref, "use_cache": False})
+assert r["ok"], r
+assert r["nodes"] == 0, f"restart was cold: {r['nodes']} nodes expanded"
+print("warm restart ok: snapshot survived the chaos run")
+EOF
+stop_daemon
+
+echo "chaos soak passed (seed $SEED, $REQUESTS requests, rate $CHAOS_RATE)"

@@ -268,6 +268,55 @@ let test_supervisor_retries_exhausted () =
       | _ -> Alcotest.fail "expected Failed");
       Alcotest.(check int) "1 + 2 retries" 3 attempts)
 
+let test_supervisor_jitter_deterministic () =
+  let j = Supervisor.jitter ~seed:11 ~name:"exp" ~attempt:1 in
+  Alcotest.(check bool) "in [0, 1)" true (j >= 0.0 && j < 1.0);
+  Alcotest.(check (float 0.0)) "replay is bit-identical" j
+    (Supervisor.jitter ~seed:11 ~name:"exp" ~attempt:1);
+  Alcotest.(check bool) "attempts desynchronize" true
+    (Supervisor.jitter ~seed:11 ~name:"exp" ~attempt:2 <> j);
+  Alcotest.(check bool) "names desynchronize" true
+    (Supervisor.jitter ~seed:11 ~name:"other" ~attempt:1 <> j);
+  Alcotest.(check bool) "seeds desynchronize" true
+    (Supervisor.jitter ~seed:12 ~name:"exp" ~attempt:1 <> j);
+  (* one primitive shared with fault injection: the documented site *)
+  Alcotest.(check (float 0.0)) "defined via Faults.unit_float"
+    (Faults.unit_float ~seed:11 ~site:"backoff:exp:1")
+    j
+
+let test_supervisor_jittered_backoff_is_replayable () =
+  (* Two identically-configured supervised runs must back off with
+     bit-identical pauses (the jitter is seeded, not drawn from a
+     PRNG), and the pauses must stay inside the documented envelope
+     base * [1, 1 + jitter]. *)
+  let pauses () =
+    let captured = ref [] in
+    Supervisor.set_log_sink (fun r -> captured := r.Supervisor.pause_s :: !captured);
+    Fun.protect
+      ~finally:(fun () -> Supervisor.reset_log_sink ())
+      (fun () ->
+        Pool.with_pool ~jobs:1 (fun pool ->
+            let config =
+              Supervisor.config ~retries:2 ~backoff_s:0.01 ~jitter:1.0
+                ~jitter_seed:9 ()
+            in
+            ignore
+              (Supervisor.run ~config ~pool ~name:"jittered"
+                 (fun ~attempt:_ -> raise (Faults.Injected "always")))));
+    List.rev !captured
+  in
+  let a = pauses () and b = pauses () in
+  Alcotest.(check int) "one pause per retry" 2 (List.length a);
+  Alcotest.(check bool) "replay is bit-identical" true (a = b);
+  List.iteri
+    (fun i p ->
+      let base = 0.01 *. (2.0 ** float_of_int i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "pause %d inside the jitter envelope" (i + 1))
+        true
+        (p >= base && p <= 2.0 *. base))
+    a
+
 (* ------------------------------------------------------------------ *)
 (* Clock.sleepf: EINTR immunity                                        *)
 (* ------------------------------------------------------------------ *)
@@ -581,6 +630,10 @@ let () =
           Alcotest.test_case "failed, not retryable" `Quick
             test_supervisor_failed_not_retryable;
           Alcotest.test_case "retry then ok" `Quick test_supervisor_retry_then_ok;
+          Alcotest.test_case "jitter deterministic" `Quick
+            test_supervisor_jitter_deterministic;
+          Alcotest.test_case "jittered backoff replayable" `Quick
+            test_supervisor_jittered_backoff_is_replayable;
           Alcotest.test_case "retries exhausted" `Quick
             test_supervisor_retries_exhausted;
           Alcotest.test_case "timeout via pool batch" `Quick

@@ -1,14 +1,20 @@
 (* Tests for the serve daemon: wire codec, result cache + tag registry,
    and in-process end-to-end runs over a real Unix socket — warm-cache
    semantics, reply ordering, broken-pipe survival, snapshot
-   persistence across a restart, and stats percentiles. *)
+   persistence across a restart, stats percentiles, and the
+   self-healing tier: request deadlines, worker crash isolation +
+   respawn, admission-control shedding, oversized-line recovery,
+   periodic snapshots and the resilient client. *)
 
 module Json = Commx_util.Json
 module Bm = Commx_util.Bitmat
 module Clock = Commx_util.Clock
+module Faults = Commx_util.Faults
+module Telemetry = Commx_util.Telemetry
 module Wire = Commx_serve.Wire
 module Cache = Commx_serve.Cache
 module Server = Commx_serve.Server
+module Client = Commx_serve.Client
 
 (* The reference board: 8x8, rows as bit patterns.  Low GF(2) rank, so
    the certified root bound does NOT close the search — a cold query
@@ -23,6 +29,19 @@ let board_json =
             Json.String
               (String.init 8 (fun j -> if r land (1 lsl j) <> 0 then '1' else '0')))
           board_rows))
+
+(* A slow board: 10x10 of GF(2) rank 4 whose certified bounds do NOT
+   close the search — the full exact search expands ~175k nodes
+   (seconds of wall time), so a request deadline of tens of
+   milliseconds reliably interrupts it mid-search.  Found by scanning
+   random low-rank products. *)
+let slow_board_json =
+  Json.List
+    (List.map
+       (fun s -> Json.String s)
+       [ "0101010111"; "0100011100"; "0000101100"; "0100110000";
+         "0001001011"; "0011111010"; "0111100110"; "0101010111";
+         "0000000000"; "0001100111" ])
 
 let obj_field reply key =
   match Json.member key reply with
@@ -62,7 +81,7 @@ let test_wire_parse_exact_cc () =
            ("matrix", board_json) ])
   in
   match Wire.parse line with
-  | Ok { id = Json.Int 7; op = "exact_cc";
+  | Ok { id = Json.Int 7; op = "exact_cc"; deadline_ms = None;
          req = Wire.Exact_cc { matrix; use_cache = true } } ->
       Alcotest.(check int) "rows" 8 (Bm.rows matrix);
       Alcotest.(check int) "cols" 8 (Bm.cols matrix);
@@ -133,6 +152,32 @@ let test_wire_parse_rejections () =
   match Wire.parse {|{"op":"teleport","id":42}|} with
   | Error (Json.Int 42, _) -> ()
   | _ -> Alcotest.fail "id not recovered from a bad request"
+
+let test_wire_parse_deadline () =
+  (match Wire.parse {|{"op":"ping","deadline_ms":250}|} with
+  | Ok { deadline_ms = Some 250; req = Wire.Ping; _ } -> ()
+  | _ -> Alcotest.fail "deadline_ms not parsed");
+  expect_parse_error {|{"op":"ping","deadline_ms":0}|} "deadline_ms";
+  expect_parse_error {|{"op":"ping","deadline_ms":-5}|} "deadline_ms";
+  expect_parse_error {|{"op":"ping","deadline_ms":"soon"}|} "deadline_ms"
+
+let test_wire_error_codes () =
+  let coded = Wire.error ~code:"overloaded" ~id:(Json.Int 1) "busy" in
+  Alcotest.(check (option string)) "code readable" (Some "overloaded")
+    (Wire.error_code coded);
+  Alcotest.(check (option string)) "plain errors carry no code" None
+    (Wire.error_code (Wire.error ~id:Json.Null "bad request"));
+  Alcotest.(check (option string)) "ok replies carry no code" None
+    (Wire.error_code (Wire.ok ~id:Json.Null ~op:"ping" []));
+  (* extra fields ride along with the code *)
+  let e =
+    Wire.error ~code:"timed_out"
+      ~fields:[ ("lower_bound", Json.Int 3) ]
+      ~id:(Json.Int 2) "deadline exceeded"
+  in
+  match Json.member "lower_bound" e with
+  | Some (Json.Int 3) -> ()
+  | _ -> Alcotest.fail "error fields lost"
 
 (* ------------------------------------------------------------------ *)
 (* Cache + tags                                                        *)
@@ -230,12 +275,18 @@ let rpc client obj =
 
 let close_client client = try Unix.close client.fd with Unix.Unix_error _ -> ()
 
-let with_server ?snapshot_path ?(workers = 2) ?(log = fun ~level:_ _ -> ()) f =
+let with_server ?snapshot_path ?(workers = 2) ?(log = fun ~level:_ _ -> ())
+    ?request_timeout_s ?snapshot_every_s ?max_queue ?max_line_bytes
+    ?respawn_budget ?chaos f =
   let socket_path = fresh_path ".sock" in
   let cfg =
     Server.config ~socket_path ~workers ?snapshot_path ~cache_capacity:64 ~log
-      ~drain_timeout_s:10.0 ()
+      ?request_timeout_s ?snapshot_every_s ?max_queue ?max_line_bytes
+      ?respawn_budget ?chaos ~drain_timeout_s:10.0 ()
   in
+  (* the robustness counters only record at Metrics level, and the
+     stats op surfaces them *)
+  Telemetry.set_level Telemetry.Metrics;
   let stop = Atomic.make false in
   let d = Domain.spawn (fun () -> Server.run ~stop cfg) in
   Fun.protect
@@ -245,10 +296,26 @@ let with_server ?snapshot_path ?(workers = 2) ?(log = fun ~level:_ _ -> ()) f =
       try Unix.unlink socket_path with Unix.Unix_error _ -> ())
     (fun () -> f socket_path)
 
-let exact_cc_req ?(id = Json.Null) ?use_cache matrix =
+let exact_cc_req ?(id = Json.Null) ?use_cache ?deadline_ms matrix =
   Json.Obj
     (("op", Json.String "exact_cc") :: ("id", id) :: ("matrix", matrix)
-    :: (match use_cache with Some b -> [ ("use_cache", Json.Bool b) ] | None -> []))
+    :: ((match use_cache with Some b -> [ ("use_cache", Json.Bool b) ] | None -> [])
+       @ match deadline_ms with Some ms -> [ ("deadline_ms", Json.Int ms) ] | None -> []))
+
+let stats_req = Json.Obj [ ("op", Json.String "stats") ]
+
+let counter_field stats name =
+  let counters = obj_field stats "counters" in
+  match Json.member name counters with
+  | Some (Json.Int v) -> v
+  | _ -> Alcotest.failf "stats counters lack %S" name
+
+let check_code name expected reply =
+  (match Json.member "ok" reply with
+  | Some (Json.Bool false) -> ()
+  | _ -> Alcotest.failf "%s: expected an error reply, got %s" name
+           (Json.to_string reply));
+  Alcotest.(check (option string)) name (Some expected) (Wire.error_code reply)
 
 let test_serve_warm_cache_end_to_end () =
   with_server (fun path ->
@@ -398,6 +465,291 @@ let test_serve_rejects_corrupt_snapshot () =
              go 0))
        !logs)
 
+(* ------------------------------------------------------------------ *)
+(* Self-healing: deadlines, crashes, shedding, oversized lines,        *)
+(* periodic snapshots, resilient client                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_serve_request_deadline_times_out_with_bounds () =
+  with_server ~workers:2 (fun path ->
+      let a = connect path in
+      let b = connect path in
+      Fun.protect
+        ~finally:(fun () ->
+          close_client a;
+          close_client b)
+        (fun () ->
+          (* A's slow board takes the first table tag (worker 0); B's
+             small board takes the second (worker 1) — so B runs
+             concurrently on another worker while A's search burns. *)
+          let t0 = Clock.now_s () in
+          send a (exact_cc_req ~id:(Json.Int 1) ~deadline_ms:300 slow_board_json);
+          let small = rpc b (exact_cc_req ~id:(Json.Int 7) board_json) in
+          let t_small = Clock.now_s () -. t0 in
+          assert_ok small;
+          Alcotest.(check int) "concurrent small request completes" 4
+            (int_field small "value");
+          Alcotest.(check bool)
+            (Printf.sprintf "small request not starved by the slow one \
+                             (%.3fs)" t_small)
+            true (t_small < 0.25);
+          let r = recv a in
+          let elapsed = Clock.now_s () -. t0 in
+          check_code "search interrupted" "timed_out" r;
+          (* the reply carries whatever the search certified before dying *)
+          let lb = int_field r "lower_bound" and ub = int_field r "upper_bound" in
+          Alcotest.(check bool) "lower bound certified" true (lb >= 1);
+          Alcotest.(check bool) "bounds ordered" true (lb <= ub);
+          Alcotest.(check bool)
+            (Printf.sprintf "answered within ~2x the deadline, not after \
+                             the full search (%.3fs elapsed)" elapsed)
+            true (elapsed < 0.6);
+          (* the worker survives a timeout and still computes *)
+          let ok = rpc a (exact_cc_req ~id:(Json.Int 2) board_json) in
+          assert_ok ok;
+          Alcotest.(check int) "value after a timeout" 4 (int_field ok "value");
+          let stats = rpc a stats_req in
+          Alcotest.(check bool) "timeout counted" true
+            (counter_field stats "serve.deadline_timeouts" >= 1)))
+
+let test_serve_server_side_default_deadline () =
+  (* No deadline_ms on the wire: the --request-timeout default applies. *)
+  with_server ~workers:1 ~request_timeout_s:0.06 (fun path ->
+      let c = connect path in
+      Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+      let r = rpc c (exact_cc_req ~id:(Json.Int 1) slow_board_json) in
+      check_code "server default deadline" "timed_out" r;
+      (* trivial ops are still answered inline, never deadline-shed *)
+      assert_ok (rpc c (Json.Obj [ ("op", Json.String "ping") ])))
+
+let crash_site w j = Printf.sprintf "serve:worker:%d:job%d" w j
+
+(* Scan for a chaos seed (at rate 0.5) that crashes worker 0's first
+   job and then lets the next several pass: one crash, then healing.
+   Faults decisions are a pure function of (seed, site), so the scan
+   is exact — no daemon needed to predict the fault pattern. *)
+let find_single_crash_seed () =
+  let rate = 0.5 in
+  let ok seed =
+    Faults.unit_float ~seed ~site:(crash_site 0 0) < rate
+    && List.for_all
+         (fun j -> Faults.unit_float ~seed ~site:(crash_site 0 j) >= rate)
+         [ 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+  in
+  let rec go s =
+    if s > 100_000 then Alcotest.fail "no single-crash chaos seed found"
+    else if ok s then s
+    else go (s + 1)
+  in
+  go 0
+
+let test_serve_worker_crash_isolated_and_respawned () =
+  let seed = find_single_crash_seed () in
+  let chaos = Faults.create ~seed ~rate:0.5 ~delay_rate:0.0 () in
+  with_server ~workers:1 ~chaos (fun path ->
+      let c = connect path in
+      Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+      (* job 0 crashes the worker; the in-flight request is answered
+         with a structured error, not a dropped connection *)
+      let r1 = rpc c (exact_cc_req ~id:(Json.Int 1) board_json) in
+      check_code "crash becomes a structured error" "worker_crashed" r1;
+      (* the daemon heals: the respawned worker answers the retry *)
+      let r2 = rpc c (exact_cc_req ~id:(Json.Int 2) board_json) in
+      assert_ok r2;
+      Alcotest.(check int) "respawned worker computes" 4 (int_field r2 "value");
+      let stats = rpc c stats_req in
+      Alcotest.(check bool) "respawn counted" true
+        (counter_field stats "serve.worker_respawns" >= 1);
+      Alcotest.(check int) "all workers alive again" 1
+        (int_field stats "workers_alive"))
+
+let test_serve_respawn_budget_exhaustion_is_fatal () =
+  (* rate 1.0: every job crashes its worker.  budget 1: the first
+     crash respawns, the second makes the daemon give up — drain,
+     snapshot-less stop, Server.Fatal out of run. *)
+  let chaos = Faults.create ~seed:0 ~rate:1.0 ~delay_rate:0.0 () in
+  let socket_path = fresh_path ".sock" in
+  let cfg =
+    Server.config ~socket_path ~workers:1 ~cache_capacity:64
+      ~log:(fun ~level:_ _ -> ())
+      ~drain_timeout_s:5.0 ~respawn_budget:1 ~chaos ()
+  in
+  Telemetry.set_level Telemetry.Metrics;
+  let outcome = ref None in
+  let d =
+    Domain.spawn (fun () ->
+        match Server.run cfg with
+        | () -> outcome := Some (Ok ())
+        | exception Server.Fatal msg -> outcome := Some (Error msg))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.unlink socket_path with Unix.Unix_error _ -> ())
+    (fun () ->
+      let c = connect socket_path in
+      Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+      let r1 = rpc c (exact_cc_req ~id:(Json.Int 1) board_json) in
+      check_code "first crash answered" "worker_crashed" r1;
+      let r2 = rpc c (exact_cc_req ~id:(Json.Int 2) board_json) in
+      check_code "second crash answered" "worker_crashed" r2;
+      (* the daemon shuts itself down; run raises Fatal *)
+      Domain.join d;
+      match !outcome with
+      | Some (Error msg) ->
+          let contains hay needle =
+            let nh = String.length hay and nn = String.length needle in
+            let rec go i =
+              i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool) "message names the budget" true
+            (contains msg "respawn budget")
+      | Some (Ok ()) -> Alcotest.fail "run returned instead of raising Fatal"
+      | None -> Alcotest.fail "server domain exited without recording")
+
+let test_serve_overload_shedding_is_immediate_and_ordered () =
+  with_server ~workers:1 ~max_queue:1 (fun path ->
+      let a = connect path in
+      let b = connect path in
+      Fun.protect
+        ~finally:(fun () ->
+          close_client a;
+          close_client b)
+        (fun () ->
+          (* A: one slow job in flight, one queued — the queue is full.
+             Deadlines bound the test's wall time. *)
+          send a
+            (exact_cc_req ~id:(Json.Int 0) ~use_cache:false ~deadline_ms:900
+               slow_board_json);
+          Clock.sleepf 0.15 (* let the worker dequeue job 0 *);
+          send a
+            (exact_cc_req ~id:(Json.Int 1) ~use_cache:false ~deadline_ms:900
+               slow_board_json);
+          Clock.sleepf 0.1;
+          (* B floods the same worker: every request must be shed
+             immediately — not parked behind A's slow job — in order. *)
+          let t0 = Clock.now_s () in
+          for i = 0 to 2 do
+            send b
+              (exact_cc_req ~id:(Json.Int (10 + i)) ~use_cache:false
+                 slow_board_json)
+          done;
+          for i = 0 to 2 do
+            let r = recv b in
+            Alcotest.(check int) "shed replies in request order" (10 + i)
+              (int_field r "id");
+            check_code "shed with a structured code" "overloaded" r
+          done;
+          let shed_s = Clock.now_s () -. t0 in
+          Alcotest.(check bool)
+            (Printf.sprintf "shedding is immediate (%.3fs)" shed_s)
+            true (shed_s < 0.4);
+          (* B keeps working, and the stats op counts the sheds *)
+          assert_ok (rpc b (Json.Obj [ ("op", Json.String "ping") ]));
+          let stats = rpc b stats_req in
+          Alcotest.(check bool) "overload counter moved" true
+            (counter_field stats "serve.overloaded" >= 3);
+          (* A's slow jobs drain via their deadlines, still in order *)
+          let r0 = recv a in
+          Alcotest.(check int) "A reply order 0" 0 (int_field r0 "id");
+          check_code "in-flight job timed out" "timed_out" r0;
+          let r1 = recv a in
+          Alcotest.(check int) "A reply order 1" 1 (int_field r1 "id");
+          check_code "queued job shed at its deadline" "timed_out" r1))
+
+let test_serve_oversized_line_recovery () =
+  with_server ~max_line_bytes:2048 (fun path ->
+      let c = connect path in
+      Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+      output_string c.oc (String.make 8192 'x');
+      output_char c.oc '\n';
+      flush c.oc;
+      let r = recv c in
+      check_code "oversized line answered" "line_too_long" r;
+      (* the oversized line was skipped, the connection survives *)
+      let pong = rpc c (Json.Obj [ ("op", Json.String "ping"); ("id", Json.Int 1) ]) in
+      assert_ok pong;
+      Alcotest.(check int) "same connection keeps working" 1
+        (int_field pong "id");
+      let stats = rpc c stats_req in
+      Alcotest.(check bool) "oversize counted" true
+        (counter_field stats "serve.oversized_lines" >= 1))
+
+let test_serve_periodic_snapshots () =
+  let snapshot_path = fresh_path ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove snapshot_path with Sys_error _ -> ())
+    (fun () ->
+      with_server ~snapshot_path ~snapshot_every_s:0.1 (fun path ->
+          let c = connect path in
+          Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+          assert_ok (rpc c (exact_cc_req board_json));
+          (* the file appears while the daemon is still serving *)
+          let deadline = Clock.now_s () +. 5.0 in
+          while
+            (not (Sys.file_exists snapshot_path)) && Clock.now_s () < deadline
+          do
+            Clock.sleepf 0.05
+          done;
+          Alcotest.(check bool) "periodic snapshot written" true
+            (Sys.file_exists snapshot_path);
+          let stats = rpc c stats_req in
+          Alcotest.(check bool) "snapshot counter moved" true
+            (counter_field stats "serve.snapshots_written" >= 1)))
+
+let test_client_end_to_end () =
+  with_server (fun path ->
+      let cl = Client.create ~socket_path:path () in
+      Fun.protect ~finally:(fun () -> Client.close cl) @@ fun () ->
+      (match Client.request cl ~op:"ping" [] with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "ping: %s" (Client.error_to_string e));
+      (match Client.request cl ~op:"exact_cc" [ ("matrix", board_json) ] with
+      | Ok reply -> Alcotest.(check int) "value" 4 (int_field reply "value")
+      | Error e -> Alcotest.failf "exact_cc: %s" (Client.error_to_string e));
+      (* a server-side deadline surfaces as a structured, non-retried
+         server error *)
+      (match
+         Client.request cl ~deadline_ms:60 ~op:"exact_cc"
+           [ ("matrix", slow_board_json); ("use_cache", Json.Bool false) ]
+       with
+      | Error (Client.Server_error { code = Some "timed_out"; _ }) -> ()
+      | Ok _ -> Alcotest.fail "expected timed_out"
+      | Error e -> Alcotest.failf "wrong error: %s" (Client.error_to_string e));
+      (* a server that answers — even with errors — is alive: the
+         breaker only counts unanswered requests *)
+      Alcotest.(check string) "breaker stays closed" "closed"
+        (Client.breaker_state cl))
+
+let test_client_breaker_opens_and_fails_fast () =
+  (* nothing listens at this path: every attempt is a transport
+     failure, and after the threshold the breaker fails fast without
+     touching the socket *)
+  let path = fresh_path ".sock" in
+  let cl =
+    Client.create ~socket_path:path ~connect_timeout_s:0.2 ~retries:0
+      ~breaker_threshold:2 ~breaker_cooldown_s:60.0 ()
+  in
+  Fun.protect ~finally:(fun () -> Client.close cl) @@ fun () ->
+  (match Client.request cl ~op:"ping" [] with
+  | Error (Client.Transport _) -> ()
+  | r ->
+      Alcotest.failf "expected a transport failure, got %s"
+        (match r with Ok _ -> "ok" | Error e -> Client.error_to_string e));
+  (match Client.request cl ~op:"ping" [] with
+  | Error (Client.Transport _) -> ()
+  | _ -> Alcotest.fail "expected a second transport failure");
+  Alcotest.(check string) "breaker open after threshold" "open"
+    (Client.breaker_state cl);
+  match Client.request cl ~op:"ping" [] with
+  | Error (Client.Breaker_open remaining) ->
+      Alcotest.(check bool) "cooldown remaining is sane" true
+        (remaining > 0.0 && remaining <= 60.0)
+  | r ->
+      Alcotest.failf "expected Breaker_open, got %s"
+        (match r with Ok _ -> "ok" | Error e -> Client.error_to_string e)
+
 let () =
   Alcotest.run "serve"
     [
@@ -407,7 +759,9 @@ let () =
             test_wire_parse_defaults_and_use_cache;
           Alcotest.test_case "singular bigints" `Quick
             test_wire_parse_singular_bigints;
-          Alcotest.test_case "rejections" `Quick test_wire_parse_rejections ] );
+          Alcotest.test_case "rejections" `Quick test_wire_parse_rejections;
+          Alcotest.test_case "deadline_ms" `Quick test_wire_parse_deadline;
+          Alcotest.test_case "error codes" `Quick test_wire_error_codes ] );
       ( "cache",
         [ Alcotest.test_case "FIFO eviction + stats" `Quick
             test_cache_fifo_eviction;
@@ -424,5 +778,24 @@ let () =
           Alcotest.test_case "snapshot keeps restart warm" `Quick
             test_serve_snapshot_restart_stays_warm;
           Alcotest.test_case "corrupt snapshot rejected" `Quick
-            test_serve_rejects_corrupt_snapshot ] )
+            test_serve_rejects_corrupt_snapshot ] );
+      ( "self-healing",
+        [ Alcotest.test_case "request deadline times out with bounds" `Quick
+            test_serve_request_deadline_times_out_with_bounds;
+          Alcotest.test_case "server-side default deadline" `Quick
+            test_serve_server_side_default_deadline;
+          Alcotest.test_case "worker crash isolated + respawned" `Quick
+            test_serve_worker_crash_isolated_and_respawned;
+          Alcotest.test_case "respawn budget exhaustion is fatal" `Quick
+            test_serve_respawn_budget_exhaustion_is_fatal;
+          Alcotest.test_case "overload shedding immediate + ordered" `Quick
+            test_serve_overload_shedding_is_immediate_and_ordered;
+          Alcotest.test_case "oversized line recovery" `Quick
+            test_serve_oversized_line_recovery;
+          Alcotest.test_case "periodic snapshots" `Quick
+            test_serve_periodic_snapshots ] );
+      ( "client",
+        [ Alcotest.test_case "end to end" `Quick test_client_end_to_end;
+          Alcotest.test_case "breaker opens + fails fast" `Quick
+            test_client_breaker_opens_and_fails_fast ] )
     ]
