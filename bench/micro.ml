@@ -250,6 +250,67 @@ let b7_exact_cc () =
   | _ -> failwith "B7: ablation configs disagree on the exact CC value");
   rows
 
+(* B8: the observability plane's promise is "cheap when off" — every
+   telemetry entry point on the exact-CC hot path (the per-search
+   counters inside the engine plus the per-request histogram observe
+   the serve daemon adds) must cost a load and a branch at Off.  Same
+   unit of work as B7 (one whole 9x9 search, best of k); the row pair
+   documents the Off-vs-Metrics delta, which should be noise. *)
+let b8_telemetry_overhead () =
+  let module E = Commx_comm.Exact_cc in
+  let module Tel = Commx_util.Telemetry in
+  let g = Prng.create 9003 in
+  let m = Bm.init 9 9 (fun _ _ -> Prng.float g < 0.18) in
+  let reps = 3 in
+  let lat = Tel.histogram "bench.op_us" in
+  let measure level =
+    let prev = Tel.level () in
+    Tel.set_level level;
+    let best = ref infinity in
+    let nodes = ref 0 in
+    for _ = 1 to reps do
+      let t0 = Commx_util.Clock.now_s () in
+      let _, st = E.search m in
+      (* the serve daemon's per-request accounting *)
+      Tel.observe lat (int_of_float ((Commx_util.Clock.now_s () -. t0) *. 1e6));
+      let dt = Commx_util.Clock.now_s () -. t0 in
+      if dt < !best then best := dt;
+      nodes := st.E.nodes
+    done;
+    Tel.set_level prev;
+    (!best, !nodes)
+  in
+  Printf.printf
+    "\n== B8 telemetry overhead on the exact-CC hot path (9x9, best of %d) ==\n"
+    reps;
+  let off, off_nodes = measure Tel.Off in
+  let on, on_nodes = measure Tel.Metrics in
+  let overhead_pct = (on -. off) /. off *. 100.0 in
+  let tab =
+    Commx_util.Tab.make
+      ~header:[ "level"; "wall s"; "nodes"; "overhead %" ]
+      Commx_util.Tab.[ Left; Right; Right; Right ]
+  in
+  Commx_util.Tab.add_row tab
+    [ "off"; Commx_util.Tab.fmt_float ~digits:4 off; string_of_int off_nodes;
+      "-" ];
+  Commx_util.Tab.add_row tab
+    [ "metrics"; Commx_util.Tab.fmt_float ~digits:4 on;
+      string_of_int on_nodes;
+      Commx_util.Tab.fmt_float ~digits:1 overhead_pct ];
+  Commx_util.Tab.print tab;
+  if off_nodes <> on_nodes then
+    failwith "B8: telemetry level changed the search";
+  [ Json.Obj
+      [ ("group", Json.String "B8");
+        ("bench", Json.String "exact-cc/telemetry-off");
+        ("wall_s", Json.Float off); ("nodes", Json.Int off_nodes) ];
+    Json.Obj
+      [ ("group", Json.String "B8");
+        ("bench", Json.String "exact-cc/telemetry-metrics");
+        ("wall_s", Json.Float on); ("nodes", Json.Int on_nodes);
+        ("overhead_pct", Json.Float overhead_pct) ] ]
+
 let run () =
   print_endline "Micro-benchmarks (Bechamel; OLS ns/run estimates)";
   (* OCaml evaluates list elements right-to-left; sequence explicitly
@@ -267,4 +328,5 @@ let run () =
       (b6_membership ())
   in
   let b7 = b7_exact_cc () in
-  List.concat [ b1; b2; b3; b4; b5; b6; b7 ]
+  let b8 = b8_telemetry_overhead () in
+  List.concat [ b1; b2; b3; b4; b5; b6; b7; b8 ]

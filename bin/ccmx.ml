@@ -32,6 +32,7 @@ module Json = Commx_util.Json
 module Runner = Commx_check.Runner
 module Suite = Commx_check.Suite
 module Sigguard = Commx_util.Sigguard
+module Logging = Commx_util.Logging
 module Server = Commx_serve.Server
 module Client = Commx_serve.Client
 module Wire = Commx_serve.Wire
@@ -595,47 +596,65 @@ let exactcc_cmd =
 
 let serve socket workers snapshot cache_capacity table_budget max_queue
     drain_timeout request_timeout write_timeout max_line_bytes snapshot_every
-    chaos_seed chaos_rate respawn_budget respawn_window =
+    chaos_seed chaos_rate respawn_budget respawn_window metrics_socket
+    metrics_port log_file log_level slow_ms trace_ring trace_dump =
   let chaos =
     Option.map
       (fun seed -> Faults.create ~seed ~rate:chaos_rate ~delay_rate:0.0 ())
       chaos_seed
   in
-  match
-    Server.config ~socket_path:socket ~workers ?snapshot_path:snapshot
-      ~cache_capacity ?table_budget ~max_queue ~drain_timeout_s:drain_timeout
-      ?request_timeout_s:request_timeout ~write_timeout_s:write_timeout
-      ~max_line_bytes ?snapshot_every_s:snapshot_every ~respawn_budget
-      ~respawn_window_s:respawn_window ?chaos ()
-  with
-  | exception Invalid_argument msg -> `Error (false, msg)
-  | config ->
-      (* The acceptor polls this flag between select rounds, so the
-         handlers only flip it: the daemon then drains in-flight work
-         and snapshots instead of dying mid-request. *)
-      let stop = Atomic.make false in
-      let request_stop _ = Atomic.set stop true in
-      Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
-      Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
-      (* Metrics feed the stats op: latency histograms, exact_cc.* and
-         channel bit counters. *)
-      Telemetry.set_level Telemetry.Metrics;
-      Supervisor.set_log_sink (fun r ->
-          Server.default_log ~level:"warn"
-            (Printf.sprintf "%s: attempt %d failed (%s), retrying in %.2fs"
-               r.Supervisor.name r.Supervisor.attempt r.Supervisor.exn
-               r.Supervisor.pause_s));
-      (match Server.run ~stop config with
-      | () -> `Ok ()
-      | exception Server.Fatal msg ->
-          (* Drained and snapshotted already; the nonzero exit is the
-             signal a process supervisor restarts on. *)
-          `Error (false, "serve: " ^ msg)
-      | exception Unix.Unix_error (err, fn, arg) ->
-          `Error
-            ( false,
-              Printf.sprintf "serve: %s(%s): %s" fn arg
-                (Unix.error_message err) ))
+  match Logging.level_of_string log_level with
+  | None -> `Error (false, Printf.sprintf "unknown log level %S" log_level)
+  | Some level -> (
+      let logger =
+        match log_file with
+        | Some path ->
+            Logging.create ~level ~sink:(Logging.file_sink ~path) ()
+        | None -> Logging.create ~level ()
+      in
+      match
+        Server.config ~socket_path:socket ~workers ?snapshot_path:snapshot
+          ~cache_capacity ?table_budget ~max_queue
+          ~drain_timeout_s:drain_timeout ?request_timeout_s:request_timeout
+          ~write_timeout_s:write_timeout ~max_line_bytes
+          ?snapshot_every_s:snapshot_every ~respawn_budget
+          ~respawn_window_s:respawn_window ?chaos ~logger ?metrics_socket
+          ?metrics_port ?slow_ms ~trace_ring ?trace_dump_path:trace_dump ()
+      with
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | config -> (
+          (* The acceptor polls this flag between select rounds, so the
+             handlers only flip it: the daemon then drains in-flight work
+             and snapshots instead of dying mid-request. *)
+          let stop = Atomic.make false in
+          let request_stop _ = Atomic.set stop true in
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+          Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+          (* Metrics feed the stats op and /metrics: latency histograms,
+             exact_cc.* and channel bit counters. *)
+          Telemetry.set_level Telemetry.Metrics;
+          (* Supervisor retry notices join the same structured stream,
+             so --log-file captures every daemon event. *)
+          Supervisor.set_log_sink (fun r ->
+              Logging.warn logger
+                ~fields:
+                  [ ("name", Json.String r.Supervisor.name);
+                    ("attempt", Json.Int r.Supervisor.attempt) ]
+                (Printf.sprintf
+                   "%s: attempt %d failed (%s), retrying in %.2fs"
+                   r.Supervisor.name r.Supervisor.attempt r.Supervisor.exn
+                   r.Supervisor.pause_s));
+          match Server.run ~stop config with
+          | () -> `Ok ()
+          | exception Server.Fatal msg ->
+              (* Drained and snapshotted already; the nonzero exit is
+                 the signal a process supervisor restarts on. *)
+              `Error (false, "serve: " ^ msg)
+          | exception Unix.Unix_error (err, fn, arg) ->
+              `Error
+                ( false,
+                  Printf.sprintf "serve: %s(%s): %s" fn arg
+                    (Unix.error_message err) )))
 
 let serve_cmd =
   let socket =
@@ -770,13 +789,83 @@ let serve_cmd =
       & info [ "respawn-window" ] ~docv:"SECONDS"
           ~doc:"Sliding window for --respawn-budget (default: 60).")
   in
+  let metrics_socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-socket" ] ~docv:"PATH"
+          ~doc:
+            "Also listen on this Unix socket for GET /metrics \
+             (Prometheus text format) and GET /healthz (JSON \
+             readiness); any stale file there is replaced (default: \
+             off).")
+  in
+  let metrics_port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "metrics-port" ] ~docv:"PORT"
+          ~doc:
+            "Also serve /metrics and /healthz on 127.0.0.1:$(docv) \
+             (loopback only; default: off).")
+  in
+  let log_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-file" ] ~docv:"FILE"
+          ~doc:
+            "Append structured JSON log lines to $(docv) instead of \
+             stderr (created with parents, flushed per line; default: \
+             stderr).")
+  in
+  let log_level =
+    Arg.(
+      value & opt string "info"
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Minimum severity to log: error, warn, info or debug \
+             (default: info).")
+  in
+  let slow_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-query threshold: any request slower than $(docv) \
+             milliseconds logs one slow_query warn line with its key \
+             tag, nodes, table hits, certified bounds and outcome \
+             (default: off).")
+  in
+  let trace_ring =
+    Arg.(
+      value & opt int 256
+      & info [ "trace-ring" ] ~docv:"N"
+          ~doc:
+            "Flight-recorder capacity: keep the span chains of the \
+             last $(docv) completed requests for the dump_trace op \
+             (0 disables recording; default: 256).")
+  in
+  let trace_dump =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-dump" ] ~docv:"FILE"
+          ~doc:
+            "Dump the flight recorder to $(docv) as Chrome trace JSON \
+             on worker crash and on fatal exit (default: off).")
+  in
   let doc =
     "Long-running CC-oracle daemon on a Unix socket: JSON-lines \
      queries (exact CC, singularity, Lemma 3.2, lower bounds, protocol \
      runs) answered concurrently across domains, with a shared warm \
      transposition-table arrangement and a content-addressed result \
      cache that survive across requests — and, with --snapshot, across \
-     restarts.  SIGTERM/SIGINT drain gracefully."
+     restarts.  SIGTERM/SIGINT drain gracefully.  Observability: \
+     --metrics-socket/--metrics-port (Prometheus + /healthz), \
+     --log-file/--log-level (structured JSON logs), --slow-ms \
+     (slow-query log), --trace-ring/--trace-dump (flight recorder)."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
@@ -784,7 +873,9 @@ let serve_cmd =
         (const serve $ socket $ workers $ snapshot $ cache_capacity
        $ table_budget $ max_queue $ drain_timeout $ request_timeout
        $ write_timeout $ max_line_bytes $ snapshot_every $ chaos_seed
-       $ chaos_rate $ respawn_budget $ respawn_window))
+       $ chaos_rate $ respawn_budget $ respawn_window $ metrics_socket
+       $ metrics_port $ log_file $ log_level $ slow_ms $ trace_ring
+       $ trace_dump))
 
 (* ------------------------------------------------------------------ *)
 (* query — one request against a running serve daemon                   *)
@@ -987,6 +1078,167 @@ let query_cmd =
         (const query $ socket $ op $ matrix $ int_matrix $ n $ k $ seed
        $ proto $ epsilon $ no_cache $ deadline_ms $ timeout
        $ connect_timeout $ retries $ backoff $ jitter_seed $ verbose))
+
+(* ------------------------------------------------------------------ *)
+(* top — live dashboard over the stats op                              *)
+(* ------------------------------------------------------------------ *)
+
+let jint ?(default = 0) obj key =
+  match Json.member key obj with Some (Json.Int v) -> v | _ -> default
+
+let jfloat ?(default = 0.0) obj key =
+  match Json.member key obj with
+  | Some (Json.Float v) -> v
+  | Some (Json.Int v) -> float_of_int v
+  | _ -> default
+
+let jbool ?(default = false) obj key =
+  match Json.member key obj with Some (Json.Bool v) -> v | _ -> default
+
+let render_top ~socket ~breaker reply ~qps =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let sub key =
+    match Json.member key reply with
+    | Some (Json.Obj _ as o) -> o
+    | _ -> Json.Obj []
+  in
+  let lat = sub "latency_us" and rc = sub "result_cache" and tb = sub "table" in
+  line "ccmx top — %s    uptime %.1fs    breaker %s" socket
+    (jfloat reply "uptime_s") breaker;
+  line "requests %d (%.1f/s)    errors %d    workers %d/%d"
+    (jint reply "requests") qps (jint reply "errors")
+    (jint reply "workers_alive") (jint reply "workers");
+  let ch = jint rc "hits" and cm = jint rc "misses" in
+  let hit_pct =
+    if ch + cm = 0 then 0.0
+    else 100.0 *. float_of_int ch /. float_of_int (ch + cm)
+  in
+  line
+    "result cache: %.1f%% hit (%d hits / %d misses, %d/%d entries, %d \
+     evicted)"
+    hit_pct ch cm (jint rc "entries") (jint rc "capacity")
+    (jint rc "evictions");
+  line "table: %d hits, %d misses, %d stores, %d evictions, %d entries"
+    (jint tb "hits") (jint tb "misses") (jint tb "stores")
+    (jint tb "evictions") (jint tb "entries");
+  line "latency (all ops): count %d  p50 %.0fus  p95 %.0fus  p99 %.0fus"
+    (jint lat "count") (jfloat lat "p50") (jfloat lat "p95")
+    (jfloat lat "p99");
+  (match Json.member "ops" reply with
+  | Some (Json.Obj kvs) when kvs <> [] ->
+      line "";
+      line "%-16s %8s %10s %10s %10s" "op" "count" "p50(us)" "p95(us)"
+        "p99(us)";
+      List.iter
+        (fun (op, o) ->
+          line "%-16s %8d %10.0f %10.0f %10.0f" op (jint o "count")
+            (jfloat o "p50_us") (jfloat o "p95_us") (jfloat o "p99_us"))
+        kvs
+  | _ -> ());
+  (match Json.member "queues" reply with
+  | Some (Json.List ws) when ws <> [] ->
+      line "";
+      line "%-8s %8s %10s %7s" "worker" "queued" "inflight" "alive";
+      List.iter
+        (fun w ->
+          line "%-8d %8d %10d %7s" (jint w "worker") (jint w "queued")
+            (jint w "inflight")
+            (if jbool w "alive" then "yes" else "NO"))
+        ws
+  | _ -> ());
+  (match Json.member "counters" reply with
+  | Some (Json.Obj _ as cs) ->
+      line "";
+      line
+        "crashes %d  respawns %d  overloaded %d  timeouts %d  slow %d  \
+         snapshots %d"
+        (jint cs "serve.worker_crashes")
+        (jint cs "serve.worker_respawns")
+        (jint cs "serve.overloaded")
+        (jint cs "serve.deadline_timeouts")
+        (jint cs "serve.slow_queries")
+        (jint cs "serve.snapshots_written")
+  | _ -> ());
+  Buffer.contents buf
+
+let top socket interval count once =
+  if interval <= 0.0 then `Error (false, "--interval must be > 0")
+  else
+    match Client.create ~socket_path:socket () with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | client ->
+        (* Clearing the screen only makes sense for a live terminal;
+           piped output gets plain appended frames. *)
+        let clear = (not once) && Unix.isatty Unix.stdout in
+        let prev = ref None in
+        let rec go i =
+          match Client.stats client with
+          | Error e ->
+              Client.close client;
+              `Error (false, "top: " ^ Client.error_to_string e)
+          | Ok reply ->
+              let now = Clock.now_s () in
+              let requests = jint reply "requests" in
+              (* qps from the request-counter delta between polls, so
+                 it reflects all clients, not just this one. *)
+              let qps =
+                match !prev with
+                | Some (r0, t0) when now > t0 ->
+                    float_of_int (requests - r0) /. (now -. t0)
+                | _ -> 0.0
+              in
+              prev := Some (requests, now);
+              if clear then print_string "\027[2J\027[H";
+              print_string
+                (render_top ~socket ~breaker:(Client.breaker_state client)
+                   reply ~qps);
+              flush stdout;
+              if once || (count > 0 && i + 1 >= count) then begin
+                Client.close client;
+                `Ok ()
+              end
+              else begin
+                Clock.sleepf interval;
+                go (i + 1)
+              end
+        in
+        go 0
+
+let top_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket of the running daemon.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Refresh period (default: 2).")
+  in
+  let count =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Stop after $(docv) refreshes (default: run until ^C).")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Print a single snapshot without clearing and exit.")
+  in
+  let doc =
+    "Live terminal dashboard for a running $(b,ccmx serve) daemon: \
+     polls the stats op and shows request rate, per-op latency \
+     quantiles, queue depths, cache hit rate, worker liveness and \
+     robustness counters."
+  in
+  Cmd.v (Cmd.info "top" ~doc)
+    Term.(ret (const top $ socket $ interval $ count $ once))
 
 (* ------------------------------------------------------------------ *)
 (* check — differential fuzzing                                        *)
@@ -1212,4 +1464,5 @@ let () =
         (Cmd.eval
            (Cmd.group info
               [ gen_cmd; singular_cmd; check_cmd; protocol_cmd; bounds_cmd;
-                lemmas_cmd; ledger_cmd; exactcc_cmd; serve_cmd; query_cmd ])))
+                lemmas_cmd; ledger_cmd; exactcc_cmd; serve_cmd; query_cmd;
+                top_cmd ])))

@@ -341,3 +341,8 @@ let breaker_state t =
   in
   Mutex.unlock t.m;
   s
+
+(* The two polling ops observability consumers issue constantly, as
+   one-liners so `ccmx top` and scripts don't re-spell the op names. *)
+let stats ?deadline_ms t = request t ?deadline_ms ~op:"stats" []
+let dump_trace ?deadline_ms t = request t ?deadline_ms ~op:"dump_trace" []

@@ -100,6 +100,14 @@ val request :
     [request_timeout_s].  [Ok reply] is always an [ok: true] reply
     whose [id] matched. *)
 
+val stats : ?deadline_ms:int -> t -> (Commx_util.Json.t, error) result
+(** [request t ~op:"stats" []] — the polling primitive of
+    [ccmx top]. *)
+
+val dump_trace : ?deadline_ms:int -> t -> (Commx_util.Json.t, error) result
+(** [request t ~op:"dump_trace" []]: the reply's ["trace"] field is
+    the daemon's flight recorder as a Chrome trace document. *)
+
 val breaker_state : t -> string
 (** ["closed"], ["open"] or ["half_open"] — for tests and status
     displays. *)

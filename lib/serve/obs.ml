@@ -1,0 +1,355 @@
+(* Observability plane: Prometheus exposition + flight recorder.
+
+   The renderer is pure (snapshot lists in, text out) so the golden
+   and monotonicity tests run without a daemon; the server composes it
+   with live Telemetry snapshots and its own pre-rendered series. *)
+
+module Json = Commx_util.Json
+module Clock = Commx_util.Clock
+module Telemetry = Commx_util.Telemetry
+
+(* ------------------------------------------------------------------ *)
+(* Label encoding                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let labeled base labels =
+  match labels with
+  | [] -> base
+  | _ ->
+      let buf = Buffer.create (String.length base + 16) in
+      Buffer.add_string buf base;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf '|';
+          Buffer.add_string buf k;
+          Buffer.add_char buf '=';
+          Buffer.add_string buf v)
+        labels;
+      Buffer.contents buf
+
+let parse_name name =
+  match String.index_opt name '|' with
+  | None -> (name, [])
+  | Some i ->
+      let base = String.sub name 0 i in
+      let rest = String.sub name (i + 1) (String.length name - i - 1) in
+      let labels =
+        String.split_on_char '|' rest
+        |> List.map (fun kv ->
+               match String.index_opt kv '=' with
+               | Some j ->
+                   ( String.sub kv 0 j,
+                     String.sub kv (j + 1) (String.length kv - j - 1) )
+               | None -> (kv, ""))
+      in
+      (base, labels)
+
+let metric_name raw =
+  let ok c =
+    (c >= 'a' && c <= 'z')
+    || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = ':'
+  in
+  let s = String.map (fun c -> if ok c then c else '_') raw in
+  if s = "" then "_" else if s.[0] >= '0' && s.[0] <= '9' then "_" ^ s else s
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Exposition rendering                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* ["3"] not ["3."]: integral values print as integers so counter
+   samples are exact; everything else gets shortest-float %g. *)
+let number v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let render_labels buf labels =
+  match labels with
+  | [] -> ()
+  | _ ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (metric_name k);
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (escape_label_value v);
+          Buffer.add_char buf '"')
+        labels;
+      Buffer.add_char buf '}'
+
+(* Group flat names into (family, samples) preserving first-seen
+   order, so every family's HELP/TYPE header appears exactly once with
+   all its samples contiguous — required by the exposition format. *)
+let group_families entries =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (name, v) ->
+      let base, labels = parse_name name in
+      (match Hashtbl.find_opt tbl base with
+      | Some samples -> samples := (labels, v) :: !samples
+      | None ->
+          Hashtbl.add tbl base (ref [ (labels, v) ]);
+          order := base :: !order))
+    entries;
+  List.rev_map
+    (fun base -> (base, List.rev !(Hashtbl.find tbl base)))
+    !order
+
+let header buf ~fam ~base ~kind =
+  Buffer.add_string buf
+    (Printf.sprintf "# HELP %s Telemetry %s %s.\n# TYPE %s %s\n" fam kind
+       base fam kind)
+
+let render_counter_family buf (base, samples) =
+  let fam =
+    let n = metric_name base in
+    if
+      String.length n >= 6
+      && String.sub n (String.length n - 6) 6 = "_total"
+    then n
+    else n ^ "_total"
+  in
+  header buf ~fam ~base ~kind:"counter";
+  List.iter
+    (fun (labels, v) ->
+      Buffer.add_string buf fam;
+      render_labels buf labels;
+      Buffer.add_string buf (Printf.sprintf " %d\n" v))
+    samples
+
+let render_gauge_family buf (base, samples) =
+  let fam = metric_name base in
+  header buf ~fam ~base ~kind:"gauge";
+  List.iter
+    (fun (labels, v) ->
+      Buffer.add_string buf fam;
+      render_labels buf labels;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (number v);
+      Buffer.add_char buf '\n')
+    samples
+
+let render_histogram_family buf (base, samples) =
+  let fam = metric_name base in
+  header buf ~fam ~base ~kind:"histogram";
+  List.iter
+    (fun (labels, (s : Telemetry.histogram_summary)) ->
+      let cum = ref 0 in
+      let bucket le n =
+        Buffer.add_string buf fam;
+        Buffer.add_string buf "_bucket";
+        render_labels buf (labels @ [ ("le", le) ]);
+        Buffer.add_string buf (Printf.sprintf " %d\n" n)
+      in
+      List.iter
+        (fun (le, n) ->
+          cum := !cum + n;
+          bucket (string_of_int le) !cum)
+        s.Telemetry.buckets;
+      bucket "+Inf" s.Telemetry.count;
+      Buffer.add_string buf fam;
+      Buffer.add_string buf "_sum";
+      render_labels buf labels;
+      Buffer.add_string buf (Printf.sprintf " %d\n" s.Telemetry.sum);
+      Buffer.add_string buf fam;
+      Buffer.add_string buf "_count";
+      render_labels buf labels;
+      Buffer.add_string buf (Printf.sprintf " %d\n" s.Telemetry.count))
+    samples
+
+let render_metrics ?(extra = "") ~counters ~gauges ~histograms () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf extra;
+  List.iter (render_counter_family buf) (group_families counters);
+  List.iter (render_gauge_family buf) (group_families gauges);
+  List.iter (render_histogram_family buf) (group_families histograms);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Per-op latency histograms                                           *)
+(* ------------------------------------------------------------------ *)
+
+let op_us_base = "serve.op_us"
+
+(* Interning a Telemetry histogram takes the registry mutex; this memo
+   keeps the per-request cost to one small Hashtbl lookup (guarded by
+   the same metrics_on branch every instrument uses). *)
+let op_hists : (string * string, Telemetry.histogram) Hashtbl.t =
+  Hashtbl.create 16
+
+let op_hists_m = Mutex.create ()
+
+let observe_op ~op ~outcome us =
+  if Telemetry.metrics_on () then begin
+    let key = (op, outcome) in
+    let h =
+      Mutex.lock op_hists_m;
+      let h =
+        match Hashtbl.find_opt op_hists key with
+        | Some h -> h
+        | None ->
+            let h =
+              Telemetry.histogram
+                (labeled op_us_base [ ("op", op); ("outcome", outcome) ])
+            in
+            Hashtbl.add op_hists key h;
+            h
+      in
+      Mutex.unlock op_hists_m;
+      h
+    in
+    Telemetry.observe h us
+  end
+
+let merge_summaries (a : Telemetry.histogram_summary)
+    (b : Telemetry.histogram_summary) : Telemetry.histogram_summary =
+  if a.Telemetry.count = 0 then b
+  else if b.Telemetry.count = 0 then a
+  else begin
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (le, n) ->
+        Hashtbl.replace tbl le
+          (n + Option.value (Hashtbl.find_opt tbl le) ~default:0))
+      (a.Telemetry.buckets @ b.Telemetry.buckets);
+    let buckets =
+      Hashtbl.fold (fun le n acc -> (le, n) :: acc) tbl []
+      |> List.sort (fun (x, _) (y, _) -> compare (x : int) y)
+    in
+    { Telemetry.count = a.Telemetry.count + b.Telemetry.count;
+      sum = a.Telemetry.sum + b.Telemetry.sum;
+      min = Stdlib.min a.Telemetry.min b.Telemetry.min;
+      max = Stdlib.max a.Telemetry.max b.Telemetry.max;
+      buckets }
+  end
+
+let op_summaries () =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (name, s) ->
+      let base, labels = parse_name name in
+      if base = op_us_base then
+        match List.assoc_opt "op" labels with
+        | Some op -> (
+            match Hashtbl.find_opt tbl op with
+            | Some prev -> Hashtbl.replace tbl op (merge_summaries prev s)
+            | None ->
+                Hashtbl.add tbl op s;
+                order := op :: !order)
+        | None -> ())
+    (Telemetry.histograms ());
+  List.rev_map (fun op -> (op, Hashtbl.find tbl op)) !order
+  |> List.sort (fun (a, _) (b, _) -> compare (a : string) b)
+
+(* ------------------------------------------------------------------ *)
+(* HTTP                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let http_response ?(status = 200) ~content_type body =
+  let reason =
+    match status with
+    | 200 -> "OK"
+    | 404 -> "Not Found"
+    | 503 -> "Service Unavailable"
+    | _ -> "Status"
+  in
+  Printf.sprintf
+    "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+     Connection: close\r\n\r\n%s"
+    status reason content_type (String.length body) body
+
+let http_path head =
+  match String.split_on_char ' ' (String.trim head) with
+  | "GET" :: path :: _ -> Some path
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Recorder = struct
+  type span = {
+    name : string;
+    id : int;
+    parent : int;
+    start_ns : int;
+    dur_ns : int;
+    args : (string * string) list;
+  }
+
+  type t = {
+    capacity : int;
+    ring : span list array;  (* [||] when disabled *)
+    m : Mutex.t;
+    mutable next : int;  (* total requests ever recorded *)
+  }
+
+  let create ~capacity =
+    if capacity < 0 then invalid_arg "Obs.Recorder.create: capacity < 0";
+    { capacity;
+      ring = Array.make capacity [];
+      m = Mutex.create ();
+      next = 0 }
+
+  let enabled t = t.capacity > 0
+
+  let ids = Atomic.make 1
+  let next_id () = Atomic.fetch_and_add ids 1
+
+  let record t spans =
+    if t.capacity > 0 then begin
+      Mutex.lock t.m;
+      t.ring.(t.next mod t.capacity) <- spans;
+      t.next <- t.next + 1;
+      Mutex.unlock t.m
+    end
+
+  let spans t =
+    if t.capacity = 0 then []
+    else begin
+      Mutex.lock t.m;
+      let n = Stdlib.min t.next t.capacity in
+      let first = t.next - n in
+      let out = ref [] in
+      for i = n - 1 downto 0 do
+        out := t.ring.((first + i) mod t.capacity) :: !out
+      done;
+      Mutex.unlock t.m;
+      List.concat !out
+    end
+
+  let span_to_json (s : span) =
+    Json.Obj
+      [ ("name", Json.String s.name); ("cat", Json.String "serve");
+        ("ph", Json.String "X");
+        ("ts", Json.Float (Clock.ns_to_us s.start_ns));
+        ("dur", Json.Float (Clock.ns_to_us s.dur_ns));
+        ("pid", Json.Int 1); ("tid", Json.Int 1);
+        ("args",
+         Json.Obj
+           (("span", Json.Int s.id)
+           :: ("parent", Json.Int s.parent)
+           :: List.map (fun (k, v) -> (k, Json.String v)) s.args)) ]
+
+  let to_chrome t =
+    Json.Obj [ ("traceEvents", Json.List (List.map span_to_json (spans t))) ]
+
+  let dump t ~path = Json.to_file ~path (to_chrome t)
+end

@@ -27,6 +27,7 @@ module Clock = Commx_util.Clock
 module Telemetry = Commx_util.Telemetry
 module Stats = Commx_util.Stats
 module Sigguard = Commx_util.Sigguard
+module Logging = Commx_util.Logging
 module Prng = Commx_util.Prng
 module Pool = Commx_util.Pool
 module Faults = Commx_util.Faults
@@ -59,7 +60,12 @@ type config = {
   respawn_budget : int;
   respawn_window_s : float;
   chaos : Faults.t option;
-  log : level:string -> string -> unit;
+  logger : Logging.t;
+  metrics_socket : string option;
+  metrics_port : int option;
+  slow_ms : float option;
+  trace_ring : int;
+  trace_dump_path : string option;
 }
 
 exception Fatal of string
@@ -73,21 +79,15 @@ let protocol_version = 1
 let snapshot_format = "ccmx-serve-snapshot"
 let snapshot_version = 1
 
-let default_log ~level msg =
-  let line =
-    Json.to_string
-      (Json.Obj
-         [ ("ts", Json.Float (Clock.now_s ()));
-           ("level", Json.String level);
-           ("msg", Json.String msg) ])
-  in
-  Printf.eprintf "%s\n%!" line
-
 let config ~socket_path ?(workers = 2) ?snapshot_path ?(cache_capacity = 1024)
     ?table_budget ?(max_queue = 64) ?(drain_timeout_s = 30.0)
     ?request_timeout_s ?(write_timeout_s = 5.0)
     ?(max_line_bytes = 1 lsl 20) ?snapshot_every_s ?(respawn_budget = 3)
-    ?(respawn_window_s = 60.0) ?chaos ?(log = default_log) () =
+    ?(respawn_window_s = 60.0) ?chaos ?logger ?metrics_socket ?metrics_port
+    ?slow_ms ?(trace_ring = 256) ?trace_dump_path () =
+  let logger =
+    match logger with Some l -> l | None -> Logging.create ()
+  in
   if workers < 1 then invalid_arg "Server.config: workers < 1";
   if cache_capacity < 1 then invalid_arg "Server.config: cache_capacity < 1";
   if max_queue < 1 then invalid_arg "Server.config: max_queue < 1";
@@ -110,10 +110,21 @@ let config ~socket_path ?(workers = 2) ?snapshot_path ?(cache_capacity = 1024)
     invalid_arg "Server.config: respawn_budget must be >= 0";
   if respawn_window_s <= 0.0 then
     invalid_arg "Server.config: respawn_window_s must be > 0";
+  (match metrics_port with
+  | Some p when p < 1 || p > 65535 ->
+      invalid_arg "Server.config: metrics_port out of range"
+  | _ -> ());
+  (match slow_ms with
+  | Some ms when ms < 0.0 ->
+      invalid_arg "Server.config: slow_ms must be >= 0"
+  | _ -> ());
+  if trace_ring < 0 then
+    invalid_arg "Server.config: trace_ring must be >= 0";
   { socket_path; workers; snapshot_path; cache_capacity; table_budget;
     max_queue; drain_timeout_s; request_timeout_s; write_timeout_s;
     max_line_bytes; snapshot_every_s; respawn_budget; respawn_window_s;
-    chaos; log }
+    chaos; logger; metrics_socket; metrics_port; slow_ms; trace_ring;
+    trace_dump_path }
 
 (* Robustness counters.  Interned process-wide, so they flow into the
    stats reply's "counters" object like every other telemetry counter;
@@ -127,6 +138,7 @@ let c_oversized = Telemetry.counter "serve.oversized_lines"
 let c_write_timeouts = Telemetry.counter "serve.write_timeouts"
 let c_chaos_cache = Telemetry.counter "serve.chaos_cache_skips"
 let c_chaos_snapshot = Telemetry.counter "serve.chaos_snapshot_skips"
+let c_slow = Telemetry.counter "serve.slow_queries"
 
 (* ------------------------------------------------------------------ *)
 (* Connections and jobs                                                *)
@@ -151,6 +163,7 @@ type job = {
   jconn : conn;
   seq : int;
   t0 : float;
+  t0_ns : int;  (* same instant as [t0], for flight-recorder spans *)
   deadline : float option;  (* absolute monotonic compute deadline *)
   tag : int option;  (* exact-CC table tag *)
   cache_key : string option;
@@ -188,6 +201,8 @@ type t = {
   errors : int Atomic.t;
   started : float;
   hist : Telemetry.histogram;
+  recorder : Obs.Recorder.t;
+  mutable last_snapshot : float;  (* monotonic, acceptor-only *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -250,7 +265,8 @@ let deliver t ?(finish = false) conn seq line =
     with e when is_write_failure e ->
       conn.write_ok <- false;
       Hashtbl.reset conn.pending;
-      t.cfg.log ~level:"info"
+      Logging.info t.cfg.logger
+        ~fields:[ ("conn", Json.Int conn.cid) ]
         (Printf.sprintf "conn %d: client gone (%s), dropping its replies"
            conn.cid (Printexc.to_string e))
   end;
@@ -299,7 +315,7 @@ let zmatrix_key m =
 
 let content_key (req : Wire.request) =
   match req with
-  | Wire.Ping | Wire.Stats | Wire.Shutdown -> None
+  | Wire.Ping | Wire.Stats | Wire.Shutdown | Wire.Dump_trace -> None
   | Wire.Exact_cc { matrix; _ } ->
       (* Canonical, not literal: structurally equal boards alias. *)
       Some ("exact_cc:" ^ E.canonical_key matrix)
@@ -324,7 +340,7 @@ let require_params ~n ~k =
    with fresh per-request fields. *)
 let exec w (env : Wire.envelope) ~tag ~cancel =
   match env.req with
-  | Wire.Ping | Wire.Stats | Wire.Shutdown ->
+  | Wire.Ping | Wire.Stats | Wire.Shutdown | Wire.Dump_trace ->
       (* Answered inline by the acceptor; never queued. *)
       assert false
   | Wire.Exact_cc { matrix; _ } ->
@@ -414,21 +430,60 @@ let cache_insert t job core =
       | () -> ()
       | exception Faults.Injected site ->
           Telemetry.incr c_chaos_cache;
-          t.cfg.log ~level:"warn"
+          Logging.warn t.cfg.logger
             (Printf.sprintf "chaos: cache insertion dropped at %s" site))
+
+(* A reply's diagnostic integer ("nodes", "lower_bound", ...), when
+   the handler produced one — for the slow-query log and trace spans,
+   which must not care WHICH arm built the reply. *)
+let reply_int reply key =
+  match Json.member key reply with Some (Json.Int v) -> Some v | _ -> None
+
+(* One line per slow request, at warn so the default logger shows it:
+   the canonical key tag, search effort and certified bounds of the
+   exact request that blew the budget, greppable as msg="slow_query". *)
+let slow_query_log t job ~outcome ~wall reply =
+  match t.cfg.slow_ms with
+  | Some ms when wall *. 1000.0 > ms ->
+      Telemetry.incr c_slow;
+      let opt key =
+        match reply_int reply key with
+        | Some v -> [ (key, Json.Int v) ]
+        | None -> []
+      in
+      Logging.warn t.cfg.logger
+        ~fields:
+          ([ ("op", Json.String job.env.Wire.op);
+             ("id", job.env.Wire.id);
+             ("conn", Json.Int job.jconn.cid);
+             ("outcome", Json.String outcome);
+             ("wall_ms", Json.Float (wall *. 1000.0));
+             ( "tag",
+               match job.tag with Some tg -> Json.Int tg | None -> Json.Null )
+           ]
+          @ opt "nodes" @ opt "table_hits" @ opt "lower_bound"
+          @ opt "upper_bound")
+        "slow_query"
+  | _ -> ()
 
 let process t w job =
   let env = job.env in
+  let t_exec = Clock.now_ns () in
   let cached =
     if job.use_cache then Option.bind job.cache_key (Cache.find t.cache)
     else None
   in
+  (* [span] names the middle trace span (what the worker actually did);
+     [outcome] labels the latency histogram and the slow-query line. *)
+  let outcome = ref "ok" and span = ref "exec" in
   let reply =
     match cached with
     | Some (Json.Obj core) ->
         (* The result-cache hit IS the warm-cache hit: no search runs,
            so no nodes expand and the per-request table counters report
            the one (result-cache) hit. *)
+        outcome := "cache_hit";
+        span := "cache_hit";
         let extra =
           match env.req with
           | Wire.Exact_cc _ ->
@@ -450,6 +505,8 @@ let process t w job =
              them past their budget. *)
           Atomic.incr t.errors;
           Telemetry.incr c_timeouts;
+          outcome := "shed";
+          span := "shed";
           Wire.error ~code:"timed_out" ~id:env.id
             ~fields:[ wall_us_field job.t0 ]
             "deadline expired before compute started"
@@ -464,6 +521,9 @@ let process t w job =
                 Some (Pool.Token.create ?deadline:job.deadline ())
             | _ -> None
           in
+          (match env.req with
+          | Wire.Exact_cc _ -> span := "search"
+          | _ -> ());
           Mutex.lock w.qm;
           w.cur_cancel <- cancel;
           Mutex.unlock w.qm;
@@ -481,6 +541,7 @@ let process t w job =
                 Mutex.unlock w.tm;
                 Atomic.incr t.errors;
                 Telemetry.incr c_timeouts;
+                outcome := "timed_out";
                 Wire.error ~code:"timed_out" ~id:env.id
                   ~fields:
                     [ ("lower_bound", Json.Int lower);
@@ -493,6 +554,7 @@ let process t w job =
             | exception e ->
                 Mutex.unlock w.tm;
                 Atomic.incr t.errors;
+                outcome := "error";
                 Wire.error ~id:env.id (Printexc.to_string e)
           in
           Mutex.lock w.qm;
@@ -501,16 +563,72 @@ let process t w job =
           reply
         end
   in
+  let t_done = Clock.now_ns () in
   (* Latency and table stats are published BEFORE the reply leaves:
      a client that sees its reply and immediately asks for `stats`
      must find this request already counted. *)
   record_latency t (Clock.now_s () -. job.t0);
+  Obs.observe_op ~op:env.op ~outcome:!outcome
+    (int_of_float (Clock.ns_to_us (t_done - job.t0_ns)));
   let st = Tx.stats w.table and entries = Tx.length w.table in
   Mutex.lock w.qm;
   w.pub_stats <- st;
   w.pub_entries <- entries;
   Mutex.unlock w.qm;
-  deliver t ~finish:true job.jconn job.seq (Wire.to_line reply)
+  deliver t ~finish:true job.jconn job.seq (Wire.to_line reply);
+  let t_written = Clock.now_ns () in
+  if Obs.Recorder.enabled t.recorder then begin
+    let root = Obs.Recorder.next_id () in
+    let child name start_ns dur_ns args =
+      { Obs.Recorder.name;
+        id = Obs.Recorder.next_id ();
+        parent = root;
+        start_ns;
+        dur_ns;
+        args }
+    in
+    let opt key =
+      match reply_int reply key with
+      | Some v -> [ (key, string_of_int v) ]
+      | None -> []
+    in
+    Obs.Recorder.record t.recorder
+      [ { Obs.Recorder.name = "request";
+          id = root;
+          parent = 0;
+          start_ns = job.t0_ns;
+          dur_ns = t_written - job.t0_ns;
+          args =
+            [ ("op", env.op); ("outcome", !outcome);
+              ("worker", string_of_int w.wid);
+              ("conn", string_of_int job.jconn.cid);
+              ("id", Json.to_string env.id) ] };
+        child "queue_wait" job.t0_ns (t_exec - job.t0_ns) [];
+        child !span t_exec (t_done - t_exec)
+          (opt "nodes" @ opt "table_hits");
+        child "reply_write" t_done (t_written - t_done) [] ]
+  end;
+  slow_query_log t job ~outcome:!outcome
+    ~wall:(Clock.now_s () -. job.t0)
+    reply
+
+(* Dump the flight recorder to the configured path on a crash or a
+   fatal exit — the ring holds the requests leading up to the event,
+   which is exactly the forensic window.  Best-effort: a dump failure
+   is logged, never propagated into the crash path. *)
+let dump_trace_on ~event t =
+  match t.cfg.trace_dump_path with
+  | Some path when Obs.Recorder.enabled t.recorder -> (
+      match Obs.Recorder.dump t.recorder ~path with
+      | () ->
+          Logging.info t.cfg.logger
+            ~fields:[ ("event", Json.String event) ]
+            (Printf.sprintf "flight recorder dumped to %s" path)
+      | exception e ->
+          Logging.warn t.cfg.logger
+            (Printf.sprintf "flight recorder dump to %s failed (%s)" path
+               (Printexc.to_string e)))
+  | _ -> ()
 
 (* The crash path: a worker domain whose body raised answers its
    in-flight request with a structured error, hands its queue to the
@@ -537,8 +655,10 @@ let worker_crashed t w exn =
     end;
     w.alive <- false;
     Mutex.unlock w.qm;
-    t.cfg.log ~level:"error"
+    Logging.error t.cfg.logger
+      ~fields:[ ("worker", Json.Int w.wid) ]
       (Printf.sprintf "worker %d crashed: %s" w.wid (Printexc.to_string exn));
+    dump_trace_on ~event:"worker_crash" t;
     (match cur with
     | None -> ()
     | Some job ->
@@ -577,7 +697,8 @@ let worker_crashed t w exn =
           requeue w job)
       (List.rev !orphans)
   with e ->
-    t.cfg.log ~level:"error"
+    Logging.error t.cfg.logger
+      ~fields:[ ("worker", Json.Int w.wid) ]
       (Printf.sprintf "worker %d crash handler itself failed: %s" w.wid
          (Printexc.to_string e))
 
@@ -688,16 +809,150 @@ let stats_fields t =
           ("misses", Json.Int !tm);
           ("evictions", Json.Int !te);
           ("stores", Json.Int !ts) ] );
+    ( "ops",
+      (* Per-op latency summaries (merged across outcomes), quantiles
+         from the cumulative telemetry buckets — the same numbers the
+         /metrics histograms expose, here for in-band consumers like
+         [ccmx top]. *)
+      Json.Obj
+        (List.map
+           (fun (op, s) ->
+             let q p = Telemetry.summary_quantile s p in
+             ( op,
+               Json.Obj
+                 [ ("count", Json.Int s.Telemetry.count);
+                   ("p50_us", Json.Float (q 50.0));
+                   ("p95_us", Json.Float (q 95.0));
+                   ("p99_us", Json.Float (q 99.0)) ] ))
+           (Obs.op_summaries ())) );
+    ( "queues",
+      Json.List
+        (Array.to_list
+           (Array.map
+              (fun w ->
+                Mutex.lock w.qm;
+                let queued = w.queued
+                and busy = w.current <> None
+                and a = w.alive in
+                Mutex.unlock w.qm;
+                Json.Obj
+                  [ ("worker", Json.Int w.wid);
+                    ("queued", Json.Int queued);
+                    ("inflight", Json.Int (if busy then 1 else 0));
+                    ("alive", Json.Bool a) ])
+              t.workers)) );
     ( "counters",
       Json.Obj
         (List.map (fun (k, v) -> (k, Json.Int v)) (Telemetry.counters ())) )
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Metrics exposition (acceptor side)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The GET /metrics payload: server-direct series sampled at scrape
+   time merged with the interned Telemetry snapshot.  Gauges reflect
+   the instant of the GET; counters are process-cumulative, so a
+   scraper sees the same totals the in-band stats op reports. *)
+let metrics_body t =
+  let now = Clock.now_s () in
+  let cs = Cache.stats t.cache in
+  let hit_ratio =
+    let tot = cs.Cache.hits + cs.Cache.misses in
+    if tot = 0 then 0.0 else float_of_int cs.Cache.hits /. float_of_int tot
+  in
+  let th = ref 0 and tm = ref 0 and te = ref 0 and ts = ref 0 in
+  let entries = ref 0 in
+  let alive = ref 0 in
+  let worker_gauges = ref [] in
+  Array.iter
+    (fun w ->
+      Mutex.lock w.qm;
+      let queued = w.queued
+      and busy = w.current <> None
+      and a = w.alive
+      and st = w.pub_stats
+      and e = w.pub_entries in
+      Mutex.unlock w.qm;
+      if a then incr alive;
+      th := !th + st.Tx.hits;
+      tm := !tm + st.Tx.misses;
+      te := !te + st.Tx.evictions;
+      ts := !ts + st.Tx.stores;
+      entries := !entries + e;
+      let l = [ ("worker", string_of_int w.wid) ] in
+      worker_gauges :=
+        (Obs.labeled "serve.table_entries" l, float_of_int e)
+        :: (Obs.labeled "serve.worker_alive" l, if a then 1.0 else 0.0)
+        :: (Obs.labeled "serve.inflight" l, if busy then 1.0 else 0.0)
+        :: (Obs.labeled "serve.queue_depth" l, float_of_int queued)
+        :: !worker_gauges)
+    t.workers;
+  let counters =
+    Telemetry.counters ()
+    @ [ ("serve.requests", Atomic.get t.requests);
+        ("serve.errors", Atomic.get t.errors);
+        ("serve.cache_hits", cs.Cache.hits);
+        ("serve.cache_misses", cs.Cache.misses);
+        ("serve.cache_evictions", cs.Cache.evictions);
+        ("serve.table_hits", !th);
+        ("serve.table_misses", !tm);
+        ("serve.table_evictions", !te);
+        ("serve.table_stores", !ts) ]
+  in
+  let gauges =
+    Telemetry.gauges ()
+    @ [ ("serve.uptime_seconds", now -. t.started);
+        ("serve.workers", float_of_int (Array.length t.workers));
+        ("serve.workers_alive", float_of_int !alive);
+        ("serve.cache_hit_ratio", hit_ratio);
+        ("serve.cache_entries", float_of_int cs.Cache.entries);
+        ("serve.cache_capacity", float_of_int t.cfg.cache_capacity);
+        ("serve.cache_tags", float_of_int (Cache.Tags.count t.tags));
+        ("serve.table_entries_all", float_of_int !entries);
+        ("serve.snapshot_age_seconds", now -. t.last_snapshot) ]
+    @ List.rev !worker_gauges
+  in
+  Obs.render_metrics ~counters ~gauges
+    ~histograms:(Telemetry.histograms ()) ()
+
+(* Readiness: every worker domain alive, no queue at the shed
+   threshold, and — when periodic snapshots are armed — the last
+   snapshot recent enough that warm state would survive a kill. *)
+let healthz t =
+  let nw = Array.length t.workers in
+  let alive = ref 0 and maxq = ref 0 in
+  Array.iter
+    (fun w ->
+      Mutex.lock w.qm;
+      if w.alive then incr alive;
+      if w.queued > !maxq then maxq := w.queued;
+      Mutex.unlock w.qm)
+    t.workers;
+  let age = Clock.now_s () -. t.last_snapshot in
+  let snapshot_ok =
+    match t.cfg.snapshot_every_s with
+    | Some s -> age < 3.0 *. s
+    | None -> true
+  in
+  let ok = !alive = nw && !maxq < t.cfg.max_queue && snapshot_ok in
+  ( ok,
+    Json.to_string
+      (Json.Obj
+         [ ("ok", Json.Bool ok);
+           ("workers", Json.Int nw);
+           ("workers_alive", Json.Int !alive);
+           ("max_queue_depth", Json.Int !maxq);
+           ("queue_limit", Json.Int t.cfg.max_queue);
+           ("snapshot_age_s", Json.Float age);
+           ("snapshot_fresh", Json.Bool snapshot_ok) ])
+    ^ "\n" )
+
+(* ------------------------------------------------------------------ *)
 (* Request admission                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let dispatch t conn (env : Wire.envelope) t0 =
+let dispatch t conn (env : Wire.envelope) t0 t0_ns =
   let cache_key = content_key env.req in
   let use_cache =
     match env.req with Wire.Exact_cc { use_cache; _ } -> use_cache | _ -> true
@@ -731,7 +986,8 @@ let dispatch t conn (env : Wire.envelope) t0 =
       in
       let seq = alloc_seq ~inflight:true conn in
       let job =
-        { env; jconn = conn; seq; t0; deadline; tag; cache_key; use_cache }
+        { env; jconn = conn; seq; t0; t0_ns; deadline; tag; cache_key;
+          use_cache }
       in
       Mutex.lock w.qm;
       if w.queued >= t.cfg.max_queue then begin
@@ -756,25 +1012,35 @@ let handle_line t conn line =
   if String.trim line <> "" then begin
     Atomic.incr t.requests;
     let t0 = Clock.now_s () in
-    let inline reply =
+    let t0_ns = Clock.now_ns () in
+    let inline ?(op = "invalid") ?(outcome = "ok") reply =
       let seq = alloc_seq conn in
       record_latency t (Clock.now_s () -. t0);
+      Obs.observe_op ~op ~outcome
+        (int_of_float ((Clock.now_s () -. t0) *. 1e6));
       deliver t conn seq (Wire.to_line reply)
     in
     match Wire.parse line with
     | Error (id, msg) ->
         Atomic.incr t.errors;
-        inline (Wire.error ~id msg)
+        inline ~outcome:"error" (Wire.error ~id msg)
     | Ok env -> (
         match env.req with
-        | Wire.Ping -> inline (Wire.ok ~id:env.id ~op:env.op [])
-        | Wire.Stats -> inline (Wire.ok ~id:env.id ~op:env.op (stats_fields t))
+        | Wire.Ping -> inline ~op:env.op (Wire.ok ~id:env.id ~op:env.op [])
+        | Wire.Stats ->
+            inline ~op:env.op (Wire.ok ~id:env.id ~op:env.op (stats_fields t))
+        | Wire.Dump_trace ->
+            inline ~op:env.op
+              (Wire.ok ~id:env.id ~op:env.op
+                 [ ("enabled", Json.Bool (Obs.Recorder.enabled t.recorder));
+                   ("trace", Obs.Recorder.to_chrome t.recorder) ])
         | Wire.Shutdown ->
-            inline (Wire.ok ~id:env.id ~op:env.op []);
-            t.cfg.log ~level:"info"
+            inline ~op:env.op (Wire.ok ~id:env.id ~op:env.op []);
+            Logging.info t.cfg.logger
+              ~fields:[ ("conn", Json.Int conn.cid) ]
               (Printf.sprintf "conn %d: shutdown requested" conn.cid);
             Atomic.set t.stop true
-        | _ -> dispatch t conn env t0)
+        | _ -> dispatch t conn env t0 t0_ns)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -822,17 +1088,18 @@ let write_snapshot ?chaos_site t =
       with
       | () ->
           Telemetry.incr c_snapshots;
-          t.cfg.log ~level:"info"
+          t.last_snapshot <- Clock.now_s ();
+          Logging.info t.cfg.logger
             (Printf.sprintf
                "snapshot written to %s (%d tags, %d cached results)" path
                (Cache.Tags.count t.tags)
                (Cache.stats t.cache).Cache.entries)
       | exception Faults.Injected site ->
           Telemetry.incr c_chaos_snapshot;
-          t.cfg.log ~level:"warn"
+          Logging.warn t.cfg.logger
             (Printf.sprintf "chaos: snapshot skipped at %s" site)
       | exception e ->
-          t.cfg.log ~level:"warn"
+          Logging.warn t.cfg.logger
             (Printf.sprintf "snapshot write to %s failed (%s)" path
                (Printexc.to_string e)))
 
@@ -850,7 +1117,7 @@ let load_warm_state cfg ~workers:nw =
   match cfg.snapshot_path with
   | None -> fresh ()
   | Some path when not (Sys.file_exists path) ->
-      cfg.log ~level:"info"
+      Logging.info cfg.logger
         (Printf.sprintf "no snapshot at %s, starting cold" path);
       fresh ()
   | Some path -> (
@@ -898,7 +1165,7 @@ let load_warm_state cfg ~workers:nw =
         (tags, cache, tables, !moved)
       with
       | tags, cache, tables, moved ->
-          cfg.log ~level:"info"
+          Logging.info cfg.logger
             (Printf.sprintf
                "snapshot %s loaded: %d tags, %d cached results, %d table \
                 entries"
@@ -906,12 +1173,12 @@ let load_warm_state cfg ~workers:nw =
                (Cache.stats cache).Cache.entries moved);
           (tags, cache, tables)
       | exception Failure msg ->
-          cfg.log ~level:"warn"
+          Logging.warn cfg.logger
             (Printf.sprintf "snapshot %s rejected (%s), starting cold" path
                msg);
           fresh ()
       | exception e ->
-          cfg.log ~level:"warn"
+          Logging.warn cfg.logger
             (Printf.sprintf "snapshot %s unreadable (%s), starting cold" path
                (Printexc.to_string e));
           fresh ())
@@ -948,7 +1215,11 @@ let run ?(stop = Atomic.make false) (cfg : config) =
       requests = Atomic.make 0;
       errors = Atomic.make 0;
       started = Clock.now_s ();
-      hist = Telemetry.histogram "serve.request_us" }
+      hist = Telemetry.histogram "serve.request_us";
+      recorder = Obs.Recorder.create ~capacity:cfg.trace_ring;
+      (* Boot counts as "fresh" so /healthz is green until the first
+         periodic snapshot is actually due. *)
+      last_snapshot = Clock.now_s () }
   in
   (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
   let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -958,9 +1229,50 @@ let run ?(stop = Atomic.make false) (cfg : config) =
    with e ->
      (try Unix.close lfd with Unix.Unix_error _ -> ());
      raise e);
-  cfg.log ~level:"info"
+  Logging.info cfg.logger
     (Printf.sprintf "listening on %s (%d worker domain(s), protocol v%d)"
        cfg.socket_path nw protocol_version);
+  (* Observability listeners (GET /metrics, GET /healthz): tiny
+     HTTP/1.0 exchanges answered inline from the same select loop, so
+     a scrape can never race worker state and costs no extra domain. *)
+  let metrics_lfds =
+    let unix_l =
+      match cfg.metrics_socket with
+      | None -> []
+      | Some path ->
+          (try Unix.unlink path with Unix.Unix_error _ -> ());
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          (try
+             Unix.bind fd (Unix.ADDR_UNIX path);
+             Unix.listen fd 16
+           with e ->
+             (try Unix.close fd with Unix.Unix_error _ -> ());
+             raise e);
+          Logging.info cfg.logger
+            (Printf.sprintf "metrics on %s (unix)" path);
+          [ fd ]
+    in
+    let tcp_l =
+      match cfg.metrics_port with
+      | None -> []
+      | Some port ->
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          (try
+             Unix.setsockopt fd Unix.SO_REUSEADDR true;
+             (* Loopback only: the exposition is diagnostics, not a
+                public interface. *)
+             Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+             Unix.listen fd 16
+           with e ->
+             (try Unix.close fd with Unix.Unix_error _ -> ());
+             raise e);
+          Logging.info cfg.logger
+            (Printf.sprintf "metrics on 127.0.0.1:%d (tcp)" port);
+          [ fd ]
+    in
+    unix_l @ tcp_l
+  in
+  let mconns : (Unix.file_descr, Buffer.t) Hashtbl.t = Hashtbl.create 4 in
   let domains =
     Array.map (fun w -> Some (Domain.spawn (fun () -> worker_loop t w))) workers
   in
@@ -1054,6 +1366,57 @@ let run ?(stop = Atomic.make false) (cfg : config) =
         end
       end
   in
+  let accept_mconn mlfd =
+    match Unix.accept mlfd with
+    | exception
+        Unix.Unix_error
+          ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
+      ->
+        ()
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        Hashtbl.replace mconns fd (Buffer.create 64)
+  in
+  let close_mconn fd =
+    Hashtbl.remove mconns fd;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  (* One request head line, one response, close — the whole exchange
+     bounded by the same write deadline as reply writes. *)
+  let metrics_respond fd head =
+    let body, status, ctype =
+      match Obs.http_path head with
+      | Some "/metrics" ->
+          (metrics_body t, 200, "text/plain; version=0.0.4")
+      | Some "/healthz" ->
+          let ok, body = healthz t in
+          (body, (if ok then 200 else 503), "application/json")
+      | _ -> ("not found\n", 404, "text/plain")
+    in
+    let resp = Obs.http_response ~status ~content_type:ctype body in
+    let b = Bytes.of_string resp in
+    let deadline = Clock.now_s () +. cfg.write_timeout_s in
+    (try write_all fd b 0 (Bytes.length b) ~deadline
+     with e when is_write_failure e -> ());
+    close_mconn fd
+  in
+  let read_mconn fd buf =
+    match Unix.read fd rdbuf 0 (Bytes.length rdbuf) with
+    | exception
+        Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error _ -> close_mconn fd
+    | 0 -> close_mconn fd
+    | n ->
+        Buffer.add_subbytes buf rdbuf 0 n;
+        let s = Buffer.contents buf in
+        (match String.index_opt s '\n' with
+        | Some i -> metrics_respond fd (String.sub s 0 i)
+        | None ->
+            (* No plausible request head is this long. *)
+            if Buffer.length buf > 4096 then close_mconn fd)
+  in
   let read_conn conn =
     match Unix.read conn.fd rdbuf 0 (Bytes.length rdbuf) with
     | exception
@@ -1117,7 +1480,9 @@ let run ?(stop = Atomic.make false) (cfg : config) =
                    "worker %d exhausted its respawn budget (%d respawns \
                     within %.0fs)"
                    w.wid cfg.respawn_budget cfg.respawn_window_s);
-            cfg.log ~level:"error" (Option.get !fatal);
+            Logging.error cfg.logger
+              ~fields:[ ("worker", Json.Int w.wid) ]
+              (Option.get !fatal);
             (* Its queue will never be served; answer, don't strand. *)
             let stranded = ref [] in
             Mutex.lock w.qm;
@@ -1143,7 +1508,8 @@ let run ?(stop = Atomic.make false) (cfg : config) =
             Mutex.unlock w.qm;
             domains.(i) <- Some (Domain.spawn (fun () -> worker_loop t w));
             Telemetry.incr c_respawns;
-            cfg.log ~level:"warn"
+            Logging.warn cfg.logger
+              ~fields:[ ("worker", Json.Int w.wid) ]
               (Printf.sprintf "worker %d respawned (%d/%d in window)" w.wid
                  (List.length recent + 1)
                  cfg.respawn_budget)
@@ -1169,17 +1535,25 @@ let run ?(stop = Atomic.make false) (cfg : config) =
   in
   let rec loop () =
     if not (Atomic.get t.stop) then begin
-      let fds = lfd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+      let fds =
+        (lfd :: metrics_lfds)
+        @ Hashtbl.fold (fun fd _ acc -> fd :: acc) mconns []
+        @ Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
+      in
       (match Unix.select fds [] [] 0.2 with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       | ready, _, _ ->
           List.iter
             (fun fd ->
               if fd = lfd then accept_conn ()
+              else if List.mem fd metrics_lfds then accept_mconn fd
               else
                 match Hashtbl.find_opt conns fd with
                 | Some conn -> read_conn conn
-                | None -> ())
+                | None -> (
+                    match Hashtbl.find_opt mconns fd with
+                    | Some buf -> read_mconn fd buf
+                    | None -> ()))
             ready);
       check_workers ();
       reap ();
@@ -1190,9 +1564,18 @@ let run ?(stop = Atomic.make false) (cfg : config) =
   loop ();
   (* Graceful drain: no new connections or reads; let workers finish
      what is queued, then persist the warm state. *)
-  cfg.log ~level:"info" "stop requested, draining";
+  Logging.info cfg.logger "stop requested, draining";
   (try Unix.close lfd with Unix.Unix_error _ -> ());
   (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    metrics_lfds;
+  Option.iter
+    (fun path -> try Unix.unlink path with Unix.Unix_error _ -> ())
+    cfg.metrics_socket;
+  Hashtbl.iter
+    (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
+    mconns;
   let all_idle () =
     Array.for_all
       (fun w ->
@@ -1236,6 +1619,10 @@ let run ?(stop = Atomic.make false) (cfg : config) =
   Hashtbl.iter
     (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
     conns;
-  cfg.log ~level:"info"
+  Logging.info cfg.logger
     (Printf.sprintf "stopped after %d request(s)" (Atomic.get t.requests));
-  match !fatal with Some msg -> raise (Fatal msg) | None -> ()
+  match !fatal with
+  | Some msg ->
+      dump_trace_on ~event:"fatal" t;
+      raise (Fatal msg)
+  | None -> ()

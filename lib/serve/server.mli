@@ -65,7 +65,28 @@
       sites ({!Commx_util.Faults}) fire inside worker loops (crash
       path), at result-cache insertion (contained) and in periodic
       snapshot writes (logged skip), exercising all of the above
-      under a fixed seed. *)
+      under a fixed seed.
+
+    {2 Observability}
+
+    - {b Structured logs}: every daemon event goes through the
+      {!Commx_util.Logging} logger in the config (default: JSON lines
+      on stderr) — respawns, snapshots, drains, client disconnects.
+      With [slow_ms] set, any request slower than that emits exactly
+      one [msg = "slow_query"] warn line carrying the op, table tag,
+      nodes, table hits, certified bounds and outcome.
+    - {b Metrics exposition}: with [metrics_socket] (Unix) and/or
+      [metrics_port] (loopback TCP) set, the acceptor also answers
+      [GET /metrics] (Prometheus text format rendered by {!Obs}: every
+      telemetry counter/gauge/histogram, per-op latency histograms
+      labeled by op and outcome, per-worker queue-depth/in-flight
+      gauges, cache hit ratio, table occupancy, snapshot age) and
+      [GET /healthz] (JSON readiness: workers alive, queues below the
+      shed threshold, snapshot fresh; 200/503).
+    - {b Flight recorder}: the last [trace_ring] completed requests
+      are kept as parented queue-wait/exec/reply-write span chains,
+      returned as a Chrome trace document by the [dump_trace] op and
+      dumped to [trace_dump_path] on worker crash and fatal exit. *)
 
 type config = {
   socket_path : string;
@@ -98,16 +119,25 @@ type config = {
   chaos : Commx_util.Faults.t option;
       (** deterministic fault injection at the serve chaos sites
           ([None] = off) *)
-  log : level:string -> string -> unit;
+  logger : Commx_util.Logging.t;
+      (** sink for every daemon event (structured JSON lines) *)
+  metrics_socket : string option;
+      (** Unix socket path answering [GET /metrics] / [GET /healthz] *)
+  metrics_port : int option;
+      (** loopback TCP port answering the same, 1..65535 *)
+  slow_ms : float option;
+      (** slow-query threshold: requests slower than this log one
+          [slow_query] warn line ([None] = off) *)
+  trace_ring : int;
+      (** flight-recorder capacity in requests (0 = recording off) *)
+  trace_dump_path : string option;
+      (** where to dump the flight recorder on crash / fatal exit *)
 }
 
 exception Fatal of string
 (** Raised by {!run} — after draining and snapshotting — when the
     daemon can no longer heal itself: a worker exhausted its respawn
     budget.  The CLI turns this into a nonzero exit. *)
-
-val default_log : level:string -> string -> unit
-(** One JSON object per line on stderr: [{"ts", "level", "msg"}]. *)
 
 val config :
   socket_path:string ->
@@ -124,13 +154,21 @@ val config :
   ?respawn_budget:int ->
   ?respawn_window_s:float ->
   ?chaos:Commx_util.Faults.t ->
-  ?log:(level:string -> string -> unit) ->
+  ?logger:Commx_util.Logging.t ->
+  ?metrics_socket:string ->
+  ?metrics_port:int ->
+  ?slow_ms:float ->
+  ?trace_ring:int ->
+  ?trace_dump_path:string ->
   unit ->
   config
 (** Defaults: 2 workers, no snapshot, 1024 cache entries, unbounded
     tables, 64-deep queues, 30 s drain, no default request deadline,
     5 s write timeout, 1 MiB line bound, no periodic snapshots, 3
-    respawns per 60 s window, no chaos, {!default_log}.
+    respawns per 60 s window, no chaos, a fresh
+    [Commx_util.Logging.create ()] (info-level JSON lines on stderr),
+    no metrics listeners, no slow-query log, a 256-request flight
+    recorder, no crash dump path.
     @raise Invalid_argument on out-of-range values. *)
 
 val protocol_version : int

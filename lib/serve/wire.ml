@@ -16,6 +16,7 @@ type request =
   | Ping
   | Stats
   | Shutdown
+  | Dump_trace
   | Exact_cc of { matrix : Bm.t; use_cache : bool }
   | Singular of { matrix : Zm.t }
   | Lemma32 of { n : int; k : int; seed : int }
@@ -135,6 +136,7 @@ let request_of obj op =
   | "ping" -> Ping
   | "stats" -> Stats
   | "shutdown" -> Shutdown
+  | "dump_trace" -> Dump_trace
   | "exact_cc" ->
       Exact_cc
         { matrix = bit_matrix obj;

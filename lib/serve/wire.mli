@@ -15,6 +15,10 @@ type request =
   | Ping
   | Stats
   | Shutdown
+  | Dump_trace
+      (** Dump the daemon's flight recorder: the reply's ["trace"]
+          field is a Chrome trace-event document of the recent
+          requests' parented queue-wait/search/reply-write spans. *)
   | Exact_cc of { matrix : Commx_util.Bitmat.t; use_cache : bool }
       (** Exact deterministic CC of a boolean truth matrix
           (rows of ['0']/['1'] strings).  [use_cache = false] bypasses

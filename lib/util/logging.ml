@@ -1,0 +1,72 @@
+(* Structured JSON-lines logging.  The hot-path discipline mirrors
+   Telemetry: a record below the logger's threshold costs one integer
+   compare, and all formatting happens only for records that will
+   actually be written.  Sinks own the serialization point so a
+   record is one atomic line regardless of which domain logged it. *)
+
+type level = Error | Warn | Info | Debug
+
+let severity = function Error -> 0 | Warn -> 1 | Info -> 2 | Debug -> 3
+
+let level_to_string = function
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let level_of_string = function
+  | "error" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+type t = {
+  max_severity : int;  (* records with severity > this are dropped *)
+  sink : Json.t -> unit;
+  bound : (string * Json.t) list;  (* with_fields accumulations, in order *)
+}
+
+let line_sink oc =
+  let m = Mutex.create () in
+  fun record ->
+    let line = Json.to_string record ^ "\n" in
+    Mutex.lock m;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock m)
+      (fun () ->
+        output_string oc line;
+        flush oc)
+
+let stderr_sink = line_sink stderr
+
+let file_sink ~path =
+  Fsutil.mkdir_p (Filename.dirname path);
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path
+  in
+  line_sink oc
+
+let create ?(level = Info) ?(sink = stderr_sink) () =
+  { max_severity = severity level; sink; bound = [] }
+
+let null = { max_severity = -1; sink = ignore; bound = [] }
+
+let with_fields t fields = { t with bound = t.bound @ fields }
+
+let enabled t lvl = severity lvl <= t.max_severity
+
+let log t lvl ?(fields = []) msg =
+  if severity lvl <= t.max_severity then
+    t.sink
+      (Json.Obj
+         (("ts", Json.Float (Unix.gettimeofday ()))
+         :: ("mono_s", Json.Float (Clock.now_s ()))
+         :: ("level", Json.String (level_to_string lvl))
+         :: ("msg", Json.String msg)
+         :: (t.bound @ fields)))
+
+let error t ?fields msg = log t Error ?fields msg
+let warn t ?fields msg = log t Warn ?fields msg
+let info t ?fields msg = log t Info ?fields msg
+let debug t ?fields msg = log t Debug ?fields msg

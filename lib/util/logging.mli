@@ -1,0 +1,56 @@
+(** Leveled structured JSON-lines logging.
+
+    One log record is one JSON object on one line:
+    [{"ts": <wall s>, "mono_s": <monotonic s>, "level": "..",
+      "msg": "..", ..fields}] — [ts] is wall-clock
+    ([Unix.gettimeofday], comparable across processes) and [mono_s] is
+    the monotonic {!Clock} reading (comparable with every other
+    duration this codebase measures).  Records below the logger's
+    threshold cost one integer compare and a branch — no allocation,
+    no formatting — so call sites never need their own guards.
+
+    Sinks receive the fully-assembled record; the provided sinks
+    (stderr, append-to-file) serialize the object, append ["\n"] and
+    flush under a per-sink mutex, so lines from different domains
+    never interleave.  A custom sink (a test capturing records, a
+    ring buffer) gets the {!Json.t} itself. *)
+
+type level = Error | Warn | Info | Debug
+
+val level_to_string : level -> string
+(** ["error"], ["warn"], ["info"], ["debug"]. *)
+
+val level_of_string : string -> level option
+(** Inverse of {!level_to_string}; [None] on anything else. *)
+
+type t
+
+val create : ?level:level -> ?sink:(Json.t -> unit) -> unit -> t
+(** A logger emitting records at or above [level] (default [Info])
+    into [sink] (default: JSON lines on stderr). *)
+
+val null : t
+(** Drops everything, including errors.  For tests that want quiet. *)
+
+val stderr_sink : Json.t -> unit
+(** One serialized record per line on stderr, flushed, mutexed. *)
+
+val file_sink : path:string -> Json.t -> unit
+(** Append one serialized record per line to [path] (created if
+    missing, parent directories too), flushed after every line so a
+    crash loses nothing, mutexed.  The channel stays open for the
+    sink's lifetime. *)
+
+val with_fields : t -> (string * Json.t) list -> t
+(** A child logger whose every record carries the given fields (after
+    the standard ones, before per-call fields).  The connection- and
+    request-scoped loggers of the serve daemon are built this way. *)
+
+val enabled : t -> level -> bool
+
+val log : t -> level -> ?fields:(string * Json.t) list -> string -> unit
+
+val error : t -> ?fields:(string * Json.t) list -> string -> unit
+val warn : t -> ?fields:(string * Json.t) list -> string -> unit
+val info : t -> ?fields:(string * Json.t) list -> string -> unit
+val debug : t -> ?fields:(string * Json.t) list -> string -> unit

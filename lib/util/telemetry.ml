@@ -368,6 +368,31 @@ let histograms () =
                     max = m.h_max; buckets = !buckets } ))
               names)))
 
+(* Bucket-based percentile estimate.  The contract on an empty summary
+   is pinned (0.0, no NaN, no exception) because /metrics-style
+   exporters render every interned histogram, observed or not. *)
+let summary_quantile s p =
+  if s.count <= 0 then 0.0
+  else begin
+    let target = Float.ceil (p /. 100.0 *. float_of_int s.count) in
+    (* NaN compares false everywhere, so [rank] lands on 1. *)
+    let rank =
+      if target >= float_of_int s.count then s.count
+      else if target >= 1.0 then int_of_float target
+      else 1
+    in
+    let rec go cum = function
+      | [] -> float_of_int s.max
+      | (le, n) :: rest ->
+          let cum = cum + n in
+          if cum >= rank then
+            Float.max (float_of_int s.min)
+              (Float.min (float_of_int le) (float_of_int s.max))
+          else go cum rest
+    in
+    go 0 s.buckets
+  end
+
 let diff_counters ~before after =
   let prior = List.to_seq before |> Hashtbl.of_seq in
   List.filter_map

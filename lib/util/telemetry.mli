@@ -128,6 +128,16 @@ type histogram_summary = {
           greater than the previous bucket bound; sorted ascending *)
 }
 
+val summary_quantile : histogram_summary -> float -> float
+(** [summary_quantile s p] estimates the [p]-th percentile
+    ([p] in [[0, 100]], the {!Stats.percentile} convention) from the
+    power-of-two buckets: the upper bound of the bucket holding the
+    target rank, clamped into [[min, max]] so the estimate never
+    exceeds an actually-observed value.  An {b empty} summary returns
+    [0.0] — never NaN, never an exception — matching the pinned
+    [min]/[max] of [0] that {!metrics_to_json} reports for empty
+    histograms. *)
+
 val counters : unit -> (string * int) list
 (** Merged counter totals, sorted by name.  Zero-valued counters are
     included once interned. *)

@@ -38,12 +38,14 @@ command -v dune >/dev/null && dune build bin/ccmx.exe
 workdir=$(mktemp -d /tmp/ccmx-chaos.XXXXXX)
 trap 'kill $daemon 2>/dev/null || true; rm -rf "$workdir"' EXIT
 sock="$workdir/ccmx.sock"
+msock="$workdir/metrics.sock"
 snap="$workdir/ccmx.snap"
 truth="$workdir/truth.json"
 daemon=""
 
 start_daemon() {
   ( exec "$CCMX" serve --socket "$sock" --snapshot "$snap" --workers 1 \
+      --metrics-socket "$msock" \
       --request-timeout 10 --respawn-budget 1000 --respawn-window 3600 \
       "$@" 2>"$workdir/daemon.log" ) &
   daemon=$!
@@ -72,6 +74,23 @@ def connect(path, budget=10.0):
             if time.monotonic() > deadline:
                 sys.exit("daemon socket never appeared")
             time.sleep(0.05)
+
+def scrape(path, target="/metrics"):
+    # One-shot HTTP/1.0 GET over the metrics Unix socket, body only.
+    s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    s.connect(path)
+    s.sendall(f"GET {target} HTTP/1.0\r\n\r\n".encode())
+    raw = b""
+    while chunk := s.recv(4096):
+        raw += chunk
+    s.close()
+    return raw.decode().split("\r\n\r\n", 1)[1]
+
+def metric(body, name):
+    for line in body.splitlines():
+        if line.startswith(name + " "):
+            return float(line.split()[1])
+    sys.exit(f"metric {name} not in exposition")
 
 def boards(n_requests):
     # Deterministic workload: the reference 8x8 low-rank board plus
@@ -112,10 +131,11 @@ rm -f "$snap"   # phase 1 starts cold: same site sequence every run
 # ---------------------------------------------------------------- phase 1
 echo "== phase 1: chaos daemon (seed $SEED, rate $CHAOS_RATE) =="
 start_daemon --chaos "$SEED" --chaos-rate "$CHAOS_RATE"
-drive "$truth" "$REQUESTS" "$CHAOS_RATE" <<EOF
+drive "$truth" "$REQUESTS" "$CHAOS_RATE" "$msock" <<EOF
 $PRELUDE
 path, truth_path = sys.argv[1], sys.argv[2]
 n, rate = int(sys.argv[3]), float(sys.argv[4])
+msock = sys.argv[5]
 truth = json.load(open(truth_path))
 s, f = connect(path)
 def rpc(obj):
@@ -123,7 +143,7 @@ def rpc(obj):
     return json.loads(f.readline())
 
 KNOWN = {"worker_crashed", "timed_out", "overloaded", "line_too_long"}
-wrong, errors = 0, 0
+wrong, errors, crashed = 0, 0, 0
 for i, b in enumerate(boards(n)):
     r = rpc({"op": "exact_cc", "id": i, "matrix": b, "use_cache": False})
     assert r.get("id") == i, f"reply order broken: sent {i}, got {r}"
@@ -135,6 +155,8 @@ for i, b in enumerate(boards(n)):
         errors += 1
         code = r.get("code")
         assert code in KNOWN, f"unstructured error under chaos: {r}"
+        if code == "worker_crashed":
+            crashed += 1
 assert wrong == 0, f"{wrong} wrong answers under chaos"
 # Crashes shed work; they must never exceed the injection pressure by
 # much (3x covers crash + requeue-shed collateral on one worker).
@@ -158,11 +180,44 @@ counters = stats["counters"]
 respawns = counters.get("serve.worker_respawns", 0)
 assert respawns > 0, f"chaos run never crashed a worker: {counters}"
 assert stats["workers_alive"] == 1, stats["workers_alive"]
+
+# Observability cross-check: the Prometheus exposition must agree with
+# what this client actually saw.  Every injected crash kills a worker
+# mid-job and answers exactly one worker_crashed reply, so the scraped
+# crash counter equals the observed reply count — and matches the
+# in-band stats counter.
+body = scrape(msock)
+scraped = metric(body, "serve_worker_crashes_total")
+assert scraped == crashed, \
+    f"serve_worker_crashes_total {scraped} != {crashed} observed crashes"
+assert scraped == counters.get("serve.worker_crashes", 0), \
+    f"/metrics and stats disagree on crashes: {scraped} vs {counters}"
+assert metric(body, "serve_worker_respawns_total") == respawns
 print(f"chaos ok: {n} requests, {errors} structured errors "
-      f"(bound {bound}), {respawns} worker respawns, 0 wrong answers")
+      f"(bound {bound}), {respawns} worker respawns, "
+      f"{crashed} crashes (= scraped counter), 0 wrong answers")
 EOF
 stop_daemon
 [ -s "$snap" ] || { echo "chaos daemon wrote no shutdown snapshot" >&2; exit 1; }
+
+# Under chaos the daemon's stderr must stay machine-readable: every
+# line of the log is one structured JSON record.
+python3 - "$workdir/daemon.log" <<'EOF'
+import json, sys
+bad = 0
+with open(sys.argv[1]) as fh:
+    lines = [l for l in fh if l.strip()]
+for l in lines:
+    try:
+        r = json.loads(l)
+        assert "ts" in r and "level" in r and "msg" in r
+    except Exception:
+        bad += 1
+        print(f"non-JSON log line: {l.rstrip()}")
+assert lines, "chaos daemon logged nothing"
+assert bad == 0, f"{bad} malformed log lines"
+print(f"daemon log ok: {len(lines)} JSON-lines records")
+EOF
 
 # ---------------------------------------------------------------- phase 2
 echo "== phase 2: warm restart after chaos =="

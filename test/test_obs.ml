@@ -1,0 +1,439 @@
+(* Tests for the observability plane: the label-bridging naming
+   convention, Prometheus text-format rendering (golden text,
+   cumulative bucket monotonicity, escaping), the flight-recorder ring
+   and the structured Logging module. *)
+
+module Json = Commx_util.Json
+module Telemetry = Commx_util.Telemetry
+module Logging = Commx_util.Logging
+module Obs = Commx_serve.Obs
+
+(* ------------------------------------------------------------------ *)
+(* Names and labels                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_metric_name_sanitizes () =
+  Alcotest.(check string) "dots become underscores" "serve_worker_crashes"
+    (Obs.metric_name "serve.worker_crashes");
+  Alcotest.(check string) "colons survive" "a:b_c" (Obs.metric_name "a:b-c");
+  Alcotest.(check string) "leading digit guarded" "_9lives"
+    (Obs.metric_name "9lives");
+  Alcotest.(check string) "empty is not empty" "_" (Obs.metric_name "")
+
+let test_escape_label_value () =
+  Alcotest.(check string) "backslash" "a\\\\b" (Obs.escape_label_value "a\\b");
+  Alcotest.(check string) "quote" "a\\\"b" (Obs.escape_label_value "a\"b");
+  Alcotest.(check string) "newline" "a\\nb" (Obs.escape_label_value "a\nb");
+  Alcotest.(check string) "plain untouched" "exact_cc"
+    (Obs.escape_label_value "exact_cc")
+
+let test_labeled_parse_roundtrip () =
+  let cases =
+    [ ("base", []);
+      ("serve.op_us", [ ("op", "exact_cc"); ("outcome", "ok") ]);
+      ("x", [ ("k", "") ]);
+      (* values may contain '=' — only the first splits *)
+      ("y", [ ("expr", "a=b") ]) ]
+  in
+  List.iter
+    (fun (base, labels) ->
+      let name = Obs.labeled base labels in
+      let base', labels' = Obs.parse_name name in
+      Alcotest.(check string) ("base of " ^ name) base base';
+      Alcotest.(check (list (pair string string)))
+        ("labels of " ^ name) labels labels')
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Exposition rendering                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_render_metrics_golden () =
+  let hist =
+    { Telemetry.count = 3; sum = 9; min = 1; max = 5;
+      buckets = [ (2, 2); (8, 1) ] }
+  in
+  let got =
+    Obs.render_metrics
+      ~counters:
+        [ ("serve.requests", 3);
+          ("serve.op|op=a", 1);
+          ("serve.op|op=b", 2) ]
+      ~gauges:[ ("up", 1.0); ("ratio", 0.25) ]
+      ~histograms:[ ("lat|op=x", hist) ]
+      ()
+  in
+  let expected =
+    String.concat "\n"
+      [ "# HELP serve_requests_total Telemetry counter serve.requests.";
+        "# TYPE serve_requests_total counter";
+        "serve_requests_total 3";
+        "# HELP serve_op_total Telemetry counter serve.op.";
+        "# TYPE serve_op_total counter";
+        "serve_op_total{op=\"a\"} 1";
+        "serve_op_total{op=\"b\"} 2";
+        "# HELP up Telemetry gauge up.";
+        "# TYPE up gauge";
+        "up 1";
+        "# HELP ratio Telemetry gauge ratio.";
+        "# TYPE ratio gauge";
+        "ratio 0.25";
+        "# HELP lat Telemetry histogram lat.";
+        "# TYPE lat histogram";
+        "lat_bucket{op=\"x\",le=\"2\"} 2";
+        "lat_bucket{op=\"x\",le=\"8\"} 3";
+        "lat_bucket{op=\"x\",le=\"+Inf\"} 3";
+        "lat_sum{op=\"x\"} 9";
+        "lat_count{op=\"x\"} 3";
+        "" ]
+  in
+  Alcotest.(check string) "golden exposition text" expected got
+
+let test_render_metrics_counter_total_not_doubled () =
+  let got =
+    Obs.render_metrics ~counters:[ ("already_total", 1) ] ~gauges:[]
+      ~histograms:[] ()
+  in
+  Alcotest.(check string) "no _total_total"
+    "# HELP already_total Telemetry counter already_total.\n\
+     # TYPE already_total counter\n\
+     already_total 1\n"
+    got
+
+let test_render_metrics_extra_first () =
+  let got =
+    Obs.render_metrics ~extra:"pre 1\n" ~counters:[ ("c", 2) ] ~gauges:[]
+      ~histograms:[] ()
+  in
+  Alcotest.(check bool) "extra leads" true
+    (String.length got > 6 && String.sub got 0 6 = "pre 1\n")
+
+(* Bucket lines from a live Telemetry histogram must be cumulative
+   (nondecreasing) and end at +Inf = _count. *)
+let test_exposition_buckets_cumulative () =
+  let prev = Telemetry.level () in
+  Fun.protect
+    ~finally:(fun () -> Telemetry.set_level prev)
+    (fun () ->
+      Telemetry.set_level Telemetry.Metrics;
+      let h = Telemetry.histogram "obs.test.cumulative" in
+      List.iter (Telemetry.observe h) [ 1; 3; 3; 100; 5000 ];
+      let body =
+        Obs.render_metrics ~counters:[] ~gauges:[]
+          ~histograms:
+            (List.filter
+               (fun (n, _) -> n = "obs.test.cumulative")
+               (Telemetry.histograms ()))
+          ()
+      in
+      let lines = String.split_on_char '\n' body in
+      let bucket_values =
+        List.filter_map
+          (fun l ->
+            let p = "obs_test_cumulative_bucket{" in
+            if String.length l > String.length p
+               && String.sub l 0 (String.length p) = p
+            then
+              match String.rindex_opt l ' ' with
+              | Some i ->
+                  Some
+                    (int_of_string
+                       (String.sub l (i + 1) (String.length l - i - 1)))
+              | None -> None
+            else None)
+          lines
+      in
+      Alcotest.(check bool) "several buckets" true
+        (List.length bucket_values >= 2);
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "buckets nondecreasing" true (mono bucket_values);
+      let count =
+        List.find_map
+          (fun l ->
+            let p = "obs_test_cumulative_count " in
+            if String.length l > String.length p
+               && String.sub l 0 (String.length p) = p
+            then
+              Some
+                (int_of_string
+                   (String.sub l (String.length p)
+                      (String.length l - String.length p)))
+            else None)
+          lines
+      in
+      Alcotest.(check (option int)) "+Inf equals count" count
+        (Some (List.nth bucket_values (List.length bucket_values - 1)));
+      Alcotest.(check (option int)) "count is the observation count"
+        (Some 5) count)
+
+(* ------------------------------------------------------------------ *)
+(* Per-op latency family                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_observe_op_merges_outcomes () =
+  let prev = Telemetry.level () in
+  Fun.protect
+    ~finally:(fun () -> Telemetry.set_level prev)
+    (fun () ->
+      Telemetry.set_level Telemetry.Metrics;
+      Telemetry.reset ();
+      Obs.observe_op ~op:"optest" ~outcome:"ok" 10;
+      Obs.observe_op ~op:"optest" ~outcome:"error" 1000;
+      let s = List.assoc_opt "optest" (Obs.op_summaries ()) in
+      match s with
+      | Some s ->
+          Alcotest.(check int) "both outcomes merged" 2 s.Telemetry.count;
+          Alcotest.(check int) "sum merged" 1010 s.Telemetry.sum;
+          Alcotest.(check int) "min across outcomes" 10 s.Telemetry.min;
+          Alcotest.(check int) "max across outcomes" 1000 s.Telemetry.max
+      | None -> Alcotest.fail "optest missing from op_summaries")
+
+(* ------------------------------------------------------------------ *)
+(* HTTP scraps                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_http_response_shape () =
+  let r = Obs.http_response ~content_type:"text/plain" "hello" in
+  Alcotest.(check bool) "status line" true
+    (String.sub r 0 15 = "HTTP/1.0 200 OK");
+  let has_sub hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "content length" true (has_sub r "Content-Length: 5");
+  Alcotest.(check bool) "closes" true (has_sub r "Connection: close");
+  Alcotest.(check bool) "body last" true
+    (String.sub r (String.length r - 5) 5 = "hello");
+  let nf = Obs.http_response ~status:404 ~content_type:"text/plain" "" in
+  Alcotest.(check bool) "404 reason" true (has_sub nf "404 Not Found")
+
+let test_http_path () =
+  Alcotest.(check (option string)) "GET parses" (Some "/metrics")
+    (Obs.http_path "GET /metrics HTTP/1.1\r");
+  Alcotest.(check (option string)) "POST rejected" None
+    (Obs.http_path "POST /metrics HTTP/1.1");
+  Alcotest.(check (option string)) "garbage rejected" None
+    (Obs.http_path "hello")
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let span ?(args = []) ~id ~parent name =
+  { Obs.Recorder.name; id; parent; start_ns = 100 * id; dur_ns = 50; args }
+
+let test_recorder_ring_evicts_oldest () =
+  let r = Obs.Recorder.create ~capacity:2 in
+  Alcotest.(check bool) "enabled" true (Obs.Recorder.enabled r);
+  Obs.Recorder.record r [ span ~id:1 ~parent:0 "req1" ];
+  Obs.Recorder.record r [ span ~id:2 ~parent:0 "req2" ];
+  Obs.Recorder.record r [ span ~id:3 ~parent:0 "req3" ];
+  let names = List.map (fun s -> s.Obs.Recorder.name) (Obs.Recorder.spans r) in
+  Alcotest.(check (list string)) "oldest request evicted, order kept"
+    [ "req2"; "req3" ] names
+
+let test_recorder_disabled_is_inert () =
+  let r = Obs.Recorder.create ~capacity:0 in
+  Alcotest.(check bool) "disabled" false (Obs.Recorder.enabled r);
+  Obs.Recorder.record r [ span ~id:1 ~parent:0 "dropped" ];
+  Alcotest.(check int) "nothing kept" 0 (List.length (Obs.Recorder.spans r));
+  (match Obs.Recorder.create ~capacity:(-1) with
+  | _ -> Alcotest.fail "negative capacity accepted"
+  | exception Invalid_argument _ -> ());
+  match Obs.Recorder.to_chrome r with
+  | Json.Obj [ ("traceEvents", Json.List []) ] -> ()
+  | j -> Alcotest.failf "empty trace misrendered: %s" (Json.to_string j)
+
+let test_recorder_ids_unique_nonzero () =
+  let ids = List.init 100 (fun _ -> Obs.Recorder.next_id ()) in
+  Alcotest.(check bool) "all nonzero" true (List.for_all (fun i -> i <> 0) ids);
+  Alcotest.(check int) "all distinct" 100
+    (List.length (List.sort_uniq compare ids))
+
+let test_recorder_to_chrome_shape () =
+  let r = Obs.Recorder.create ~capacity:4 in
+  Obs.Recorder.record r
+    [ span ~id:7 ~parent:0 "request" ~args:[ ("op", "exact_cc") ];
+      span ~id:8 ~parent:7 "queue_wait" ];
+  match Obs.Recorder.to_chrome r with
+  | Json.Obj [ ("traceEvents", Json.List [ root; child ]) ] ->
+      let get ev k = Json.member k ev in
+      Alcotest.(check bool) "complete events" true
+        (get root "ph" = Some (Json.String "X")
+        && get child "ph" = Some (Json.String "X"));
+      (* 700 ns -> 0.7 us *)
+      (match get root "ts" with
+      | Some (Json.Float us) ->
+          Alcotest.(check (float 1e-9)) "microsecond timestamps" 0.7 us
+      | _ -> Alcotest.fail "ts missing");
+      let arg ev k = Option.bind (get ev "args") (Json.member k) in
+      Alcotest.(check bool) "span/parent ids in args" true
+        (arg root "span" = Some (Json.Int 7)
+        && arg root "parent" = Some (Json.Int 0)
+        && arg child "parent" = Some (Json.Int 7));
+      Alcotest.(check bool) "string args carried" true
+        (arg root "op" = Some (Json.String "exact_cc"))
+  | j -> Alcotest.failf "unexpected trace doc: %s" (Json.to_string j)
+
+let test_recorder_dump_atomic () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ccmx-obs-dump-%d.json" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let r = Obs.Recorder.create ~capacity:2 in
+      Obs.Recorder.record r [ span ~id:1 ~parent:0 "request" ];
+      Obs.Recorder.dump r ~path;
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let raw = really_input_string ic len in
+      close_in ic;
+      match Json.of_string raw with
+      | Json.Obj [ ("traceEvents", Json.List [ _ ]) ] -> ()
+      | j -> Alcotest.failf "dumped doc malformed: %s" (Json.to_string j))
+
+(* ------------------------------------------------------------------ *)
+(* Logging                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_logging_levels_filter () =
+  let records = ref [] in
+  let l = Logging.create ~level:Logging.Warn ~sink:(fun r -> records := r :: !records) () in
+  Logging.debug l "nope";
+  Logging.info l "nope";
+  Logging.warn l "w";
+  Logging.error l "e";
+  let msgs =
+    List.rev_map (fun r -> Json.member "msg" r) !records
+  in
+  Alcotest.(check int) "two records pass the threshold" 2 (List.length msgs);
+  Alcotest.(check bool) "order and content" true
+    (msgs = [ Some (Json.String "w"); Some (Json.String "e") ]);
+  Alcotest.(check bool) "enabled mirrors the threshold" true
+    (Logging.enabled l Logging.Error
+    && Logging.enabled l Logging.Warn
+    && (not (Logging.enabled l Logging.Info))
+    && not (Logging.enabled l Logging.Debug))
+
+let test_logging_record_shape () =
+  let records = ref [] in
+  let l = Logging.create ~sink:(fun r -> records := r :: !records) () in
+  Logging.info l ~fields:[ ("conn", Json.Int 3) ] "hello";
+  match !records with
+  | [ r ] ->
+      (match Json.member "ts" r with
+      | Some (Json.Float ts) ->
+          Alcotest.(check bool) "wall clock sane" true (ts > 1.0e9)
+      | _ -> Alcotest.fail "ts missing");
+      (match Json.member "mono_s" r with
+      | Some (Json.Float _) -> ()
+      | _ -> Alcotest.fail "mono_s missing");
+      Alcotest.(check bool) "level + msg + field" true
+        (Json.member "level" r = Some (Json.String "info")
+        && Json.member "msg" r = Some (Json.String "hello")
+        && Json.member "conn" r = Some (Json.Int 3))
+  | rs -> Alcotest.failf "expected one record, got %d" (List.length rs)
+
+let test_logging_with_fields () =
+  let records = ref [] in
+  let l = Logging.create ~sink:(fun r -> records := r :: !records) () in
+  let child = Logging.with_fields l [ ("worker", Json.Int 1) ] in
+  Logging.info child ~fields:[ ("job", Json.Int 9) ] "did";
+  match !records with
+  | [ r ] ->
+      Alcotest.(check bool) "bound + per-call fields" true
+        (Json.member "worker" r = Some (Json.Int 1)
+        && Json.member "job" r = Some (Json.Int 9))
+  | rs -> Alcotest.failf "expected one record, got %d" (List.length rs)
+
+let test_logging_level_strings () =
+  List.iter
+    (fun lv ->
+      Alcotest.(check bool)
+        ("roundtrip " ^ Logging.level_to_string lv)
+        true
+        (Logging.level_of_string (Logging.level_to_string lv) = Some lv))
+    [ Logging.Error; Logging.Warn; Logging.Info; Logging.Debug ];
+  Alcotest.(check bool) "unknown rejected" true
+    (Logging.level_of_string "loud" = None)
+
+let test_logging_file_sink_appends_json_lines () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ccmx-obs-log-%d.jsonl" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let l = Logging.create ~sink:(Logging.file_sink ~path) () in
+      Logging.info l "one";
+      Logging.warn l ~fields:[ ("k", Json.String "v") ] "two";
+      Logging.debug l "filtered out";
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let parsed = List.rev_map Json.of_string !lines in
+      Alcotest.(check int) "two lines" 2 (List.length parsed);
+      Alcotest.(check bool) "contents survive the roundtrip" true
+        (match parsed with
+        | [ a; b ] ->
+            Json.member "msg" a = Some (Json.String "one")
+            && Json.member "msg" b = Some (Json.String "two")
+            && Json.member "k" b = Some (Json.String "v")
+        | _ -> false));
+  (* null logger swallows everything without filesystem traffic *)
+  Logging.error Logging.null "dropped"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "names",
+        [ Alcotest.test_case "metric_name sanitizes" `Quick
+            test_metric_name_sanitizes;
+          Alcotest.test_case "label value escaping" `Quick
+            test_escape_label_value;
+          Alcotest.test_case "labeled/parse roundtrip" `Quick
+            test_labeled_parse_roundtrip ] );
+      ( "exposition",
+        [ Alcotest.test_case "golden text" `Quick test_render_metrics_golden;
+          Alcotest.test_case "_total not doubled" `Quick
+            test_render_metrics_counter_total_not_doubled;
+          Alcotest.test_case "extra leads" `Quick test_render_metrics_extra_first;
+          Alcotest.test_case "buckets cumulative" `Quick
+            test_exposition_buckets_cumulative;
+          Alcotest.test_case "observe_op merges outcomes" `Quick
+            test_observe_op_merges_outcomes ] );
+      ( "http",
+        [ Alcotest.test_case "response shape" `Quick test_http_response_shape;
+          Alcotest.test_case "path parsing" `Quick test_http_path ] );
+      ( "recorder",
+        [ Alcotest.test_case "ring evicts oldest" `Quick
+            test_recorder_ring_evicts_oldest;
+          Alcotest.test_case "disabled is inert" `Quick
+            test_recorder_disabled_is_inert;
+          Alcotest.test_case "ids unique + nonzero" `Quick
+            test_recorder_ids_unique_nonzero;
+          Alcotest.test_case "chrome doc shape" `Quick
+            test_recorder_to_chrome_shape;
+          Alcotest.test_case "dump writes the doc" `Quick
+            test_recorder_dump_atomic ] );
+      ( "logging",
+        [ Alcotest.test_case "levels filter" `Quick test_logging_levels_filter;
+          Alcotest.test_case "record shape" `Quick test_logging_record_shape;
+          Alcotest.test_case "with_fields" `Quick test_logging_with_fields;
+          Alcotest.test_case "level strings" `Quick test_logging_level_strings;
+          Alcotest.test_case "file sink JSON lines" `Quick
+            test_logging_file_sink_appends_json_lines ] )
+    ]

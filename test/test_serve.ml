@@ -11,6 +11,8 @@ module Bm = Commx_util.Bitmat
 module Clock = Commx_util.Clock
 module Faults = Commx_util.Faults
 module Telemetry = Commx_util.Telemetry
+module Logging = Commx_util.Logging
+module Obs = Commx_serve.Obs
 module Wire = Commx_serve.Wire
 module Cache = Commx_serve.Cache
 module Server = Commx_serve.Server
@@ -275,14 +277,15 @@ let rpc client obj =
 
 let close_client client = try Unix.close client.fd with Unix.Unix_error _ -> ()
 
-let with_server ?snapshot_path ?(workers = 2) ?(log = fun ~level:_ _ -> ())
+let with_server ?snapshot_path ?(workers = 2) ?(logger = Logging.null)
     ?request_timeout_s ?snapshot_every_s ?max_queue ?max_line_bytes
-    ?respawn_budget ?chaos f =
+    ?respawn_budget ?chaos ?metrics_socket ?metrics_port ?slow_ms ?trace_ring f =
   let socket_path = fresh_path ".sock" in
   let cfg =
-    Server.config ~socket_path ~workers ?snapshot_path ~cache_capacity:64 ~log
-      ?request_timeout_s ?snapshot_every_s ?max_queue ?max_line_bytes
-      ?respawn_budget ?chaos ~drain_timeout_s:10.0 ()
+    Server.config ~socket_path ~workers ?snapshot_path ~cache_capacity:64
+      ~logger ?request_timeout_s ?snapshot_every_s ?max_queue ?max_line_bytes
+      ?respawn_budget ?chaos ?metrics_socket ?metrics_port ?slow_ms ?trace_ring
+      ~drain_timeout_s:10.0 ()
   in
   (* the robustness counters only record at Metrics level, and the
      stats op surfaces them *)
@@ -445,7 +448,7 @@ let test_serve_rejects_corrupt_snapshot () =
     ~finally:(fun () -> try Sys.remove snapshot_path with Sys_error _ -> ())
     (fun () ->
       with_server ~snapshot_path
-        ~log:(fun ~level msg -> logs := (level, msg) :: !logs)
+        ~logger:(Logging.create ~sink:(fun r -> logs := r :: !logs) ())
         (fun path ->
           let c = connect path in
           Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
@@ -455,14 +458,18 @@ let test_serve_rejects_corrupt_snapshot () =
           Alcotest.(check bool) "started cold" true (int_field r "nodes" > 0)));
   Alcotest.(check bool) "rejection logged" true
     (List.exists
-       (fun (level, msg) ->
-         level = "warn"
-         && (let nn = String.length "version 999" in
+       (fun record ->
+         Json.member "level" record = Some (Json.String "warn")
+         &&
+         match Json.member "msg" record with
+         | Some (Json.String msg) ->
+             let nn = String.length "version 999" in
              let rec go i =
                i + nn <= String.length msg
                && (String.sub msg i nn = "version 999" || go (i + 1))
              in
-             go 0))
+             go 0
+         | _ -> false)
        !logs)
 
 (* ------------------------------------------------------------------ *)
@@ -571,8 +578,7 @@ let test_serve_respawn_budget_exhaustion_is_fatal () =
   let socket_path = fresh_path ".sock" in
   let cfg =
     Server.config ~socket_path ~workers:1 ~cache_capacity:64
-      ~log:(fun ~level:_ _ -> ())
-      ~drain_timeout_s:5.0 ~respawn_budget:1 ~chaos ()
+      ~logger:Logging.null ~drain_timeout_s:5.0 ~respawn_budget:1 ~chaos ()
   in
   Telemetry.set_level Telemetry.Metrics;
   let outcome = ref None in
@@ -698,6 +704,327 @@ let test_serve_periodic_snapshots () =
           Alcotest.(check bool) "snapshot counter moved" true
             (counter_field stats "serve.snapshots_written" >= 1)))
 
+(* ------------------------------------------------------------------ *)
+(* Observability: /metrics + /healthz, flight recorder, slow-query     *)
+(* log, structured chaos logs                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* One-shot HTTP/1.0 GET over a Unix socket — what a Prometheus
+   scraper does, minus TCP. *)
+let http_get sock_path target =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_UNIX sock_path);
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" target in
+      let _ = Unix.write_substring fd req 0 (String.length req) in
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> ()
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            drain ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      let status =
+        match String.split_on_char ' ' raw with
+        | _ :: code :: _ -> int_of_string code
+        | _ -> Alcotest.failf "malformed HTTP response: %s" raw
+      in
+      let n = String.length raw in
+      let rec body_at i =
+        if i + 4 > n then Alcotest.failf "no header terminator in %s" raw
+        else if String.sub raw i 4 = "\r\n\r\n" then i + 4
+        else body_at (i + 1)
+      in
+      let b = body_at 0 in
+      (status, String.sub raw b (n - b)))
+
+(* The value of an (unlabeled) sample line, [None] when absent. *)
+let metric_value body name =
+  let prefix = name ^ " " in
+  let pl = String.length prefix in
+  String.split_on_char '\n' body
+  |> List.find_map (fun l ->
+         if String.length l > pl && String.sub l 0 pl = prefix then
+           Some (float_of_string (String.sub l pl (String.length l - pl)))
+         else None)
+
+let metric body name =
+  match metric_value body name with
+  | Some v -> v
+  | None -> Alcotest.failf "metric %S not in exposition" name
+
+let test_serve_metrics_endpoint_cold_warm () =
+  let msock = fresh_path ".metrics.sock" in
+  with_server ~metrics_socket:msock (fun path ->
+      let c = connect path in
+      Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+      (* Cold query: a result-cache miss. *)
+      assert_ok (rpc c (exact_cc_req ~id:(Json.Int 1) board_json));
+      let _, cold = http_get msock "/metrics" in
+      Alcotest.(check (float 0.0)) "no hits yet" 0.0
+        (metric cold "serve_cache_hits_total");
+      Alcotest.(check bool) "cold miss counted" true
+        (metric cold "serve_cache_misses_total" >= 1.0);
+      (* Warm repeat: the hit counter must move between scrapes. *)
+      let warm_reply = rpc c (exact_cc_req ~id:(Json.Int 2) board_json) in
+      assert_ok warm_reply;
+      Alcotest.(check string) "second query hits" "hit"
+        (string_field warm_reply "cache");
+      let status, warm = http_get msock "/metrics" in
+      Alcotest.(check int) "scrape is 200" 200 status;
+      Alcotest.(check bool) "hit counter moved cold->warm" true
+        (metric warm "serve_cache_hits_total" >= 1.0);
+      (* Quiesced agreement: the totals a scraper sees are the totals
+         the in-band stats op reports. *)
+      let stats = rpc c stats_req in
+      let _, m = http_get msock "/metrics" in
+      Alcotest.(check (float 0.0)) "requests agree with stats"
+        (float_of_int (int_field stats "requests"))
+        (metric m "serve_requests_total");
+      Alcotest.(check (float 0.0)) "cache hits agree with stats"
+        (float_of_int (int_field (obj_field stats "result_cache") "hits"))
+        (metric m "serve_cache_hits_total");
+      Alcotest.(check (float 0.0)) "crash counter agrees with stats"
+        (float_of_int (counter_field stats "serve.worker_crashes"))
+        (metric m "serve_worker_crashes_total");
+      (* Per-op latency histograms carry op/outcome labels, and the
+         per-worker gauges exist for every worker. *)
+      let has_sub hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "labeled op histogram exposed" true
+        (has_sub m "serve_op_us_bucket{op=\"exact_cc\"");
+      Alcotest.(check bool) "per-worker queue gauge exposed" true
+        (has_sub m "serve_queue_depth{worker=\"0\"}");
+      Alcotest.(check bool) "TYPE headers present" true
+        (has_sub m "# TYPE serve_requests_total counter");
+      (* Readiness: all workers alive, queues empty -> 200 + ok. *)
+      let hstatus, hbody = http_get msock "/healthz" in
+      Alcotest.(check int) "healthz is 200" 200 hstatus;
+      (match Json.member "ok" (Json.of_string (String.trim hbody)) with
+      | Some (Json.Bool true) -> ()
+      | _ -> Alcotest.failf "healthz not ok: %s" hbody);
+      (* Unknown target: structured 404, connection survives daemon. *)
+      let nstatus, _ = http_get msock "/nope" in
+      Alcotest.(check int) "unknown path is 404" 404 nstatus)
+
+let test_serve_dump_trace_parented_chain () =
+  with_server (fun path ->
+      let c = connect path in
+      Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+      assert_ok
+        (rpc c (exact_cc_req ~id:(Json.Int 1) ~use_cache:false board_json));
+      (* The recorder entry lands just after the reply is written, so
+         poll the dump_trace op briefly rather than racing it. *)
+      let dump_req = Json.Obj [ ("op", Json.String "dump_trace") ] in
+      let deadline = Clock.now_s () +. 5.0 in
+      let rec events () =
+        let r = rpc c dump_req in
+        assert_ok r;
+        (match Json.member "enabled" r with
+        | Some (Json.Bool true) -> ()
+        | _ -> Alcotest.fail "flight recorder should default on");
+        match Json.member "trace" r with
+        | Some trace -> (
+            match Json.member "traceEvents" trace with
+            | Some (Json.List evs) when evs <> [] -> evs
+            | _ when Clock.now_s () < deadline ->
+                Clock.sleepf 0.02;
+                events ()
+            | _ -> Alcotest.fail "no trace events recorded")
+        | None -> Alcotest.fail "dump_trace reply lacks trace"
+      in
+      let evs = events () in
+      let arg ev key =
+        match Json.member "args" ev with
+        | Some args -> Json.member key args
+        | None -> None
+      in
+      let root =
+        match
+          List.find_opt
+            (fun ev ->
+              Json.member "name" ev = Some (Json.String "request")
+              && arg ev "op" = Some (Json.String "exact_cc"))
+            evs
+        with
+        | Some ev -> ev
+        | None -> Alcotest.fail "no request root span for exact_cc"
+      in
+      Alcotest.(check (option string)) "root has no parent"
+        (Some "0")
+        (match arg root "parent" with
+        | Some (Json.Int p) -> Some (string_of_int p)
+        | _ -> None);
+      let root_id =
+        match arg root "span" with
+        | Some (Json.Int i) -> i
+        | _ -> Alcotest.fail "root span lacks id"
+      in
+      let child name =
+        match
+          List.find_opt
+            (fun ev ->
+              Json.member "name" ev = Some (Json.String name)
+              && arg ev "parent" = Some (Json.Int root_id))
+            evs
+        with
+        | Some ev -> ev
+        | None -> Alcotest.failf "no %S span parented to the request" name
+      in
+      let _qw = child "queue_wait" in
+      let search = child "search" in
+      let _rw = child "reply_write" in
+      (* the search span carries the effort the reply reported *)
+      (match arg search "nodes" with
+      | Some (Json.String n) ->
+          Alcotest.(check bool) "search span records nodes" true
+            (int_of_string n > 0)
+      | _ -> Alcotest.fail "search span lacks nodes");
+      (* complete events: ph = "X" with microsecond timestamps *)
+      Alcotest.(check bool) "chrome complete events" true
+        (List.for_all
+           (fun ev -> Json.member "ph" ev = Some (Json.String "X"))
+           evs))
+
+let test_serve_slow_query_logs_one_line () =
+  let logs_m = Mutex.create () in
+  let logs = ref [] in
+  let sink r =
+    Mutex.lock logs_m;
+    logs := r :: !logs;
+    Mutex.unlock logs_m
+  in
+  let slow_lines () =
+    Mutex.lock logs_m;
+    let l =
+      List.filter
+        (fun r -> Json.member "msg" r = Some (Json.String "slow_query"))
+        !logs
+    in
+    Mutex.unlock logs_m;
+    l
+  in
+  with_server ~slow_ms:50.0
+    ~logger:(Logging.create ~sink ())
+    (fun path ->
+      let c = connect path in
+      Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+      (* One deadline-bound slow search: ~300 ms wall, well past the
+         50 ms threshold; the timed_out error reply still carries the
+         certified bounds the log line should surface. *)
+      let r =
+        rpc c
+          (exact_cc_req ~id:(Json.Int 9) ~use_cache:false ~deadline_ms:300
+             slow_board_json)
+      in
+      check_code "slow request timed out" "timed_out" r;
+      (* the log line lands after the reply is delivered — poll briefly *)
+      let deadline = Clock.now_s () +. 5.0 in
+      while slow_lines () = [] && Clock.now_s () < deadline do
+        Clock.sleepf 0.02
+      done;
+      (match slow_lines () with
+      | [ line ] ->
+          let field key =
+            match Json.member key line with
+            | Some v -> v
+            | None ->
+                Alcotest.failf "slow_query line lacks %S: %s" key
+                  (Json.to_string line)
+          in
+          Alcotest.(check string) "level is warn" "warn"
+            (match field "level" with Json.String s -> s | _ -> "?");
+          Alcotest.(check string) "op recorded" "exact_cc"
+            (match field "op" with Json.String s -> s | _ -> "?");
+          Alcotest.(check string) "outcome recorded" "timed_out"
+            (match field "outcome" with Json.String s -> s | _ -> "?");
+          (match field "wall_ms" with
+          | Json.Float ms ->
+              Alcotest.(check bool) "wall_ms past threshold" true (ms > 50.0)
+          | _ -> Alcotest.fail "wall_ms not a float");
+          ignore (field "tag");
+          ignore (field "lower_bound");
+          ignore (field "upper_bound");
+          ignore (field "nodes")
+      | lines ->
+          Alcotest.failf "expected exactly one slow_query line, got %d"
+            (List.length lines));
+      (* the fast warm path stays silent and the counter agrees *)
+      assert_ok (rpc c (Json.Obj [ ("op", Json.String "ping") ]));
+      let stats = rpc c stats_req in
+      Alcotest.(check bool) "slow counter moved" true
+        (counter_field stats "serve.slow_queries" >= 1);
+      Alcotest.(check int) "still exactly one line" 1
+        (List.length (slow_lines ())))
+
+let test_serve_chaos_log_file_is_json_lines () =
+  (* Satellite: under chaos every daemon event must reach the sink as
+     a parseable JSON record — nothing may bypass the logger onto raw
+     stderr-style prints. *)
+  let seed = find_single_crash_seed () in
+  let chaos = Faults.create ~seed ~rate:0.5 ~delay_rate:0.0 () in
+  let log_path = fresh_path ".log" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove log_path with Sys_error _ -> ())
+    (fun () ->
+      with_server ~workers:1 ~chaos
+        ~logger:(Logging.create ~sink:(Logging.file_sink ~path:log_path) ())
+        (fun path ->
+          let c = connect path in
+          Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+          let r1 = rpc c (exact_cc_req ~id:(Json.Int 1) board_json) in
+          check_code "chaos crash surfaced" "worker_crashed" r1;
+          assert_ok (rpc c (exact_cc_req ~id:(Json.Int 2) board_json)));
+      (* server fully stopped: the file is complete *)
+      let ic = open_in log_path in
+      let records = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then
+             match Json.of_string line with
+             | record -> records := record :: !records
+             | exception _ ->
+                 close_in ic;
+                 Alcotest.failf "non-JSON log line: %s" line
+         done
+       with End_of_file -> close_in ic);
+      Alcotest.(check bool) "log file has records" true (!records <> []);
+      List.iter
+        (fun r ->
+          match
+            (Json.member "ts" r, Json.member "level" r, Json.member "msg" r)
+          with
+          | Some _, Some (Json.String _), Some (Json.String _) -> ()
+          | _ ->
+              Alcotest.failf "record lacks ts/level/msg: %s" (Json.to_string r))
+        !records;
+      Alcotest.(check bool) "the crash itself was logged" true
+        (List.exists
+           (fun r ->
+             match (Json.member "level" r, Json.member "msg" r) with
+             | Some (Json.String "error"), Some (Json.String msg) ->
+                 let nn = String.length "crashed" in
+                 let rec go i =
+                   i + nn <= String.length msg
+                   && (String.sub msg i nn = "crashed" || go (i + 1))
+                 in
+                 go 0
+             | _ -> false)
+           !records))
+
 let test_client_end_to_end () =
   with_server (fun path ->
       let cl = Client.create ~socket_path:path () in
@@ -794,6 +1121,15 @@ let () =
             test_serve_oversized_line_recovery;
           Alcotest.test_case "periodic snapshots" `Quick
             test_serve_periodic_snapshots ] );
+      ( "observability",
+        [ Alcotest.test_case "metrics endpoint cold->warm" `Quick
+            test_serve_metrics_endpoint_cold_warm;
+          Alcotest.test_case "dump_trace parented chain" `Quick
+            test_serve_dump_trace_parented_chain;
+          Alcotest.test_case "slow query logs one line" `Quick
+            test_serve_slow_query_logs_one_line;
+          Alcotest.test_case "chaos log file is JSON lines" `Quick
+            test_serve_chaos_log_file_is_json_lines ] );
       ( "client",
         [ Alcotest.test_case "end to end" `Quick test_client_end_to_end;
           Alcotest.test_case "breaker opens + fails fast" `Quick

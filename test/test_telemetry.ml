@@ -412,6 +412,75 @@ let test_cli_telemetry_flags () =
       "--inject-faults"; "--trace"; "--metrics"; "--help" ]
 
 (* ------------------------------------------------------------------ *)
+(* Quantiles and the empty-histogram contract                          *)
+(* ------------------------------------------------------------------ *)
+
+(* /metrics-style exporters render every interned histogram, observed
+   or not — so an empty summary must be totally benign: quantiles 0.0
+   (never NaN, never an exception) and JSON min/max pinned to 0. *)
+let test_empty_histogram_is_benign () =
+  with_level Telemetry.Metrics (fun () ->
+      let _h = Telemetry.histogram "test.never_observed" in
+      match List.assoc_opt "test.never_observed" (Telemetry.histograms ()) with
+      | None -> Alcotest.fail "interned histogram missing from snapshot"
+      | Some s ->
+          Alcotest.(check int) "count" 0 s.Telemetry.count;
+          List.iter
+            (fun p ->
+              let q = Telemetry.summary_quantile s p in
+              Alcotest.(check bool)
+                (Printf.sprintf "p%.0f not NaN" p)
+                false (Float.is_nan q);
+              Alcotest.(check (float 0.0)) (Printf.sprintf "p%.0f" p) 0.0 q)
+            [ 0.0; 50.0; 95.0; 99.0; 100.0 ];
+          let j = Telemetry.metrics_to_json () in
+          let hists =
+            match Json.member "histograms" j with
+            | Some h -> h
+            | None -> Alcotest.fail "metrics JSON lacks histograms"
+          in
+          (match Json.member "test.never_observed" hists with
+          | Some h ->
+              Alcotest.(check bool) "JSON min/max pinned to 0" true
+                (Json.member "min" h = Some (Json.Int 0)
+                && Json.member "max" h = Some (Json.Int 0))
+          | None -> Alcotest.fail "empty histogram absent from JSON"))
+
+let test_summary_quantile_small_exact () =
+  with_level Telemetry.Metrics (fun () ->
+      let h = Telemetry.histogram "test.q_small" in
+      List.iter (Telemetry.observe h) [ 1; 2; 4 ];
+      let s = List.assoc "test.q_small" (Telemetry.histograms ()) in
+      let q p = Telemetry.summary_quantile s p in
+      Alcotest.(check (float 0.0)) "p0 is the min bucket" 1.0 (q 0.0);
+      Alcotest.(check (float 0.0)) "p50 lands mid" 2.0 (q 50.0);
+      Alcotest.(check (float 0.0)) "p100 is the max" 4.0 (q 100.0))
+
+let test_summary_quantile_clamped_and_ordered () =
+  with_level Telemetry.Metrics (fun () ->
+      (* 5 falls in the le=8 bucket: the bucket bound overshoots the
+         data, so the estimate must clamp to the observed max. *)
+      let h = Telemetry.histogram "test.q_clamp" in
+      List.iter (Telemetry.observe h) [ 5; 5 ];
+      let s = List.assoc "test.q_clamp" (Telemetry.histograms ()) in
+      Alcotest.(check (float 0.0)) "clamped to max" 5.0
+        (Telemetry.summary_quantile s 99.0);
+      Alcotest.(check (float 0.0)) "clamped from below too" 5.0
+        (Telemetry.summary_quantile s 1.0);
+      (* skewed data: quantiles stay within [min, max] and ordered *)
+      let h2 = Telemetry.histogram "test.q_skew" in
+      List.iter (Telemetry.observe h2) (List.init 100 (fun i -> (i mod 10) + 1));
+      Telemetry.observe h2 100_000;
+      let s2 = List.assoc "test.q_skew" (Telemetry.histograms ()) in
+      let q p = Telemetry.summary_quantile s2 p in
+      let p50 = q 50.0 and p95 = q 95.0 and p99 = q 99.0 in
+      Alcotest.(check bool) "ordered p50 <= p95 <= p99" true
+        (p50 <= p95 && p95 <= p99);
+      Alcotest.(check bool) "within [min, max]" true
+        (p50 >= float_of_int s2.Telemetry.min
+        && p99 <= float_of_int s2.Telemetry.max))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "telemetry"
@@ -421,7 +490,13 @@ let () =
         [ Alcotest.test_case "counters, gauges, histograms" `Quick
             test_instruments_basic;
           Alcotest.test_case "bit-identical at any --jobs" `Quick
-            test_counters_jobs_invariant ] );
+            test_counters_jobs_invariant;
+          Alcotest.test_case "empty histogram is benign" `Quick
+            test_empty_histogram_is_benign;
+          Alcotest.test_case "quantiles: small exact" `Quick
+            test_summary_quantile_small_exact;
+          Alcotest.test_case "quantiles: clamped + ordered" `Quick
+            test_summary_quantile_clamped_and_ordered ] );
       ( "spans",
         [ Alcotest.test_case "nesting and cross-domain parenting" `Quick
             test_span_nesting_across_domains;
