@@ -36,6 +36,8 @@ module Logging = Commx_util.Logging
 module Server = Commx_serve.Server
 module Client = Commx_serve.Client
 module Wire = Commx_serve.Wire
+module Traffic = Commx_util.Traffic
+module Load = Commx_load.Load
 
 open Cmdliner
 
@@ -1446,6 +1448,125 @@ let check_cmd =
        $ cli_opts_term))
 
 (* ------------------------------------------------------------------ *)
+(* bench — throughput benches (load replay)                            *)
+(* ------------------------------------------------------------------ *)
+
+let bench_load seed count mix arrival rate jobs socket json deadline_ms =
+  match Traffic.parse_mix mix with
+  | Error msg -> `Error (false, "invalid --mix: " ^ msg)
+  | Ok mix ->
+      if count < 0 then `Error (false, "--count must be >= 0")
+      else if jobs < 1 then `Error (false, "--jobs must be >= 1")
+      else if rate <= 0.0 then `Error (false, "--rate must be > 0")
+      else begin
+        let arrival =
+          match arrival with
+          | `Closed -> Traffic.Closed { concurrency = jobs }
+          | `Open -> Traffic.Open { rate }
+        in
+        let target =
+          match socket with
+          | None -> Load.In_process
+          | Some path -> Load.Daemon path
+        in
+        let cfg =
+          { Load.seed; count; mix; arrival; jobs; target; json_dir = json;
+            deadline_ms }
+        in
+        match Load.run cfg with
+        | 0 -> `Ok ()
+        | _ -> `Error (false, "load replay reported errors (see summary above)")
+      end
+
+let bench_load_cmd =
+  let count =
+    Arg.(
+      value & opt int 200
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Requests to replay (default: 200).")
+  in
+  let mix =
+    Arg.(
+      value
+      & opt string (Traffic.mix_to_string Traffic.default_mix)
+      & info [ "mix" ] ~docv:"MIX"
+          ~doc:
+            "Traffic mix as comma-separated kind=weight pairs over \
+             exact_cc / singular / lower_bounds / protocol (default: \
+             $(b,exact_cc=1,singular=4,lower_bounds=4,protocol=1)).")
+  in
+  let arrival =
+    Arg.(
+      value
+      & opt (enum [ ("closed", `Closed); ("open", `Open) ]) `Closed
+      & info [ "arrival" ] ~docv:"MODEL"
+          ~doc:
+            "Arrival model: $(b,closed) keeps --jobs requests \
+             outstanding (capacity); $(b,open) replays Poisson \
+             arrivals at --rate, counting queueing delay against \
+             latency (SLO behaviour).")
+  in
+  let rate =
+    Arg.(
+      value & opt float 200.0
+      & info [ "rate" ] ~docv:"QPS"
+          ~doc:"Open-loop offered load, requests/second (default: 200).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"J"
+          ~doc:
+            "Worker domains replaying the stream (default: 1).  The \
+             request stream and the answer digest are identical at any \
+             $(docv); only latency and throughput may change.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Replay against the ccmx serve daemon on this Unix socket \
+             instead of the in-process engine (default: in-process).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"DIR"
+          ~doc:
+            "Write a schema-v3 BENCH_load.json artifact (SLO rows, \
+             batch-vs-scalar speedups, answers digest) into $(docv) \
+             (default: off).")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request compute deadline forwarded to the daemon \
+             (default: none; daemon mode only).")
+  in
+  let doc =
+    "Replay a seeded synthetic query mix against the engine or a live \
+     daemon, reporting throughput, p50/p95/p99 latency, error and \
+     timeout counts, and batch-vs-scalar kernel speedups.  \
+     Replay-deterministic: the request stream and the answer digest \
+     depend only on --seed/--mix/--arrival/--count."
+  in
+  Cmd.v (Cmd.info "load" ~doc)
+    Term.(
+      ret
+        (const bench_load $ seed_arg $ count $ mix $ arrival $ rate $ jobs
+       $ socket $ json $ deadline_ms))
+
+let bench_cmd =
+  let doc = "Throughput benches: seeded load replay with latency SLOs." in
+  Cmd.group (Cmd.info "bench" ~doc) [ bench_load_cmd ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   (* Supervised `lemmas` runs record backtraces in Failed outcomes;
@@ -1465,4 +1586,4 @@ let () =
            (Cmd.group info
               [ gen_cmd; singular_cmd; check_cmd; protocol_cmd; bounds_cmd;
                 lemmas_cmd; ledger_cmd; exactcc_cmd; serve_cmd; query_cmd;
-                top_cmd ])))
+                top_cmd; bench_cmd ])))

@@ -288,6 +288,33 @@ let bitmat_kernels =
             fun () -> Bitmat.rank m = Bitmat.rank (Bitmat.transpose m) );
         ])
 
+(* The batched rank kernel must be indistinguishable from mapping the
+   scalar one — including on empty boards, boards with zero columns,
+   and boards too wide to pack (the per-board fallback path). *)
+let show_int_array a =
+  "[" ^ String.concat "; " (List.map string_of_int (Array.to_list a)) ^ "]"
+
+let bitmat_rank_batch =
+  let gen g =
+    let count = Prng.int_incl g 0 8 in
+    Array.init count (fun _ ->
+        if Prng.int g 8 = 0 then
+          Bitmat.random g (Prng.int_incl g 1 3)
+            (Bitvec.bits_per_word + Prng.int_incl g 1 4)
+        else gen_small_bitmat 0 10 g)
+  in
+  Property.make ~name:"bitmat.rank_batch_vs_scalar" ~gen
+    ~show:(fun ms ->
+      String.concat "\n---\n" (Array.to_list (Array.map show_bitmat ms)))
+    (fun ms ->
+      let batch = Bitmat.rank_batch ms in
+      let scalar = Array.map Bitmat.rank ms in
+      if batch = scalar then None
+      else
+        Some
+          (Printf.sprintf "batch %s <> scalar %s" (show_int_array batch)
+             (show_int_array scalar)))
+
 (* ------------------------------------------------------------------ *)
 (* Txtable vs. association model                                      *)
 (* ------------------------------------------------------------------ *)
@@ -437,6 +464,41 @@ let zmatrix_det_agreement =
               let mm = Mod.Word.modulus p in
               Zm.det_mod_p m p = Mod.Word.reduce_big mm d );
         ])
+
+(* Batched singularity must agree with the scalar Bareiss verdict on a
+   mix that forces both of its paths: random matrices (the mod-p
+   filter certifies nonsingular) and rank-deficient constructions (the
+   filter vanishes mod every prime and escalates to the exact det). *)
+let show_zmatrix m =
+  String.concat "\n"
+    (List.init (Zm.rows m) (fun i ->
+         String.concat " "
+           (List.init (Zm.cols m) (fun j -> B.to_string (Zm.get m i j)))))
+
+let zmatrix_singular_batch =
+  let gen g =
+    let count = Prng.int_incl g 0 6 in
+    Array.init count (fun _ ->
+        let n = Prng.int_incl g 1 5 in
+        match Prng.int g 3 with
+        | 0 -> Zm.random_of_rank g ~rows:n ~cols:n ~rank:(Prng.int g n)
+        | 1 -> Zm.random_of_rank g ~rows:n ~cols:n ~rank:n
+        | _ -> Zm.random g ~rows:n ~cols:n ~bits:(Prng.int_incl g 1 40))
+  in
+  Property.make ~name:"zmatrix.singular_batch_vs_scalar" ~gen
+    ~show:(fun ms ->
+      String.concat "\n---\n" (Array.to_list (Array.map show_zmatrix ms)))
+    (fun ms ->
+      let batch = Zm.singular_batch ms in
+      let scalar = Array.map Zm.is_singular ms in
+      if batch = scalar then None
+      else
+        Some
+          (Printf.sprintf "batch verdicts [%s] <> scalar [%s]"
+             (String.concat ";"
+                (List.map string_of_bool (Array.to_list batch)))
+             (String.concat ";"
+                (List.map string_of_bool (Array.to_list scalar)))))
 
 (* ------------------------------------------------------------------ *)
 (* Lemma 3.2 criterion vs. direct determinant on Fig. 1/3 instances    *)
@@ -616,11 +678,13 @@ let all () =
     bitvec_vs_model;
     bitvec_popcount_int;
     bitmat_kernels;
+    bitmat_rank_batch;
     txtable_vs_model;
     txtable_eviction_fail_soft;
     exact_cc_vs_reference;
     exact_cc_sandwiched;
     zmatrix_det_agreement;
+    zmatrix_singular_batch;
     lemma32_vs_determinant;
     json_roundtrip;
     stats_percentiles;

@@ -131,6 +131,91 @@ let is_singular m = B.is_zero (det_bareiss m)
 let rank m = Qmatrix.rank (to_qmatrix m)
 
 (* ------------------------------------------------------------------ *)
+(* Batched Lemma 3.2 singularity                                       *)
+(* ------------------------------------------------------------------ *)
+
+module W = Commx_bigint.Modarith.Word
+
+(* Determinant of [m] modulo a word prime, eliminated entirely in a
+   word-size residue workspace checked out of [arena].  Unlike
+   {!det_mod_p} (which instantiates the [Ring.Gfp] functor and boxes
+   every residue), this touches the bignum layer only through
+   [B.rem_int], so the whole elimination allocates nothing past the
+   arena's steady state. *)
+let det_word_mod arena mw m n =
+  let p = W.to_int mw in
+  let a = B.Arena.alloc arena (n * n) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      a.((i * n) + j) <- B.rem_int (get m i j) p
+    done
+  done;
+  let det = ref 1 in
+  (try
+     for c = 0 to n - 1 do
+       let piv = ref (-1) in
+       let r = ref c in
+       while !piv < 0 && !r < n do
+         if a.((!r * n) + c) <> 0 then piv := !r;
+         incr r
+       done;
+       if !piv < 0 then begin
+         det := 0;
+         raise Exit
+       end;
+       if !piv <> c then begin
+         for j = c to n - 1 do
+           let t = a.((c * n) + j) in
+           a.((c * n) + j) <- a.((!piv * n) + j);
+           a.((!piv * n) + j) <- t
+         done;
+         det := W.neg mw !det
+       end;
+       let pv = a.((c * n) + c) in
+       det := W.mul mw !det pv;
+       let pinv = W.inv mw pv in
+       for r2 = c + 1 to n - 1 do
+         let f = W.mul mw a.((r2 * n) + c) pinv in
+         if f <> 0 then
+           for j = c to n - 1 do
+             a.((r2 * n) + j) <- W.sub mw a.((r2 * n) + j) (W.mul mw f a.((c * n) + j))
+           done
+       done
+     done
+   with Exit -> ());
+  B.Arena.release arena a;
+  !det
+
+(* The two largest primes below 2^30 — the top of the same ladder
+   {!det_crt} draws from.  Computed once per process, not per batch. *)
+let batch_primes =
+  lazy
+    (let p1 = P.nth_prime_below 0 ((1 lsl 30) + 1) in
+     let p2 = P.nth_prime_below 0 p1 in
+     (W.modulus p1, W.modulus p2))
+
+let singular_batch ms =
+  Array.iter
+    (fun m -> if not (is_square m) then invalid_arg "Zmatrix.singular_batch: not square")
+    ms;
+  let m1, m2 = Lazy.force batch_primes in
+  let arena = B.Arena.create () in
+  Array.map
+    (fun m ->
+      let n = rows m in
+      (* A determinant that survives mod either prime certifies
+         nonsingularity with zero bignum allocation; only matrices
+         vanishing mod both escalate to the exact Bareiss determinant,
+         which is the sole sound witness of singularity.  Random k-bit
+         nonsingular matrices essentially never reach the exact path
+         (that would need det divisible by two ~2^30 primes). *)
+      if n = 0 then is_singular m
+      else if det_word_mod arena m1 m n <> 0 then false
+      else if det_word_mod arena m2 m n <> 0 then false
+      else is_singular m)
+    ms
+
+(* ------------------------------------------------------------------ *)
 (* Hadamard bound and CRT determinant                                  *)
 (* ------------------------------------------------------------------ *)
 

@@ -325,6 +325,11 @@ let content_key (req : Wire.request) =
   | Wire.Lower_bounds { matrix } -> Some ("lower_bounds:" ^ bitmat_key matrix)
   | Wire.Protocol_run { proto; n; k; seed; epsilon } ->
       Some (Printf.sprintf "protocol:%s:%d:%d:%d:%h" proto n k seed epsilon)
+  | Wire.Rank_batch { matrices } ->
+      Some
+        ("rank_batch:"
+        ^ String.concat "|"
+            (Array.to_list (Array.map bitmat_key matrices)))
 
 (* ------------------------------------------------------------------ *)
 (* Compute handlers (worker side)                                      *)
@@ -411,6 +416,13 @@ let exec w (env : Wire.envelope) ~tag ~cancel =
           ("agrees", Json.Bool (got = truth));
           ("bits", Json.Int bits);
           ("trivial_upper_bits", Json.Int (Bounds.trivial_upper_bits ~n ~k)) ],
+        [] )
+  | Wire.Rank_batch { matrices } ->
+      let ranks = Bm.rank_batch matrices in
+      ( [ ( "values",
+            Json.List (Array.to_list (Array.map (fun v -> Json.Int v) ranks))
+          );
+          ("count", Json.Int (Array.length ranks)) ],
         [] )
 
 let wall_us_field t0 =

@@ -22,6 +22,7 @@ type request =
   | Lemma32 of { n : int; k : int; seed : int }
   | Lower_bounds of { matrix : Bm.t }
   | Protocol_run of { proto : string; n : int; k : int; seed : int; epsilon : float }
+  | Rank_batch of { matrices : Bm.t array }
 
 type envelope = {
   id : Json.t;
@@ -31,6 +32,7 @@ type envelope = {
 }
 
 let max_matrix_side = 64
+let max_batch_size = 1024
 
 exception Bad of string
 
@@ -67,13 +69,7 @@ let string_field ?default obj key =
   | Some _, _ -> bad "field %S must be a string" key
 
 (* ["0110", "1001", ...] -> Bitmat, strictly rectangular, 0/1 only. *)
-let bit_matrix obj =
-  let rows =
-    match field obj "matrix" with
-    | Some (Json.List l) -> l
-    | Some _ -> bad "field \"matrix\" must be a list of row strings"
-    | None -> bad "missing field \"matrix\""
-  in
+let bit_matrix_of_rows rows =
   let rows =
     List.map
       (function Json.String s -> s | _ -> bad "matrix rows must be strings")
@@ -95,6 +91,31 @@ let bit_matrix obj =
         rows;
       let a = Array.of_list rows in
       Bm.init nr nc (fun i j -> a.(i).[j] = '1')
+
+let bit_matrix obj =
+  match field obj "matrix" with
+  | Some (Json.List l) -> bit_matrix_of_rows l
+  | Some _ -> bad "field \"matrix\" must be a list of row strings"
+  | None -> bad "missing field \"matrix\""
+
+(* [["01","10"], ...] -> Bitmat array; every board is validated by the
+   single-matrix rules, and the batch count itself is capped so one
+   line cannot queue unbounded work. *)
+let bit_matrices obj =
+  let items =
+    match field obj "matrices" with
+    | Some (Json.List l) -> l
+    | Some _ -> bad "field \"matrices\" must be a list of matrices"
+    | None -> bad "missing field \"matrices\""
+  in
+  if List.length items > max_batch_size then
+    bad "batch exceeds %d-matrix wire limit" max_batch_size;
+  Array.of_list
+    (List.map
+       (function
+         | Json.List rows -> bit_matrix_of_rows rows
+         | _ -> bad "each matrix must be a list of row strings")
+       items)
 
 (* [[1, 2], ["-3", 4], ...] -> Zmatrix; entries are ints or decimal
    strings (bigints larger than a native int must come as strings). *)
@@ -155,6 +176,7 @@ let request_of obj op =
           k = int_field ~default:2 obj "k";
           seed = int_field ~default:0 obj "seed";
           epsilon = float_field ~default:0.01 obj "epsilon" }
+  | "rank_batch" -> Rank_batch { matrices = bit_matrices obj }
   | other -> bad "unknown op %S" other
 
 (* Optional per-request deadline, in milliseconds of wall budget from

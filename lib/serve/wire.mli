@@ -41,6 +41,11 @@ type request =
       epsilon : float;
     }  (** Run a singularity protocol on the seeded instance and count
           bits through the channel. *)
+  | Rank_batch of { matrices : Commx_util.Bitmat.t array }
+      (** GF(2) ranks of many boolean matrices in one request
+          ([{"matrices": [["01","10"], ...]}]), answered by the
+          amortized {!Commx_util.Bitmat.rank_batch} kernel — one
+          round trip and one cache entry for the whole batch. *)
 
 type envelope = {
   id : Commx_util.Json.t;
@@ -55,6 +60,10 @@ type envelope = {
 val max_matrix_side : int
 (** Hard cap (64) on rows and columns of matrices accepted over the
     wire, bounding per-request work before any handler runs. *)
+
+val max_batch_size : int
+(** Hard cap (1024) on the number of matrices in one [rank_batch]
+    request, for the same reason. *)
 
 val parse : string -> (envelope, Commx_util.Json.t * string) result
 (** Parse one request line.  [Error (id, msg)] carries the request id

@@ -85,6 +85,56 @@ let rank m =
   done;
   !rank
 
+(* Word-level elimination over rows packed one-int-per-row.  Mutates
+   [buf.(0 .. nrows-1)] in place; the caller owns the buffer, which is
+   what lets [rank_batch] reuse one scratch array across thousands of
+   boards instead of allocating a row-copy per call like [rank]. *)
+let rank_packed_inplace buf nrows ncols =
+  let rank = ref 0 in
+  let col = ref 0 in
+  while !rank < nrows && !col < ncols do
+    let bit = 1 lsl !col in
+    let found = ref (-1) in
+    let i = ref !rank in
+    while !found < 0 && !i < nrows do
+      if buf.(!i) land bit <> 0 then found := !i;
+      incr i
+    done;
+    (match !found with
+    | -1 -> ()
+    | f ->
+        let p = buf.(f) in
+        buf.(f) <- buf.(!rank);
+        buf.(!rank) <- p;
+        (* Row echelon is enough for rank: rows above the pivot keep
+           their copy of this column, halving the XOR work of the full
+           reduction [rank] performs. *)
+        for r = !rank + 1 to nrows - 1 do
+          if buf.(r) land bit <> 0 then buf.(r) <- buf.(r) lxor p
+        done;
+        incr rank);
+    incr col
+  done;
+  !rank
+
+let rank_batch ms =
+  let scratch_rows =
+    Array.fold_left
+      (fun acc m -> if m.ncols <= Bitvec.bits_per_word then max acc m.nrows else acc)
+      0 ms
+  in
+  let buf = Array.make (max scratch_rows 1) 0 in
+  Array.map
+    (fun m ->
+      if m.ncols > Bitvec.bits_per_word then rank m
+      else begin
+        for i = 0 to m.nrows - 1 do
+          buf.(i) <- Bitvec.to_int m.data.(i)
+        done;
+        rank_packed_inplace buf m.nrows m.ncols
+      end)
+    ms
+
 let count_ones m =
   Array.fold_left (fun acc r -> acc + Bitvec.popcount r) 0 m.data
 

@@ -39,6 +39,14 @@ val identity : int -> t
 val rank : t -> int
 (** Rank over GF(2) by row elimination.  Does not mutate. *)
 
+val rank_batch : t array -> int array
+(** [rank_batch ms] equals [Array.map rank ms] bit for bit, but packs
+    each board's rows into native ints and eliminates with single-word
+    XORs, reusing one scratch buffer across the whole batch — the
+    amortized kernel behind high-throughput Corollary 4.4-style rank
+    sweeps.  Boards wider than {!Bitvec.bits_per_word} columns fall
+    back to {!rank} per board.  Does not mutate its inputs. *)
+
 val count_ones : t -> int
 (** Total number of [true] entries. *)
 

@@ -30,6 +30,12 @@ let percentile xs p =
   if n = 0 then invalid_arg "Stats.percentile: empty sample";
   if not (p >= 0.0 && p <= 100.0) then
     invalid_arg "Stats.percentile: p outside [0, 100]";
+  (* NaN has no rank: [Float.compare] sorts it after every number, so a
+     single NaN latency would silently poison the upper percentiles a
+     load report is built from.  Reject instead. *)
+  Array.iter
+    (fun x -> if Float.is_nan x then invalid_arg "Stats.percentile: NaN in sample")
+    xs;
   let s = Array.copy xs in
   Array.sort Float.compare s;
   let h = float_of_int (n - 1) *. p /. 100.0 in

@@ -31,8 +31,9 @@ val percentile : float array -> float -> float
     [(n - 1) * p / 100], the numpy default), so [percentile xs 0] and
     [percentile xs 100] are the extremes and [percentile xs 50] equals
     {!median} on both parities.  Does not mutate.
-    @raise Invalid_argument on an empty array or [p] outside the
-    range. *)
+    @raise Invalid_argument on an empty array, [p] outside the range,
+    or a NaN element ([Float.compare] would rank NaN above every real
+    latency and silently poison the tail percentiles). *)
 
 val ci95_halfwidth : float array -> float
 (** Half-width of the normal-approximation 95% confidence interval of

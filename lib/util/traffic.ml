@@ -1,0 +1,101 @@
+type kind = Exact_cc | Singular | Lower_bounds | Protocol
+
+let all_kinds = [| Exact_cc; Singular; Lower_bounds; Protocol |]
+
+let kind_to_string = function
+  | Exact_cc -> "exact_cc"
+  | Singular -> "singular"
+  | Lower_bounds -> "lower_bounds"
+  | Protocol -> "protocol"
+
+let kind_of_string = function
+  | "exact_cc" -> Some Exact_cc
+  | "singular" -> Some Singular
+  | "lower_bounds" -> Some Lower_bounds
+  | "protocol" -> Some Protocol
+  | _ -> None
+
+type mix = (kind * float) list
+
+let default_mix =
+  [ (Exact_cc, 1.0); (Singular, 4.0); (Lower_bounds, 4.0); (Protocol, 1.0) ]
+
+let parse_mix s =
+  if String.trim s = "" then Error "empty mix"
+  else
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | part :: rest -> (
+          let part = String.trim part in
+          match String.index_opt part '=' with
+          | None -> Error (Printf.sprintf "missing '=' in %S" part)
+          | Some i -> (
+              let name = String.sub part 0 i in
+              let w = String.sub part (i + 1) (String.length part - i - 1) in
+              match kind_of_string name with
+              | None -> Error (Printf.sprintf "unknown kind %S" name)
+              | Some k when List.mem_assoc k acc ->
+                  Error (Printf.sprintf "duplicate kind %S" name)
+              | Some k -> (
+                  match float_of_string_opt w with
+                  | Some weight when weight > 0.0 && Float.is_finite weight ->
+                      go ((k, weight) :: acc) rest
+                  | Some _ -> Error (Printf.sprintf "non-positive weight in %S" part)
+                  | None -> Error (Printf.sprintf "malformed weight in %S" part))))
+    in
+    go [] parts
+
+let mix_to_string mix =
+  String.concat ","
+    (List.map
+       (fun (k, w) ->
+         (* Render integral weights without the trailing ".": parse and
+            print must round-trip through shell quoting and JSON. *)
+         if Float.is_integer w then
+           Printf.sprintf "%s=%d" (kind_to_string k) (int_of_float w)
+         else Printf.sprintf "%s=%g" (kind_to_string k) w)
+       mix)
+
+type arrival = Closed of { concurrency : int } | Open of { rate : float }
+
+let arrival_to_string = function
+  | Closed { concurrency } -> Printf.sprintf "closed(concurrency=%d)" concurrency
+  | Open { rate } -> Printf.sprintf "open(rate=%g/s)" rate
+
+type request = { id : int; kind : kind; seed : int; arrival_s : float }
+
+let stream ~seed ~mix ~arrival ~count =
+  if count < 0 then invalid_arg "Traffic.stream: negative count";
+  if mix = [] || List.exists (fun (_, w) -> not (w > 0.0)) mix then
+    invalid_arg "Traffic.stream: mix must be non-empty with positive weights";
+  (match arrival with
+  | Open { rate } when not (rate > 0.0) ->
+      invalid_arg "Traffic.stream: open-loop rate must be positive"
+  | Open _ | Closed _ -> ());
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 mix in
+  let pick g =
+    let u = Prng.float g *. total in
+    let rec go acc = function
+      | [] -> fst (List.hd mix)
+      | (k, w) :: rest -> if u < acc +. w then k else go (acc +. w) rest
+    in
+    go 0.0 mix
+  in
+  (* One sequential walk of one generator: the schedule depends only on
+     the arguments, never on how many workers later replay it. *)
+  let g = Prng.create seed in
+  let clock = ref 0.0 in
+  Array.init count (fun id ->
+      let kind = pick g in
+      let seed = Prng.int g max_int in
+      let arrival_s =
+        match arrival with
+        | Closed _ -> 0.0
+        | Open { rate } ->
+            (* Exponential inter-arrival; 1 - u > 0 since u < 1. *)
+            let u = Prng.float g in
+            clock := !clock +. (-.log (1.0 -. u) /. rate);
+            !clock
+      in
+      { id; kind; seed; arrival_s })

@@ -36,7 +36,19 @@ command -v dune >/dev/null && dune build bin/ccmx.exe
 [ -x "$CCMX" ] || { echo "chaos_soak: $CCMX not built" >&2; exit 1; }
 
 workdir=$(mktemp -d /tmp/ccmx-chaos.XXXXXX)
-trap 'kill $daemon 2>/dev/null || true; rm -rf "$workdir"' EXIT
+# On failure, keep the daemon log where CI's artifact upload can find
+# it (a stable path, since $workdir is random and removed); only a
+# clean pass deletes everything.
+cleanup() {
+  status=$?
+  kill $daemon 2>/dev/null || true
+  if [ "$status" -ne 0 ] && [ -f "$workdir/daemon.log" ]; then
+    cp -f "$workdir/daemon.log" /tmp/ccmx-chaos-daemon.log || true
+    echo "chaos_soak: daemon log preserved at /tmp/ccmx-chaos-daemon.log" >&2
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
 sock="$workdir/ccmx.sock"
 msock="$workdir/metrics.sock"
 snap="$workdir/ccmx.snap"

@@ -12,17 +12,29 @@ fails on:
     (``exact_cc.nodes`` in metrics.counters, and per-row
     ``nodes``/``search_nodes`` fields).  Node counts are exact and
     jobs-invariant, so even a +1 increase is a real search regression,
-    not timer jitter.
+    not timer jitter;
+  * throughput collapse in the load-replay artifact (``load``): its
+    ``fits.qps`` dropping more than --qps-tolerance (default 30%)
+    below the baseline.  Wall clock is NOT compared for ``load`` —
+    its wall is dominated by the fixed request count, so qps is the
+    honest signal there.
 
 Artifacts present on only one side are reported and skipped: the first
 instrumented run has no baseline, and removed experiments have no PR
 side.  Baselines without counters (older schema) skip the counter
 check only.
 
+If the baseline side could not be produced because the merge-base
+itself failed to build, CI drops a ``BASE_BUILD_FAILED`` marker file
+into BASE_DIR; the gate then exits 3 with a message naming the base
+commit instead of mistaking the empty directory for "no artifacts".
+
 Usage:
   perf_gate.py BASE_DIR PR_DIR [--wall-tolerance 0.30] [--wall-floor 0.05]
+               [--qps-tolerance 0.30]
 
-Exit status: 0 no regression, 1 regression, 2 usage/IO error.
+Exit status: 0 no regression, 1 regression, 2 usage/IO error,
+3 merge-base build failed (no baseline to compare against).
 """
 
 import argparse
@@ -78,6 +90,12 @@ def counter(art, key):
     return value if isinstance(value, int) else None
 
 
+def fit(art, key):
+    fits = art.get("fits") or {}
+    value = fits.get(key)
+    return value if isinstance(value, (int, float)) else None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("base_dir")
@@ -86,7 +104,21 @@ def main():
                         help="allowed fractional wall-clock increase")
     parser.add_argument("--wall-floor", type=float, default=0.05,
                         help="skip wall comparison below this baseline (s)")
+    parser.add_argument("--qps-tolerance", type=float, default=0.30,
+                        help="allowed fractional load-replay qps drop")
     args = parser.parse_args()
+
+    marker = os.path.join(args.base_dir, "BASE_BUILD_FAILED")
+    if os.path.exists(marker):
+        with open(marker) as fh:
+            detail = fh.read().strip()
+        print("error: merge-base failed to build — no baseline artifacts "
+              "to gate against.", file=sys.stderr)
+        if detail:
+            print(f"  {detail}", file=sys.stderr)
+        print("  This is a problem with the base commit, not this PR; "
+              "fix the base (or rebase) and re-run.", file=sys.stderr)
+        return 3
 
     base = load_artifacts(args.base_dir)
     pr = load_artifacts(args.pr_dir)
@@ -109,10 +141,36 @@ def main():
                   f"pr={p.get('status')}) — skipping comparisons")
             continue
 
-        # Wall clock: only comparable when the workload is identical.
-        bw, pw = b.get("wall_s"), p.get("wall_s")
         same_workload = (row_names(b) == row_names(p)
                          and b.get("jobs") == p.get("jobs"))
+
+        # Load replay: throughput floor on fits.qps, wall not compared
+        # (the run processes a fixed request count, so wall is 1/qps and
+        # would double-count the same signal with a looser tolerance).
+        if exp == "load":
+            bq, pq = fit(b, "qps"), fit(p, "qps")
+            if not same_workload:
+                print(f"[{exp}] workload changed (rows or jobs differ) — "
+                      "qps comparison skipped")
+            elif bq is None or pq is None:
+                print(f"[{exp}] fits.qps absent on "
+                      f"{'base' if bq is None else 'pr'} side — qps check "
+                      "skipped")
+            elif bq <= 0.0:
+                print(f"[{exp}] non-positive baseline qps — skipped")
+            else:
+                ratio = pq / bq
+                verdict = "FAIL" if ratio < 1.0 - args.qps_tolerance else "ok"
+                print(f"[{exp}] qps {bq:.1f} -> {pq:.1f} "
+                      f"({(ratio - 1.0) * 100.0:+.1f}%) {verdict}")
+                if verdict == "FAIL":
+                    failures.append(
+                        f"{exp}: throughput {bq:.1f} -> {pq:.1f} qps drops "
+                        f"more than {args.qps_tolerance * 100.0:.0f}%")
+            continue
+
+        # Wall clock: only comparable when the workload is identical.
+        bw, pw = b.get("wall_s"), p.get("wall_s")
         if not same_workload:
             print(f"[{exp}] workload changed (rows or jobs differ) — "
                   "wall comparison skipped")

@@ -568,6 +568,48 @@ let prop_crt_consistent (a, b) =
   B.equal (B.erem x p1) r1 && B.equal (B.erem x p2) r2
   && B.equal m (B.mul p1 p2)
 
+(* rem_int is the allocation-free fast path the batched singularity
+   filter leans on; it must agree with the general euclidean remainder
+   for every sign and size, and reject out-of-range moduli. *)
+let prop_rem_int (a, m_raw) =
+  let m = 2 + (Stdlib.abs m_raw mod ((1 lsl 31) - 3)) in
+  B.rem_int a m = B.to_int (B.erem a (B.of_int m))
+
+let test_rem_int_edges () =
+  List.iter
+    (fun (x, m) ->
+      Alcotest.(check int)
+        (Printf.sprintf "rem_int %s %d" (B.to_string x) m)
+        (B.to_int (B.erem x (B.of_int m)))
+        (B.rem_int x m))
+    [ (B.zero, 7); (B.of_int (-1), 2); (B.shift_left B.one 200, 1_000_003);
+      (B.neg (B.shift_left B.one 200), 1_000_003);
+      (B.of_int max_int, (1 lsl 31) - 1); (B.of_int min_int, (1 lsl 31) - 1) ];
+  Alcotest.check_raises "modulus 1 rejected"
+    (Invalid_argument "Bigint.rem_int: modulus must be in (1, 2^31)") (fun () ->
+      ignore (B.rem_int B.one 1));
+  Alcotest.check_raises "modulus 2^31 rejected"
+    (Invalid_argument "Bigint.rem_int: modulus must be in (1, 2^31)") (fun () ->
+      ignore (B.rem_int B.one (1 lsl 31)))
+
+let test_arena_reuse () =
+  let a = B.Arena.create () in
+  let b1 = B.Arena.alloc a 16 in
+  Alcotest.(check bool) "big enough" true (Array.length b1 >= 16);
+  Alcotest.(check (pair int int)) "first alloc is fresh" (1, 0)
+    (B.Arena.stats a);
+  B.Arena.release a b1;
+  let b2 = B.Arena.alloc a 10 in
+  Alcotest.(check bool) "released buffer comes back" true (b1 == b2);
+  Alcotest.(check (pair int int)) "second alloc reused" (1, 1)
+    (B.Arena.stats a);
+  (* A request larger than anything on the free list mints a buffer. *)
+  let b3 = B.Arena.alloc a 64 in
+  Alcotest.(check bool) "oversized request is fresh" true
+    (Array.length b3 >= 64 && not (b3 == b2));
+  Alcotest.(check (pair int int)) "fresh count moved" (2, 1)
+    (B.Arena.stats a)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -643,4 +685,9 @@ let () =
           qtest "word mulmod oracle"
             QCheck.(pair int int)
             prop_word_mulmod_oracle;
-          qtest "crt consistency" arb_pair prop_crt_consistent ] ) ]
+          qtest "crt consistency" arb_pair prop_crt_consistent;
+          Alcotest.test_case "rem_int edges" `Quick test_rem_int_edges;
+          Alcotest.test_case "arena reuse" `Quick test_arena_reuse;
+          qtest "rem_int vs erem"
+            QCheck.(pair arb_bigint int)
+            prop_rem_int ] ) ]

@@ -236,6 +236,21 @@ let prop_singular_iff_det_zero a =
   let m = zm_of a in
   Zm.is_singular m = (Zm.rank m < Zm.rows m)
 
+(* The batched modular filter must agree verdict-for-verdict with the
+   exact scalar test, including on matrices engineered to be singular
+   (where the mod-p filter cannot decide and must escalate). *)
+let prop_singular_batch_agrees seed =
+  let g = Prng.create seed in
+  let ms =
+    Array.init (Prng.int g 6) (fun _ ->
+        let n = 1 + Prng.int g 5 in
+        match Prng.int g 3 with
+        | 0 -> Zm.random_of_rank g ~rows:n ~cols:n ~rank:(Prng.int g n)
+        | 1 -> Zm.random_of_rank g ~rows:n ~cols:n ~rank:n
+        | _ -> Zm.random g ~rows:n ~cols:n ~bits:(1 + Prng.int g 40))
+  in
+  Zm.singular_batch ms = Array.map Zm.is_singular ms
+
 let prop_rank_mod_p_lower a =
   let m = zm_of a in
   Zm.rank_mod_p m 1_000_003 <= Zm.rank m
@@ -646,7 +661,9 @@ let () =
           qtest "det multiplicative" (QCheck.pair arb_square arb_square)
             prop_det_multiplicative;
           qtest "row swap negates" arb_square prop_det_row_swap_negates;
-          qtest "hadamard bound" arb_square prop_hadamard ] );
+          qtest "hadamard bound" arb_square prop_hadamard;
+          qtest "singular_batch = map is_singular" QCheck.small_int
+            prop_singular_batch_agrees ] );
       ( "rank-solve",
         [ Alcotest.test_case "solve known" `Quick test_solve_known;
           qtest "rank bounds" arb_rect prop_rank_bounds;

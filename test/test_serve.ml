@@ -1025,6 +1025,71 @@ let test_serve_chaos_log_file_is_json_lines () =
              | _ -> false)
            !records))
 
+(* rank_batch: one request carries many boards; every returned rank
+   must equal the scalar kernel's, a repeat of the identical batch is
+   served from the result cache, and an oversized batch is rejected
+   with a parse error rather than queued. *)
+let test_serve_rank_batch () =
+  with_server (fun path ->
+      let c = connect path in
+      Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+      let g = Commx_util.Prng.create 99 in
+      let boards = Array.init 20 (fun _ -> Bm.random g 9 7) in
+      let to_rows m =
+        Json.List
+          (List.init (Bm.rows m) (fun i ->
+               Json.String
+                 (String.init (Bm.cols m) (fun j ->
+                      if Bm.get m i j then '1' else '0'))))
+      in
+      let req id =
+        Json.Obj
+          [ ("op", Json.String "rank_batch"); ("id", Json.Int id);
+            ( "matrices",
+              Json.List (Array.to_list (Array.map to_rows boards)) ) ]
+      in
+      let reply = rpc c (req 1) in
+      assert_ok reply;
+      (match Json.member "values" reply with
+      | Some (Json.List values) ->
+          Alcotest.(check int) "count field" (Array.length boards)
+            (int_field reply "count");
+          Alcotest.(check int) "one rank per board" (Array.length boards)
+            (List.length values);
+          List.iteri
+            (fun i v ->
+              match v with
+              | Json.Int r ->
+                  Alcotest.(check int)
+                    (Printf.sprintf "rank of board %d" i)
+                    (Bm.rank boards.(i))
+                    r
+              | _ -> Alcotest.fail "non-integer rank in values")
+            values
+      | _ -> Alcotest.fail "reply lacks a values list");
+      (* Identical batch again: one cache hit, zero extra work. *)
+      let cache_hits () =
+        int_field (obj_field (rpc c stats_req) "result_cache") "hits"
+      in
+      let before = cache_hits () in
+      assert_ok (rpc c (req 2));
+      let after = cache_hits () in
+      Alcotest.(check bool) "repeat batch hits the result cache" true
+        (after > before);
+      (* Over the batch cap: rejected, connection still usable. *)
+      let too_many =
+        Json.Obj
+          [ ("op", Json.String "rank_batch"); ("id", Json.Int 3);
+            ( "matrices",
+              Json.List
+                (List.init (Wire.max_batch_size + 1) (fun _ ->
+                     Json.List [ Json.String "1" ])) ) ]
+      in
+      (match Json.member "ok" (rpc c too_many) with
+      | Some (Json.Bool false) -> ()
+      | _ -> Alcotest.fail "oversized batch was accepted");
+      assert_ok (rpc c (Json.Obj [ ("op", Json.String "ping") ])))
+
 let test_client_end_to_end () =
   with_server (fun path ->
       let cl = Client.create ~socket_path:path () in
@@ -1105,7 +1170,9 @@ let () =
           Alcotest.test_case "snapshot keeps restart warm" `Quick
             test_serve_snapshot_restart_stays_warm;
           Alcotest.test_case "corrupt snapshot rejected" `Quick
-            test_serve_rejects_corrupt_snapshot ] );
+            test_serve_rejects_corrupt_snapshot;
+          Alcotest.test_case "rank_batch op end-to-end" `Quick
+            test_serve_rank_batch ] );
       ( "self-healing",
         [ Alcotest.test_case "request deadline times out with bounds" `Quick
             test_serve_request_deadline_times_out_with_bounds;

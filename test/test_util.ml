@@ -11,6 +11,7 @@ module Tab = Commx_util.Tab
 module Combi = Commx_util.Combi
 module Json = Commx_util.Json
 module Pool = Commx_util.Pool
+module Traffic = Commx_util.Traffic
 
 let qtest ?(count = 300) name arb prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
@@ -290,6 +291,138 @@ let prop_variance_nonneg seed =
   let g = Prng.create seed in
   let xs = Array.init (2 + abs seed mod 20) (fun _ -> Prng.float g *. 100.0) in
   Stats.variance xs >= 0.0
+
+(* Pathological load data: the shapes a latency report actually
+   produces under degenerate traffic (one request, perfectly uniform
+   service times) plus the poison case (a NaN latency from a bad
+   subtraction) that must be rejected, not silently ranked. *)
+let test_stats_percentile_pathological () =
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "single sample p%g" p)
+        42.0
+        (Stats.percentile [| 42.0 |] p))
+    [ 0.0; 50.0; 95.0; 99.0; 100.0 ];
+  let flat = Array.make 100 7.5 in
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "all-equal p%g" p)
+        7.5 (Stats.percentile flat p))
+    [ 0.0; 50.0; 95.0; 99.0; 100.0 ];
+  Alcotest.check_raises "NaN sample rejected"
+    (Invalid_argument "Stats.percentile: NaN in sample") (fun () ->
+      ignore (Stats.percentile [| 1.0; Float.nan; 2.0 |] 50.0))
+
+(* Batch rank = scalar rank on a mixed bag: packable boards, a board
+   wider than one machine word (the fallback path), and the empty
+   batch.  The fuzzed equivalence lives in commx_check; this pins the
+   edges deterministically. *)
+let test_bitmat_rank_batch () =
+  let g = Prng.create 2026 in
+  let boards =
+    Array.init 12 (fun i ->
+        if i = 5 then Bm.random g 4 (Bv.bits_per_word + 3)
+        else Bm.random g (1 + Prng.int g 10) (1 + Prng.int g 10))
+  in
+  Alcotest.(check (array int))
+    "batch equals scalar" (Array.map Bm.rank boards) (Bm.rank_batch boards);
+  Alcotest.(check (array int)) "empty batch" [||] (Bm.rank_batch [||])
+
+(* ------------------------------------------------------------------ *)
+(* Traffic                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_traffic_parse_mix () =
+  (match Traffic.parse_mix "exact_cc=1,singular=4" with
+  | Ok [ (Traffic.Exact_cc, 1.0); (Traffic.Singular, 4.0) ] -> ()
+  | Ok _ -> Alcotest.fail "parsed into the wrong mix"
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  Alcotest.(check string) "round trip" "exact_cc=1,singular=4"
+    (match Traffic.parse_mix "exact_cc=1,singular=4" with
+    | Ok m -> Traffic.mix_to_string m
+    | Error e -> e);
+  Alcotest.(check string) "default round trips"
+    (Traffic.mix_to_string Traffic.default_mix)
+    (match Traffic.parse_mix (Traffic.mix_to_string Traffic.default_mix) with
+    | Ok m -> Traffic.mix_to_string m
+    | Error e -> e);
+  let rejects s =
+    match Traffic.parse_mix s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "mix %S was accepted" s
+  in
+  rejects "";
+  rejects "exact_cc";
+  rejects "teleport=1";
+  rejects "singular=0";
+  rejects "singular=-2";
+  rejects "singular=abc";
+  rejects "singular=1,singular=2"
+
+(* Same (seed, mix, arrival, count) => bit-identical stream; the
+   generator takes no jobs parameter at all, which is the stronger
+   form of the bench's jobs-invariance guarantee (the executor only
+   ever consumes this schedule read-only). *)
+let test_traffic_stream_deterministic () =
+  let mix = Traffic.default_mix in
+  let a =
+    Traffic.stream ~seed:11 ~mix ~arrival:(Traffic.Open { rate = 500.0 })
+      ~count:200
+  in
+  let b =
+    Traffic.stream ~seed:11 ~mix ~arrival:(Traffic.Open { rate = 500.0 })
+      ~count:200
+  in
+  Alcotest.(check bool) "identical streams" true (a = b);
+  let c =
+    Traffic.stream ~seed:12 ~mix ~arrival:(Traffic.Open { rate = 500.0 })
+      ~count:200
+  in
+  Alcotest.(check bool) "seed changes the stream" true (a <> c);
+  Array.iteri
+    (fun i (r : Traffic.request) ->
+      Alcotest.(check int) "ids are positional" i r.Traffic.id)
+    a;
+  (* Open loop: arrivals strictly advance (exponential gaps > 0). *)
+  Array.iteri
+    (fun i (r : Traffic.request) ->
+      if i > 0 then
+        Alcotest.(check bool) "arrivals nondecreasing" true
+          (r.Traffic.arrival_s >= a.(i - 1).Traffic.arrival_s))
+    a;
+  (* Closed loop: no schedule, only ordering. *)
+  let closed =
+    Traffic.stream ~seed:11 ~mix
+      ~arrival:(Traffic.Closed { concurrency = 4 })
+      ~count:50
+  in
+  Array.iter
+    (fun (r : Traffic.request) ->
+      Alcotest.(check (float 0.0)) "closed arrival zero" 0.0
+        r.Traffic.arrival_s)
+    closed
+
+let test_traffic_stream_respects_mix () =
+  let only =
+    Traffic.stream ~seed:3
+      ~mix:[ (Traffic.Protocol, 2.5) ]
+      ~arrival:(Traffic.Closed { concurrency = 1 })
+      ~count:64
+  in
+  Array.iter
+    (fun (r : Traffic.request) ->
+      Alcotest.(check bool) "single-kind mix" true
+        (r.Traffic.kind = Traffic.Protocol))
+    only;
+  Alcotest.check_raises "empty mix rejected"
+    (Invalid_argument "Traffic.stream: mix must be non-empty with positive weights")
+    (fun () ->
+      ignore
+        (Traffic.stream ~seed:0 ~mix:[]
+           ~arrival:(Traffic.Closed { concurrency = 1 })
+           ~count:1))
 
 (* ------------------------------------------------------------------ *)
 (* Tab                                                                 *)
@@ -805,14 +938,23 @@ let () =
             prop_bitmat_transpose_involution;
           qtest "rank transpose" QCheck.small_int prop_bitmat_rank_transpose;
           qtest "rank bounds" QCheck.small_int prop_bitmat_rank_bounds;
-          qtest "submatrix" QCheck.small_int prop_bitmat_submatrix ] );
+          qtest "submatrix" QCheck.small_int prop_bitmat_submatrix;
+          Alcotest.test_case "rank_batch edges" `Quick test_bitmat_rank_batch ] );
       ( "stats",
         [ Alcotest.test_case "known values" `Quick test_stats_known;
           Alcotest.test_case "fits" `Quick test_stats_fit;
           Alcotest.test_case "errors" `Quick test_stats_errors;
           Alcotest.test_case "percentile/median consistency" `Quick
             test_stats_percentile;
+          Alcotest.test_case "percentile pathological" `Quick
+            test_stats_percentile_pathological;
           qtest "variance nonneg" QCheck.small_int prop_variance_nonneg ] );
+      ( "traffic",
+        [ Alcotest.test_case "mix parsing" `Quick test_traffic_parse_mix;
+          Alcotest.test_case "stream deterministic" `Quick
+            test_traffic_stream_deterministic;
+          Alcotest.test_case "stream respects mix" `Quick
+            test_traffic_stream_respects_mix ] );
       ( "tab",
         [ Alcotest.test_case "render aligned" `Quick test_tab_render;
           Alcotest.test_case "width mismatch" `Quick test_tab_width_mismatch;
