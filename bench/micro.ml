@@ -188,8 +188,9 @@ let b7_exact_cc () =
   let module E = Commx_comm.Exact_cc in
   let g = Prng.create 9003 in
   let m = Bm.init 9 9 (fun _ _ -> Prng.float g < 0.18) in
-  let cfg ~table ~canonicalize ~prune ?table_budget () =
-    { E.table; canonicalize; prune; table_budget }
+  let cfg ~table ~canonicalize ~prune ?(portfolio = true)
+      ?(share_incumbent = true) ?table_budget () =
+    { E.table; canonicalize; prune; portfolio; share_incumbent; table_budget }
   in
   let variants =
     [ ("full", E.default_config, 5);
@@ -248,6 +249,85 @@ let b7_exact_cc () =
   (match values with
   | v :: rest when List.for_all (( = ) v) rest -> ()
   | _ -> failwith "B7: ablation configs disagree on the exact CC value");
+  rows
+
+(* B7-pool: the parallel layer's PR 10 changes ablated against the
+   PR 4 engine they replace.  The board is a 12x12 GF(2) rank-5
+   product (inner products of random 5-bit vectors) whose canonical
+   9x10 form has 766 root moves — enough to spread over every strided
+   group / worker deque — and whose exact CC equals its trivial upper
+   bound, so the search is pure exhaustion: no lucky witness ends a
+   run early and wall-clock is stable enough to gate.  The grid
+   crosses the driver (strided vs work-stealing) with the lower-bound
+   portfolio; "strided-baseline" additionally isolates group
+   incumbents ([share_incumbent = false]), which reproduces the PR 4
+   parallel engine node-for-node.  Strided node counts are
+   jobs-invariant and emitted as [nodes]; stealing counts depend on
+   scheduling, so those rows emit [steal_nodes] and the perf gate
+   checks only the relational claim — steal-portfolio must beat the
+   strided baseline on wall-clock. *)
+let b7_pool_ablation () =
+  let module E = Commx_comm.Exact_cc in
+  let module Pool = Commx_util.Pool in
+  let jobs = 4 in
+  let m =
+    let g = Prng.create 50035 in
+    let k = 5 and n = 12 in
+    let a = Array.init n (fun _ -> Prng.int g (1 lsl k)) in
+    let b = Array.init n (fun _ -> Prng.int g (1 lsl k)) in
+    Bm.init n n (fun i j ->
+        let rec parity x acc =
+          if x = 0 then acc else parity (x lsr 1) (acc lxor (x land 1))
+        in
+        parity (a.(i) land b.(j)) 0 = 1)
+  in
+  let cfg ~share_incumbent ~portfolio =
+    { E.default_config with share_incumbent; portfolio }
+  in
+  let variants =
+    [ ( "pool-strided-baseline", true,
+        cfg ~share_incumbent:false ~portfolio:false );
+      ("pool-strided-portfolio", true, cfg ~share_incumbent:true ~portfolio:true);
+      ("pool-steal-no-portfolio", false, cfg ~share_incumbent:true ~portfolio:false);
+      ("pool-steal-portfolio", false, cfg ~share_incumbent:true ~portfolio:true) ]
+  in
+  Printf.printf
+    "\n== B7 pooled exact-CC drivers (12x12 rank-5 product, jobs=%d) ==\n" jobs;
+  let tab =
+    Commx_util.Tab.make
+      ~header:[ "driver"; "wall s"; "cc"; "nodes" ]
+      Commx_util.Tab.[ Left; Right; Right; Right ]
+  in
+  let rows =
+    Pool.with_pool ~jobs (fun pool ->
+        List.map
+          (fun (name, deterministic, config) ->
+            let t0 = Commx_util.Clock.now_s () in
+            let v, st = E.search ~config ~pool ~deterministic m in
+            let dt = Commx_util.Clock.now_s () -. t0 in
+            let nodes_key = if deterministic then "nodes" else "steal_nodes" in
+            Commx_util.Tab.add_row tab
+              [ name;
+                Commx_util.Tab.fmt_float ~digits:4 dt;
+                string_of_int v;
+                string_of_int st.E.nodes ];
+            Json.Obj
+              [ ("group", Json.String "B7");
+                ("bench", Json.String ("exact-cc/" ^ name));
+                ("wall_s", Json.Float dt); ("value", Json.Int v);
+                (nodes_key, Json.Int st.E.nodes); ("jobs", Json.Int jobs) ])
+          variants)
+  in
+  Commx_util.Tab.print tab;
+  (* The drivers ablate scheduling and bounds, never the answer. *)
+  let values =
+    List.filter_map
+      (function Json.Obj kvs -> List.assoc_opt "value" kvs | _ -> None)
+      rows
+  in
+  (match values with
+  | v :: rest when List.for_all (( = ) v) rest -> ()
+  | _ -> failwith "B7-pool: pooled drivers disagree on the exact CC value");
   rows
 
 (* B8: the observability plane's promise is "cheap when off" — every
@@ -328,5 +408,6 @@ let run () =
       (b6_membership ())
   in
   let b7 = b7_exact_cc () in
+  let b7p = b7_pool_ablation () in
   let b8 = b8_telemetry_overhead () in
-  List.concat [ b1; b2; b3; b4; b5; b6; b7; b8 ]
+  List.concat [ b1; b2; b3; b4; b5; b6; b7; b7p; b8 ]

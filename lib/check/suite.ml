@@ -429,6 +429,21 @@ let exact_cc_sandwiched =
       all_of
         [ ("lower<=cc<=upper", fun () -> Exact_cc.optimal_is_sandwiched m) ])
 
+let exact_cc_lb_portfolio_sound =
+  (* Every member of the root lower-bound portfolio — GF(2)
+     rank/fooling, rational log-rank, discrepancy — must individually
+     stay at or below the exact CC: one unsound member would make the
+     engine prune away optimal protocols and return wrong values while
+     every ablation still agreed with itself.  Checked against the
+     reference-grade exact value on boards small enough to afford it. *)
+  Property.make ~name:"exact_cc.lb_portfolio_sound" ~gen:(gen_small_bitmat 1 5)
+    ~shrink:Shrink.bitmat ~show:show_bitmat (fun m ->
+      let cc, _ = Exact_cc.search m in
+      all_of
+        (List.map
+           (fun (name, bound) -> (name ^ "<=cc", fun () -> bound <= cc))
+           (Exact_cc.lower_bound_portfolio m)))
+
 (* ------------------------------------------------------------------ *)
 (* Zmatrix determinants vs. cofactor expansion                         *)
 (* ------------------------------------------------------------------ *)
@@ -683,6 +698,7 @@ let all () =
     txtable_eviction_fail_soft;
     exact_cc_vs_reference;
     exact_cc_sandwiched;
+    exact_cc_lb_portfolio_sound;
     zmatrix_det_agreement;
     zmatrix_singular_batch;
     lemma32_vs_determinant;

@@ -46,11 +46,11 @@ module Pool = Commx_util.Pool
    Entries of either kind stay valid across callers with different
    bounds, so the table is shared by the whole search. *)
 
-let max_side = 16
+let max_side = 20
 
-(* Packed (rmask, cmask) keys occupy [2 * max_side] = 32 bits; a
+(* Packed (rmask, cmask) keys occupy [2 * max_side] = 40 bits; a
    caller-supplied tag is shifted above them, and Txtable keys must
-   stay within 62 bits — leaving 30 bits of tag space. *)
+   stay within 62 bits — leaving 22 bits of tag space. *)
 let key_tag_bits = 62 - (2 * max_side)
 let max_key_tag = (1 lsl key_tag_bits) - 1
 
@@ -78,14 +78,18 @@ type config = {
   table : bool;
   canonicalize : bool;
   prune : bool;
+  portfolio : bool;
+  share_incumbent : bool;
   table_budget : int option;
 }
 
 let default_config =
-  { table = true; canonicalize = true; prune = true; table_budget = None }
+  { table = true; canonicalize = true; prune = true; portfolio = true;
+    share_incumbent = true; table_budget = None }
 
 let reference_config =
-  { table = false; canonicalize = false; prune = false; table_budget = None }
+  { table = false; canonicalize = false; prune = false; portfolio = false;
+    share_incumbent = false; table_budget = None }
 
 type stats = {
   nodes : int;
@@ -104,6 +108,17 @@ let c_hits = Tel.counter "exact_cc.table_hits"
 let c_misses = Tel.counter "exact_cc.table_misses"
 let c_evictions = Tel.counter "exact_cc.table_evictions"
 let c_root_pruned = Tel.counter "exact_cc.root_pruned"
+
+(* Node expansions of work-stealing searches are schedule-dependent,
+   so they accumulate into their own counter: [exact_cc.nodes] stays
+   strictly jobs-invariant (sequential + deterministic-mode searches
+   only) and remains the one the perf gate compares. *)
+let c_steal_nodes = Tel.counter "exact_cc.steal_nodes"
+
+(* Which root lower bound won (ties resolved in evaluation order). *)
+let c_lb_rank = Tel.counter "exact_cc.lb_win|bound=rank_fooling"
+let c_lb_logrank = Tel.counter "exact_cc.lb_win|bound=log_rank"
+let c_lb_disc = Tel.counter "exact_cc.lb_win|bound=discrepancy"
 
 (* Smallest k with 2^k >= n (n >= 1). *)
 let ceil_log2 n =
@@ -159,6 +174,7 @@ type ctx = {
   buf : int array;  (* scratch for duplicate collapse, length max_side *)
   cancel : Pool.Token.t option;
   mutable nodes : int;
+  mutable visits : int;  (* node entries, table hits included *)
 }
 
 (* [?ext] plugs in a caller-owned table (the serve daemon's warm
@@ -189,11 +205,14 @@ let mk_ctx ?ext ?cancel cfg rw cw =
     buf = Array.make max_side 0;
     cancel;
     nodes = 0;
+    visits = 0;
   }
 
-(* Cooperative cancellation: poll the token every 1024 node
-   expansions.  Expansions are the unit of real work (the only place
-   exponential time accrues), so the granularity stays well under a
+(* Cooperative cancellation: poll the token every 1024 node visits.
+   Visits count table hits as well as expansions — a warm search
+   serves long streaks of hits without expanding anything, which used
+   to starve deadline polling entirely (the old counter advanced only
+   on expansions).  At 1024 the granularity stays well under a
    millisecond on dense boards while the check costs one atomic load
    plus an occasional clock read. *)
 let poll_interval_mask = 1023
@@ -201,7 +220,7 @@ let poll_interval_mask = 1023
 let poll_cancel ctx =
   match ctx.cancel with
   | Some tok
-    when ctx.nodes land poll_interval_mask = 0 && Pool.Token.cancelled tok ->
+    when ctx.visits land poll_interval_mask = 0 && Pool.Token.cancelled tok ->
       raise Pool.Cancelled
   | _ -> ()
 
@@ -256,6 +275,8 @@ let rec cc ctx ~lb rmask cmask bound =
   if Bm.mono_masked ctx.rw ~rmask ~cmask >= 0 then 0
   else if bound <= 1 then bound
   else begin
+    ctx.visits <- ctx.visits + 1;
+    poll_cancel ctx;
     let key = ctx.key_base lor rmask lor (cmask lsl max_side) in
     let cached_exact = ref (-1) in
     let cached_lb = ref 1 in
@@ -270,7 +291,6 @@ let rec cc ctx ~lb rmask cmask bound =
     else if !cached_lb >= bound then bound
     else begin
       ctx.nodes <- ctx.nodes + 1;
-      poll_cancel ctx;
       let prune = ctx.cfg.prune in
       let node_lb = max lb !cached_lb in
       let bound_eff = if prune then bound else no_bound in
@@ -321,12 +341,14 @@ and eval_split ctx best r0 c0 r1 c1 =
     if cost < !best then best := cost
   end
 
-(* {2 Root bounds} *)
+(* {2 Root bounds}
 
-(* Leaves of a depth-C protocol: at most 2^C, all monochromatic
-   rectangles; 1-leaves >= max (GF(2) rank, greedy fooling set),
-   0-leaves >= GF(2) rank of the complement. *)
-let certified_lower m =
+   Every member bounds the leaf count of a depth-C protocol: at most
+   2^C leaves, all monochromatic rectangles. *)
+
+(* 1-leaves >= max (GF(2) rank, greedy fooling set), 0-leaves >= GF(2)
+   rank of the complement. *)
+let rank_fooling_lower m =
   let r1 = Rank_bound.gf2_rank m in
   let r0 = Rank_bound.gf2_rank (Bm.complement m) in
   let fool =
@@ -338,7 +360,70 @@ let certified_lower m =
     in
     List.length (Fooling.greedy tm)
   in
-  max 1 (ceil_log2 (max r1 fool + r0))
+  ceil_log2 (max r1 fool + r0)
+
+(* Mehlhorn–Schmidt over ℚ, both colors: the 1-leaves sum to M as
+   rank-1 rational matrices, so 1-leaves >= rank_Q M; the 0-leaves sum
+   to the complement likewise.  Rational rank dominates GF(2) rank, so
+   this frequently beats [rank_fooling_lower] — at the cost of exact
+   rational elimination. *)
+let log_rank_lower m =
+  ceil_log2
+    (Rank_bound.rational_rank m + Rank_bound.rational_rank (Bm.complement m))
+
+(* Discrepancy: every monochromatic rectangle R satisfies
+   [|ones R - zeros R| = |R|], so cells = sum |leaf| <= 2^C * disc *
+   cells, i.e. C >= log2 (1/disc).  The epsilon absorbs float noise in
+   the direction of soundness (rounding the bound down). *)
+let discrepancy_lower m =
+  let disc = Discrepancy.discrepancy_exact m in
+  if disc <= 0.0 then 0
+  else
+    max 0
+      (int_of_float (Float.ceil ((-.Float.log disc /. Float.log 2.0) -. 1e-9)))
+
+(* All portfolio members of an arbitrary matrix, each individually a
+   certified lower bound on its exact CC (property-tested by [ccmx
+   check exact_cc.lb_portfolio_sound]).  Computed on the canonical
+   matrix — CC-invariant, and what the engine itself bounds. *)
+let portfolio_members = [ "rank_fooling"; "log_rank"; "discrepancy" ]
+
+let lower_bound_portfolio m =
+  if Bm.rows m = 0 || Bm.cols m = 0 then
+    List.map (fun n -> (n, 0)) portfolio_members
+  else
+    let m' = complement_normalize (collapse_duplicates m) in
+    if Bm.count_ones m' = 0 then
+      (* monochromatic (complement-normalized to all-zero): CC is 0 *)
+      List.map (fun n -> (n, 0)) portfolio_members
+    else
+      [ ("rank_fooling", max 1 (rank_fooling_lower m'));
+        ("log_rank", log_rank_lower m');
+        ("discrepancy", discrepancy_lower m') ]
+
+(* The engine's root bound: members evaluated cheapest-first, stopping
+   as soon as [ub] is reached (a tighter bound cannot change the
+   outcome).  The telemetry counter of the member that produced the
+   final bound records which bound won at this root. *)
+let certified_lower ~portfolio ~ub m =
+  let best = ref (max 1 (rank_fooling_lower m)) in
+  let win = ref c_lb_rank in
+  if portfolio && !best < ub then begin
+    let lr = log_rank_lower m in
+    if lr > !best then begin
+      best := lr;
+      win := c_lb_logrank
+    end;
+    if !best < ub then begin
+      let d = discrepancy_lower m in
+      if d > !best then begin
+        best := d;
+        win := c_lb_disc
+      end
+    end
+  end;
+  Tel.incr !win;
+  !best
 
 (* {2 Drivers} *)
 
@@ -406,10 +491,10 @@ let leaf_stats ~cnr ~cnc ~root_lower ~root_upper =
     root_upper;
   }
 
-(* Number of strided groups the root move list is cut into when a pool
-   is available.  Fixed — never derived from the pool's job count — so
-   group contents, per-group incumbents, values and counters are
-   identical at any [--jobs]. *)
+(* Number of strided groups the root move list is cut into in
+   deterministic mode.  Fixed — never derived from the pool's job
+   count — so group contents, per-group incumbents, values and
+   counters are identical at any [--jobs]. *)
 let root_groups = 16
 
 (* Fan out only when the root move list dwarfs the grouping overhead
@@ -417,38 +502,41 @@ let root_groups = 16
    a canonical board of at least ten rows or columns. *)
 let parallel_move_threshold = 512
 
-let run_parallel cfg pool ?cancel p ~lb ~ub =
-  let results =
-    Pool.parallel_map pool
-      (fun g ->
-        let ctx = mk_ctx ?cancel cfg p.rwp p.cwp in
-        let best = ref (if cfg.prune then ub else no_bound) in
-        let idx = ref 0 in
-        let consider r0 c0 r1 c1 =
-          if
-            !idx mod root_groups = g
-            && ((not cfg.prune) || !best > lb)
-          then eval_split ctx best r0 c0 r1 c1;
-          incr idx
-        in
-        let low_r = p.full_r land -p.full_r in
-        let sub = ref p.full_r in
-        while !sub > 0 do
-          if !sub <> p.full_r && !sub land low_r <> 0 then
-            consider !sub p.full_c (p.full_r lxor !sub) p.full_c;
-          sub := (!sub - 1) land p.full_r
-        done;
-        let low_c = p.full_c land -p.full_c in
-        let sub = ref p.full_c in
-        while !sub > 0 do
-          if !sub <> p.full_c && !sub land low_c <> 0 then
-            consider p.full_r !sub p.full_r (p.full_c lxor !sub);
-          sub := (!sub - 1) land p.full_c
-        done;
-        (!best, stats_of ctx ~cnr:p.cnr ~cnc:p.cnc ~root_lower:lb
-           ~root_upper:ub))
-      (Array.init root_groups Fun.id)
-  in
+(* A root move packs one child of a root split: bit 0 selects the side
+   (0 = row split, 1 = column split), the chosen submask sits above.
+   The enumeration order is the classic one ([run_parallel]'s old
+   [consider] order), so strided group contents are unchanged. *)
+let enumerate_root_moves p =
+  let n = (1 lsl (p.cnr - 1)) + (1 lsl (p.cnc - 1)) - 2 in
+  let moves = Array.make n 0 in
+  let k = ref 0 in
+  let low_r = p.full_r land -p.full_r in
+  let sub = ref p.full_r in
+  while !sub > 0 do
+    if !sub <> p.full_r && !sub land low_r <> 0 then begin
+      moves.(!k) <- !sub lsl 1;
+      incr k
+    end;
+    sub := (!sub - 1) land p.full_r
+  done;
+  let low_c = p.full_c land -p.full_c in
+  let sub = ref p.full_c in
+  while !sub > 0 do
+    if !sub <> p.full_c && !sub land low_c <> 0 then begin
+      moves.(!k) <- (!sub lsl 1) lor 1;
+      incr k
+    end;
+    sub := (!sub - 1) land p.full_c
+  done;
+  assert (!k = n);
+  moves
+
+let split_of_move p mv =
+  let sub = mv lsr 1 in
+  if mv land 1 = 0 then (sub, p.full_c, p.full_r lxor sub, p.full_c)
+  else (p.full_r, sub, p.full_r, p.full_c lxor sub)
+
+let merge_results ~lb ~ub ~seed p results =
   Array.fold_left
     (fun (v, (acc : stats)) (b, (s : stats)) ->
       ( min v b,
@@ -459,31 +547,238 @@ let run_parallel cfg pool ?cancel p ~lb ~ub =
           table_misses = acc.table_misses + s.table_misses;
           table_evictions = acc.table_evictions + s.table_evictions;
         } ))
-    ( (if cfg.prune then ub else no_bound),
-      leaf_stats ~cnr:p.cnr ~cnc:p.cnc ~root_lower:lb ~root_upper:ub )
+    (seed, leaf_stats ~cnr:p.cnr ~cnc:p.cnc ~root_lower:lb ~root_upper:ub)
     results
 
-let publish (st : stats) =
-  Tel.incr c_searches;
-  Tel.add c_nodes st.nodes;
-  Tel.add c_hits st.table_hits;
-  Tel.add c_misses st.table_misses;
-  Tel.add c_evictions st.table_evictions
+(* {3 Deterministic mode: strided groups + barrier-shared incumbent}
 
-let run cfg pool ext cancel m =
+   The move list is cut into [root_groups] strided groups exactly as
+   before, but the groups now exchange incumbents at fixed
+   synchronization barriers: each round, every group advances at most
+   [strided_block] of its moves under [min (its own best, the global
+   best merged at the last barrier)].  One group's improvement bounds
+   every other group's window from the next round on — the fix for the
+   old isolated-incumbent behavior where [--jobs N] explored strictly
+   more nodes than [--jobs 1] on prune-heavy boards — while the work a
+   group does remains a pure function of the move list and the merged
+   incumbents, never of scheduling: values AND node counters stay
+   bit-identical at any job count.
+
+   [config.share_incumbent = false] suppresses the barrier exchange,
+   reproducing the PR 4 behavior (isolated incumbents) node-for-node —
+   kept as the B7 ablation baseline and for the regression test that
+   pins how much sharing saves. *)
+let strided_block = 16
+
+let run_strided cfg pool ?cancel p ~lb ~ub =
+  let moves = enumerate_root_moves p in
+  let nm = Array.length moves in
+  let seed = if cfg.prune then ub else no_bound in
+  let ctxs =
+    Array.init root_groups (fun _ -> mk_ctx ?cancel cfg p.rwp p.cwp)
+  in
+  let bests = Array.make root_groups seed in
+  let cursors = Array.init root_groups Fun.id in
+  let groups = Array.init root_groups Fun.id in
+  let global = ref seed in
+  let live = ref true in
+  while !live do
+    let g0 = if cfg.share_incumbent then !global else seed in
+    ignore
+      (Pool.parallel_map pool ?cancel
+         (fun g ->
+           let ctx = ctxs.(g) in
+           let best = ref (min bests.(g) g0) in
+           let cur = ref cursors.(g) in
+           let steps = ref 0 in
+           while
+             !steps < strided_block && !cur < nm
+             && ((not cfg.prune) || !best > lb)
+           do
+             let r0, c0, r1, c1 = split_of_move p moves.(!cur) in
+             eval_split ctx best r0 c0 r1 c1;
+             cur := !cur + root_groups;
+             incr steps
+           done;
+           bests.(g) <- !best;
+           cursors.(g) <- !cur;
+           ())
+         groups);
+    global := Array.fold_left min !global bests;
+    live :=
+      (if cfg.share_incumbent then
+         Array.exists (fun c -> c < nm) cursors
+         && ((not cfg.prune) || !global > lb)
+       else
+         (* isolated incumbents: a group only retires when its own
+            moves run out or its own best hits the floor *)
+         Array.exists2
+           (fun c b -> c < nm && ((not cfg.prune) || b > lb))
+           cursors bests)
+  done;
+  merge_results ~lb ~ub ~seed:!global p
+    (Array.map
+       (fun ctx ->
+         ( seed,
+           stats_of ctx ~cnr:p.cnr ~cnc:p.cnc ~root_lower:lb ~root_upper:ub ))
+       ctxs)
+
+(* {3 Stealing mode: per-domain deques + a shared atomic incumbent}
+
+   One deque of root moves per pool worker (seeded stride-wise so every
+   deque starts with a spread of the list); the owner pops blocks from
+   one end, domains that run dry steal blocks from the other end of a
+   victim's deque.  The incumbent is a single atomic: an improvement
+   found by any domain tightens every other domain's [eval_split]
+   window on its very next move.  Each worker carries its own
+   transposition-table segment for the whole search — the serve
+   daemon's per-worker segment design — so subtree results warm across
+   every root move the domain executes (own or stolen) instead of
+   dying with a per-group table.
+
+   Returned values are schedule-invariant: a move is only recorded
+   when its cost was proved strictly below the bound its children were
+   searched under (fail-soft), and bounds only ever tighten, so the
+   final incumbent is [min ub (true minimum)] regardless of
+   interleaving.  Node counts DO depend on timing — stealing-mode
+   statistics feed [exact_cc.steal_nodes], not the jobs-invariant
+   counters. *)
+let steal_block = 32
+
+type deque = {
+  dm : Mutex.t;
+  dq : int array;
+  mutable lo : int;  (* thieves take from [lo] *)
+  mutable hi : int;  (* the owner takes below [hi] *)
+}
+
+let deque_take dq k out =
+  Mutex.lock dq.dm;
+  let n = min k (dq.hi - dq.lo) in
+  let base = dq.hi - n in
+  Array.blit dq.dq base out 0 n;
+  dq.hi <- base;
+  Mutex.unlock dq.dm;
+  n
+
+let deque_steal dq k out =
+  Mutex.lock dq.dm;
+  let n = min k (dq.hi - dq.lo) in
+  Array.blit dq.dq dq.lo out 0 n;
+  dq.lo <- dq.lo + n;
+  Mutex.unlock dq.dm;
+  n
+
+let rec relax_min a v =
+  let cur = Atomic.get a in
+  if v < cur && not (Atomic.compare_and_set a cur v) then relax_min a v
+
+(* Evaluate one root move against the shared incumbent.  The cost is
+   recorded only when strictly below the bound [w] its second child
+   was searched under — a truncated (fail-soft) child yields
+   [cost >= w], which is correctly discarded — so a stale incumbent
+   read can only cost work, never correctness. *)
+let eval_move_shared ctx shared ~prune p mv =
+  let r0, c0, r1, c1 = split_of_move p mv in
+  if prune then begin
+    let cur = Atomic.get shared in
+    let a = cc ctx ~lb:1 r0 c0 (cur - 1) in
+    if a + 1 < cur then begin
+      (* refresh: another domain may have tightened the incumbent
+         while the first child was being searched *)
+      let w = min cur (Atomic.get shared) in
+      if a + 1 < w then begin
+        let b = cc ctx ~lb:1 r1 c1 (w - 1) in
+        let cost = 1 + max a b in
+        if cost < w then relax_min shared cost
+      end
+    end
+  end
+  else begin
+    let a = cc ctx ~lb:1 r0 c0 no_bound in
+    let b = cc ctx ~lb:1 r1 c1 no_bound in
+    relax_min shared (1 + max a b)
+  end
+
+let run_steal cfg pool ?cancel p ~lb ~ub =
+  let moves = enumerate_root_moves p in
+  let nm = Array.length moves in
+  let nw = Pool.jobs pool in
+  let seed = if cfg.prune then ub else no_bound in
+  let shared = Atomic.make seed in
+  let deques =
+    Array.init nw (fun w ->
+        let cnt = (nm - w + nw - 1) / nw in
+        let arr = Array.init cnt (fun i -> moves.(w + (i * nw))) in
+        { dm = Mutex.create (); dq = arr; lo = 0; hi = cnt })
+  in
+  let results =
+    Pool.parallel_map pool ?cancel ~chunk:1
+      (fun w ->
+        let ctx = mk_ctx ?cancel cfg p.rwp p.cwp in
+        let buf = Array.make steal_block 0 in
+        let running = ref true in
+        while !running do
+          (match cancel with
+          | Some tok when Pool.Token.cancelled tok -> raise Pool.Cancelled
+          | _ -> ());
+          let n = deque_take deques.(w) steal_block buf in
+          let n =
+            if n > 0 then n
+            else begin
+              (* own deque dry: steal from the first victim with work *)
+              let got = ref 0 in
+              let v = ref 1 in
+              while !got = 0 && !v < nw do
+                got := deque_steal deques.((w + !v) mod nw) steal_block buf;
+                incr v
+              done;
+              !got
+            end
+          in
+          if n = 0 then running := false
+          else
+            for i = 0 to n - 1 do
+              if (not cfg.prune) || Atomic.get shared > lb then
+                eval_move_shared ctx shared ~prune:cfg.prune p buf.(i)
+            done
+        done;
+        ( seed,
+          stats_of ctx ~cnr:p.cnr ~cnc:p.cnc ~root_lower:lb ~root_upper:ub ))
+      (Array.init nw Fun.id)
+  in
+  merge_results ~lb ~ub ~seed:(Atomic.get shared) p results
+
+let publish ?(stolen = false) (st : stats) =
+  Tel.incr c_searches;
+  if stolen then Tel.add c_steal_nodes st.nodes
+  else begin
+    Tel.add c_nodes st.nodes;
+    Tel.add c_hits st.table_hits;
+    Tel.add c_misses st.table_misses;
+    Tel.add c_evictions st.table_evictions
+  end
+
+let run cfg pool ext cancel ~deterministic m =
   if Bm.rows m = 0 || Bm.cols m = 0 then
-    (0, leaf_stats ~cnr:(Bm.rows m) ~cnc:(Bm.cols m) ~root_lower:0
-       ~root_upper:0)
+    ( 0,
+      leaf_stats ~cnr:(Bm.rows m) ~cnc:(Bm.cols m) ~root_lower:0 ~root_upper:0,
+      false )
   else begin
     let p = prepare cfg m in
     let ub = ceil_log2 (min p.cnr p.cnc) + 1 in
     if Bm.mono_masked p.rwp ~rmask:p.full_r ~cmask:p.full_c >= 0 then
-      (0, leaf_stats ~cnr:p.cnr ~cnc:p.cnc ~root_lower:0 ~root_upper:ub)
+      (0, leaf_stats ~cnr:p.cnr ~cnc:p.cnc ~root_lower:0 ~root_upper:ub, false)
     else begin
-      let lb = if cfg.prune then certified_lower p.canon else 1 in
+      let lb =
+        if cfg.prune then certified_lower ~portfolio:cfg.portfolio ~ub p.canon
+        else 1
+      in
       if cfg.prune && lb >= ub then begin
         Tel.incr c_root_pruned;
-        (ub, leaf_stats ~cnr:p.cnr ~cnc:p.cnc ~root_lower:lb ~root_upper:ub)
+        ( ub,
+          leaf_stats ~cnr:p.cnr ~cnc:p.cnc ~root_lower:lb ~root_upper:ub,
+          false )
       end
       else begin
         let n_moves = (1 lsl (p.cnr - 1)) + (1 lsl (p.cnc - 1)) - 2 in
@@ -492,8 +787,9 @@ let run cfg pool ext cancel m =
            (Txtable is not thread-safe), so its presence forces the
            sequential path regardless of the pool. *)
         | Some pool when n_moves >= parallel_move_threshold && ext = None -> (
-            match run_parallel cfg pool ?cancel p ~lb ~ub with
-            | r -> r
+            let driver = if deterministic then run_strided else run_steal in
+            match driver cfg pool ?cancel p ~lb ~ub with
+            | v, st -> (v, st, not deterministic)
             | exception Pool.Cancelled ->
                 (* Group-local node counts die with their domains; the
                    certified root bounds survive. *)
@@ -503,8 +799,10 @@ let run cfg pool ext cancel m =
             let bound = if cfg.prune then ub else no_bound in
             match cc ctx ~lb p.full_r p.full_c bound with
             | v ->
-                (v, stats_of ctx ~cnr:p.cnr ~cnc:p.cnc ~root_lower:lb
-                   ~root_upper:ub)
+                ( v,
+                  stats_of ctx ~cnr:p.cnr ~cnc:p.cnc ~root_lower:lb
+                    ~root_upper:ub,
+                  false )
             | exception Pool.Cancelled ->
                 (* Report the best certified answer the partial search
                    left behind.  The root entry of a warm table (same
@@ -531,7 +829,8 @@ let run cfg pool ext cancel m =
                 if !exact >= 0 then
                   ( !exact,
                     stats_of ctx ~cnr:p.cnr ~cnc:p.cnc ~root_lower:lb
-                      ~root_upper:ub )
+                      ~root_upper:ub,
+                    false )
                 else begin
                   (* The partial work still counts toward telemetry:
                      the nodes were expanded and the table entries are
@@ -547,14 +846,15 @@ let run cfg pool ext cancel m =
     end
   end
 
-let search ?(config = default_config) ?pool ?table ?(key_tag = 0) ?cancel m =
+let search ?(config = default_config) ?pool ?table ?(key_tag = 0) ?cancel
+    ?(deterministic = false) m =
   if key_tag < 0 || key_tag > max_key_tag then
     invalid_arg
       (Printf.sprintf "Exact_cc.search: key_tag %d out of [0, %d]" key_tag
          max_key_tag);
   let ext = Option.map (fun t -> (t, key_tag)) table in
-  let v, st = run config pool ext cancel m in
-  publish st;
+  let v, st, stolen = run config pool ext cancel ~deterministic m in
+  publish ~stolen st;
   (v, st)
 
 let complexity m = fst (search m)
@@ -564,6 +864,14 @@ let complexity_tm tm = complexity (Truth_matrix.to_bitmat tm)
    its result cache and its table-tag registry on.  Two inputs get the
    same key exactly when the engine would search the same canonical
    matrix — duplicate rows/columns and complementation included. *)
+(* Canonical board dimensions without running the search: what the
+   serve daemon's admission check sizes an [exact_cc] request by.
+   Collapse is enough — complement normalization never changes the
+   shape. *)
+let canonical_dims m =
+  let m' = collapse_duplicates m in
+  (Bm.rows m', Bm.cols m')
+
 let canonical_key m =
   let m' = complement_normalize (collapse_duplicates m) in
   let b = Buffer.create 64 in

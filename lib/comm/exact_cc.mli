@@ -34,11 +34,12 @@
       smaller side, one answer bit), a split's second child is skipped
       as soon as [1 + first child] meets the incumbent, and children
       are searched under the incumbent as a cost bound.  The root
-      incumbent is additionally checked against a certified lower
-      bound from {!Rank_bound} and {!Fooling} (leaves ≥ GF(2) ranks of
-      the matrix and its complement, and ≥ fooling-set size), so
-      searches whose trivial protocol is provably optimal return
-      without expanding a node.
+      incumbent is additionally checked against a certified
+      lower-bound {e portfolio} ({!lower_bound_portfolio}): GF(2)
+      ranks + fooling sets ({!Rank_bound}, {!Fooling}), rational
+      log-rank, and discrepancy ({!Discrepancy}) — so searches whose
+      trivial protocol is provably optimal return without expanding a
+      node, and telemetry records which bound won each root.
     - {b Word-level inner loop.}  Rows and columns of the canonical
       matrix live as packed native ints
       ({!Commx_util.Bitmat.packed_rows}), so monochromaticity,
@@ -50,10 +51,12 @@
     toggles are CC-invariant. *)
 
 val max_side : int
-(** Hard cap (16) on rows and on columns of the {e canonical} truth
+(** Hard cap (20) on rows and on columns of the {e canonical} truth
     matrix — duplicate rows/columns of the input do not count against
     it.  [12x12] dense instances are comfortable; beyond that cost
-    grows exponentially with the post-collapse dimensions. *)
+    grows exponentially with the post-collapse dimensions, and
+    18x18–20x20 instances are only reachable when the lower-bound
+    portfolio prunes at (or near) the root. *)
 
 exception
   Too_large of { rows : int; cols : int; limit : int }
@@ -84,6 +87,19 @@ type config = {
       (** seed incumbents with the trivial upper bound, bound child
           searches, cut second children, certify the root lower
           bound *)
+  portfolio : bool;
+      (** widen the certified root bound from rank/fooling alone to
+          the full lower-bound portfolio ({!lower_bound_portfolio}):
+          rational log-rank and discrepancy too, evaluated
+          cheapest-first with early exit once the trivial upper bound
+          is matched.  Only meaningful with [prune]. *)
+  share_incumbent : bool;
+      (** deterministic pooled mode only: exchange group incumbents at
+          the round barriers, so one group's improvement bounds every
+          other group's remaining moves.  [false] reproduces the PR 4
+          isolated-incumbent behavior node-for-node — the B7 ablation
+          baseline.  Stealing mode always shares (that is its point);
+          sequential searches have a single incumbent either way. *)
   table_budget : int option;
       (** max transposition-table entries (power-of-two rounded);
           [None] = grow unbounded *)
@@ -110,7 +126,7 @@ type stats = {
 
 val key_tag_bits : int
 (** Bits of tag space above the packed [(rmask, cmask)] in a
-    transposition-table key (30). *)
+    transposition-table key (22). *)
 
 val max_key_tag : int
 (** Largest admissible [?key_tag]: [2^key_tag_bits - 1]. *)
@@ -121,18 +137,43 @@ val search :
   ?table:Commx_util.Txtable.t ->
   ?key_tag:int ->
   ?cancel:Commx_util.Pool.Token.t ->
+  ?deterministic:bool ->
   Commx_util.Bitmat.t ->
   int * stats
 (** [search m] is the exact deterministic CC of [m] (in bits, standard
     model: leaf rectangles monochromatic, both agents know the answer)
-    together with search statistics.  With [?pool], large searches
-    split their root move enumeration into a {e fixed} number of
-    strided groups fanned out over the pool, each group with its own
-    transposition table and its own incumbent seeded from the shared
-    certified bounds — the value {e and} the statistics are
-    bit-identical at any pool job count (grouping never depends on
-    scheduling).  Statistics do differ between pooled and unpooled
-    searches (groups cannot share tables).
+    together with search statistics.
+
+    With [?pool], large searches fan their root moves out over the
+    pool in one of two modes:
+
+    - {b Stealing} (default, [?deterministic:false]): one deque of
+      root moves per pool worker, idle workers steal blocks from busy
+      ones, and all workers share an {e atomic incumbent} — an
+      improvement found anywhere tightens every other worker's pruning
+      window on its next move.  Each worker keeps one
+      transposition-table segment alive for the whole search, so
+      subtree results warm across all the root moves that worker
+      executes, own or stolen.  The returned {e value} is
+      schedule-invariant (bit-identical at any [--jobs], asserted in
+      CI); node and table {e statistics} depend on timing, so they
+      feed the separate [exact_cc.steal_nodes] telemetry counter and
+      leave the jobs-invariant [exact_cc.nodes]/hit/miss counters
+      untouched.
+
+    - {b Deterministic} ([?deterministic:true]): the root moves split
+      into a {e fixed} number of strided groups, each with its own
+      table segment and incumbent, which exchange incumbents only at
+      fixed synchronization barriers — so one group's improvement
+      still bounds the others (the PR 10 fix for pooled search pruning
+      less than sequential), but the work each group performs is a
+      pure function of the move list, never of scheduling: the value
+      {e and} the node counters are bit-identical at any pool job
+      count.  This is the mode the perf gate and the E14 primary
+      columns run.
+
+    Statistics differ between pooled and unpooled searches (segments
+    cannot share entries with the sequential table).
 
     With [?table], memoization goes through the {e caller-owned}
     table instead of a fresh private one (overriding [config.table]),
@@ -148,13 +189,15 @@ val search :
     forces the sequential search path even when [?pool] is given.
 
     With [?cancel], the search polls the {!Commx_util.Pool.Token}
-    every 1024 node expansions (so a token with a [~deadline] gives a
-    per-request time budget at sub-millisecond granularity on dense
-    boards) and raises {!Timed_out} when it fires — unless the warm
-    table already holds an {e exact} root entry, in which case the
-    answer won the race and is returned normally.  Cancellation of a
-    pooled search loses per-group node counts ([nodes = 0] in the
-    exception) but keeps the certified bounds.
+    every 1024 subproblem {e visits} — table hits included, so a
+    hit-dominated search against a warm table still observes its
+    deadline — and raises {!Timed_out} when the token fires; a token
+    with a [~deadline] gives a per-request time budget at
+    sub-millisecond granularity on dense boards.  If the warm table
+    already holds an {e exact} root entry, the answer won the race and
+    is returned normally.  Cancellation of a pooled search loses
+    per-group node counts ([nodes = 0] in the exception) but keeps the
+    certified bounds.
 
     Search statistics are also accumulated into the [exact_cc.*]
     {!Commx_util.Telemetry} counters; a timed-out search publishes its
@@ -169,6 +212,26 @@ val complexity : Commx_util.Bitmat.t -> int
     @raise Too_large when the canonical matrix exceeds {!max_side}. *)
 
 val complexity_tm : ('a, 'b) Truth_matrix.t -> int
+
+val lower_bound_portfolio : Commx_util.Bitmat.t -> (string * int) list
+(** Every certified lower bound the engine's root check draws from,
+    each evaluated on the canonical matrix and each individually
+    [<= exact CC] (property [exact_cc.lb_portfolio_sound]):
+    [("rank_fooling", GF(2)-rank/fooling-set bound)],
+    [("log_rank", rational log-rank of the matrix and complement)],
+    [("discrepancy", log2 (1/disc) from {!Discrepancy})].  Unlike
+    {!search} this puts no cheapest-first early exit in the way — all
+    members are computed — so it is the bench/experiment view of the
+    portfolio.  Never raises on oversize boards, but discrepancy and
+    rational elimination grow exponentially/cubically with size; keep
+    it to boards the engine itself admits. *)
+
+val canonical_dims : Commx_util.Bitmat.t -> int * int
+(** [(rows, cols)] of the canonical matrix — the dimensions
+    {!Too_large} is judged on — without searching.  Cheap (one
+    duplicate-collapse pass); the serve daemon's admission check uses
+    it to reject oversize [exact_cc] requests before they reach a
+    worker.  Never raises. *)
 
 val canonical_key : Commx_util.Bitmat.t -> string
 (** Content address of the canonical board: dimensions plus row bits

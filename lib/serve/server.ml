@@ -77,7 +77,12 @@ let () =
 
 let protocol_version = 1
 let snapshot_format = "ccmx-serve-snapshot"
-let snapshot_version = 1
+
+(* v2: Exact_cc.max_side went 16 -> 20, which moves the column masks
+   and the tag salt within packed table keys — v1 segment entries
+   would decode to different subproblems, so old snapshots must not
+   load. *)
+let snapshot_version = 2
 
 let config ~socket_path ?(workers = 2) ?snapshot_path ?(cache_capacity = 1024)
     ?table_budget ?(max_queue = 64) ?(drain_timeout_s = 30.0)
@@ -135,6 +140,7 @@ let c_respawns = Telemetry.counter "serve.worker_respawns"
 let c_timeouts = Telemetry.counter "serve.deadline_timeouts"
 let c_snapshots = Telemetry.counter "serve.snapshots_written"
 let c_oversized = Telemetry.counter "serve.oversized_lines"
+let c_too_large = Telemetry.counter "serve.too_large"
 let c_write_timeouts = Telemetry.counter "serve.write_timeouts"
 let c_chaos_cache = Telemetry.counter "serve.chaos_cache_skips"
 let c_chaos_snapshot = Telemetry.counter "serve.chaos_snapshot_skips"
@@ -1052,6 +1058,29 @@ let handle_line t conn line =
               ~fields:[ ("conn", Json.Int conn.cid) ]
               (Printf.sprintf "conn %d: shutdown requested" conn.cid);
             Atomic.set t.stop true
+        (* Admission check: the wire accepts matrices up to
+           [Wire.max_matrix_side] (64), but the engine only admits
+           canonical boards up to [E.max_side] — without this check an
+           oversize request costs a full worker round-trip before
+           failing deep in the search.  [E.canonical_dims] is one
+           duplicate-collapse pass, cheap enough for the accept
+           path. *)
+        | Wire.Exact_cc { matrix; _ }
+          when (let r, c = E.canonical_dims matrix in
+                r > E.max_side || c > E.max_side) ->
+            let cr, cc = E.canonical_dims matrix in
+            Atomic.incr t.errors;
+            Telemetry.incr c_too_large;
+            inline ~op:env.op ~outcome:"error"
+              (Wire.error ~code:"too_large" ~id:env.id
+                 ~fields:
+                   [ ("canon_rows", Json.Int cr);
+                     ("canon_cols", Json.Int cc);
+                     ("limit", Json.Int E.max_side) ]
+                 (Printf.sprintf
+                    "matrix too large for exact_cc: canonical %dx%d exceeds \
+                     %dx%d"
+                    cr cc E.max_side E.max_side))
         | _ -> dispatch t conn env t0 t0_ns)
   end
 

@@ -84,9 +84,12 @@ val error :
     ["code"] when [?code] is given and any extra [?fields].  The
     machine-readable codes the daemon uses — ["timed_out"] (with
     ["lower_bound"]/["upper_bound"] fields when the search certified
-    bounds), ["overloaded"], ["worker_crashed"], ["line_too_long"] —
-    let clients branch without parsing English; errors without a code
-    are request rejections (parse/validation). *)
+    bounds), ["overloaded"], ["worker_crashed"], ["line_too_long"],
+    ["too_large"] (exact_cc whose {e canonical} board exceeds the
+    engine cap, rejected at admission with
+    ["canon_rows"]/["canon_cols"]/["limit"] fields) — let clients
+    branch without parsing English; errors without a code are request
+    rejections (parse/validation). *)
 
 val error_code : Commx_util.Json.t -> string option
 (** The ["code"] of a failure reply, if the reply is a failure and

@@ -600,32 +600,114 @@ let prop_exact_cc_transpose params =
   Exact_cc.complexity m = Exact_cc.complexity (Bm.transpose m)
 
 let test_exact_cc_raised_cap () =
-  (* The packed engine accepts boards up to 16x16 (the seed engine
-     capped at 12).  EQ on m values costs ceil(log2 m) + 1 bits. *)
+  (* The packed engine accepts boards up to 20x20 (PR 4 raised the
+     seed's 12 to 16; the lower-bound portfolio raised 16 to 20).  EQ
+     on m values costs ceil(log2 m) + 1 bits. *)
   Alcotest.(check int) "EQ 14x14" 5 (Exact_cc.complexity (Bm.identity 14));
   Alcotest.(check int) "EQ 16x16" 5 (Exact_cc.complexity (Bm.identity 16));
+  Alcotest.(check int) "EQ 18x18" 6 (Exact_cc.complexity (Bm.identity 18));
+  Alcotest.(check int) "EQ 20x20" 6 (Exact_cc.complexity (Bm.identity 20));
   let gt14 = Bm.init 14 14 (fun i j -> i > j) in
-  Alcotest.(check int) "GT 14x14" 5 (Exact_cc.complexity gt14)
+  Alcotest.(check int) "GT 14x14" 5 (Exact_cc.complexity gt14);
+  let gt20 = Bm.init 20 20 (fun i j -> i > j) in
+  Alcotest.(check int) "GT 20x20" 6 (Exact_cc.complexity gt20)
 
 let test_exact_cc_too_large () =
-  (* GT on 17 values survives canonicalization intact (all rows and
+  (* GT on 21 values survives canonicalization intact (all rows and
      columns distinct), so it must be rejected — with the offending
      POST-canonicalization dimensions in the error. *)
-  let m = Bm.init 17 17 (fun i j -> i > j) in
-  Alcotest.check_raises "17x17 rejected"
-    (Exact_cc.Too_large { rows = 17; cols = 17; limit = 16 }) (fun () ->
-      ignore (Exact_cc.complexity m))
+  let m = Bm.init 21 21 (fun i j -> i > j) in
+  Alcotest.check_raises "21x21 rejected"
+    (Exact_cc.Too_large { rows = 21; cols = 21; limit = 20 }) (fun () ->
+      ignore (Exact_cc.complexity m));
+  Alcotest.(check (pair int int))
+    "canonical_dims sees what Too_large judges" (21, 21)
+    (Exact_cc.canonical_dims m)
 
 let test_exact_cc_cap_post_canonicalization () =
-  (* 20x20 raw, but rows/cols repeat with period 4: canonicalizes to
-     the 4x4 identity, so it must be ACCEPTED despite 20 > 16 — the
+  (* 24x24 raw, but rows/cols repeat with period 4: canonicalizes to
+     the 4x4 identity, so it must be ACCEPTED despite 24 > 20 — the
      cap applies to the canonical board, not the input.  CC is
      unchanged by duplicate-line collapse. *)
-  let m = Bm.init 20 20 (fun i j -> i mod 4 = j mod 4) in
-  Alcotest.(check int) "20x20 with period-4 lines" 3 (Exact_cc.complexity m);
+  let m = Bm.init 24 24 (fun i j -> i mod 4 = j mod 4) in
+  Alcotest.(check int) "24x24 with period-4 lines" 3 (Exact_cc.complexity m);
   let _, st = Exact_cc.search m in
   Alcotest.(check int) "canonical rows" 4 st.Exact_cc.canon_rows;
   Alcotest.(check int) "canonical cols" 4 st.Exact_cc.canon_cols
+
+let test_exact_cc_incumbent_sharing_regression () =
+  (* PR 4's pooled driver gave each strided group a PRIVATE incumbent,
+     so a cheap protocol found by one group never tightened the
+     others' pruning windows and --jobs N explored strictly more nodes
+     than --jobs 1 on prune-heavy boards.  The fix exchanges
+     incumbents at the round barriers; [share_incumbent = false] keeps
+     the old behavior as an ablation.  This sparse 12x12 board (witness
+     type: the exact value equals the certified lower bound, so search
+     ends on the first cheap protocol found) has a provable gap between
+     the two.  Node counts in deterministic mode are a pure function of
+     the move list, so the jobs-invariance checks are exact. *)
+  let g = Prng.create 700648 in
+  let m = Bm.init 12 12 (fun _ _ -> Prng.float g < 0.18) in
+  let v_seq, st_seq = Exact_cc.search m in
+  let run ~share_incumbent jobs =
+    let config = { Exact_cc.default_config with share_incumbent } in
+    Commx_util.Pool.with_pool ~jobs (fun pool ->
+        Exact_cc.search ~config ~pool ~deterministic:true m)
+  in
+  let v_sh1, st_sh1 = run ~share_incumbent:true 1 in
+  let v_sh3, st_sh3 = run ~share_incumbent:true 3 in
+  let v_iso, st_iso = run ~share_incumbent:false 3 in
+  Alcotest.(check int) "shared value = sequential" v_seq v_sh1;
+  Alcotest.(check int) "shared value jobs-invariant" v_sh1 v_sh3;
+  Alcotest.(check int) "isolated value agrees too" v_sh1 v_iso;
+  Alcotest.(check int) "shared nodes jobs-invariant" st_sh1.Exact_cc.nodes
+    st_sh3.Exact_cc.nodes;
+  Alcotest.(check bool) "sequential searched" true (st_seq.Exact_cc.nodes > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "sharing prunes strictly better (%d < %d)"
+       st_sh3.Exact_cc.nodes st_iso.Exact_cc.nodes)
+    true
+    (st_sh3.Exact_cc.nodes < st_iso.Exact_cc.nodes)
+
+let test_exact_cc_warm_table_deadline () =
+  (* The cooperative cancel poll counts subproblem VISITS, table hits
+     included — so a search that mostly replays a warm table still
+     observes its deadline (the pre-fix poll only ticked on node
+     expansions and a hit-dominated search could overrun its budget
+     unboundedly).  Two behaviors pin the design: (1) a FULLY warmed
+     table holds an exact root entry, so even a pre-fired token loses
+     the race and the value returns normally with zero expansions;
+     (2) against a cold table the same pre-fired token stops the
+     search within one poll interval, the partial entries persist in
+     the caller-owned table, and a repeat attempt resumes deeper. *)
+  let g = Prng.create 9003 in
+  let m = Bm.init 9 9 (fun _ _ -> Prng.float g < 0.18) in
+  let expired () =
+    Commx_util.Pool.Token.create ~deadline:(Commx_util.Clock.now_s () -. 1.0) ()
+  in
+  (* (2) cold table, pre-fired token: Timed_out, bounded work *)
+  let cold = Commx_util.Txtable.create () in
+  (match Exact_cc.search ~table:cold ~cancel:(expired ()) m with
+  | _ -> Alcotest.fail "expected Timed_out against a cold table"
+  | exception Exact_cc.Timed_out { lower; upper; nodes } ->
+      Alcotest.(check bool) "bounds sane" true (0 <= lower && lower <= upper);
+      Alcotest.(check bool) "stopped within a poll interval" true
+        (nodes <= 2048));
+  (* the resumed attempt replays memoized subproblems as table HITS —
+     exactly the traffic the old expansion-only counter never polled —
+     and must still observe its deadline within one interval *)
+  (match Exact_cc.search ~table:cold ~cancel:(expired ()) m with
+  | v, _ -> Alcotest.failf "expected Timed_out on resume, got %d" v
+  | exception Exact_cc.Timed_out { nodes; _ } ->
+      Alcotest.(check bool) "hit-dominated resume still stops" true
+        (nodes <= 2048));
+  (* (1) fully warmed table: the exact root entry wins the race *)
+  let warm = Commx_util.Txtable.create () in
+  let v_full, _ = Exact_cc.search ~table:warm m in
+  let v_hit, st_hit = Exact_cc.search ~table:warm ~cancel:(expired ()) m in
+  Alcotest.(check int) "warm value" v_full v_hit;
+  Alcotest.(check int) "zero expansions against warm table" 0
+    st_hit.Exact_cc.nodes
 
 let gen_ref_bitmat =
   (* The reference engine is the raw exponential recursion — no table,
@@ -676,6 +758,8 @@ let prop_exact_cc_toggle_invariance params =
     Exact_cc.
       [ { default_config with canonicalize = false };
         { default_config with prune = false };
+        { default_config with portfolio = false };
+        { default_config with share_incumbent = false };
         { default_config with table_budget = Some 64 } ]
 
 let prop_exact_cc_monotone_submatrix params =
@@ -811,6 +895,10 @@ let () =
             test_exact_cc_too_large;
           Alcotest.test_case "cap checked post-canonicalization" `Quick
             test_exact_cc_cap_post_canonicalization;
+          Alcotest.test_case "incumbent sharing prunes better" `Quick
+            test_exact_cc_incumbent_sharing_regression;
+          Alcotest.test_case "warm-table deadline observed" `Quick
+            test_exact_cc_warm_table_deadline;
           qtest "optimized = reference engine" ~count:120 arb_ref_bitmat
             prop_exact_cc_reference_agrees;
           qtest "toggles preserve value (8x8)" ~count:60 arb_medium_bitmat

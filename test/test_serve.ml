@@ -18,10 +18,12 @@ module Cache = Commx_serve.Cache
 module Server = Commx_serve.Server
 module Client = Commx_serve.Client
 
-(* The reference board: 8x8, rows as bit patterns.  Low GF(2) rank, so
-   the certified root bound does NOT close the search — a cold query
-   really expands nodes, which is what makes warm-vs-cold observable. *)
-let board_rows = [| 46; 69; 0; 0; 22; 125; 107; 83 |]
+(* The reference board: 8x8, rows as bit patterns.  A GF(2) rank-4
+   product, so the whole certified lower-bound portfolio (rank/fooling,
+   rational log-rank, discrepancy) stays below the trivial upper bound
+   and a cold query really expands nodes (~284) — which is what makes
+   warm-vs-cold observable.  Exact CC = 4. *)
+let board_rows = [| 26; 233; 0; 245; 0; 239; 239; 233 |]
 
 let board_json =
   Json.List
@@ -664,6 +666,41 @@ let test_serve_overload_shedding_is_immediate_and_ordered () =
           Alcotest.(check int) "A reply order 1" 1 (int_field r1 "id");
           check_code "queued job shed at its deadline" "timed_out" r1))
 
+let test_serve_too_large_rejected_at_admission () =
+  with_server (fun path ->
+      let c = connect path in
+      Fun.protect ~finally:(fun () -> close_client c) @@ fun () ->
+      let board n distinct =
+        (* n x n, but only [distinct] distinct rows/columns: canonical
+           dims are [distinct x distinct] *)
+        Json.List
+          (List.init n (fun i ->
+               Json.String
+                 (String.init n (fun j ->
+                      if i mod distinct = j mod distinct then '1' else '0'))))
+      in
+      (* Inside the 64x64 wire limit, above the engine cap: rejected at
+         admission with a structured code and the offending canonical
+         dimensions. *)
+      let r = rpc c (exact_cc_req ~id:(Json.Int 1) (board 24 24)) in
+      check_code "too_large code" "too_large" r;
+      Alcotest.(check int) "canon_rows" 24 (int_field r "canon_rows");
+      Alcotest.(check int) "canon_cols" 24 (int_field r "canon_cols");
+      Alcotest.(check int) "limit is the engine cap"
+        Commx_comm.Exact_cc.max_side (int_field r "limit");
+      (* The check is canonicalization-aware: a 24x24 input that
+         collapses to 8x8 sails through and gets its exact value. *)
+      let ok8 = rpc c (exact_cc_req ~id:(Json.Int 2) (board 24 8)) in
+      assert_ok ok8;
+      Alcotest.(check int) "collapsible oversize board accepted" 4
+        (int_field ok8 "value");
+      (* Rejection never reached a worker: the connection keeps
+         working and the admission counter moved. *)
+      let stats = rpc c stats_req in
+      Alcotest.(check bool) "too_large counted" true
+        (counter_field stats "serve.too_large" >= 1);
+      Alcotest.(check bool) "error counted" true (int_field stats "errors" >= 1))
+
 let test_serve_oversized_line_recovery () =
   with_server ~max_line_bytes:2048 (fun path ->
       let c = connect path in
@@ -1184,6 +1221,8 @@ let () =
             test_serve_respawn_budget_exhaustion_is_fatal;
           Alcotest.test_case "overload shedding immediate + ordered" `Quick
             test_serve_overload_shedding_is_immediate_and_ordered;
+          Alcotest.test_case "too_large rejected at admission" `Quick
+            test_serve_too_large_rejected_at_admission;
           Alcotest.test_case "oversized line recovery" `Quick
             test_serve_oversized_line_recovery;
           Alcotest.test_case "periodic snapshots" `Quick
